@@ -1,0 +1,362 @@
+package scap
+
+// This file holds the benchmark entry points that regenerate the paper's
+// evaluation: one benchmark per figure (Figures 3–12; Table 1 is the API
+// itself), plus the ablation benchmarks for the design decisions called
+// out in DESIGN.md §5. Each figure benchmark runs the corresponding
+// experiment sweep at reduced ("quick") scale and reports the headline
+// numbers as custom metrics; `cmd/scapbench` runs the full-scale sweeps
+// and prints every series.
+//
+//	go test -bench=Fig -benchmem            # all figures
+//	go test -bench=BenchmarkFig6 -v         # one figure
+//	go test -bench=Ablation                 # design ablations
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scap/internal/baseline"
+	"scap/internal/bench"
+	"scap/internal/core"
+	"scap/internal/event"
+	"scap/internal/mem"
+	"scap/internal/pcapring"
+	"scap/internal/reassembly"
+	"scap/internal/sim"
+	"scap/internal/trace"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *bench.Runner
+)
+
+func runner(b *testing.B) *bench.Runner {
+	benchOnce.Do(func() {
+		r, err := bench.NewRunner(bench.QuickConfig())
+		if err != nil {
+			panic(err)
+		}
+		benchRunner = r
+	})
+	return benchRunner
+}
+
+// BenchmarkFig3FlowStatsExport — paper Figure 3: flow statistics export
+// for Libnids, YAF, and Scap with/without FDIR across rates.
+func BenchmarkFig3FlowStatsExport(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		figs := r.Fig3()
+		b.ReportMetric(figs[0].Value("Libnids", 6), "libnids-loss%@6G")
+		b.ReportMetric(figs[0].Value("Scap w/o FDIR", 6), "scap-loss%@6G")
+		b.ReportMetric(figs[2].Value("Scap with FDIR", 6), "scap-fdir-irq%@6G")
+	}
+}
+
+// BenchmarkFig4StreamDelivery — paper Figure 4: delivering reassembled
+// streams to user level (Libnids, Snort, Scap).
+func BenchmarkFig4StreamDelivery(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		figs := r.Fig4()
+		b.ReportMetric(figs[0].Value("Scap", 4), "scap-loss%@4G")
+		b.ReportMetric(figs[0].Value("Libnids", 4), "libnids-loss%@4G")
+	}
+}
+
+// BenchmarkFig5ConcurrentStreams — paper Figure 5: scaling with the number
+// of concurrent streams against fixed-size baseline flow tables.
+func BenchmarkFig5ConcurrentStreams(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		figs := r.Fig5()
+		xs := figs[0].Xs()
+		top := xs[len(xs)-1]
+		b.ReportMetric(figs[0].Value("Libnids", top), "libnids-lost%@max")
+		b.ReportMetric(figs[0].Value("Scap", top), "scap-lost%@max")
+	}
+}
+
+// BenchmarkFig6PatternMatching — paper Figure 6: pattern matching loss,
+// match accuracy, and lost streams.
+func BenchmarkFig6PatternMatching(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		figs := r.Fig6()
+		b.ReportMetric(figs[1].Value("Scap", 6), "scap-matched%@6G")
+		b.ReportMetric(figs[1].Value("Libnids", 6), "libnids-matched%@6G")
+		b.ReportMetric(figs[2].Value("Scap", 6), "scap-lost-streams%@6G")
+	}
+}
+
+// BenchmarkFig7CacheMisses — paper Figure 7: modeled L2 misses per packet.
+func BenchmarkFig7CacheMisses(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		fig := r.Fig7()
+		xs := fig.Xs()
+		b.ReportMetric(fig.Value("Scap", xs[0]), "scap-misses/pkt")
+		b.ReportMetric(fig.Value("Libnids", xs[0]), "libnids-misses/pkt")
+		b.ReportMetric(fig.Value("Snort", xs[0]), "snort-misses/pkt")
+	}
+}
+
+// BenchmarkFig8CutoffSweep — paper Figure 8: stream size cutoffs at
+// 4 Gbit/s, kernel/NIC enforcement vs user-level.
+func BenchmarkFig8CutoffSweep(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		figs := r.Fig8()
+		b.ReportMetric(figs[0].Value("Scap w/o FDIR", 10), "scap-loss%@10KB")
+		b.ReportMetric(figs[0].Value("Libnids", 10), "libnids-loss%@10KB")
+		b.ReportMetric(figs[1].Value("Scap w/o FDIR", 10), "scap-cpu%@10KB")
+	}
+}
+
+// BenchmarkFig9Priorities — paper Figure 9: PPL high- vs low-priority loss.
+func BenchmarkFig9Priorities(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		fig := r.Fig9()
+		b.ReportMetric(fig.Value("High-priority streams", 6), "high-loss%@6G")
+		b.ReportMetric(fig.Value("Low-priority streams", 6), "low-loss%@6G")
+	}
+}
+
+// BenchmarkFig10Multicore — paper Figure 10: worker scaling.
+func BenchmarkFig10Multicore(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		figs := r.Fig10()
+		b.ReportMetric(figs[1].Value("Max loss-free rate", 1), "Gbps@1worker")
+		b.ReportMetric(figs[1].Value("Max loss-free rate", 8), "Gbps@8workers")
+	}
+}
+
+// BenchmarkFig11Analytic — paper Figure 11: M/M/1/N loss probabilities.
+func BenchmarkFig11Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig11()
+		b.ReportMetric(fig.Value("rho=0.9", 150), "P(loss)rho0.9N150")
+	}
+}
+
+// BenchmarkFig12Analytic — paper Figure 12: multi-priority chain.
+func BenchmarkFig12Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := bench.Fig12()
+		b.ReportMetric(fig.Value("High-priority", 20), "P(loss)highN20")
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblationEngineOnly measures the raw kernel-path engine: decode,
+// flow tracking, reassembly, chunking — no virtual time, no workers.
+func BenchmarkAblationEngineOnly(b *testing.B) {
+	g := trace.NewGenerator(trace.GenConfig{Seed: 1, Flows: 1 << 30, Concurrency: 64})
+	frames := trace.Collect(g, 4096)
+	eng := core.NewEngine(core.Options{
+		Config: core.Config{Cutoff: core.CutoffUnlimited, Mode: reassembly.ModeFast},
+		Mem:    mem.New(mem.Config{Size: 1 << 30}),
+		Queue:  event.NewQueue(1 << 10),
+	})
+	q := eng.Queue()
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(len(f))
+	}
+	b.SetBytes(bytes / int64(len(frames)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := frames[i%len(frames)]
+		eng.HandleFrame(f, int64(i)*1000)
+		for {
+			ev, ok := q.Poll()
+			if !ok {
+				break
+			}
+			if ev.Accounted > 0 {
+				// Release through the engine's manager implicitly: the
+				// queue consumer role.
+				_ = ev
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCopyPath drives the one-copy path (engine writing
+// payload straight into stream chunks) and the two-copy path (ring copy
+// plus user-level reassembly copy) on identical traffic. Note it measures
+// the wall-clock of *these Go implementations* — the engine does strictly
+// more per frame (chunking, events, accounting) than the lean baseline —
+// not the modeled kernel/user costs behind Figure 4, which live in
+// internal/sim's calibrated model.
+func BenchmarkAblationCopyPath(b *testing.B) {
+	g := trace.NewGenerator(trace.GenConfig{Seed: 2, Flows: 1 << 30, Concurrency: 64})
+	frames := trace.Collect(g, 4096)
+
+	b.Run("scap-one-copy", func(b *testing.B) {
+		mm := mem.New(mem.Config{Size: 1 << 30})
+		q := event.NewQueue(1 << 12)
+		eng := core.NewEngine(core.Options{
+			Config: core.Config{Cutoff: core.CutoffUnlimited, Mode: reassembly.ModeFast},
+			Mem:    mm, Queue: q,
+		})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.HandleFrame(frames[i%len(frames)], int64(i)*1000)
+			for {
+				ev, ok := q.Poll()
+				if !ok {
+					break
+				}
+				if ev.Accounted > 0 {
+					mm.Release(ev.Accounted)
+				}
+			}
+		}
+	})
+	b.Run("userland-two-copies", func(b *testing.B) {
+		ring := pcapring.New(64<<20, 0)
+		nids := baseline.NewLibnids(0, baseline.CutoffUnlimited, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ring.Push(frames[i%len(frames)], int64(i)*1000) {
+				f, _ := ring.Pop()
+				nids.ProcessFrame(f)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCutoffPlacement measures how much kernel work a 10 KB
+// cutoff saves inside the engine (discard-early) versus processing
+// everything — the mechanism behind Figure 8.
+func BenchmarkAblationCutoffPlacement(b *testing.B) {
+	g := trace.NewGenerator(trace.GenConfig{
+		Seed: 3, Flows: 1 << 30, Concurrency: 32,
+		Alpha: 0.8, MaxFlowBytes: 20 << 20,
+	})
+	frames := trace.Collect(g, 8192)
+	for _, tc := range []struct {
+		name   string
+		cutoff int64
+	}{
+		{"no-cutoff", core.CutoffUnlimited},
+		{"cutoff-10KB", 10 << 10},
+		{"cutoff-0", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			mm := mem.New(mem.Config{Size: 1 << 30})
+			q := event.NewQueue(1 << 12)
+			eng := core.NewEngine(core.Options{
+				Config: core.Config{Cutoff: tc.cutoff, Mode: reassembly.ModeFast},
+				Mem:    mm, Queue: q,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.HandleFrame(frames[i%len(frames)], int64(i)*1000)
+				for {
+					ev, ok := q.Poll()
+					if !ok {
+						break
+					}
+					if ev.Accounted > 0 {
+						mm.Release(ev.Accounted)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the chunk size (the paper fixes it at
+// 16 KB): small chunks pay per-event overhead, huge chunks delay delivery.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	g := trace.NewGenerator(trace.GenConfig{Seed: 5, Flows: 1 << 30, Concurrency: 32})
+	frames := trace.Collect(g, 8192)
+	for _, size := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+		b.Run(fmtKB(size), func(b *testing.B) {
+			mm := mem.New(mem.Config{Size: 1 << 30})
+			q := event.NewQueue(1 << 12)
+			eng := core.NewEngine(core.Options{
+				Config: core.Config{Cutoff: core.CutoffUnlimited, Mode: reassembly.ModeFast, ChunkSize: size},
+				Mem:    mm, Queue: q,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.HandleFrame(frames[i%len(frames)], int64(i)*1000)
+				for {
+					ev, ok := q.Poll()
+					if !ok {
+						break
+					}
+					if ev.Accounted > 0 {
+						mm.Release(ev.Accounted)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStrictVsFast compares the reassembly disciplines on
+// mildly reordered traffic.
+func BenchmarkAblationStrictVsFast(b *testing.B) {
+	g := trace.NewGenerator(trace.GenConfig{
+		Seed: 6, Flows: 1 << 30, Concurrency: 32, ReorderProb: 0.05,
+	})
+	frames := trace.Collect(g, 8192)
+	for _, mode := range []reassembly.Mode{reassembly.ModeFast, reassembly.ModeStrict} {
+		b.Run(mode.String(), func(b *testing.B) {
+			mm := mem.New(mem.Config{Size: 1 << 30})
+			q := event.NewQueue(1 << 12)
+			eng := core.NewEngine(core.Options{
+				Config: core.Config{Cutoff: core.CutoffUnlimited, Mode: mode},
+				Mem:    mm, Queue: q,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.HandleFrame(frames[i%len(frames)], int64(i)*1000)
+				for {
+					ev, ok := q.Poll()
+					if !ok {
+						break
+					}
+					if ev.Accounted > 0 {
+						mm.Release(ev.Accounted)
+					}
+				}
+			}
+		})
+	}
+}
+
+func fmtKB(n int) string {
+	return fmt.Sprintf("%dKB", n>>10)
+}
+
+// BenchmarkAblationSimulatedNIC prices the simulated NIC's receive path
+// (RSS + FDIR lookup) on its own.
+func BenchmarkAblationSimulatedNIC(b *testing.B) {
+	s := sim.NewScapSim(sim.ScapConfig{
+		Engine: core.Config{Cutoff: core.CutoffUnlimited, Mode: reassembly.ModeFast},
+	})
+	_ = s // pipeline construction cost only; the NIC micro-bench lives in internal/nic
+	g := trace.NewGenerator(trace.GenConfig{Seed: 4, Flows: 1 << 30, Concurrency: 64})
+	frames := trace.Collect(g, 2048)
+	b.ResetTimer()
+	src := &trace.SliceSource{Frames: frames}
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		sim.NewScapSim(sim.ScapConfig{
+			Engine:  core.Config{Cutoff: core.CutoffUnlimited, Mode: reassembly.ModeFast},
+			Workers: 1,
+		}).Run(src, 1e9)
+	}
+}

@@ -1,0 +1,317 @@
+package scap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sync"
+	"time"
+
+	"scap/internal/core"
+	"scap/internal/event"
+	"scap/internal/trace"
+)
+
+// captureState owns the running goroutines of a started socket: one kernel
+// goroutine per NIC queue and the configured number of worker goroutines —
+// the user-space equivalent of the paper's per-core kernel thread plus
+// worker thread pairs.
+type captureState struct {
+	h *Handle
+
+	mu        sync.Mutex
+	frameCh   []chan frameIn // per-queue hand-off NIC -> kernel goroutine
+	stopped   bool
+	kernelWG  sync.WaitGroup
+	workerWG  sync.WaitGroup
+	injectMu  sync.Mutex
+	lastTS    int64
+	timerStop chan struct{}
+}
+
+type frameIn struct {
+	data []byte
+	ts   int64
+}
+
+func newCaptureState(h *Handle) *captureState {
+	return &captureState{h: h, timerStop: make(chan struct{})}
+}
+
+func (c *captureState) start() {
+	h := c.h
+	c.frameCh = make([]chan frameIn, h.cfg.Queues)
+	for q := range c.frameCh {
+		c.frameCh[q] = make(chan frameIn, 1024)
+	}
+	// Kernel goroutines: one per queue, each owning its engine.
+	for q := 0; q < h.cfg.Queues; q++ {
+		c.kernelWG.Add(1)
+		go c.kernelLoop(q)
+	}
+	// Worker goroutines.
+	for w := 0; w < h.workers; w++ {
+		c.workerWG.Add(1)
+		go c.workerLoop(w)
+	}
+}
+
+// kernelLoop is one core's softirq-equivalent: it pulls frames for its
+// queue and drives the engine, running timer work between frames.
+func (c *captureState) kernelLoop(q int) {
+	defer c.kernelWG.Done()
+	eng := c.h.engines[q]
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case f, ok := <-c.frameCh[q]:
+			if !ok {
+				return
+			}
+			eng.HandleFrame(f.data, f.ts)
+		case <-ticker.C:
+			eng.CheckTimers(c.currentTS())
+		}
+	}
+}
+
+// workerLoop polls the worker's event queues, dispatching callbacks
+// (the Scap stub's event-dispatch loop, §5.8).
+func (c *captureState) workerLoop(w int) {
+	defer c.workerWG.Done()
+	h := c.h
+	procTime := make(map[uint64]time.Duration)
+	kept := make(map[uint64][]byte)
+	var qs []*event.Queue
+	var engs []*core.Engine
+	for q := w; q < len(h.queues); q += h.workers {
+		qs = append(qs, h.queues[q])
+		engs = append(engs, h.engines[q])
+	}
+	if len(qs) == 0 {
+		return
+	}
+	live := len(qs)
+	closed := make([]bool, len(qs))
+	for live > 0 {
+		progressed := false
+		for i, q := range qs {
+			if closed[i] {
+				continue
+			}
+			ev, ok := q.Poll()
+			if !ok {
+				continue
+			}
+			progressed = true
+			c.dispatch(engs[i], &ev, procTime, kept)
+		}
+		if !progressed {
+			// Block on the first open queue; others are polled again
+			// after it yields (single-queue-per-worker is the common
+			// configuration, where Wait alone drives the loop).
+			i := firstOpen(closed)
+			if i < 0 {
+				return
+			}
+			ev, ok := qs[i].Wait()
+			if !ok {
+				closed[i] = true
+				live--
+				continue
+			}
+			c.dispatch(engs[i], &ev, procTime, kept)
+		}
+	}
+}
+
+func firstOpen(closed []bool) int {
+	for i, c := range closed {
+		if !c {
+			return i
+		}
+	}
+	return -1
+}
+
+// dispatch runs one event's callback with a Stream view. Kept chunks are
+// merged in the stub: scap_keep_stream_chunk promises that the next
+// invocation receives the previous and the new chunk together, which the
+// worker guarantees locally since it sees each stream's events in order.
+func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, procTime map[uint64]time.Duration, kept map[uint64][]byte) {
+	h := c.h
+	sd := &Stream{
+		info:    ev.Info,
+		handle:  h,
+		engine:  eng,
+		raw:     ev.Stream,
+		procCum: procTime[ev.Info.ID],
+	}
+	var fn Handler
+	var kind appEventKind
+	switch ev.Type {
+	case event.Creation:
+		fn, kind = h.onCreate, appEvCreation
+	case event.Data:
+		sd.Data = ev.Data
+		if prev, ok := kept[ev.Info.ID]; ok {
+			sd.Data = append(prev, ev.Data...)
+			delete(kept, ev.Info.ID)
+		}
+		sd.HoleBefore = ev.HoleBefore
+		sd.Last = ev.Last
+		sd.pkts = ev.Pkts
+		fn, kind = h.onData, appEvData
+	case event.Termination:
+		fn, kind = h.onClose, appEvTermination
+	}
+	start := time.Now()
+	if len(h.apps) > 0 {
+		h.dispatchApps(kind, sd)
+		procTime[ev.Info.ID] = sd.procCum + time.Since(start)
+	} else if fn != nil {
+		fn(sd)
+		procTime[ev.Info.ID] = sd.procCum + time.Since(start)
+	}
+	switch ev.Type {
+	case event.Data:
+		if sd.keep && !ev.Last {
+			// Stash a copy for the next delivery; the chunk's budget
+			// reservation is released normally — the kept copy is the
+			// application's memory, not stream memory.
+			cp := make([]byte, len(sd.Data))
+			copy(cp, sd.Data)
+			kept[ev.Info.ID] = cp
+		}
+		if ev.Accounted > 0 {
+			h.mm.Release(ev.Accounted)
+		}
+		if ev.Last {
+			delete(procTime, ev.Info.ID)
+			delete(kept, ev.Info.ID)
+		}
+	case event.Termination:
+		delete(procTime, ev.Info.ID)
+		delete(kept, ev.Info.ID)
+	}
+}
+
+func (c *captureState) currentTS() int64 {
+	c.injectMu.Lock()
+	defer c.injectMu.Unlock()
+	return c.lastTS
+}
+
+// inject routes one frame through the NIC to its kernel goroutine.
+func (c *captureState) inject(data []byte, ts int64) {
+	c.injectMu.Lock()
+	if ts <= c.lastTS {
+		ts = c.lastTS + 1
+	}
+	c.lastTS = ts
+	c.injectMu.Unlock()
+	q := c.h.nicDev.Receive(data, ts)
+	if q < 0 {
+		return
+	}
+	f, ok := c.h.nicDev.Poll(q)
+	if !ok {
+		return
+	}
+	c.frameCh[q] <- frameIn{data: f.Data, ts: f.TS}
+}
+
+// stop flushes everything and joins the goroutines.
+func (c *captureState) stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+
+	for _, ch := range c.frameCh {
+		close(ch)
+	}
+	c.kernelWG.Wait()
+	// Final flush: expire and terminate every stream, then close queues
+	// so workers drain and exit.
+	for _, eng := range c.h.engines {
+		eng.Shutdown()
+	}
+	for _, q := range c.h.queues {
+		q.Close()
+	}
+	c.workerWG.Wait()
+}
+
+// --- Frame input paths ---
+
+// InjectFrame feeds one raw Ethernet frame with a virtual timestamp
+// (nanoseconds, strictly increasing per socket). This is the lowest-level
+// input path; ReplayPcap and ReplaySource are built on it.
+func (h *Handle) InjectFrame(data []byte, ts int64) error {
+	if !h.started {
+		return ErrNotStarted
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	h.capture.inject(cp, ts)
+	return nil
+}
+
+// ReplaySource feeds every frame from a workload source, pacing virtual
+// timestamps at the given rate in bits/s (wall-clock runs as fast as the
+// pipeline allows, like the paper's trace replay). It blocks until the
+// source is exhausted.
+func (h *Handle) ReplaySource(src trace.Source, bitsPerSec float64) error {
+	if !h.started {
+		return ErrNotStarted
+	}
+	trace.Replay(src, bitsPerSec, func(frame []byte, ts int64) bool {
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		h.capture.inject(cp, ts)
+		return true
+	})
+	return nil
+}
+
+// ReplayPcap feeds a pcap file, preserving its timestamps.
+func (h *Handle) ReplayPcap(path string) error {
+	if !h.started {
+		return ErrNotStarted
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewPcapReader(f)
+	for {
+		frame, ts, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		h.capture.inject(frame, ts)
+	}
+}
+
+// parsePrefix parses a CIDR or bare address into a netip.Prefix.
+func parsePrefix(s string) (netip.Prefix, error) {
+	if p, err := netip.ParsePrefix(s); err == nil {
+		return p, nil
+	}
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("scap: bad prefix %q: %w", s, err)
+	}
+	return a.Prefix(a.BitLen())
+}

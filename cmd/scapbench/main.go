@@ -1,0 +1,66 @@
+// Command scapbench regenerates the paper's evaluation figures on the
+// simulated 10 GbE pipeline and prints each as a text table.
+//
+// Usage:
+//
+//	scapbench                 # all figures, full scale
+//	scapbench -fig 6          # just Figure 6 (a,b,c)
+//	scapbench -quick          # smaller sweeps for a fast smoke run
+//	scapbench -flows 20000    # bigger synthetic trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scap/internal/bench"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "", "figure to run (3..12); empty = all")
+		quick = flag.Bool("quick", false, "smaller sweeps")
+		flows = flag.Int("flows", 0, "override synthetic trace flow count")
+		seed  = flag.Int64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *flows > 0 {
+		cfg.Flows = *flows
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	fmt.Printf("generating workload (%d flows)...\n", cfg.Flows)
+	r, err := bench.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scapbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %d packets, %d MB, %d flows, %d embedded patterns (%.1fs)\n\n",
+		r.Generator().Packets, r.TraceBytes()>>20, r.Generator().FlowsMade,
+		r.Generator().Embedded, time.Since(start).Seconds())
+
+	var figs []*bench.Figure
+	if *figID == "" {
+		figs = r.All()
+	} else {
+		figs, err = r.ByID(*figID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scapbench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, f := range figs {
+		f.Print(os.Stdout)
+	}
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}

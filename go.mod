@@ -1,0 +1,3 @@
+module scap
+
+go 1.22

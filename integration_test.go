@@ -1,0 +1,339 @@
+package scap
+
+// End-to-end integration tests: the full public-API pipeline against
+// independently computed ground truth, cross-validation against the
+// baseline reassembler, and failure injection (reordering, duplication,
+// fragmentation).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sort"
+	"sync"
+	"testing"
+
+	"scap/internal/baseline"
+	"scap/internal/pcapring"
+	"scap/internal/pkt"
+	"scap/internal/trace"
+)
+
+// groundTruth reconstructs each stream direction's true byte sequence from
+// the raw frames: segments sorted by sequence number, overlaps first-wins.
+// This is independent of the reassembly engine under test.
+func groundTruth(t *testing.T, frames [][]byte) map[pkt.FlowKey][]byte {
+	t.Helper()
+	type seg struct {
+		seq  int64
+		data []byte
+	}
+	segs := map[pkt.FlowKey][]seg{}
+	isn := map[pkt.FlowKey]int64{}
+	var p pkt.Packet
+	for _, f := range frames {
+		if err := pkt.Decode(f, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Key.Proto != pkt.ProtoTCP {
+			continue
+		}
+		if p.TCPFlags&pkt.FlagSYN != 0 {
+			isn[p.Key] = int64(p.Seq) + 1
+			continue
+		}
+		if len(p.Payload) > 0 {
+			cp := append([]byte(nil), p.Payload...)
+			segs[p.Key] = append(segs[p.Key], seg{seq: int64(p.Seq), data: cp})
+		}
+	}
+	out := map[pkt.FlowKey][]byte{}
+	for key, list := range segs {
+		base, ok := isn[key]
+		if !ok {
+			continue
+		}
+		sort.SliceStable(list, func(i, j int) bool { return list[i].seq < list[j].seq })
+		var buf []byte
+		next := base
+		for _, s := range list {
+			off := s.seq - next
+			switch {
+			case off == 0:
+				buf = append(buf, s.data...)
+				next += int64(len(s.data))
+			case off < 0: // duplicate / overlap: keep only the new tail
+				if -off < int64(len(s.data)) {
+					buf = append(buf, s.data[-off:]...)
+					next = s.seq + int64(len(s.data))
+				}
+			default:
+				t.Fatalf("ground truth has a hole at %v (gap %d)", key, off)
+			}
+		}
+		out[key] = buf
+	}
+	return out
+}
+
+// captureStreams runs the public API over the frames and returns each
+// direction's delivered bytes.
+func captureStreams(t *testing.T, frames [][]byte, mode ReassemblyMode) map[pkt.FlowKey][]byte {
+	t.Helper()
+	h, err := Create(Config{ReassemblyMode: mode, Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[pkt.FlowKey][]byte{}
+	h.DispatchData(func(sd *Stream) {
+		mu.Lock()
+		got[sd.Key()] = append(got[sd.Key()], sd.Data...)
+		mu.Unlock()
+	})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReplaySource(&trace.SliceSource{Frames: frames}, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	return got
+}
+
+func genFrames(cfg trace.GenConfig) [][]byte {
+	g := trace.NewGenerator(cfg)
+	return trace.Collect(g, 0)
+}
+
+func TestEndToEndMatchesGroundTruth(t *testing.T) {
+	frames := genFrames(trace.GenConfig{
+		Seed: 21, Flows: 40, Concurrency: 8, TCPFraction: 1,
+		MinFlowBytes: 1000, MaxFlowBytes: 100 << 10,
+	})
+	want := groundTruth(t, frames)
+	got := captureStreams(t, frames, TCPFast)
+	checked := 0
+	for key, wantBytes := range want {
+		if !bytes.Equal(got[key], wantBytes) {
+			t.Errorf("stream %v: %d bytes delivered, %d expected", key, len(got[key]), len(wantBytes))
+			continue
+		}
+		checked++
+	}
+	if checked < 70 { // 40 flows x 2 directions, some may be tiny
+		t.Errorf("only %d directions verified", checked)
+	}
+}
+
+func TestEndToEndWithReorderingAndDuplicates(t *testing.T) {
+	frames := genFrames(trace.GenConfig{
+		Seed: 22, Flows: 40, Concurrency: 4, TCPFraction: 1,
+		MinFlowBytes: 5000, MaxFlowBytes: 60 << 10,
+		ReorderProb: 0.15, DuplicateProb: 0.15,
+	})
+	want := groundTruth(t, frames)
+	for _, mode := range []ReassemblyMode{TCPFast, TCPStrict} {
+		got := captureStreams(t, frames, mode)
+		for key, wantBytes := range want {
+			if !bytes.Equal(got[key], wantBytes) {
+				t.Errorf("mode %v stream %v: mismatch (%d vs %d bytes)",
+					mode, key, len(got[key]), len(wantBytes))
+			}
+		}
+	}
+}
+
+func TestEndToEndFragmentedTrafficStrictMode(t *testing.T) {
+	whole := genFrames(trace.GenConfig{
+		Seed: 23, Flows: 10, Concurrency: 2, TCPFraction: 1,
+		MinFlowBytes: 20 << 10, MaxFlowBytes: 40 << 10,
+	})
+	want := groundTruth(t, whole)
+	// Fragment every large IPv4 frame.
+	var fragged [][]byte
+	var p pkt.Packet
+	for _, f := range whole {
+		if err := pkt.Decode(f, &p); err == nil && p.IPVersion == 4 && len(f) > 600 {
+			fragged = append(fragged, pkt.FragmentIPv4(f, 576)...)
+		} else {
+			fragged = append(fragged, f)
+		}
+	}
+	got := captureStreams(t, fragged, TCPStrict)
+	for key, wantBytes := range want {
+		if !bytes.Equal(got[key], wantBytes) {
+			t.Errorf("strict mode with fragmentation: stream %v mismatch (%d vs %d bytes)",
+				key, len(got[key]), len(wantBytes))
+		}
+	}
+}
+
+// TestScapAgreesWithBaselineReassembler cross-validates two independent
+// implementations: the kernel-path engine and the user-level baseline must
+// produce identical stream bytes on a loss-free run.
+func TestScapAgreesWithBaselineReassembler(t *testing.T) {
+	frames := genFrames(trace.GenConfig{
+		Seed: 24, Flows: 30, Concurrency: 6, TCPFraction: 1,
+		MinFlowBytes: 2000, MaxFlowBytes: 50 << 10,
+		ReorderProb: 0.1,
+	})
+	scapGot := captureStreams(t, frames, TCPFast)
+
+	nidsGot := map[pkt.FlowKey][]byte{}
+	nids := baseline.NewLibnids(0, baseline.CutoffUnlimited, func(s *baseline.UserStream, b []byte) {
+		nidsGot[s.Key] = append(nidsGot[s.Key], b...)
+	})
+	for i, f := range frames {
+		nids.ProcessFrame(pcapring.Frame{Data: f, TS: int64(i) * 1000, WireLen: len(f)})
+	}
+	nids.Close()
+
+	if len(nidsGot) == 0 {
+		t.Fatal("baseline produced nothing")
+	}
+	for key, nb := range nidsGot {
+		if len(nb) == 0 {
+			continue
+		}
+		if !bytes.Equal(scapGot[key], nb) {
+			sh, nh := sha256.Sum256(scapGot[key]), sha256.Sum256(nb)
+			t.Errorf("disagreement on %v: scap %d bytes (sha %x…) vs libnids %d bytes (sha %x…)",
+				key, len(scapGot[key]), sh[:4], len(nb), nh[:4])
+		}
+	}
+}
+
+// TestUDPAndMixedTraffic exercises the non-TCP path end to end.
+func TestUDPAndMixedTraffic(t *testing.T) {
+	frames := genFrames(trace.GenConfig{
+		Seed: 25, Flows: 60, Concurrency: 8, TCPFraction: 0.5,
+		MinFlowBytes: 500, MaxFlowBytes: 5000,
+	})
+	h, _ := Create(Config{Queues: 2})
+	var mu sync.Mutex
+	var tcpStreams, udpStreams int
+	h.DispatchTermination(func(sd *Stream) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch sd.Key().Proto {
+		case pkt.ProtoTCP:
+			tcpStreams++
+		case pkt.ProtoUDP:
+			udpStreams++
+		}
+	})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReplaySource(&trace.SliceSource{Frames: frames}, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if tcpStreams == 0 || udpStreams == 0 {
+		t.Errorf("tcp=%d udp=%d — both protocols expected", tcpStreams, udpStreams)
+	}
+}
+
+// TestHostileFramesDoNotBreakPipeline mixes garbage, truncated frames,
+// and mid-stream corruption into a normal workload: the pipeline must not
+// panic, must count decode failures, and must still process the healthy
+// traffic.
+func TestHostileFramesDoNotBreakPipeline(t *testing.T) {
+	clean := genFrames(trace.GenConfig{
+		Seed: 26, Flows: 20, Concurrency: 4, TCPFraction: 1,
+		MinFlowBytes: 1000, MaxFlowBytes: 10000,
+	})
+	hostile := make([][]byte, 0, len(clean)*2)
+	rnd := uint64(1)
+	next := func(n uint64) uint64 { rnd = rnd*6364136223846793005 + 1442695040888963407; return rnd % n }
+	for _, f := range clean {
+		hostile = append(hostile, f)
+		switch next(4) {
+		case 0: // garbage blob
+			g := make([]byte, 10+next(100))
+			for i := range g {
+				g[i] = byte(next(256))
+			}
+			hostile = append(hostile, g)
+		case 1: // truncated copy
+			hostile = append(hostile, append([]byte(nil), f[:len(f)/2]...))
+		case 2: // corrupted header byte
+			c := append([]byte(nil), f...)
+			c[int(next(uint64(len(c))))] ^= 0xff
+			hostile = append(hostile, c)
+		}
+	}
+	h, _ := Create(Config{Queues: 2})
+	var terms int32
+	var mu sync.Mutex
+	h.DispatchTermination(func(sd *Stream) { mu.Lock(); terms++; mu.Unlock() })
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReplaySource(&trace.SliceSource{Frames: hostile}, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if terms < 30 { // most of the 40 directions should still terminate
+		t.Errorf("only %d terminations with hostile frames mixed in", terms)
+	}
+}
+
+// TestTargetBasedPoliciesDiverge feeds the same ambiguous overlap to two
+// sockets with different per-host policies and checks they resolve it
+// differently — the Shankar-Paxson attack surface the per-host
+// configuration exists for.
+func TestTargetBasedPoliciesDiverge(t *testing.T) {
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("192.168.7.7"),
+		SrcPort: 41000, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	mkFrames := func() [][]byte {
+		return [][]byte{
+			pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 100, Flags: pkt.FlagSYN}),
+			pkt.BuildTCP(pkt.TCPSpec{Key: key.Reverse(), Seq: 900, Ack: 101, Flags: pkt.FlagSYN | pkt.FlagACK}),
+			// Out-of-order islands with a conflicting overlap at the same
+			// start (delivery blocked until the hole at 101 fills).
+			pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 111, Ack: 901, Flags: pkt.FlagACK, Payload: []byte("AAAA")}),
+			pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 111, Ack: 901, Flags: pkt.FlagACK, Payload: []byte("BBBB")}),
+			pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 101, Ack: 901, Flags: pkt.FlagACK, Payload: []byte("0123456789")}),
+			pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 115, Ack: 901, Flags: pkt.FlagFIN | pkt.FlagACK}),
+			pkt.BuildTCP(pkt.TCPSpec{Key: key.Reverse(), Seq: 901, Ack: 116, Flags: pkt.FlagFIN | pkt.FlagACK}),
+		}
+	}
+	capture := func(policy OverlapPolicy) []byte {
+		h, _ := Create(Config{Queues: 1})
+		if err := h.AddPolicyRule("192.168.7.0/24", policy); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var got []byte
+		h.DispatchData(func(sd *Stream) {
+			if sd.Dir() == DirClient {
+				mu.Lock()
+				got = append(got, sd.Data...)
+				mu.Unlock()
+			}
+		})
+		h.StartCapture()
+		for i, f := range mkFrames() {
+			h.InjectFrame(f, int64(i+1)*1000)
+		}
+		h.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+	first := capture(PolicyFirst)
+	last := capture(PolicyLast)
+	if !bytes.Equal(first, []byte("0123456789AAAA")) {
+		t.Errorf("first-wins policy delivered %q", first)
+	}
+	if !bytes.Equal(last, []byte("0123456789BBBB")) {
+		t.Errorf("last-wins policy delivered %q", last)
+	}
+}

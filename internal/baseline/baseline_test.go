@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"scap/internal/pcapring"
+	"scap/internal/pkt"
+	"scap/internal/trace"
+)
+
+// runThroughRing replays generated frames through a ring into a consumer.
+func runThroughRing(t *testing.T, g *trace.Generator, snaplen int, consume func(pcapring.Frame)) *pcapring.Ring {
+	t.Helper()
+	ring := pcapring.New(64<<20, snaplen)
+	ts := int64(0)
+	for {
+		f := g.Next()
+		if f == nil {
+			break
+		}
+		ts += 1000
+		if ring.Push(f, ts) {
+			// Consume immediately (no backlog in functional tests).
+			fr, _ := ring.Pop()
+			consume(fr)
+		}
+	}
+	return ring
+}
+
+func TestRingCopyAndOverflow(t *testing.T) {
+	r := pcapring.New(1000, 0)
+	frame := make([]byte, 400)
+	if !r.Push(frame, 1) || !r.Push(frame, 2) {
+		t.Fatal("pushes failed")
+	}
+	if r.Push(frame, 3) { // 3*(400+64) > 1000
+		t.Fatal("overflow push succeeded")
+	}
+	if s := r.Stats(); s.Dropped != 1 || s.Received != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Copy semantics: mutating the source must not affect stored frames.
+	frame[0] = 0xAA
+	f, _ := r.Pop()
+	if f.Data[0] == 0xAA {
+		t.Error("ring did not copy the frame")
+	}
+	r.Pop()
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty ring")
+	}
+}
+
+func TestRingSnaplen(t *testing.T) {
+	r := pcapring.New(1<<20, 96)
+	frame := make([]byte, 1500)
+	r.Push(frame, 1)
+	f, _ := r.Pop()
+	if len(f.Data) != 96 || f.WireLen != 1500 {
+		t.Errorf("caplen=%d wirelen=%d", len(f.Data), f.WireLen)
+	}
+}
+
+func TestLibnidsReassemblesStreams(t *testing.T) {
+	var delivered bytes.Buffer
+	nids := NewLibnids(0, CutoffUnlimited, func(s *UserStream, b []byte) {
+		if s.Key.DstPort == 80 {
+			delivered.Write(b)
+		}
+	})
+	g := trace.NewGenerator(trace.GenConfig{
+		Seed: 1, Flows: 20, Concurrency: 4, TCPFraction: 1,
+		MinFlowBytes: 1000, MaxFlowBytes: 5000,
+		EmbedPatterns: [][]byte{[]byte("NEEDLE-IN-STREAM")}, EmbedProb: 1,
+	})
+	runThroughRing(t, g, 0, nids.ProcessFrame)
+	nids.Close()
+	if !bytes.Contains(delivered.Bytes(), []byte("NEEDLE-IN-STREAM")) {
+		t.Error("embedded pattern not delivered by libnids baseline")
+	}
+	c := nids.Counters()
+	if c.StreamsTracked == 0 || c.ReassemblyCopy == 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestLibnidsRequiresHandshake(t *testing.T) {
+	nids := NewLibnids(0, CutoffUnlimited, nil)
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("1.1.1.1"), DstIP: pkt.MustAddr("2.2.2.2"),
+		SrcPort: 1234, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	data := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 100, Flags: pkt.FlagACK | pkt.FlagPSH, Payload: []byte("midstream")})
+	nids.ProcessFrame(pcapring.Frame{Data: data, TS: 1, WireLen: len(data)})
+	if nids.Tracked() != 0 {
+		t.Error("libnids tracked a connection without SYN")
+	}
+	if nids.Counters().StreamsNoSYN != 1 {
+		t.Errorf("counters = %+v", nids.Counters())
+	}
+}
+
+func TestLibnidsTableLimitRejectsNew(t *testing.T) {
+	nids := NewLibnids(4, CutoffUnlimited, nil)
+	for i := 0; i < 8; i++ {
+		key := pkt.FlowKey{
+			SrcIP: pkt.MustAddr("1.1.1.1"), DstIP: pkt.MustAddr("2.2.2.2"),
+			SrcPort: uint16(1000 + i), DstPort: 80, Proto: pkt.ProtoTCP,
+		}
+		syn := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 1, Flags: pkt.FlagSYN})
+		nids.ProcessFrame(pcapring.Frame{Data: syn, TS: int64(i), WireLen: len(syn)})
+	}
+	if nids.Tracked() != 4 {
+		t.Errorf("tracked = %d, want 4", nids.Tracked())
+	}
+	if c := nids.Counters(); c.StreamsRefused != 4 {
+		t.Errorf("refused = %d, want 4", c.StreamsRefused)
+	}
+}
+
+func TestStream5TableLimitEvictsOldest(t *testing.T) {
+	s5 := NewStream5(4, 0, CutoffUnlimited, nil)
+	for i := 0; i < 8; i++ {
+		key := pkt.FlowKey{
+			SrcIP: pkt.MustAddr("1.1.1.1"), DstIP: pkt.MustAddr("2.2.2.2"),
+			SrcPort: uint16(1000 + i), DstPort: 80, Proto: pkt.ProtoTCP,
+		}
+		syn := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 1, Flags: pkt.FlagSYN})
+		s5.ProcessFrame(pcapring.Frame{Data: syn, TS: int64(i), WireLen: len(syn)})
+	}
+	if s5.Tracked() != 4 {
+		t.Errorf("tracked = %d, want 4", s5.Tracked())
+	}
+	if c := s5.Counters(); c.StreamsEvicted != 4 {
+		t.Errorf("evicted = %d, want 4", c.StreamsEvicted)
+	}
+}
+
+func TestUserCutoffTruncates(t *testing.T) {
+	var got int
+	nids := NewLibnids(0, 100, func(s *UserStream, b []byte) { got += len(b) })
+	g := trace.NewGenerator(trace.GenConfig{
+		Seed: 3, Flows: 1, Concurrency: 1, TCPFraction: 1,
+		MinFlowBytes: 10000, MaxFlowBytes: 10001,
+	})
+	runThroughRing(t, g, 0, nids.ProcessFrame)
+	nids.Close()
+	// Two directions, each cut at 100 bytes.
+	if got > 200 {
+		t.Errorf("delivered %d bytes, want <= 200 with cutoff 100", got)
+	}
+	// The baseline still READ all the bytes from the ring (the point of
+	// Figure 8: user-level cutoffs do not save the copies).
+	if c := nids.Counters(); c.RingBytesRead < 10000 {
+		t.Errorf("ring bytes read = %d, expected full trace", c.RingBytesRead)
+	}
+}
+
+func TestStream5ChunkedDelivery(t *testing.T) {
+	var sizes []int
+	s5 := NewStream5(0, 512, CutoffUnlimited, func(s *UserStream, b []byte) {
+		sizes = append(sizes, len(b))
+	})
+	g := trace.NewGenerator(trace.GenConfig{
+		Seed: 4, Flows: 5, Concurrency: 1, TCPFraction: 1,
+		MinFlowBytes: 4000, MaxFlowBytes: 4001,
+	})
+	runThroughRing(t, g, 0, s5.ProcessFrame)
+	s5.Close()
+	full := 0
+	for _, n := range sizes {
+		if n == 512 {
+			full++
+		}
+		if n > 512 {
+			t.Fatalf("chunk of %d bytes exceeds flush point", n)
+		}
+	}
+	if full == 0 {
+		t.Error("no full flush-point chunks delivered")
+	}
+}
+
+func TestExpireClosesIdleConnections(t *testing.T) {
+	nids := NewLibnids(0, CutoffUnlimited, nil)
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("9.9.9.9"), DstIP: pkt.MustAddr("8.8.8.8"),
+		SrcPort: 5555, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	syn := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 1, Flags: pkt.FlagSYN})
+	nids.ProcessFrame(pcapring.Frame{Data: syn, TS: 0, WireLen: len(syn)})
+	nids.Expire(5e9) // before timeout
+	if nids.Tracked() != 1 {
+		t.Fatal("expired too early")
+	}
+	nids.Expire(20e9)
+	if nids.Tracked() != 0 {
+		t.Error("idle connection not expired")
+	}
+}
+
+func TestYAFFlowExport(t *testing.T) {
+	var exported []FlowRecord
+	y := NewYAF(0, func(fr FlowRecord) { exported = append(exported, fr) })
+	g := trace.NewGenerator(trace.GenConfig{
+		Seed: 5, Flows: 10, Concurrency: 2, TCPFraction: 1,
+		MinFlowBytes: 1000, MaxFlowBytes: 2000,
+	})
+	runThroughRing(t, g, YAFSnaplen, y.ProcessFrame)
+	y.Close()
+	if len(exported) != 10 {
+		t.Errorf("exported %d flows, want 10", len(exported))
+	}
+	for _, fr := range exported {
+		if fr.Pkts == 0 || fr.Bytes == 0 {
+			t.Errorf("empty record %+v", fr)
+		}
+		if fr.End < fr.Start {
+			t.Errorf("timestamps inverted: %+v", fr)
+		}
+	}
+	// YAF reads only snaplen bytes per packet.
+	if c := y.Counters(); c.RingBytesRead > c.Packets*YAFSnaplen {
+		t.Errorf("ring bytes = %d for %d packets", c.RingBytesRead, c.Packets)
+	}
+}
+
+func TestYAFCountsWireBytesNotCaptured(t *testing.T) {
+	var rec FlowRecord
+	y := NewYAF(0, func(fr FlowRecord) { rec = fr })
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("3.3.3.3"), DstIP: pkt.MustAddr("4.4.4.4"),
+		SrcPort: 1, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	big := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 1, Flags: pkt.FlagACK, Payload: make([]byte, 1400)})
+	y.ProcessFrame(pcapring.Frame{Data: big[:YAFSnaplen], TS: 1, WireLen: len(big)})
+	rst := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 1401, Flags: pkt.FlagRST})
+	y.ProcessFrame(pcapring.Frame{Data: rst, TS: 2, WireLen: len(rst)})
+	if rec.Bytes != uint64(len(big)+len(rst)) {
+		t.Errorf("flow bytes = %d, want wire total %d", rec.Bytes, len(big)+len(rst))
+	}
+}

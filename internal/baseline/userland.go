@@ -1,0 +1,307 @@
+// Package baseline reimplements the evaluation's comparison systems on top
+// of the PF_PACKET-style ring (internal/pcapring): a Libnids-like and a
+// Snort-Stream5-like user-level TCP reassembler, and a YAF-like flow meter.
+// They reproduce the properties the paper measures the baselines by:
+//
+//   - every packet is copied into the shared ring by the kernel and read
+//     by the application, even packets the application then discards;
+//   - TCP reassembly happens at user level with a second copy from the
+//     ring buffer into per-stream buffers;
+//   - the connection table has a fixed capacity (Figure 5's lost streams);
+//   - a connection is only tracked if its SYN was seen, so handshake
+//     packets lost in the ring lose the whole stream (Figure 6c).
+package baseline
+
+import (
+	"scap/internal/pcapring"
+	"scap/internal/pkt"
+	"scap/internal/reassembly"
+)
+
+// TableFullPolicy says what a reassembler does when its connection table
+// is full and a new connection arrives.
+type TableFullPolicy uint8
+
+const (
+	// RejectNew drops the new connection (Libnids behaviour).
+	RejectNew TableFullPolicy = iota
+	// EvictOldest prunes the least recently active connection (Snort's
+	// pruning under memcap pressure).
+	EvictOldest
+)
+
+// UserConfig parametrizes a user-level reassembler.
+type UserConfig struct {
+	// MaxFlows bounds the connection table (connections, not directions).
+	MaxFlows int
+	// Policy is the overlap policy (Libnids emulates Linux; Stream5 is
+	// target-based, defaulting to BSD).
+	Policy reassembly.Policy
+	// OnFull selects the table-full behaviour.
+	OnFull TableFullPolicy
+	// ChunkSize batches delivered stream data (Snort's flush point); 0
+	// delivers per segment like Libnids' data callbacks.
+	ChunkSize int
+	// Cutoff, when >= 0, stops collecting a stream's data after that many
+	// bytes (the user-level cutoff patch of Figure 8). CutoffUnlimited
+	// (-1) disables it.
+	Cutoff int64
+	// InactivityTimeout expires idle connections.
+	InactivityTimeout int64
+	// RequireHandshake: only track connections whose SYN was observed.
+	RequireHandshake bool
+}
+
+// CutoffUnlimited disables the user-level cutoff.
+const CutoffUnlimited = int64(-1)
+
+// UserStream is one tracked direction.
+type UserStream struct {
+	Key      pkt.FlowKey
+	Asm      *reassembly.Assembler
+	Buf      []byte // current pending chunk
+	Bytes    uint64 // payload bytes seen
+	Captured uint64 // bytes collected before the cutoff
+	Closed   bool
+}
+
+// conn is one tracked connection.
+type conn struct {
+	client, server *UserStream
+	lastAccess     int64
+	finC, finS     bool
+}
+
+// Counters expose the work done, which the simulator prices.
+type Counters struct {
+	Packets        uint64
+	RingBytesRead  uint64 // bytes read out of the ring (copy 1 happens at Push)
+	ReassemblyCopy uint64 // bytes copied into stream buffers (the extra copy)
+	DeliveredBytes uint64
+	StreamsTracked uint64
+	StreamsRefused uint64 // table full (RejectNew)
+	StreamsEvicted uint64 // table full (EvictOldest)
+	StreamsNoSYN   uint64 // data for untracked connections (lost handshake)
+	Expired        uint64
+}
+
+// DataFunc receives reassembled stream data at user level.
+type DataFunc func(s *UserStream, data []byte)
+
+// UserReassembler is the Libnids/Stream5 core.
+type UserReassembler struct {
+	cfg    UserConfig
+	conns  map[pkt.FlowKey]*conn // keyed by canonical key
+	onData DataFunc
+	cnt    Counters
+	now    int64
+	dec    pkt.Packet
+}
+
+// NewUserReassembler builds a reassembler; onData may be nil.
+func NewUserReassembler(cfg UserConfig, onData DataFunc) *UserReassembler {
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = 1 << 20 // the "about one million" internal limit
+	}
+	if cfg.InactivityTimeout <= 0 {
+		cfg.InactivityTimeout = 10e9
+	}
+	if cfg.Cutoff < 0 {
+		cfg.Cutoff = CutoffUnlimited
+	}
+	return &UserReassembler{
+		cfg:    cfg,
+		conns:  make(map[pkt.FlowKey]*conn),
+		onData: onData,
+	}
+}
+
+// Counters returns a snapshot.
+func (u *UserReassembler) Counters() Counters { return u.cnt }
+
+// Tracked returns the number of live connections.
+func (u *UserReassembler) Tracked() int { return len(u.conns) }
+
+// ProcessFrame consumes one ring frame.
+func (u *UserReassembler) ProcessFrame(f pcapring.Frame) {
+	u.cnt.Packets++
+	u.cnt.RingBytesRead += uint64(len(f.Data))
+	if f.TS > u.now {
+		u.now = f.TS
+	}
+	if err := pkt.Decode(f.Data, &u.dec); err != nil {
+		return
+	}
+	p := &u.dec
+	p.Timestamp = f.TS
+	if p.Key.Proto != pkt.ProtoTCP || p.IsFragment() {
+		return
+	}
+	ck, _ := p.Key.Canonical()
+	c := u.conns[ck]
+
+	if c == nil {
+		isSYN := p.TCPFlags&pkt.FlagSYN != 0 && p.TCPFlags&pkt.FlagACK == 0
+		if u.cfg.RequireHandshake && !isSYN {
+			u.cnt.StreamsNoSYN++
+			return
+		}
+		if len(u.conns) >= u.cfg.MaxFlows {
+			if u.cfg.OnFull == RejectNew {
+				u.cnt.StreamsRefused++
+				return
+			}
+			u.evictOldest()
+		}
+		c = u.newConn(p)
+		u.conns[ck] = c
+		u.cnt.StreamsTracked++
+	}
+	c.lastAccess = f.TS
+
+	dir := c.client
+	if p.Key == c.server.Key {
+		dir = c.server
+	}
+
+	switch {
+	case p.TCPFlags&pkt.FlagSYN != 0:
+		dir.Asm.Init(p.Seq)
+	case p.TCPFlags&pkt.FlagRST != 0:
+		u.closeConn(ck, c)
+		return
+	}
+
+	if len(p.Payload) > 0 && !dir.Closed {
+		dir.Bytes += uint64(len(p.Payload))
+		dir.Asm.Segment(p.Seq, p.Payload, func(b []byte, _ bool) {
+			u.collect(dir, b)
+		})
+	}
+
+	if p.TCPFlags&pkt.FlagFIN != 0 {
+		if p.Key == c.client.Key {
+			c.finC = true
+		} else {
+			c.finS = true
+		}
+		if c.finC && c.finS {
+			u.closeConn(ck, c)
+		}
+	}
+}
+
+// newConn tracks a connection whose first observed packet is p; that
+// packet's sender is the client direction.
+func (u *UserReassembler) newConn(p *pkt.Packet) *conn {
+	clientKey := p.Key
+	mk := func(k pkt.FlowKey) *UserStream {
+		return &UserStream{
+			Key: k,
+			Asm: reassembly.New(reassembly.Config{Mode: reassembly.ModeFast, Policy: u.cfg.Policy}),
+		}
+	}
+	return &conn{client: mk(clientKey), server: mk(clientKey.Reverse())}
+}
+
+// collect appends reassembled bytes to the stream buffer (the extra
+// user-level copy) and flushes chunks.
+func (u *UserReassembler) collect(s *UserStream, b []byte) {
+	if u.cfg.Cutoff >= 0 {
+		remain := u.cfg.Cutoff - int64(s.Captured)
+		if remain <= 0 {
+			return
+		}
+		if int64(len(b)) > remain {
+			b = b[:remain]
+		}
+	}
+	u.cnt.ReassemblyCopy += uint64(len(b))
+	s.Captured += uint64(len(b))
+	if u.cfg.ChunkSize <= 0 {
+		u.deliver(s, b)
+		return
+	}
+	s.Buf = append(s.Buf, b...)
+	for len(s.Buf) >= u.cfg.ChunkSize {
+		u.deliver(s, s.Buf[:u.cfg.ChunkSize])
+		s.Buf = s.Buf[:copy(s.Buf, s.Buf[u.cfg.ChunkSize:])]
+	}
+}
+
+func (u *UserReassembler) deliver(s *UserStream, b []byte) {
+	u.cnt.DeliveredBytes += uint64(len(b))
+	if u.onData != nil {
+		u.onData(s, b)
+	}
+}
+
+func (u *UserReassembler) closeConn(ck pkt.FlowKey, c *conn) {
+	for _, s := range []*UserStream{c.client, c.server} {
+		s.Asm.Flush(func(b []byte, _ bool) { u.collect(s, b) })
+		if len(s.Buf) > 0 {
+			u.deliver(s, s.Buf)
+			s.Buf = nil
+		}
+		s.Closed = true
+	}
+	delete(u.conns, ck)
+}
+
+// Expire closes idle connections.
+func (u *UserReassembler) Expire(now int64) {
+	for ck, c := range u.conns {
+		if now-c.lastAccess >= u.cfg.InactivityTimeout {
+			u.closeConn(ck, c)
+			u.cnt.Expired++
+		}
+	}
+}
+
+// Close flushes every connection.
+func (u *UserReassembler) Close() {
+	for ck, c := range u.conns {
+		u.closeConn(ck, c)
+	}
+}
+
+func (u *UserReassembler) evictOldest() {
+	var oldK pkt.FlowKey
+	var old *conn
+	for k, c := range u.conns {
+		if old == nil || c.lastAccess < old.lastAccess {
+			old, oldK = c, k
+		}
+	}
+	if old != nil {
+		u.closeConn(oldK, old)
+		u.cnt.StreamsEvicted++
+	}
+}
+
+// NewLibnids builds the Libnids-equivalent: Linux overlap policy,
+// per-segment delivery, handshake required, new connections rejected when
+// the table is full.
+func NewLibnids(maxFlows int, cutoff int64, onData DataFunc) *UserReassembler {
+	return NewUserReassembler(UserConfig{
+		MaxFlows:         maxFlows,
+		Policy:           reassembly.PolicyLinux,
+		OnFull:           RejectNew,
+		Cutoff:           cutoff,
+		RequireHandshake: true,
+	}, onData)
+}
+
+// NewStream5 builds the Snort Stream5-equivalent: target-based (BSD
+// default) policy, flush-point chunking, oldest-pruned-first under table
+// pressure.
+func NewStream5(maxFlows, chunkSize int, cutoff int64, onData DataFunc) *UserReassembler {
+	return NewUserReassembler(UserConfig{
+		MaxFlows:         maxFlows,
+		Policy:           reassembly.PolicyBSD,
+		OnFull:           EvictOldest,
+		ChunkSize:        chunkSize,
+		Cutoff:           cutoff,
+		RequireHandshake: true,
+	}, onData)
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"scap/internal/queueing"
+	"scap/internal/sim"
+)
+
+// Fig7 — L2 cache misses per packet versus rate (paper §6.5.2): Snort ≈25,
+// Libnids ≈21, Scap ≈10 at low rates. The counts are computed from the
+// cache model applied to each run's measured per-packet payload: the
+// baselines touch packet-interleaved data scattered across the ring, Scap
+// touches consecutively stored stream bytes.
+func (r *Runner) Fig7() *Figure {
+	fig := &Figure{
+		ID: "fig7", Title: "L2 cache misses per packet (modeled)",
+		XLabel: "Gbit/s", YLabel: "misses/packet",
+		Series: []string{sLibnids, sSnort, sScap},
+		Notes:  []string{"modeled from delivered bytes with the calibrated per-byte miss rates (no hardware counters in simulation)"},
+	}
+	model := sim.DefaultCostModel()
+	for _, rate := range r.rates() {
+		ms := map[string]sim.Metrics{
+			sLibnids: r.runBaseline(r.baselineConfig(sim.KindLibnids, sim.AppMatch), rate),
+			sSnort:   r.runBaseline(r.baselineConfig(sim.KindSnort, sim.AppMatch), rate),
+			sScap:    r.runScap(r.scapConfig(sim.AppMatch, 1), rate),
+		}
+		row := map[string]float64{}
+		for name, m := range ms {
+			perByte := model.MissPerByteScattered
+			switch name {
+			case sSnort:
+				perByte = model.MissPerByteSnort
+			case sScap:
+				perByte = model.MissPerByteGrouped
+			}
+			// Bytes actually processed per packet processed: drops reduce
+			// both, keeping the per-packet figure stable until saturation,
+			// as in the paper.
+			processedPkts := float64(m.OfferedPackets)
+			lost := m.PacketLossFraction()
+			processedPkts *= 1 - lost
+			if processedPkts < 1 {
+				processedPkts = 1
+			}
+			row[name] = model.MissBasePerPacket + perByte*float64(m.DeliveredBytes)/processedPkts
+		}
+		fig.Add(rate, row)
+	}
+	return fig
+}
+
+// Fig11 — analytic loss probability of high-priority packets in the
+// M/M/1/N model versus the free-memory threshold N, for three offered
+// loads (paper §7, equation 1).
+func Fig11() *Figure {
+	fig := &Figure{
+		ID: "fig11", Title: "M/M/1/N loss probability of high-priority packets",
+		XLabel: "N (packet slots)", YLabel: "P(loss)",
+		Series: []string{"rho=0.1", "rho=0.5", "rho=0.9"},
+	}
+	for n := 10; n <= 200; n += 10 {
+		row := map[string]float64{}
+		for _, rho := range []float64{0.1, 0.5, 0.9} {
+			row[fmt.Sprintf("rho=%.1f", rho)] = queueing.MM1NLoss(rho, n)
+		}
+		fig.Add(float64(n), row)
+	}
+	return fig
+}
+
+// Fig12 — analytic loss probability for three priority classes versus N
+// (paper §7, Markov chain with 2N states; medium and high classes at
+// ρ₁=ρ₂=0.3). The exact chain solution replaces the paper's closed forms
+// (whose printed constants contain typesetting glitches); the tests
+// cross-validate it against Monte-Carlo simulation.
+func Fig12() *Figure {
+	fig := &Figure{
+		ID: "fig12", Title: "multi-priority loss probability (3 classes)",
+		XLabel: "N (packet slots per region)", YLabel: "P(loss)",
+		Series: []string{"Medium-priority", "High-priority"},
+		Notes:  []string{"exact birth-death chain; the paper's printed closed forms are approximations"},
+	}
+	rhos := []float64{0.3, 0.3, 0.3} // low, medium, high
+	for n := 2; n <= 40; n += 2 {
+		loss, err := queueing.PriorityLoss(rhos, n)
+		if err != nil {
+			continue
+		}
+		fig.Add(float64(n), map[string]float64{
+			"Medium-priority": loss[1],
+			"High-priority":   loss[2],
+		})
+	}
+	return fig
+}
+
+// All runs every figure in paper order. Fig11/Fig12 are analytic and
+// workload-independent.
+func (r *Runner) All() []*Figure {
+	var figs []*Figure
+	figs = append(figs, r.Fig3()...)
+	figs = append(figs, r.Fig4()...)
+	figs = append(figs, r.Fig5()...)
+	figs = append(figs, r.Fig6()...)
+	figs = append(figs, r.Fig7())
+	figs = append(figs, r.Fig8()...)
+	figs = append(figs, r.Fig9())
+	figs = append(figs, r.Fig10()...)
+	figs = append(figs, Fig11(), Fig12())
+	return figs
+}
+
+// ByID runs a single figure family ("3".."12" or "fig3".."fig12").
+func (r *Runner) ByID(id string) ([]*Figure, error) {
+	switch id {
+	case "3", "fig3":
+		return r.Fig3(), nil
+	case "4", "fig4":
+		return r.Fig4(), nil
+	case "5", "fig5":
+		return r.Fig5(), nil
+	case "6", "fig6":
+		return r.Fig6(), nil
+	case "7", "fig7":
+		return []*Figure{r.Fig7()}, nil
+	case "8", "fig8":
+		return r.Fig8(), nil
+	case "9", "fig9":
+		return []*Figure{r.Fig9()}, nil
+	case "10", "fig10":
+		return r.Fig10(), nil
+	case "11", "fig11":
+		return []*Figure{Fig11()}, nil
+	case "12", "fig12":
+		return []*Figure{Fig12()}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown figure %q (3..12)", id)
+}

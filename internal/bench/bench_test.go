@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *Runner
+	runnerErr  error
+)
+
+func quickRunner(t *testing.T) *Runner {
+	runnerOnce.Do(func() {
+		runner, runnerErr = NewRunner(QuickConfig())
+	})
+	if runnerErr != nil {
+		t.Fatal(runnerErr)
+	}
+	return runner
+}
+
+func TestFigureTableFormat(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "demo", XLabel: "x", Series: []string{"a", "b"}}
+	f.Add(2, map[string]float64{"a": 1.5, "b": 100})
+	f.Add(1, map[string]float64{"a": 0.001})
+	var buf bytes.Buffer
+	f.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "demo") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	// Rows sorted by x; missing values dashed.
+	if strings.Index(out, "0.001") > strings.Index(out, "1.500") {
+		t.Errorf("rows not sorted by x:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing value not dashed:\n%s", out)
+	}
+	if v := f.Value("a", 2); v != 1.5 {
+		t.Errorf("Value = %v", v)
+	}
+	if !math.IsNaN(f.Value("zz", 2)) {
+		t.Error("unknown series should be NaN")
+	}
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	a, b := Patterns(50), Patterns(50)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("patterns not deterministic")
+		}
+		if len(a[i]) < 8 {
+			t.Fatal("pattern too short")
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	figs := quickRunner(t).Fig3()
+	if len(figs) != 3 {
+		t.Fatalf("fig3 parts = %d", len(figs))
+	}
+	loss := figs[0]
+	// At 6G the baselines lose packets while Scap does not.
+	if v := loss.Value(sLibnids, 6); v < 5 {
+		t.Errorf("libnids loss at 6G = %.1f%%, want substantial", v)
+	}
+	if v := loss.Value(sScapNoFD, 6); v > 2 {
+		t.Errorf("scap loss at 6G = %.1f%%, want ~0", v)
+	}
+	// FDIR reduces softirq load relative to plain Scap.
+	irq := figs[2]
+	if irq.Value(sScapFDIR, 6) >= irq.Value(sScapNoFD, 6) {
+		t.Errorf("FDIR softirq %.2f not below plain %.2f",
+			irq.Value(sScapFDIR, 6), irq.Value(sScapNoFD, 6))
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	figs := quickRunner(t).Fig4()
+	loss := figs[0]
+	// Scap delivers loss-free at 4G where the baselines drop heavily.
+	if v := loss.Value(sScap, 4); v > 3 {
+		t.Errorf("scap delivery loss at 4G = %.1f%%", v)
+	}
+	if v := loss.Value(sLibnids, 4); v < 10 {
+		t.Errorf("libnids delivery loss at 4G = %.1f%%, want heavy", v)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	figs := quickRunner(t).Fig6()
+	matched := figs[1]
+	// Full recall at the lowest rate; Scap retains a lead at 6G.
+	low := matched.Xs()[0]
+	if v := matched.Value(sScap, low); v < 95 {
+		t.Errorf("scap recall at %.2fG = %.1f%%, want ~100", low, v)
+	}
+	if matched.Value(sScap, 6) <= matched.Value(sLibnids, 6) {
+		t.Errorf("scap recall at 6G (%.1f%%) not above libnids (%.1f%%)",
+			matched.Value(sScap, 6), matched.Value(sLibnids, 6))
+	}
+	// Scap loses far fewer streams than packets (the §6.5.1 claim).
+	lossF := figs[0]
+	lostF := figs[2]
+	if lossScap := lossF.Value(sScap, 6); lossScap > 20 {
+		if lostF.Value(sScap, 6) > lossScap/1.5 {
+			t.Errorf("scap at 6G: %.1f%% packets lost but %.1f%% streams lost — expected far fewer streams",
+				lossScap, lostF.Value(sScap, 6))
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	figs := quickRunner(t).Fig10()
+	maxRate := figs[1]
+	xs := maxRate.Xs()
+	first := maxRate.Value("Max loss-free rate", xs[0])
+	last := maxRate.Value("Max loss-free rate", xs[len(xs)-1])
+	if last < 2*first {
+		t.Errorf("multicore speedup %.1f -> %.1f Gbit/s, want at least 2x", first, last)
+	}
+	// Monotone non-decreasing.
+	prev := -1.0
+	for _, x := range xs {
+		v := maxRate.Value("Max loss-free rate", x)
+		if v < prev {
+			t.Errorf("max loss-free rate decreased at %v workers: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFig11MatchesQueueing(t *testing.T) {
+	fig := Fig11()
+	if v := fig.Value("rho=0.1", 10); v > 1e-8 {
+		t.Errorf("rho=0.1 N=10 loss = %v", v)
+	}
+	if v := fig.Value("rho=0.9", 20); v < 1e-3 {
+		t.Errorf("rho=0.9 N=20 loss = %v, should still be visible", v)
+	}
+}
+
+func TestFig12Ordering(t *testing.T) {
+	fig := Fig12()
+	for _, x := range fig.Xs() {
+		if fig.Value("High-priority", x) > fig.Value("Medium-priority", x)+1e-18 {
+			t.Errorf("priority inversion at N=%v", x)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.ByID("11"); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.ByID("fig12"); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.ByID("99"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

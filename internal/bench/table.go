@@ -1,0 +1,119 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6, Figures 3–10) and analysis (§7, Figures 11–12): for each
+// one it runs the corresponding experiment on the simulated pipeline and
+// emits the same series the paper plots, as printable tables. The
+// cmd/scapbench binary and the repository-level benchmarks both drive this
+// package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Figure is one plot's worth of data: an X axis and named series.
+type Figure struct {
+	ID     string // "fig3a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []string
+	points []point
+	// Notes document deviations from the paper's setup for this figure.
+	Notes []string
+}
+
+type point struct {
+	x float64
+	y map[string]float64
+}
+
+// Add records y values for one x position.
+func (f *Figure) Add(x float64, values map[string]float64) {
+	f.points = append(f.points, point{x: x, y: values})
+	sort.SliceStable(f.points, func(i, j int) bool { return f.points[i].x < f.points[j].x })
+}
+
+// Value returns the recorded y for a series at x (NaN when absent).
+func (f *Figure) Value(series string, x float64) float64 {
+	for _, p := range f.points {
+		if p.x == x {
+			if v, ok := p.y[series]; ok {
+				return v
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// Xs returns the x positions.
+func (f *Figure) Xs() []float64 {
+	xs := make([]float64, len(f.points))
+	for i, p := range f.points {
+		xs[i] = p.x
+	}
+	return xs
+}
+
+// Print renders the figure as an aligned text table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	cols := append([]string{f.XLabel}, f.Series...)
+	widths := make([]int, len(cols))
+	rows := make([][]string, 0, len(f.points))
+	for _, p := range f.points {
+		row := make([]string, len(cols))
+		row[0] = trimFloat(p.x)
+		for i, s := range f.Series {
+			v, ok := p.y[s]
+			if !ok || math.IsNaN(v) {
+				row[i+1] = "-"
+			} else {
+				row[i+1] = trimFloat(v)
+			}
+		}
+		rows = append(rows, row)
+	}
+	for i, c := range cols {
+		widths[i] = len(c)
+		for _, r := range rows {
+			if len(r[i]) > widths[i] {
+				widths[i] = len(r[i])
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(cols)
+	for _, r := range rows {
+		printRow(r)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// trimFloat renders compactly: integers without decimals, small values
+// with enough precision to be meaningful.
+func trimFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,290 @@
+package bpf
+
+import (
+	"fmt"
+	"net/netip"
+
+	"scap/internal/pkt"
+)
+
+// dirQual selects which endpoint(s) a host/port primitive applies to.
+type dirQual uint8
+
+const (
+	dirAny dirQual = iota // either endpoint
+	dirSrc
+	dirDst
+)
+
+func (d dirQual) String() string {
+	switch d {
+	case dirSrc:
+		return "src "
+	case dirDst:
+		return "dst "
+	}
+	return ""
+}
+
+// node is an AST node. Eval is the reference semantics; the compiler emits
+// an equivalent instruction sequence.
+type node interface {
+	eval(p *pkt.Packet) bool
+	String() string
+}
+
+type andNode struct{ left, right node }
+
+func (n *andNode) eval(p *pkt.Packet) bool { return n.left.eval(p) && n.right.eval(p) }
+func (n *andNode) String() string          { return fmt.Sprintf("(%s and %s)", n.left, n.right) }
+
+type orNode struct{ left, right node }
+
+func (n *orNode) eval(p *pkt.Packet) bool { return n.left.eval(p) || n.right.eval(p) }
+func (n *orNode) String() string          { return fmt.Sprintf("(%s or %s)", n.left, n.right) }
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(p *pkt.Packet) bool { return !n.inner.eval(p) }
+func (n *notNode) String() string          { return fmt.Sprintf("not %s", n.inner) }
+
+type protoNode struct{ proto uint8 }
+
+func (n *protoNode) eval(p *pkt.Packet) bool { return p.Key.Proto == n.proto }
+func (n *protoNode) String() string {
+	switch n.proto {
+	case pkt.ProtoTCP:
+		return "tcp"
+	case pkt.ProtoUDP:
+		return "udp"
+	case pkt.ProtoICMP:
+		return "icmp"
+	case pkt.ProtoICMPv6:
+		return "icmp6"
+	}
+	return fmt.Sprintf("proto %d", n.proto)
+}
+
+type ipVersionNode struct{ version uint8 }
+
+func (n *ipVersionNode) eval(p *pkt.Packet) bool { return p.IPVersion == n.version }
+func (n *ipVersionNode) String() string {
+	if n.version == 4 {
+		return "ip"
+	}
+	return "ip6"
+}
+
+type portNode struct {
+	dir dirQual
+	lo  uint16
+	hi  uint16
+}
+
+func (n *portNode) eval(p *pkt.Packet) bool {
+	if p.Key.Proto != pkt.ProtoTCP && p.Key.Proto != pkt.ProtoUDP {
+		return false
+	}
+	srcOK := p.Key.SrcPort >= n.lo && p.Key.SrcPort <= n.hi
+	dstOK := p.Key.DstPort >= n.lo && p.Key.DstPort <= n.hi
+	switch n.dir {
+	case dirSrc:
+		return srcOK
+	case dirDst:
+		return dstOK
+	}
+	return srcOK || dstOK
+}
+
+func (n *portNode) String() string {
+	if n.lo == n.hi {
+		return fmt.Sprintf("%sport %d", n.dir, n.lo)
+	}
+	return fmt.Sprintf("%sportrange %d-%d", n.dir, n.lo, n.hi)
+}
+
+type hostNode struct {
+	dir  dirQual
+	addr netip.Addr
+}
+
+func (n *hostNode) eval(p *pkt.Packet) bool {
+	switch n.dir {
+	case dirSrc:
+		return p.Key.SrcIP == n.addr
+	case dirDst:
+		return p.Key.DstIP == n.addr
+	}
+	return p.Key.SrcIP == n.addr || p.Key.DstIP == n.addr
+}
+
+func (n *hostNode) String() string { return fmt.Sprintf("%shost %s", n.dir, n.addr) }
+
+type netNode struct {
+	dir    dirQual
+	prefix netip.Prefix
+}
+
+func (n *netNode) eval(p *pkt.Packet) bool {
+	switch n.dir {
+	case dirSrc:
+		return n.prefix.Contains(p.Key.SrcIP)
+	case dirDst:
+		return n.prefix.Contains(p.Key.DstIP)
+	}
+	return n.prefix.Contains(p.Key.SrcIP) || n.prefix.Contains(p.Key.DstIP)
+}
+
+func (n *netNode) String() string { return fmt.Sprintf("%snet %s", n.dir, n.prefix) }
+
+type lenNode struct {
+	less  bool // true: len <= limit, false: len >= limit (tcpdump semantics)
+	limit int
+}
+
+func (n *lenNode) eval(p *pkt.Packet) bool {
+	if n.less {
+		return p.WireLen <= n.limit
+	}
+	return p.WireLen >= n.limit
+}
+
+func (n *lenNode) String() string {
+	if n.less {
+		return fmt.Sprintf("less %d", n.limit)
+	}
+	return fmt.Sprintf("greater %d", n.limit)
+}
+
+// cmpOp is a byte-expression comparison operator.
+type cmpOp uint8
+
+const (
+	cmpEq cmpOp = iota
+	cmpNe
+	cmpLt
+	cmpLe
+	cmpGt
+	cmpGe
+)
+
+func (o cmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+func (o cmpOp) apply(a, b uint32) bool {
+	switch o {
+	case cmpEq:
+		return a == b
+	case cmpNe:
+		return a != b
+	case cmpLt:
+		return a < b
+	case cmpLe:
+		return a <= b
+	case cmpGt:
+		return a > b
+	case cmpGe:
+		return a >= b
+	}
+	return false
+}
+
+// byteLayer names the header a byte expression indexes into.
+type byteLayer uint8
+
+const (
+	layerIP byteLayer = iota
+	layerTCP
+	layerUDP
+)
+
+func (l byteLayer) String() string {
+	return [...]string{"ip", "tcp", "udp"}[l]
+}
+
+// byteExprNode is the tcpdump-style accessor "proto[off:size] & mask OP
+// value" — e.g. "tcp[13] & 0x12 = 0x12" matches SYN|ACK segments. A packet
+// of the wrong protocol, or too short for the access, does not match.
+type byteExprNode struct {
+	layer byteLayer
+	off   int
+	size  int // 1 or 2
+	mask  uint32
+	op    cmpOp
+	val   uint32
+}
+
+func (n *byteExprNode) eval(p *pkt.Packet) bool {
+	v, ok := n.load(p)
+	if !ok {
+		return false
+	}
+	if n.mask != 0 {
+		v &= n.mask
+	}
+	return n.op.apply(v, n.val)
+}
+
+func (n *byteExprNode) load(p *pkt.Packet) (uint32, bool) {
+	var base int
+	switch n.layer {
+	case layerIP:
+		if p.IPVersion == 0 {
+			return 0, false
+		}
+		base = pkt.EthernetHeaderLen
+	case layerTCP:
+		if p.Key.Proto != pkt.ProtoTCP || p.L4Offset == 0 {
+			return 0, false
+		}
+		base = p.L4Offset
+	case layerUDP:
+		if p.Key.Proto != pkt.ProtoUDP || p.L4Offset == 0 {
+			return 0, false
+		}
+		base = p.L4Offset
+	}
+	i := base + n.off
+	if i < 0 || i+n.size > len(p.Data) {
+		return 0, false
+	}
+	if n.size == 2 {
+		return uint32(p.Data[i])<<8 | uint32(p.Data[i+1]), true
+	}
+	return uint32(p.Data[i]), true
+}
+
+func (n *byteExprNode) String() string {
+	idx := fmt.Sprintf("%d", n.off)
+	if n.size == 2 {
+		idx = fmt.Sprintf("%d:2", n.off)
+	}
+	s := fmt.Sprintf("%s[%s]", n.layer, idx)
+	if n.mask != 0 {
+		s += fmt.Sprintf(" & %d", n.mask)
+	}
+	return fmt.Sprintf("%s %s %d", s, n.op, n.val)
+}
+
+// vlanNode matches 802.1Q-tagged packets; id < 0 matches any tag.
+type vlanNode struct{ id int }
+
+func (n *vlanNode) eval(p *pkt.Packet) bool {
+	if !p.HasVLAN {
+		return false
+	}
+	return n.id < 0 || p.VLANID == uint16(n.id)
+}
+
+func (n *vlanNode) String() string {
+	if n.id < 0 {
+		return "vlan"
+	}
+	return fmt.Sprintf("vlan %d", n.id)
+}
+
+type trueNode struct{}
+
+func (trueNode) eval(*pkt.Packet) bool { return true }
+func (trueNode) String() string        { return "true" }

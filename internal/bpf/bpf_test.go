@@ -1,0 +1,238 @@
+package bpf
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+// mk builds a decoded packet for matching tests.
+func mk(proto uint8, src string, sp uint16, dst string, dp uint16, wire int) *pkt.Packet {
+	return &pkt.Packet{
+		WireLen:   wire,
+		IPVersion: ipVersionOf(src),
+		Key: pkt.FlowKey{
+			SrcIP:   pkt.MustAddr(src),
+			DstIP:   pkt.MustAddr(dst),
+			SrcPort: sp, DstPort: dp,
+			Proto: proto,
+		},
+	}
+}
+
+func ipVersionOf(s string) uint8 {
+	if pkt.MustAddr(s).Is4() {
+		return 4
+	}
+	return 6
+}
+
+func TestFilterSemantics(t *testing.T) {
+	web := mk(pkt.ProtoTCP, "10.0.0.1", 49152, "93.184.216.34", 80, 1500)
+	dns := mk(pkt.ProtoUDP, "10.0.0.1", 5353, "8.8.8.8", 53, 90)
+	ssh6 := mk(pkt.ProtoTCP, "2001:db8::1", 40000, "2001:db8::2", 22, 200)
+
+	cases := []struct {
+		expr string
+		p    *pkt.Packet
+		want bool
+	}{
+		{"", web, true},
+		{"tcp", web, true},
+		{"tcp", dns, false},
+		{"udp", dns, true},
+		{"port 80", web, true},
+		{"port 80", dns, false},
+		{"tcp port 80", web, true},
+		{"tcp port 53", dns, false},
+		{"udp port 53", dns, true},
+		{"src port 49152", web, true},
+		{"dst port 49152", web, false},
+		{"portrange 50-100", web, true}, // dst 80 in range
+		{"src portrange 50-100", web, false},
+		{"host 10.0.0.1", web, true},
+		{"host 10.0.0.2", web, false},
+		{"src host 10.0.0.1", web, true},
+		{"dst host 10.0.0.1", web, false},
+		{"net 10.0.0.0/8", web, true},
+		{"net 10.1.0.0/16", web, false},
+		{"dst net 93.184.0.0/16", web, true},
+		{"src net 93.184.0.0/16", web, false},
+		{"net 8.8.8.8", dns, true}, // bare address = full-length prefix
+		{"ip", web, true},
+		{"ip", ssh6, false},
+		{"ip6", ssh6, true},
+		{"ip proto 6", web, true},
+		{"proto 17", dns, true},
+		{"less 100", dns, true},
+		{"less 100", web, false},
+		{"greater 1000", web, true},
+		{"not tcp", dns, true},
+		{"!tcp", dns, true},
+		{"not not tcp", web, true},
+		{"tcp and port 80", web, true},
+		{"tcp && port 80", web, true},
+		{"tcp and port 81", web, false},
+		{"tcp or udp", dns, true},
+		{"tcp || udp", dns, true},
+		{"(tcp or udp) and host 8.8.8.8", dns, true},
+		{"tcp or udp and host 1.2.3.4", web, true}, // 'and' binds tighter
+		{"not (tcp and port 80)", web, false},
+		{"host 2001:db8::2 and tcp port 22", ssh6, true},
+		{"src net 2001:db8::/32", ssh6, true},
+		{"udp or icmp or port 22", ssh6, true},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.expr)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.expr, err)
+			continue
+		}
+		if got := f.Match(c.p); got != c.want {
+			t.Errorf("Match(%q, %v) = %v, want %v (ast: %s)", c.expr, c.p.Key, got, c.want, f)
+		}
+		if got := f.MatchInterpreted(c.p); got != c.want {
+			t.Errorf("MatchInterpreted(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"tcp and",
+		"port",
+		"port 70000",
+		"portrange 100-50",
+		"portrange 100:200",
+		"host not.an.address..",
+		"net 10.0.0.0/33",
+		"(tcp",
+		"tcp)",
+		"tcp tcp",
+		"frobnicate 7",
+		"&& tcp",
+		"tcp & udp",
+		"proto 256",
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestNilFilterMatchesAll(t *testing.T) {
+	var f *Filter
+	if !f.Match(mk(pkt.ProtoTCP, "1.2.3.4", 1, "5.6.7.8", 2, 60)) {
+		t.Error("nil filter must match")
+	}
+	if f.Expr() != "" || f.Len() != 0 {
+		t.Error("nil filter accessors")
+	}
+}
+
+// TestCompiledMatchesInterpreted is the differential property test: for
+// random expressions and random packets, the stack VM and the AST evaluator
+// must agree.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		expr := randExpr(r, 0)
+		f, err := Parse(expr.String())
+		if err != nil {
+			t.Fatalf("generated expression %q failed to parse: %v", expr, err)
+		}
+		for i := 0; i < 20; i++ {
+			p := randPacket(r)
+			vm := f.Match(p)
+			ref := f.MatchInterpreted(p)
+			if vm != ref {
+				t.Fatalf("disagreement on %q for %v: vm=%v ref=%v", expr, p.Key, vm, ref)
+			}
+		}
+	}
+}
+
+// randExpr builds a random AST whose String() re-parses to the same
+// semantics (the String forms are fully parenthesized).
+func randExpr(r *rand.Rand, depth int) node {
+	if depth > 4 || r.Intn(3) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return &protoNode{[]uint8{pkt.ProtoTCP, pkt.ProtoUDP, pkt.ProtoICMP}[r.Intn(3)]}
+		case 1:
+			lo := uint16(r.Intn(1000))
+			return &portNode{dir: dirQual(r.Intn(3)), lo: lo, hi: lo + uint16(r.Intn(100))}
+		case 2:
+			return &hostNode{dir: dirQual(r.Intn(3)), addr: randIPv4(r)}
+		case 3:
+			pfx, _ := randIPv4(r).Prefix(8 + r.Intn(25))
+			return &netNode{dir: dirQual(r.Intn(3)), prefix: pfx}
+		case 4:
+			return &lenNode{less: r.Intn(2) == 0, limit: r.Intn(2000)}
+		default:
+			return &ipVersionNode{uint8(4 + 2*r.Intn(2))}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return &andNode{randExpr(r, depth+1), randExpr(r, depth+1)}
+	case 1:
+		return &orNode{randExpr(r, depth+1), randExpr(r, depth+1)}
+	default:
+		return &notNode{randExpr(r, depth+1)}
+	}
+}
+
+func randIPv4(r *rand.Rand) netip.Addr {
+	var b [4]byte
+	r.Read(b[:])
+	if b[0] == 0 {
+		b[0] = 1
+	}
+	return netip.AddrFrom4(b)
+}
+
+func randPacket(r *rand.Rand) *pkt.Packet {
+	protos := []uint8{pkt.ProtoTCP, pkt.ProtoUDP, pkt.ProtoICMP}
+	p := &pkt.Packet{
+		WireLen:   40 + r.Intn(1500),
+		IPVersion: 4,
+		Key: pkt.FlowKey{
+			SrcIP:   randIPv4(r),
+			DstIP:   randIPv4(r),
+			SrcPort: uint16(r.Intn(1100)),
+			DstPort: uint16(r.Intn(1100)),
+			Proto:   protos[r.Intn(3)],
+		},
+	}
+	return p
+}
+
+func TestFilterStringReparses(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		expr := randExpr(r, 0).String()
+		f1 := MustParse(expr)
+		f2 := MustParse(f1.String())
+		for j := 0; j < 10; j++ {
+			p := randPacket(r)
+			if f1.Match(p) != f2.Match(p) {
+				t.Fatalf("reparse of %q changed semantics", expr)
+			}
+		}
+	}
+}
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := MustParse("tcp and (port 80 or port 443) and net 10.0.0.0/8")
+	p := mk(pkt.ProtoTCP, "10.1.2.3", 50000, "93.184.216.34", 443, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !f.Match(p) {
+			b.Fatal("expected match")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package bpf
+
+import (
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+// frameFor builds and decodes a real frame so byte expressions index real
+// header bytes.
+func frameFor(t *testing.T, spec pkt.TCPSpec) *pkt.Packet {
+	t.Helper()
+	frame := pkt.BuildTCP(spec)
+	p := &pkt.Packet{}
+	if err := pkt.Decode(frame, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func udpFrameFor(t *testing.T, spec pkt.UDPSpec) *pkt.Packet {
+	t.Helper()
+	frame := pkt.BuildUDP(spec)
+	p := &pkt.Packet{}
+	if err := pkt.Decode(frame, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestByteExprTCPFlags(t *testing.T) {
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: 1000, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	syn := frameFor(t, pkt.TCPSpec{Key: key, Flags: pkt.FlagSYN})
+	synack := frameFor(t, pkt.TCPSpec{Key: key, Flags: pkt.FlagSYN | pkt.FlagACK})
+	ack := frameFor(t, pkt.TCPSpec{Key: key, Flags: pkt.FlagACK})
+
+	cases := []struct {
+		expr string
+		p    *pkt.Packet
+		want bool
+	}{
+		// Byte 13 of the TCP header is the flags byte; 0x02=SYN 0x10=ACK.
+		{"tcp[13] & 0x02 != 0", syn, true},
+		{"tcp[13] & 0x02 != 0", ack, false},
+		{"tcp[13] = 0x12", synack, true},
+		{"tcp[13] = 0x12", syn, false},
+		{"tcp[13] & 0x12 = 0x12", synack, true},
+		{"tcp[13] & 0x12 = 0x12", ack, false},
+		// Two-byte load: bytes 0:2 are the source port (1000 = 0x03e8).
+		{"tcp[0:2] = 1000", syn, true},
+		{"tcp[0:2] = 1001", syn, false},
+		{"tcp[2:2] >= 80", syn, true},
+		{"tcp[2:2] > 80", syn, false},
+		// IP header: byte 9 is the protocol (6 = TCP); byte 8 the TTL.
+		{"ip[9] = 6", syn, true},
+		{"ip[9] = 17", syn, false},
+		{"ip[8] > 0", syn, true},
+		// Combined with other primitives.
+		{"tcp[13] & 0x02 != 0 and dst port 80", syn, true},
+		{"not (tcp[13] & 0x10 != 0)", syn, true},
+		// Out-of-range access never matches.
+		{"tcp[5000] = 0", syn, false},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.expr)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.expr, err)
+			continue
+		}
+		if got := f.Match(c.p); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.expr, got, c.want)
+		}
+		if got := f.MatchInterpreted(c.p); got != c.want {
+			t.Errorf("MatchInterpreted(%q) = %v, want %v", c.expr, got, c.want)
+		}
+		// The printed form must reparse with identical semantics.
+		f2, err := Parse(f.String())
+		if err != nil {
+			t.Errorf("reparse of %q (%q): %v", c.expr, f.String(), err)
+			continue
+		}
+		if f2.Match(c.p) != c.want {
+			t.Errorf("reparse of %q changed semantics", c.expr)
+		}
+	}
+}
+
+func TestByteExprWrongProtocol(t *testing.T) {
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: 5353, DstPort: 53, Proto: pkt.ProtoUDP,
+	}
+	dns := udpFrameFor(t, pkt.UDPSpec{Key: key, Payload: []byte("q")})
+	if MustParse("tcp[13] & 2 != 0").Match(dns) {
+		t.Error("tcp[] matched a UDP packet")
+	}
+	if !MustParse("udp[2:2] = 53").Match(dns) {
+		t.Error("udp[] destination port access failed")
+	}
+}
+
+func TestByteExprParseErrors(t *testing.T) {
+	bad := []string{
+		"tcp[13]",       // no comparison
+		"tcp[13 = 2",    // missing ]
+		"tcp[] = 1",     // missing offset
+		"tcp[1:3] = 1",  // unsupported width
+		"tcp[13] & = 1", // missing mask value
+		"tcp[13] = zzz", // bad value
+		"icmp[0] = 8",   // unsupported layer
+		"tcp[13] ~ 2",   // bad operator
+		"tcp[-1] = 0",   // negative offset
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestVLANPrimitive(t *testing.T) {
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: 1000, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	plain := pkt.BuildTCP(pkt.TCPSpec{Key: key, Flags: pkt.FlagACK})
+	tagged := pkt.WrapVLAN(plain, 42)
+	var pp, tp pkt.Packet
+	if err := pkt.Decode(plain, &pp); err != nil {
+		t.Fatal(err)
+	}
+	if err := pkt.Decode(tagged, &tp); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		expr string
+		p    *pkt.Packet
+		want bool
+	}{
+		{"vlan", &tp, true},
+		{"vlan", &pp, false},
+		{"vlan 42", &tp, true},
+		{"vlan 43", &tp, false},
+		{"vlan 42 and tcp port 80", &tp, true},
+		{"not vlan", &pp, true},
+	}
+	for _, c := range cases {
+		f := MustParse(c.expr)
+		if got := f.Match(c.p); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.expr, got, c.want)
+		}
+		if got := f.MatchInterpreted(c.p); got != c.want {
+			t.Errorf("MatchInterpreted(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	if _, err := Parse("vlan 5000"); err == nil {
+		t.Error("vlan id out of range accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package bpf
+
+import "scap/internal/pkt"
+
+// Filter is a parsed and compiled packet filter. The zero value of *Filter
+// (nil) matches every packet, so callers can hold an optional filter without
+// nil checks at every site.
+type Filter struct {
+	expr string
+	ast  node
+	prog Program
+}
+
+// Parse parses and compiles a filter expression. An empty expression yields
+// a filter that matches everything.
+func Parse(expr string) (*Filter, error) {
+	ast, err := parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{expr: expr, ast: ast, prog: compile(ast)}, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(expr string) *Filter {
+	f, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Match reports whether the packet satisfies the filter. A nil filter
+// matches everything.
+func (f *Filter) Match(p *pkt.Packet) bool {
+	if f == nil {
+		return true
+	}
+	return f.prog.Match(p)
+}
+
+// MatchInterpreted evaluates the filter by walking the AST. It exists as the
+// reference semantics for differential tests against the compiled program.
+func (f *Filter) MatchInterpreted(p *pkt.Packet) bool {
+	if f == nil {
+		return true
+	}
+	return f.ast.eval(p)
+}
+
+// Expr returns the original expression text.
+func (f *Filter) Expr() string {
+	if f == nil {
+		return ""
+	}
+	return f.expr
+}
+
+// String renders the parsed form (fully parenthesized).
+func (f *Filter) String() string {
+	if f == nil {
+		return "true"
+	}
+	return f.ast.String()
+}
+
+// Len returns the number of compiled instructions (useful for tests and for
+// cost models that charge per instruction).
+func (f *Filter) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.prog)
+}

@@ -1,0 +1,153 @@
+// Package bpf implements the packet-filter expression language Scap
+// applications use to select traffic, modeled on the classic BPF / tcpdump
+// syntax: "tcp and port 80", "src net 10.0.0.0/8 and not udp",
+// "tcp portrange 8000-9000 or icmp".
+//
+// Expressions are parsed into an AST and compiled to a flat instruction
+// program executed by a small stack VM over decoded packets. The AST
+// evaluator is kept as a reference implementation; property tests assert the
+// two agree on random packets.
+package bpf
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokWord
+	tokNumber
+	tokLParen
+	tokRParen
+	tokBang
+	tokAndAnd
+	tokOrOr
+	tokDash
+	tokSlash
+	tokLBracket
+	tokRBracket
+	tokColon
+	tokAmp
+	tokCmp // =, ==, !=, <, <=, >, >= (text carries the operator)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+// wordRune reports whether r may appear inside a word token. Addresses
+// (IPv4 dotted quads, IPv6 with colons) lex as single words.
+func wordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '.' || r == ':' || r == '_'
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '!':
+		if strings.HasPrefix(l.input[l.pos:], "!=") {
+			l.pos += 2
+			return token{tokCmp, "!=", start}, nil
+		}
+		l.pos++
+		return token{tokBang, "!", start}, nil
+	case '=':
+		if strings.HasPrefix(l.input[l.pos:], "==") {
+			l.pos += 2
+			return token{tokCmp, "==", start}, nil
+		}
+		l.pos++
+		return token{tokCmp, "=", start}, nil
+	case '<':
+		if strings.HasPrefix(l.input[l.pos:], "<=") {
+			l.pos += 2
+			return token{tokCmp, "<=", start}, nil
+		}
+		l.pos++
+		return token{tokCmp, "<", start}, nil
+	case '>':
+		if strings.HasPrefix(l.input[l.pos:], ">=") {
+			l.pos += 2
+			return token{tokCmp, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokCmp, ">", start}, nil
+	case '-':
+		l.pos++
+		return token{tokDash, "-", start}, nil
+	case '/':
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case '&':
+		if strings.HasPrefix(l.input[l.pos:], "&&") {
+			l.pos += 2
+			return token{tokAndAnd, "&&", start}, nil
+		}
+		l.pos++
+		return token{tokAmp, "&", start}, nil
+	case '|':
+		if strings.HasPrefix(l.input[l.pos:], "||") {
+			l.pos += 2
+			return token{tokOrOr, "||", start}, nil
+		}
+		return token{}, fmt.Errorf("bpf: unexpected %q at offset %d", c, start)
+	}
+	if wordRune(rune(c)) {
+		for l.pos < len(l.input) && wordRune(rune(l.input[l.pos])) {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		kind := tokWord
+		if isAllDigits(text) {
+			kind = tokNumber
+		}
+		return token{kind, text, start}, nil
+	}
+	return token{}, fmt.Errorf("bpf: unexpected %q at offset %d", c, start)
+}
+
+func isAllDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

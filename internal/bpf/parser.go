@@ -1,0 +1,375 @@
+package bpf
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"scap/internal/pkt"
+)
+
+// parser is a recursive-descent parser over the token stream with one token
+// of lookahead.
+type parser struct {
+	lex lexer
+	tok token
+	err error
+}
+
+func (ps *parser) advance() {
+	if ps.err != nil {
+		return
+	}
+	ps.tok, ps.err = ps.lex.next()
+}
+
+func (ps *parser) fail(format string, args ...any) {
+	if ps.err == nil {
+		ps.err = fmt.Errorf("bpf: "+format, args...)
+	}
+}
+
+// parse parses a full expression. An empty expression matches everything,
+// matching libpcap's behaviour for an empty filter string.
+func parse(expr string) (node, error) {
+	ps := &parser{lex: lexer{input: expr}}
+	ps.advance()
+	if ps.err != nil {
+		return nil, ps.err
+	}
+	if ps.tok.kind == tokEOF {
+		return trueNode{}, nil
+	}
+	n := ps.parseOr()
+	if ps.err != nil {
+		return nil, ps.err
+	}
+	if ps.tok.kind != tokEOF {
+		return nil, fmt.Errorf("bpf: trailing %s at offset %d", ps.tok, ps.tok.pos)
+	}
+	return n, nil
+}
+
+func (ps *parser) parseOr() node {
+	left := ps.parseAnd()
+	for ps.err == nil && (ps.tok.kind == tokOrOr || ps.isWord("or")) {
+		ps.advance()
+		right := ps.parseAnd()
+		left = &orNode{left, right}
+	}
+	return left
+}
+
+func (ps *parser) parseAnd() node {
+	left := ps.parseUnary()
+	for ps.err == nil && (ps.tok.kind == tokAndAnd || ps.isWord("and")) {
+		ps.advance()
+		right := ps.parseUnary()
+		left = &andNode{left, right}
+	}
+	return left
+}
+
+func (ps *parser) parseUnary() node {
+	switch {
+	case ps.tok.kind == tokBang || ps.isWord("not"):
+		ps.advance()
+		return &notNode{ps.parseUnary()}
+	case ps.tok.kind == tokLParen:
+		ps.advance()
+		n := ps.parseOr()
+		if ps.tok.kind != tokRParen {
+			ps.fail("expected ) at offset %d, found %s", ps.tok.pos, ps.tok)
+			return trueNode{}
+		}
+		ps.advance()
+		return n
+	}
+	return ps.parsePrimitive()
+}
+
+func (ps *parser) isWord(w string) bool {
+	return ps.tok.kind == tokWord && ps.tok.text == w
+}
+
+// parsePrimitive parses one primitive, handling protocol qualifiers
+// ("tcp port 80") and direction qualifiers ("src host 10.0.0.1").
+func (ps *parser) parsePrimitive() node {
+	if ps.err != nil {
+		return trueNode{}
+	}
+	if ps.tok.kind != tokWord {
+		ps.fail("expected primitive at offset %d, found %s", ps.tok.pos, ps.tok)
+		return trueNode{}
+	}
+
+	// Optional protocol qualifier.
+	var protoQual node
+	switch ps.tok.text {
+	case "tcp", "udp", "icmp", "icmp6":
+		name := ps.tok.text
+		protoQual = &protoNode{protoByName(name)}
+		ps.advance()
+		if ps.tok.kind == tokLBracket {
+			layer := layerTCP
+			if name == "udp" {
+				layer = layerUDP
+			}
+			if name == "icmp" || name == "icmp6" {
+				ps.fail("byte expressions support ip, tcp, and udp only")
+				return trueNode{}
+			}
+			return ps.parseByteExpr(layer)
+		}
+		// Bare protocol name is a complete primitive.
+		if !ps.startsDirOrPrim() {
+			return protoQual
+		}
+	case "ip":
+		ps.advance()
+		if ps.tok.kind == tokLBracket {
+			return ps.parseByteExpr(layerIP)
+		}
+		if ps.isWord("proto") {
+			ps.advance()
+			v := ps.parseNumber(255)
+			return &protoNode{uint8(v)}
+		}
+		return &ipVersionNode{4}
+	case "ip6":
+		ps.advance()
+		return &ipVersionNode{6}
+	case "proto":
+		ps.advance()
+		v := ps.parseNumber(255)
+		return &protoNode{uint8(v)}
+	case "less":
+		ps.advance()
+		return &lenNode{less: true, limit: ps.parseNumber(1 << 30)}
+	case "greater":
+		ps.advance()
+		return &lenNode{less: false, limit: ps.parseNumber(1 << 30)}
+	case "vlan":
+		ps.advance()
+		if ps.tok.kind == tokNumber {
+			return &vlanNode{id: ps.parseNumber(4095)}
+		}
+		return &vlanNode{id: -1}
+	}
+
+	dir := dirAny
+	switch {
+	case ps.isWord("src"):
+		dir = dirSrc
+		ps.advance()
+	case ps.isWord("dst"):
+		dir = dirDst
+		ps.advance()
+	}
+
+	var prim node
+	switch {
+	case ps.isWord("host"):
+		ps.advance()
+		prim = &hostNode{dir: dir, addr: ps.parseAddr()}
+	case ps.isWord("net"):
+		ps.advance()
+		prim = &netNode{dir: dir, prefix: ps.parsePrefix()}
+	case ps.isWord("port"):
+		ps.advance()
+		v := ps.parseNumber(65535)
+		prim = &portNode{dir: dir, lo: uint16(v), hi: uint16(v)}
+	case ps.isWord("portrange"):
+		ps.advance()
+		lo := ps.parseNumber(65535)
+		if ps.tok.kind != tokDash {
+			ps.fail("expected - in portrange at offset %d", ps.tok.pos)
+			return trueNode{}
+		}
+		ps.advance()
+		hi := ps.parseNumber(65535)
+		if hi < lo {
+			ps.fail("portrange %d-%d is inverted", lo, hi)
+			return trueNode{}
+		}
+		prim = &portNode{dir: dir, lo: uint16(lo), hi: uint16(hi)}
+	default:
+		ps.fail("expected primitive at offset %d, found %s", ps.tok.pos, ps.tok)
+		return trueNode{}
+	}
+	if protoQual != nil {
+		return &andNode{protoQual, prim}
+	}
+	return prim
+}
+
+// startsDirOrPrim reports whether the current token begins a qualified
+// sub-primitive (so "tcp port 80" groups, while "tcp and ..." does not).
+func (ps *parser) startsDirOrPrim() bool {
+	if ps.tok.kind != tokWord {
+		return false
+	}
+	switch ps.tok.text {
+	case "src", "dst", "port", "portrange", "host", "net":
+		return true
+	}
+	return false
+}
+
+// parseByteExpr parses "[off]" or "[off:2]", an optional "& mask", a
+// comparison operator, and a value; the opening bracket is current.
+func (ps *parser) parseByteExpr(layer byteLayer) node {
+	ps.advance() // consume '['
+	off, size := -1, 1
+	switch {
+	case ps.tok.kind == tokNumber:
+		off = ps.parseNumber(1 << 16)
+		if ps.tok.kind != tokRBracket {
+			ps.fail("expected ] at offset %d, found %s", ps.tok.pos, ps.tok)
+			return trueNode{}
+		}
+	case ps.tok.kind == tokWord:
+		// "off:size" lexes as one word because ':' is an address rune.
+		var ok bool
+		off, size, ok = splitIndex(ps.tok.text)
+		if !ok {
+			ps.fail("bad byte index %q", ps.tok.text)
+			return trueNode{}
+		}
+		ps.advance()
+		if ps.tok.kind != tokRBracket {
+			ps.fail("expected ] at offset %d, found %s", ps.tok.pos, ps.tok)
+			return trueNode{}
+		}
+	default:
+		ps.fail("expected byte offset at offset %d, found %s", ps.tok.pos, ps.tok)
+		return trueNode{}
+	}
+	ps.advance() // consume ']'
+
+	n := &byteExprNode{layer: layer, off: off, size: size}
+	if ps.tok.kind == tokAmp {
+		ps.advance()
+		m, ok := ps.parseValue()
+		if !ok {
+			return trueNode{}
+		}
+		n.mask = m
+	}
+	if ps.tok.kind != tokCmp {
+		ps.fail("expected comparison at offset %d, found %s", ps.tok.pos, ps.tok)
+		return trueNode{}
+	}
+	switch ps.tok.text {
+	case "=", "==":
+		n.op = cmpEq
+	case "!=":
+		n.op = cmpNe
+	case "<":
+		n.op = cmpLt
+	case "<=":
+		n.op = cmpLe
+	case ">":
+		n.op = cmpGt
+	case ">=":
+		n.op = cmpGe
+	}
+	ps.advance()
+	v, ok := ps.parseValue()
+	if !ok {
+		return trueNode{}
+	}
+	n.val = v
+	return n
+}
+
+// splitIndex parses "off:size" with size 1 or 2.
+func splitIndex(s string) (off, size int, ok bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return 0, 0, false
+	}
+	o, err1 := strconv.Atoi(s[:i])
+	z, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || o < 0 || (z != 1 && z != 2) {
+		return 0, 0, false
+	}
+	return o, z, true
+}
+
+// parseValue accepts decimal or 0x-hex numeric literals.
+func (ps *parser) parseValue() (uint32, bool) {
+	if ps.tok.kind != tokNumber && ps.tok.kind != tokWord {
+		ps.fail("expected value at offset %d, found %s", ps.tok.pos, ps.tok)
+		return 0, false
+	}
+	v, err := strconv.ParseUint(ps.tok.text, 0, 32)
+	if err != nil {
+		ps.fail("bad value %q", ps.tok.text)
+		return 0, false
+	}
+	ps.advance()
+	return uint32(v), true
+}
+
+func (ps *parser) parseNumber(max int) int {
+	if ps.tok.kind != tokNumber {
+		ps.fail("expected number at offset %d, found %s", ps.tok.pos, ps.tok)
+		return 0
+	}
+	v, err := strconv.Atoi(ps.tok.text)
+	if err != nil || v < 0 || v > max {
+		ps.fail("number %q out of range [0,%d]", ps.tok.text, max)
+		return 0
+	}
+	ps.advance()
+	return v
+}
+
+func (ps *parser) parseAddr() netip.Addr {
+	if ps.tok.kind != tokWord && ps.tok.kind != tokNumber {
+		ps.fail("expected address at offset %d, found %s", ps.tok.pos, ps.tok)
+		return netip.Addr{}
+	}
+	a, err := netip.ParseAddr(ps.tok.text)
+	if err != nil {
+		ps.fail("bad address %q: %v", ps.tok.text, err)
+		return netip.Addr{}
+	}
+	ps.advance()
+	return a
+}
+
+// parsePrefix parses ADDR/len; a bare address becomes a full-length prefix.
+func (ps *parser) parsePrefix() netip.Prefix {
+	a := ps.parseAddr()
+	if ps.err != nil {
+		return netip.Prefix{}
+	}
+	bits := a.BitLen()
+	if ps.tok.kind == tokSlash {
+		ps.advance()
+		bits = ps.parseNumber(a.BitLen())
+	}
+	p, err := a.Prefix(bits)
+	if err != nil {
+		ps.fail("bad prefix: %v", err)
+		return netip.Prefix{}
+	}
+	return p
+}
+
+func protoByName(name string) uint8 {
+	switch name {
+	case "tcp":
+		return pkt.ProtoTCP
+	case "udp":
+		return pkt.ProtoUDP
+	case "icmp":
+		return pkt.ProtoICMP
+	case "icmp6":
+		return pkt.ProtoICMPv6
+	}
+	panic("bpf: unknown protocol name " + name)
+}

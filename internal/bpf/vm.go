@@ -1,0 +1,171 @@
+package bpf
+
+import (
+	"net/netip"
+
+	"scap/internal/pkt"
+)
+
+// opcode identifies one VM instruction. Match* opcodes push a boolean;
+// logical opcodes combine stack values; jump opcodes implement
+// short-circuit evaluation.
+type opcode uint8
+
+const (
+	opTrue opcode = iota
+	opProto
+	opIPVersion
+	opPort       // lo..hi against src/dst per dir, requires TCP/UDP
+	opHost       // addr against src/dst per dir
+	opNet        // prefix against src/dst per dir
+	opLenLess    // WireLen <= limit
+	opLenGreater // WireLen >= limit
+	opByteCmp    // tcpdump-style proto[off] accessor comparison
+	opVLAN       // 802.1Q tag presence / id match
+	opNot
+	// opJumpIfFalse / opJumpIfTrue peek the top of stack and skip arg
+	// instructions when it matches, popping the value only when jumping is
+	// not taken. They encode && and || without re-evaluating operands.
+	opJumpIfFalse
+	opJumpIfTrue
+)
+
+type instr struct {
+	op     opcode
+	dir    dirQual
+	proto  uint8
+	lo, hi uint16
+	limit  int32
+	addr   netip.Addr
+	prefix netip.Prefix
+	bex    *byteExprNode // opByteCmp payload
+}
+
+// Program is a compiled filter: a flat instruction sequence evaluated with a
+// tiny boolean stack. Programs are immutable and safe for concurrent use.
+type Program []instr
+
+// compile lowers the AST to instructions. For and/or, the left operand is
+// evaluated first and a conditional jump skips the right operand, leaving
+// the left's value as the result (short-circuit semantics identical to the
+// AST evaluator).
+func compile(n node) Program {
+	var prog Program
+	prog = emit(prog, n)
+	return prog
+}
+
+func emit(prog Program, n node) Program {
+	switch n := n.(type) {
+	case trueNode:
+		return append(prog, instr{op: opTrue})
+	case *andNode:
+		prog = emit(prog, n.left)
+		jumpAt := len(prog)
+		prog = append(prog, instr{op: opJumpIfFalse})
+		prog = emit(prog, n.right)
+		prog[jumpAt].limit = int32(len(prog) - jumpAt - 1)
+		return prog
+	case *orNode:
+		prog = emit(prog, n.left)
+		jumpAt := len(prog)
+		prog = append(prog, instr{op: opJumpIfTrue})
+		prog = emit(prog, n.right)
+		prog[jumpAt].limit = int32(len(prog) - jumpAt - 1)
+		return prog
+	case *notNode:
+		prog = emit(prog, n.inner)
+		return append(prog, instr{op: opNot})
+	case *protoNode:
+		return append(prog, instr{op: opProto, proto: n.proto})
+	case *ipVersionNode:
+		return append(prog, instr{op: opIPVersion, proto: n.version})
+	case *portNode:
+		return append(prog, instr{op: opPort, dir: n.dir, lo: n.lo, hi: n.hi})
+	case *hostNode:
+		return append(prog, instr{op: opHost, dir: n.dir, addr: n.addr})
+	case *netNode:
+		return append(prog, instr{op: opNet, dir: n.dir, prefix: n.prefix})
+	case *lenNode:
+		op := opLenGreater
+		if n.less {
+			op = opLenLess
+		}
+		return append(prog, instr{op: op, limit: int32(n.limit)})
+	case *byteExprNode:
+		return append(prog, instr{op: opByteCmp, bex: n})
+	case *vlanNode:
+		return append(prog, instr{op: opVLAN, limit: int32(n.id)})
+	}
+	panic("bpf: unknown AST node")
+}
+
+// Match runs the program against a decoded packet.
+func (prog Program) Match(p *pkt.Packet) bool {
+	// Expression nesting rarely exceeds a handful of levels; the backing
+	// array keeps typical evaluations allocation-free while append handles
+	// pathological depth correctly.
+	var arr [32]bool
+	stack := arr[:0]
+	for i := 0; i < len(prog); i++ {
+		in := &prog[i]
+		switch in.op {
+		case opTrue:
+			stack = append(stack, true)
+		case opProto:
+			stack = append(stack, p.Key.Proto == in.proto)
+		case opIPVersion:
+			stack = append(stack, p.IPVersion == in.proto)
+		case opPort:
+			stack = append(stack, matchPort(p, in))
+		case opHost:
+			stack = append(stack, matchEndpoint(in.dir,
+				p.Key.SrcIP == in.addr, p.Key.DstIP == in.addr))
+		case opNet:
+			stack = append(stack, matchEndpoint(in.dir,
+				in.prefix.Contains(p.Key.SrcIP), in.prefix.Contains(p.Key.DstIP)))
+		case opLenLess:
+			stack = append(stack, p.WireLen <= int(in.limit))
+		case opLenGreater:
+			stack = append(stack, p.WireLen >= int(in.limit))
+		case opByteCmp:
+			stack = append(stack, in.bex.eval(p))
+		case opVLAN:
+			stack = append(stack, p.HasVLAN && (in.limit < 0 || p.VLANID == uint16(in.limit)))
+		case opNot:
+			stack[len(stack)-1] = !stack[len(stack)-1]
+		case opJumpIfFalse:
+			if !stack[len(stack)-1] {
+				i += int(in.limit)
+			} else {
+				stack = stack[:len(stack)-1] // discard left; right replaces it
+			}
+		case opJumpIfTrue:
+			if stack[len(stack)-1] {
+				i += int(in.limit)
+			} else {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return len(stack) > 0 && stack[len(stack)-1]
+}
+
+func matchPort(p *pkt.Packet, in *instr) bool {
+	if p.Key.Proto != pkt.ProtoTCP && p.Key.Proto != pkt.ProtoUDP {
+		return false
+	}
+	return matchEndpoint(in.dir,
+		p.Key.SrcPort >= in.lo && p.Key.SrcPort <= in.hi,
+		p.Key.DstPort >= in.lo && p.Key.DstPort <= in.hi)
+}
+
+func matchEndpoint(dir dirQual, srcOK, dstOK bool) bool {
+	switch dir {
+	case dirSrc:
+		return srcOK
+	case dirDst:
+		return dstOK
+	}
+	return srcOK || dstOK
+}

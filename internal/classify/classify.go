@@ -1,0 +1,112 @@
+// Package classify implements stream-head traffic classification — the
+// second application family the paper motivates (its introduction cites
+// traffic-classification tools next to NIDSs, and the evaluation's cutoff
+// experiments build on the observation that the first bytes of a stream
+// identify it). Classification looks only at the head of each direction,
+// which is exactly what a Scap cutoff delivers cheaply.
+//
+// Three layers of machinery:
+//
+//   - Sniff: protocol identification from the first payload bytes;
+//   - ParseClientHello: TLS SNI/version extraction from a client stream;
+//   - ParseDNSQuery: DNS query name/type from a UDP datagram.
+package classify
+
+import "bytes"
+
+// Protocol is an identified application protocol.
+type Protocol uint8
+
+// Identifiable protocols.
+const (
+	Unknown Protocol = iota
+	HTTP
+	TLS
+	SSH
+	SMTP
+	FTP
+	DNS
+	RTMP
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case HTTP:
+		return "http"
+	case TLS:
+		return "tls"
+	case SSH:
+		return "ssh"
+	case SMTP:
+		return "smtp"
+	case FTP:
+		return "ftp"
+	case DNS:
+		return "dns"
+	case RTMP:
+		return "rtmp"
+	}
+	return "unknown"
+}
+
+var httpMethods = [][]byte{
+	[]byte("GET "), []byte("POST "), []byte("PUT "), []byte("HEAD "),
+	[]byte("DELETE "), []byte("OPTIONS "), []byte("CONNECT "), []byte("PATCH "),
+	[]byte("HTTP/1."),
+}
+
+// Sniff identifies the protocol from the first payload bytes of a stream
+// direction. dir distinguishes client-sent from server-sent heads (some
+// protocols, like SMTP, greet from the server side). It is content-based:
+// ports are not consulted, matching the paper's observation that port
+// numbers no longer identify applications.
+func Sniff(head []byte, serverSide bool) Protocol {
+	if len(head) == 0 {
+		return Unknown
+	}
+	for _, m := range httpMethods {
+		if bytes.HasPrefix(head, m) {
+			return HTTP
+		}
+	}
+	// TLS record: ContentType=22 (handshake), legacy version 3.x.
+	if len(head) >= 3 && head[0] == 0x16 && head[1] == 0x03 && head[2] <= 0x04 {
+		return TLS
+	}
+	if bytes.HasPrefix(head, []byte("SSH-")) {
+		return SSH
+	}
+	// RTMP handshake: version byte 0x03 followed by a 1536-byte chunk.
+	if head[0] == 0x03 && len(head) >= 1537 {
+		return RTMP
+	}
+	if serverSide {
+		// SMTP and FTP greet with a 3-digit code.
+		if len(head) >= 4 && head[3] == ' ' || len(head) >= 4 && head[3] == '-' {
+			if bytes.HasPrefix(head, []byte("220")) {
+				// Both SMTP and FTP use 220; SMTP banners conventionally
+				// contain "SMTP" or "ESMTP".
+				if bytes.Contains(firstLine(head), []byte("SMTP")) {
+					return SMTP
+				}
+				return FTP
+			}
+		}
+	} else {
+		if bytes.HasPrefix(head, []byte("EHLO ")) || bytes.HasPrefix(head, []byte("HELO ")) ||
+			bytes.HasPrefix(head, []byte("MAIL FROM:")) {
+			return SMTP
+		}
+		if bytes.HasPrefix(head, []byte("USER ")) || bytes.HasPrefix(head, []byte("PASS ")) {
+			return FTP
+		}
+	}
+	return Unknown
+}
+
+func firstLine(b []byte) []byte {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return b[:i]
+	}
+	return b
+}

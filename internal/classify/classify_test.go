@@ -1,0 +1,177 @@
+package classify
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSniffProtocols(t *testing.T) {
+	cases := []struct {
+		head       string
+		serverSide bool
+		want       Protocol
+	}{
+		{"GET /index.html HTTP/1.1\r\n", false, HTTP},
+		{"POST /api HTTP/1.1\r\n", false, HTTP},
+		{"HTTP/1.1 200 OK\r\n", true, HTTP},
+		{"SSH-2.0-OpenSSH_9.1\r\n", false, SSH},
+		{"SSH-2.0-Server\r\n", true, SSH},
+		{"EHLO mail.example.com\r\n", false, SMTP},
+		{"MAIL FROM:<a@b>\r\n", false, SMTP},
+		{"220 mx.example.com ESMTP ready\r\n", true, SMTP},
+		{"220 Welcome to FTP service\r\n", true, FTP},
+		{"USER anonymous\r\n", false, FTP},
+		{"", false, Unknown},
+		{"\x00\x01\x02\x03", false, Unknown},
+		{"random text that is nothing", false, Unknown},
+	}
+	for _, c := range cases {
+		if got := Sniff([]byte(c.head), c.serverSide); got != c.want {
+			t.Errorf("Sniff(%q, server=%v) = %v, want %v", c.head, c.serverSide, got, c.want)
+		}
+	}
+	// TLS from a real ClientHello.
+	if got := Sniff(BuildClientHello("example.com", nil), false); got != TLS {
+		t.Errorf("Sniff(ClientHello) = %v", got)
+	}
+	// RTMP: 0x03 + 1536-byte handshake chunk.
+	rtmp := append([]byte{0x03}, make([]byte, 1536)...)
+	if got := Sniff(rtmp, false); got != RTMP {
+		t.Errorf("Sniff(rtmp) = %v", got)
+	}
+	if Protocol(250).String() != "unknown" {
+		t.Error("String for unknown value")
+	}
+}
+
+func TestParseClientHello(t *testing.T) {
+	raw := BuildClientHello("www.example.org", []string{"h2", "http/1.1"})
+	ch, ok := ParseClientHello(raw)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if ch.SNI != "www.example.org" {
+		t.Errorf("SNI = %q", ch.SNI)
+	}
+	if len(ch.ALPN) != 2 || ch.ALPN[0] != "h2" || ch.ALPN[1] != "http/1.1" {
+		t.Errorf("ALPN = %v", ch.ALPN)
+	}
+	if ch.HelloVersion != 0x0303 {
+		t.Errorf("version = %#x", ch.HelloVersion)
+	}
+	if len(ch.CipherSuites) != 2 || ch.CipherSuites[0] != 0x1301 {
+		t.Errorf("suites = %v", ch.CipherSuites)
+	}
+}
+
+func TestParseClientHelloNoExtensions(t *testing.T) {
+	raw := BuildClientHello("", nil)
+	ch, ok := ParseClientHello(raw)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if ch.SNI != "" || ch.ALPN != nil {
+		t.Errorf("unexpected extensions: %+v", ch)
+	}
+}
+
+func TestParseClientHelloRejectsJunk(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0x16},
+		[]byte("GET / HTTP/1.1"),
+		{0x17, 0x03, 0x03, 0x00, 0x05, 1, 2, 3, 4, 5},  // app data record
+		{0x16, 0x03, 0x01, 0x00, 0x04, 0x02, 0, 0, 0},  // ServerHello type
+		{0x16, 0x03, 0x01, 0xff, 0xff, 0x01, 0, 0, 10}, // record longer than data
+	}
+	for _, b := range bad {
+		if _, ok := ParseClientHello(b); ok {
+			t.Errorf("accepted %v", b)
+		}
+	}
+}
+
+func TestParseClientHelloFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	valid := BuildClientHello("fuzz.example", []string{"h2"})
+	for i := 0; i < len(valid); i++ {
+		// Truncations.
+		ParseClientHello(valid[:i])
+		// Bit flips.
+		for trial := 0; trial < 8; trial++ {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= byte(1 << r.Intn(8))
+			ParseClientHello(mut) // must not panic
+		}
+	}
+}
+
+func TestParseDNSQuery(t *testing.T) {
+	raw := BuildDNSQuery(0x1234, "mail.example.com", DNSTypeAAAA)
+	q, ok := ParseDNSQuery(raw)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if q.ID != 0x1234 || q.Response || q.Name != "mail.example.com" || q.Type != DNSTypeAAAA || q.Class != 1 {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestParseDNSResponseFlag(t *testing.T) {
+	raw := BuildDNSQuery(7, "x.y", DNSTypeA)
+	raw[2] |= 0x80 // QR
+	raw[3] |= 3    // NXDOMAIN
+	q, ok := ParseDNSQuery(raw)
+	if !ok || !q.Response || q.RCode != 3 {
+		t.Errorf("response = %+v, ok=%v", q, ok)
+	}
+}
+
+func TestParseDNSQueryRejectsJunk(t *testing.T) {
+	if _, ok := ParseDNSQuery(nil); ok {
+		t.Error("nil accepted")
+	}
+	if _, ok := ParseDNSQuery(make([]byte, 11)); ok {
+		t.Error("short header accepted")
+	}
+	// Compression pointer in question.
+	raw := BuildDNSQuery(1, "a.b", DNSTypeA)
+	raw[12] = 0xC0
+	if _, ok := ParseDNSQuery(raw); ok {
+		t.Error("compressed question accepted")
+	}
+	// Truncated label.
+	raw2 := BuildDNSQuery(1, "abc.def", DNSTypeA)
+	if _, ok := ParseDNSQuery(raw2[:14]); ok {
+		t.Error("truncated label accepted")
+	}
+}
+
+func TestParseDNSQueryFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		ParseDNSQuery(b) // must not panic
+	}
+}
+
+func TestDNSRoundTripNames(t *testing.T) {
+	names := []string{"a", "a.b", "very.long.sub.domain.example.co.uk"}
+	for _, n := range names {
+		q, ok := ParseDNSQuery(BuildDNSQuery(1, n, DNSTypeTXT))
+		if !ok || q.Name != n {
+			t.Errorf("round trip of %q: %+v ok=%v", n, q, ok)
+		}
+	}
+}
+
+func TestSniffFirstLineHelper(t *testing.T) {
+	if !bytes.Equal(firstLine([]byte("abc\ndef")), []byte("abc")) {
+		t.Error("firstLine")
+	}
+	if !bytes.Equal(firstLine([]byte("abc")), []byte("abc")) {
+		t.Error("firstLine no newline")
+	}
+}

@@ -1,0 +1,96 @@
+package classify
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// DNSQuery is the first question of a DNS message.
+type DNSQuery struct {
+	ID       uint16
+	Response bool
+	OpCode   uint8
+	RCode    uint8
+	Name     string
+	Type     uint16
+	Class    uint16
+	// Counts from the header.
+	QDCount, ANCount uint16
+}
+
+// Well-known DNS record types.
+const (
+	DNSTypeA     = 1
+	DNSTypeNS    = 2
+	DNSTypeCNAME = 5
+	DNSTypeSOA   = 6
+	DNSTypePTR   = 12
+	DNSTypeMX    = 15
+	DNSTypeTXT   = 16
+	DNSTypeAAAA  = 28
+)
+
+// ParseDNSQuery parses a DNS message header and its first question from a
+// UDP payload. It does not follow compression pointers in the question
+// section (questions are never compressed in practice).
+func ParseDNSQuery(b []byte) (*DNSQuery, bool) {
+	if len(b) < 12 {
+		return nil, false
+	}
+	q := &DNSQuery{
+		ID:       binary.BigEndian.Uint16(b[0:2]),
+		QDCount:  binary.BigEndian.Uint16(b[4:6]),
+		ANCount:  binary.BigEndian.Uint16(b[6:8]),
+		Response: b[2]&0x80 != 0,
+		OpCode:   (b[2] >> 3) & 0x0f,
+		RCode:    b[3] & 0x0f,
+	}
+	if q.QDCount == 0 {
+		return q, true
+	}
+	// Question: QNAME (labels) QTYPE(2) QCLASS(2)
+	var labels []string
+	i := 12
+	for {
+		if i >= len(b) {
+			return nil, false
+		}
+		l := int(b[i])
+		if l == 0 {
+			i++
+			break
+		}
+		if l >= 0xC0 { // compression pointer: not valid in a question
+			return nil, false
+		}
+		if i+1+l > len(b) || len(labels) > 127 {
+			return nil, false
+		}
+		labels = append(labels, string(b[i+1:i+1+l]))
+		i += 1 + l
+	}
+	if i+4 > len(b) {
+		return nil, false
+	}
+	q.Name = strings.Join(labels, ".")
+	q.Type = binary.BigEndian.Uint16(b[i : i+2])
+	q.Class = binary.BigEndian.Uint16(b[i+2 : i+4])
+	return q, true
+}
+
+// BuildDNSQuery constructs a minimal query message for tests and workload
+// generation.
+func BuildDNSQuery(id uint16, name string, qtype uint16) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:2], id)
+	b[2] = 0x01 // RD
+	binary.BigEndian.PutUint16(b[4:6], 1)
+	for _, label := range strings.Split(name, ".") {
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	b = append(b, 0)
+	b = binary.BigEndian.AppendUint16(b, qtype)
+	b = binary.BigEndian.AppendUint16(b, 1) // IN
+	return b
+}

@@ -1,0 +1,206 @@
+package classify
+
+import "encoding/binary"
+
+// ClientHello is the subset of a TLS ClientHello that monitoring
+// applications care about.
+type ClientHello struct {
+	// LegacyVersion is the record-layer version; HelloVersion the
+	// handshake's client_version field (0x0303 = TLS 1.2 wire format,
+	// also used by TLS 1.3).
+	LegacyVersion uint16
+	HelloVersion  uint16
+	// SNI is the server_name extension's first host_name entry.
+	SNI string
+	// ALPN lists the application protocols offered, in order.
+	ALPN []string
+	// CipherSuites are the offered suites.
+	CipherSuites []uint16
+}
+
+// ParseClientHello parses a TLS ClientHello from the first bytes of a
+// client stream (possibly spanning multiple records is NOT supported: the
+// hello must fit the first record, which is true for all realistic
+// clients). It returns false for anything that is not a well-formed
+// ClientHello prefix.
+func ParseClientHello(b []byte) (*ClientHello, bool) {
+	// TLSPlaintext: type(1) version(2) length(2)
+	if len(b) < 5 || b[0] != 0x16 || b[1] != 0x03 {
+		return nil, false
+	}
+	recLen := int(binary.BigEndian.Uint16(b[3:5]))
+	rec := b[5:]
+	if recLen < 4 || len(rec) < recLen {
+		return nil, false
+	}
+	rec = rec[:recLen]
+	// Handshake: msg_type(1)=1 length(3)
+	if rec[0] != 0x01 {
+		return nil, false
+	}
+	hsLen := int(rec[1])<<16 | int(rec[2])<<8 | int(rec[3])
+	body := rec[4:]
+	if len(body) < hsLen {
+		return nil, false
+	}
+	body = body[:hsLen]
+
+	ch := &ClientHello{LegacyVersion: binary.BigEndian.Uint16(b[1:3])}
+	// client_version(2) random(32)
+	if len(body) < 34 {
+		return nil, false
+	}
+	ch.HelloVersion = binary.BigEndian.Uint16(body[0:2])
+	body = body[34:]
+	// session_id
+	if len(body) < 1 {
+		return nil, false
+	}
+	sidLen := int(body[0])
+	if len(body) < 1+sidLen {
+		return nil, false
+	}
+	body = body[1+sidLen:]
+	// cipher_suites
+	if len(body) < 2 {
+		return nil, false
+	}
+	csLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if csLen%2 != 0 || len(body) < 2+csLen {
+		return nil, false
+	}
+	for i := 0; i < csLen; i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(body[2+i:4+i]))
+	}
+	body = body[2+csLen:]
+	// compression_methods
+	if len(body) < 1 {
+		return nil, false
+	}
+	cmLen := int(body[0])
+	if len(body) < 1+cmLen {
+		return nil, false
+	}
+	body = body[1+cmLen:]
+	// extensions (optional)
+	if len(body) < 2 {
+		return ch, true
+	}
+	extLen := int(binary.BigEndian.Uint16(body[0:2]))
+	exts := body[2:]
+	if len(exts) < extLen {
+		return nil, false
+	}
+	exts = exts[:extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		l := int(binary.BigEndian.Uint16(exts[2:4]))
+		if len(exts) < 4+l {
+			break
+		}
+		data := exts[4 : 4+l]
+		switch typ {
+		case 0: // server_name
+			ch.SNI = parseSNI(data)
+		case 16: // ALPN
+			ch.ALPN = parseALPN(data)
+		}
+		exts = exts[4+l:]
+	}
+	return ch, true
+}
+
+// parseSNI extracts the first host_name from a server_name extension body.
+func parseSNI(b []byte) string {
+	if len(b) < 2 {
+		return ""
+	}
+	listLen := int(binary.BigEndian.Uint16(b[0:2]))
+	list := b[2:]
+	if len(list) < listLen {
+		return ""
+	}
+	list = list[:listLen]
+	for len(list) >= 3 {
+		nameType := list[0]
+		l := int(binary.BigEndian.Uint16(list[1:3]))
+		if len(list) < 3+l {
+			return ""
+		}
+		if nameType == 0 {
+			return string(list[3 : 3+l])
+		}
+		list = list[3+l:]
+	}
+	return ""
+}
+
+// parseALPN extracts the protocol list from an ALPN extension body.
+func parseALPN(b []byte) []string {
+	if len(b) < 2 {
+		return nil
+	}
+	listLen := int(binary.BigEndian.Uint16(b[0:2]))
+	list := b[2:]
+	if len(list) < listLen {
+		return nil
+	}
+	list = list[:listLen]
+	var out []string
+	for len(list) >= 1 {
+		l := int(list[0])
+		if len(list) < 1+l {
+			break
+		}
+		out = append(out, string(list[1:1+l]))
+		list = list[1+l:]
+	}
+	return out
+}
+
+// BuildClientHello constructs a minimal well-formed ClientHello record for
+// tests and workload generation.
+func BuildClientHello(sni string, alpn []string) []byte {
+	var ext []byte
+	if sni != "" {
+		name := []byte(sni)
+		entry := make([]byte, 0, 3+len(name))
+		entry = append(entry, 0) // host_name
+		entry = binary.BigEndian.AppendUint16(entry, uint16(len(name)))
+		entry = append(entry, name...)
+		body := binary.BigEndian.AppendUint16(nil, uint16(len(entry)))
+		body = append(body, entry...)
+		ext = binary.BigEndian.AppendUint16(ext, 0) // extension type
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(body)))
+		ext = append(ext, body...)
+	}
+	if len(alpn) > 0 {
+		var list []byte
+		for _, p := range alpn {
+			list = append(list, byte(len(p)))
+			list = append(list, p...)
+		}
+		body := binary.BigEndian.AppendUint16(nil, uint16(len(list)))
+		body = append(body, list...)
+		ext = binary.BigEndian.AppendUint16(ext, 16)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(body)))
+		ext = append(ext, body...)
+	}
+
+	hello := binary.BigEndian.AppendUint16(nil, 0x0303) // client_version
+	hello = append(hello, make([]byte, 32)...)          // random
+	hello = append(hello, 0)                            // session_id empty
+	hello = binary.BigEndian.AppendUint16(hello, 4)     // two suites
+	hello = binary.BigEndian.AppendUint16(hello, 0x1301)
+	hello = binary.BigEndian.AppendUint16(hello, 0x1302)
+	hello = append(hello, 1, 0) // compression: null
+	hello = binary.BigEndian.AppendUint16(hello, uint16(len(ext)))
+	hello = append(hello, ext...)
+
+	hs := []byte{0x01, byte(len(hello) >> 16), byte(len(hello) >> 8), byte(len(hello))}
+	hs = append(hs, hello...)
+
+	rec := []byte{0x16, 0x03, 0x01}
+	rec = binary.BigEndian.AppendUint16(rec, uint16(len(hs)))
+	return append(rec, hs...)
+}

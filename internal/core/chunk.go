@@ -1,0 +1,81 @@
+package core
+
+import (
+	"scap/internal/event"
+	"scap/internal/flowtab"
+)
+
+// streamExt is the engine-private extension record hung off
+// flowtab.Stream.Chunk: the current chunk under construction plus the
+// engine bookkeeping the generic flow table does not know about.
+type streamExt struct {
+	chunk chunkState
+	// chunksDelivered counts data events for this stream (sd->chunks).
+	chunksDelivered uint64
+	// filterTimeout is the current FDIR filter lifetime; it doubles on
+	// every re-install so long-lived flows are evicted from the NIC only a
+	// logarithmic number of times (paper §5.5).
+	filterTimeout int64
+	// ignored streams failed the socket filter: tracked for cheap
+	// discarding but generating no events.
+	ignored bool
+	// discard set by scap_discard_stream.
+	discard bool
+	// finalDelivered guards against duplicate final data events.
+	finalDelivered bool
+}
+
+// chunkState is one in-progress chunk of reassembled stream data.
+type chunkState struct {
+	buf        []byte // fill = len(buf); capacity bounds the chunk
+	overlapLen int    // prefix carried from the previous chunk (not re-accounted)
+	extraAcct  int    // accounted bytes adopted back via KeepChunk
+	holeBefore bool
+	firstTS    int64 // timestamp of the first byte (flush timeout anchor)
+	pkts       []event.PacketRecord
+}
+
+// fill returns the number of bytes in the chunk.
+func (c *chunkState) fill() int { return len(c.buf) }
+
+// accounted returns how many of the chunk's bytes are charged to the
+// memory budget.
+func (c *chunkState) accounted() int { return len(c.buf) - c.overlapLen + c.extraAcct }
+
+// room returns remaining capacity.
+func (c *chunkState) room() int { return cap(c.buf) - len(c.buf) }
+
+// ext returns (allocating if needed) the engine extension of s.
+func ext(s *flowtab.Stream) *streamExt {
+	if e, ok := s.Chunk.(*streamExt); ok {
+		return e
+	}
+	e := &streamExt{}
+	s.Chunk = e
+	return e
+}
+
+// newChunkBuf allocates a chunk buffer of the stream's chunk size, seeding
+// it with the overlap tail of the previous chunk when configured.
+func (e *Engine) newChunkBuf(s *flowtab.Stream, prev []byte, ts int64) chunkState {
+	size := s.ChunkSize
+	if size <= 0 {
+		size = e.cfg.ChunkSize
+	}
+	overlap := s.OverlapSize
+	c := chunkState{firstTS: ts}
+	if overlap > 0 && len(prev) > 0 {
+		if overlap > len(prev) {
+			overlap = len(prev)
+		}
+		if overlap >= size {
+			overlap = size - 1
+		}
+		c.buf = make([]byte, overlap, size)
+		copy(c.buf, prev[len(prev)-overlap:])
+		c.overlapLen = overlap
+	} else {
+		c.buf = make([]byte, 0, size)
+	}
+	return c
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+
+	"scap/internal/flowtab"
+)
+
+// CtrlOp is a runtime control operation a worker thread sends back to the
+// engine that owns the stream. The paper passes these through the Scap
+// socket (setsockopt); here a small per-core queue drained at the top of
+// the packet path plays that role, preserving the single-writer discipline
+// on stream records.
+type CtrlOp uint8
+
+const (
+	// OpSetCutoff changes a stream's cutoff (scap_set_stream_cutoff).
+	OpSetCutoff CtrlOp = iota
+	// OpSetPriority changes a connection's PPL priority (both directions).
+	OpSetPriority
+	// OpDiscard stops all data collection for a stream
+	// (scap_discard_stream).
+	OpDiscard
+	// OpKeepChunk gives a delivered chunk back to the engine so the next
+	// delivery contains the previous and new data merged
+	// (scap_keep_stream_chunk).
+	OpKeepChunk
+	// OpSetParam updates one per-stream parameter
+	// (scap_set_stream_parameter).
+	OpSetParam
+)
+
+// StreamParam identifies per-stream parameters for OpSetParam.
+type StreamParam uint8
+
+const (
+	ParamChunkSize StreamParam = iota
+	ParamOverlapSize
+	ParamFlushTimeout
+	ParamInactivityTimeout
+)
+
+// Ctrl is one control message. Stream identity is validated against ID, so
+// a message racing with stream termination is dropped instead of mutating a
+// recycled record.
+type Ctrl struct {
+	Op     CtrlOp
+	Stream *flowtab.Stream
+	ID     uint64
+	Param  StreamParam
+	Value  int64
+	// Data/Accounted carry the kept chunk for OpKeepChunk.
+	Data      []byte
+	Accounted int
+}
+
+// ctrlQueue is a mutex-guarded MPSC queue (several worker threads may
+// target the same engine; only the engine drains).
+type ctrlQueue struct {
+	mu   sync.Mutex
+	msgs []Ctrl
+}
+
+func (q *ctrlQueue) push(c Ctrl) {
+	q.mu.Lock()
+	q.msgs = append(q.msgs, c)
+	q.mu.Unlock()
+}
+
+// drain swaps out the pending messages; the caller processes them outside
+// the lock.
+func (q *ctrlQueue) drain(buf []Ctrl) []Ctrl {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.msgs) == 0 {
+		return buf[:0]
+	}
+	buf = append(buf[:0], q.msgs...)
+	q.msgs = q.msgs[:0]
+	return buf
+}
+
+// Control enqueues a control message for this engine.
+func (e *Engine) Control(c Ctrl) { e.ctrl.push(c) }
+
+// applyCtrl executes one validated control message.
+func (e *Engine) applyCtrl(c Ctrl) {
+	s := c.Stream
+	if s == nil || s.ID != c.ID || !s.InTable() {
+		// Stream terminated before the message arrived.
+		if c.Op == OpKeepChunk && c.Accounted > 0 {
+			e.mm.Release(c.Accounted)
+		}
+		return
+	}
+	x := ext(s)
+	switch c.Op {
+	case OpSetCutoff:
+		s.Cutoff = c.Value
+		if s.Cutoff >= 0 && int64(s.Stats.CapturedBytes) >= s.Cutoff && s.Status == flowtab.StatusActive {
+			e.reachCutoff(s, x)
+		}
+	case OpSetPriority:
+		s.Priority = int(c.Value)
+		if s.Opposite != nil {
+			s.Opposite.Priority = int(c.Value)
+		}
+	case OpDiscard:
+		x.discard = true
+		e.dropChunk(s, x)
+		e.installFDIR(s, x)
+	case OpKeepChunk:
+		e.adoptKeptChunk(s, x, c.Data, c.Accounted)
+	case OpSetParam:
+		switch c.Param {
+		case ParamChunkSize:
+			if c.Value > 0 {
+				s.ChunkSize = int(c.Value)
+			}
+		case ParamOverlapSize:
+			if c.Value >= 0 && int(c.Value) < s.ChunkSize {
+				s.OverlapSize = int(c.Value)
+			}
+		case ParamFlushTimeout:
+			s.FlushTimeout = c.Value
+		case ParamInactivityTimeout:
+			if c.Value > 0 {
+				s.InactivityTimeout = c.Value
+				if c.Value < e.minInactivity {
+					e.minInactivity = c.Value
+				}
+			}
+		}
+	}
+}
+
+// adoptKeptChunk merges a chunk the application kept back into the
+// stream's current chunk so the next delivery includes both.
+func (e *Engine) adoptKeptChunk(s *flowtab.Stream, x *streamExt, data []byte, accounted int) {
+	cur := &x.chunk
+	// The successor chunk was seeded with the kept chunk's overlap tail;
+	// drop that prefix to avoid duplicating bytes in the merge.
+	newData := []byte(nil)
+	if cur.buf != nil {
+		newData = cur.buf[cur.overlapLen:]
+	}
+	merged := make([]byte, 0, len(data)+len(newData)+s.ChunkSize)
+	merged = append(merged, data...)
+	merged = append(merged, newData...)
+	// Rebase accounting so accounted() equals the kept chunk's charge plus
+	// whatever the successor chunk had charged:
+	//   accounted() = len(merged) + extraAcct'
+	//               = len(data) + len(newData) + extraAcct'
+	//   want        = accounted + len(newData) + cur.extraAcct
+	// hence extraAcct' = accounted + cur.extraAcct - len(data).
+	x.chunk = chunkState{
+		buf:        merged,
+		overlapLen: 0,
+		extraAcct:  accounted + cur.extraAcct - len(data),
+		holeBefore: cur.holeBefore,
+		firstTS:    cur.firstTS,
+		pkts:       cur.pkts,
+	}
+	if x.chunk.firstTS == 0 {
+		x.chunk.firstTS = e.now
+	}
+	e.markDirty(s, x)
+}

@@ -1,0 +1,730 @@
+package core
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"scap/internal/event"
+	"scap/internal/flowtab"
+	"scap/internal/mem"
+	"scap/internal/nic"
+	"scap/internal/pkt"
+	"scap/internal/reassembly"
+)
+
+// Stats are the per-engine counters (roughly scap_stats_t plus internals).
+type Stats struct {
+	Frames       uint64
+	DecodeErrors uint64
+	FragsHeld    uint64 // fragments absorbed by the defragmenter
+	FragsDropped uint64 // fragments dropped (fast mode does not defragment)
+	Packets      uint64
+	PayloadBytes uint64
+	// StoredBytes counts payload actually written into stream memory (the
+	// in-kernel copy the cost model prices per byte).
+	StoredBytes uint64
+
+	FilterIgnoredPkts uint64
+	CutoffPkts        uint64
+	CutoffBytes       uint64
+	PPLDroppedPkts    uint64
+	PPLDroppedBytes   uint64
+	EventsLost        uint64
+	EventsLostBytes   uint64
+
+	StreamsCreated uint64
+	StreamsClosed  uint64
+	StreamsExpired uint64
+	StreamsEvicted uint64
+
+	// Reassembly aggregates, accumulated when streams retire.
+	AsmDuplicateBytes uint64
+	AsmDeliveredBytes uint64
+	AsmHolesSkipped   uint64
+	AsmOutOfOrder     uint64
+	AsmDroppedSegs    uint64
+
+	FDIRInstalled uint64
+	FDIRRemoved   uint64
+}
+
+// Options wires an Engine to its shared resources.
+type Options struct {
+	Config Config
+	// Mem is the socket-wide memory manager (shared across cores).
+	Mem *mem.Manager
+	// NIC, when non-nil and Config.UseFDIR is set, receives drop-filter
+	// installs for cutoff streams.
+	NIC *nic.NIC
+	// Queue receives this core's events.
+	Queue  *event.Queue
+	CoreID int
+	// Rand seeds the flow table hash; nil uses a global source.
+	Rand *rand.Rand
+	// MaxStreams, when > 0, bounds tracked stream records; the oldest
+	// stream is evicted to admit a new one (Scap's newest-wins policy).
+	MaxStreams int
+}
+
+// filterEntry tracks one stream's FDIR deadline in the engine's heap
+// (paper §5.5: filters are kept sorted by timeout).
+type filterEntry struct {
+	deadline int64
+	key      pkt.FlowKey
+	id       uint64
+}
+
+type filterHeap []filterEntry
+
+func (h filterHeap) Len() int           { return len(h) }
+func (h filterHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h filterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *filterHeap) Push(x any)        { *h = append(*h, x.(filterEntry)) }
+func (h *filterHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is one core's kernel path.
+type Engine struct {
+	cfg    Config
+	mm     *mem.Manager
+	nicDev *nic.NIC
+	q      *event.Queue
+	table  *flowtab.Table
+	defrag *reassembly.Defragmenter
+	ctrl   ctrlQueue
+	coreID int
+
+	// dirty holds streams with a non-empty chunk, for flush timeouts.
+	dirty map[*flowtab.Stream]struct{}
+	// filters orders installed FDIR filters by deadline.
+	filters filterHeap
+	// minInactivity is the smallest inactivity timeout in force, bounding
+	// how far the expiry sweep must look.
+	minInactivity int64
+
+	maxStreams int
+	stats      Stats
+	scratch    pkt.Packet
+	ctrlBuf    []Ctrl
+	now        int64
+}
+
+// NewEngine creates an engine.
+func NewEngine(opts Options) *Engine {
+	cfg := opts.Config.withDefaults()
+	e := &Engine{
+		cfg:           cfg,
+		mm:            opts.Mem,
+		nicDev:        opts.NIC,
+		q:             opts.Queue,
+		table:         flowtab.NewTable(opts.Rand),
+		coreID:        opts.CoreID,
+		dirty:         make(map[*flowtab.Stream]struct{}),
+		minInactivity: cfg.InactivityTimeout,
+		maxStreams:    opts.MaxStreams,
+	}
+	if e.mm == nil {
+		e.mm = mem.New(mem.Config{Priorities: cfg.Priorities})
+	}
+	if e.q == nil {
+		e.q = event.NewQueue(0)
+	}
+	// Disjoint ID spaces per core: stream IDs are unique socket-wide.
+	e.table.SetIDBase(uint64(opts.CoreID) << 48)
+	if cfg.Mode == reassembly.ModeStrict {
+		e.defrag = reassembly.NewDefragmenter(0, 0)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Table exposes the flow table (tests and the simulator use it).
+func (e *Engine) Table() *flowtab.Table { return e.table }
+
+// Queue returns the engine's event queue.
+func (e *Engine) Queue() *event.Queue { return e.q }
+
+// Now returns the engine's current virtual time (last packet or timer).
+func (e *Engine) Now() int64 { return e.now }
+
+// HandleFrame is the softirq entry point: decode and process one frame.
+func (e *Engine) HandleFrame(data []byte, ts int64) {
+	e.drainCtrl()
+	e.stats.Frames++
+	if ts > e.now {
+		e.now = ts
+	}
+	p := &e.scratch
+	if err := pkt.Decode(data, p); err != nil {
+		e.stats.DecodeErrors++
+		return
+	}
+	p.Timestamp = ts
+	e.HandlePacket(p)
+}
+
+// HandlePacket processes an already-decoded packet.
+func (e *Engine) HandlePacket(p *pkt.Packet) {
+	if p.Timestamp > e.now {
+		e.now = p.Timestamp
+	}
+	if p.IsFragment() {
+		if e.defrag == nil {
+			// Fast mode does not spend memory on defragmentation; the
+			// fragmented datagram is counted against the stream as loss.
+			e.stats.FragsDropped++
+			return
+		}
+		whole := e.defrag.Add(p)
+		if whole == nil {
+			e.stats.FragsHeld++
+			return
+		}
+		// Reparse the transport header from the reassembled datagram.
+		var np pkt.Packet
+		np = *p
+		np.FragOffset, np.MoreFrags = 0, false
+		if err := pkt.DecodeTransport(whole, &np); err != nil {
+			e.stats.DecodeErrors++
+			return
+		}
+		p = &np
+	}
+	e.stats.Packets++
+	e.process(p)
+}
+
+func (e *Engine) process(p *pkt.Packet) {
+	ts := p.Timestamp
+	if e.maxStreams > 0 && e.table.Len() >= e.maxStreams && e.table.Lookup(p.Key) == nil {
+		if victim := e.table.Oldest(); victim != nil {
+			e.finishStream(victim, flowtab.StatusEvicted)
+		}
+	}
+	s, created := e.table.GetOrCreate(p.Key, ts)
+	x := ext(s)
+	if created {
+		e.initStream(s, x, p)
+	}
+
+	s.Stats.Pkts++
+	s.Stats.Bytes += uint64(p.WireLen)
+	s.Stats.End = ts
+
+	if x.ignored {
+		e.stats.FilterIgnoredPkts++
+		return
+	}
+
+	if p.Key.Proto == pkt.ProtoTCP {
+		e.processTCP(s, x, p)
+		return
+	}
+	// UDP and other protocols: concatenate payloads in arrival order
+	// (paper §2.3).
+	e.processPayloadBytes(s, x, p, p.Payload, func(b []byte, emit reassembly.Emit) {
+		emit(b, false)
+	})
+}
+
+// initStream resolves a new stream's configuration and fires its creation
+// event.
+func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
+	e.stats.StreamsCreated++
+	if e.cfg.Filter != nil && !e.cfg.Filter.Match(p) {
+		// Neither direction matches ⇒ the stream is uninteresting. A
+		// directional filter (e.g. "src port 80") must still keep both
+		// directions of matching connections.
+		rev := *p
+		rev.Key = p.Key.Reverse()
+		if !e.cfg.Filter.Match(&rev) {
+			x.ignored = true
+			return
+		}
+	}
+	s.Cutoff = e.cfg.resolveCutoff(p, s.Dir)
+	s.ChunkSize = e.cfg.ChunkSize
+	s.OverlapSize = e.cfg.OverlapSize
+	s.FlushTimeout = e.cfg.FlushTimeout
+	s.InactivityTimeout = e.cfg.InactivityTimeout
+	if s.Opposite != nil {
+		s.Priority = s.Opposite.Priority
+	} else {
+		for _, pc := range e.cfg.PriorityClasses {
+			if pc.Filter.Match(p) {
+				s.Priority = pc.Priority
+				break
+			}
+		}
+	}
+	if p.Key.Proto == pkt.ProtoTCP {
+		s.Asm = reassembly.New(reassembly.Config{
+			Mode:   e.cfg.Mode,
+			Policy: e.cfg.resolvePolicy(p.Key.DstIP),
+		})
+	}
+	x.filterTimeout = e.cfg.InactivityTimeout
+	e.push(event.Event{Type: event.Creation, Stream: s, Info: s.Snapshot(0)})
+}
+
+func (e *Engine) processTCP(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
+	if p.HasFlag(pkt.FlagSYN) {
+		s.SawSYN = true
+		if s.Asm != nil {
+			s.Asm.Init(p.Seq)
+		}
+		if s.Opposite != nil && s.Opposite.SawSYN {
+			s.SawHandshake = true
+			s.Opposite.SawHandshake = true
+		}
+		return // SYN segments carry no stream data we deliver
+	}
+
+	if p.TCPFlags&pkt.FlagRST != 0 {
+		s.HasFIN = true
+		s.FINSeq = p.Seq
+		e.terminatePair(s, flowtab.StatusClosed)
+		return
+	}
+
+	if len(p.Payload) > 0 {
+		if !s.SawSYN {
+			s.Error |= reassembly.FlagBadHandshake
+		}
+		e.processPayloadBytes(s, x, p, p.Payload, func(b []byte, emit reassembly.Emit) {
+			s.Asm.Segment(p.Seq, b, emit)
+		})
+	}
+
+	if p.TCPFlags&pkt.FlagFIN != 0 {
+		s.HasFIN = true
+		s.FINSeq = p.Seq + uint32(len(p.Payload))
+		if s.Opposite == nil || s.Opposite.HasFIN {
+			e.terminatePair(s, flowtab.StatusClosed)
+		}
+	}
+}
+
+// processPayloadBytes runs the cutoff check, PPL admission, per-packet
+// record keeping, and hands the payload to feed (which routes through the
+// assembler for TCP or straight to the chunk for datagram protocols).
+func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Packet, payload []byte, feed func([]byte, reassembly.Emit)) {
+	n := len(payload)
+	if n == 0 {
+		return
+	}
+	s.Stats.PayloadBytes += uint64(n)
+	e.stats.PayloadBytes += uint64(n)
+
+	if x.discard || s.Status == flowtab.StatusCutoff {
+		s.Stats.DiscardedPkts++
+		s.Stats.DiscardedBytes += uint64(n)
+		e.stats.CutoffPkts++
+		e.stats.CutoffBytes += uint64(n)
+		// Data arriving for a cutoff stream means its NIC filter expired
+		// or was evicted: re-install with a doubled timeout (§5.5).
+		e.reinstallFDIR(s, x)
+		return
+	}
+
+	pos := int64(s.Stats.CapturedBytes)
+	if s.Cutoff >= 0 && pos >= s.Cutoff {
+		e.reachCutoff(s, x)
+		s.Stats.DiscardedPkts++
+		s.Stats.DiscardedBytes += uint64(n)
+		e.stats.CutoffPkts++
+		e.stats.CutoffBytes += uint64(n)
+		return
+	}
+
+	switch e.mm.Decide(s.Priority, pos, n) {
+	case mem.Admit:
+	default:
+		s.Stats.DroppedPkts++
+		s.Stats.DroppedBytes += uint64(n)
+		e.stats.PPLDroppedPkts++
+		e.stats.PPLDroppedBytes += uint64(n)
+		return
+	}
+
+	if e.cfg.NeedPkts {
+		e.recordPacket(s, x, p, n)
+	}
+	feed(payload, func(b []byte, hole bool) {
+		e.appendData(s, x, b, hole)
+	})
+}
+
+// recordPacket appends a packet record to the current chunk. Off points at
+// the chunk position where in-order payload will land; out-of-order bytes
+// get Len 0 (their payload lands elsewhere after reassembly).
+func (e *Engine) recordPacket(s *flowtab.Stream, x *streamExt, p *pkt.Packet, n int) {
+	if x.chunk.buf == nil {
+		x.chunk = e.newChunkBuf(s, nil, e.now)
+		e.markDirty(s, x)
+	}
+	rec := event.PacketRecord{
+		TS:      p.Timestamp,
+		WireLen: p.WireLen,
+		CapLen:  len(p.Data),
+		Seq:     p.Seq,
+		Flags:   p.TCPFlags,
+	}
+	inOrder := s.Asm == nil || !s.Asm.Initialized() || p.Seq == s.Asm.NextSeq()
+	if inOrder {
+		rec.Off = int32(x.chunk.fill())
+		rec.Len = int32(n)
+	}
+	x.chunk.pkts = append(x.chunk.pkts, rec)
+}
+
+// appendData copies reassembled bytes into the stream's chunk, enforcing
+// the cutoff and delivering chunks as they fill.
+func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool) {
+	if hole {
+		s.Error |= reassembly.FlagHole
+	}
+	for len(b) > 0 {
+		if s.Cutoff >= 0 {
+			remain := s.Cutoff - int64(s.Stats.CapturedBytes)
+			if remain <= 0 {
+				e.reachCutoff(s, x)
+				s.Stats.DiscardedBytes += uint64(len(b))
+				e.stats.CutoffBytes += uint64(len(b))
+				return
+			}
+			if int64(len(b)) > remain {
+				head := b[:remain]
+				tail := b[remain:]
+				e.appendData(s, x, head, hole)
+				s.Stats.DiscardedBytes += uint64(len(tail))
+				e.stats.CutoffBytes += uint64(len(tail))
+				e.reachCutoff(s, x)
+				return
+			}
+		}
+		if x.chunk.buf == nil {
+			x.chunk = e.newChunkBuf(s, nil, e.now)
+			e.markDirty(s, x)
+		}
+		c := &x.chunk
+		if hole {
+			c.holeBefore = true
+			hole = false
+		}
+		room := c.room()
+		if room == 0 {
+			e.deliverChunk(s, x, false)
+			continue
+		}
+		take := len(b)
+		if take > room {
+			take = room
+		}
+		if c.fill() == c.overlapLen {
+			c.firstTS = e.now
+		}
+		c.buf = append(c.buf, b[:take]...)
+		b = b[take:]
+		s.Stats.CapturedBytes += uint64(take)
+		e.stats.StoredBytes += uint64(take)
+		e.mm.Reserve(take)
+		e.markDirty(s, x)
+		if c.room() == 0 {
+			e.deliverChunk(s, x, false)
+		}
+	}
+}
+
+// deliverChunk emits the current chunk as a data event and starts its
+// successor (unless last).
+func (e *Engine) deliverChunk(s *flowtab.Stream, x *streamExt, last bool) {
+	c := &x.chunk
+	hasNew := c.fill() > c.overlapLen || c.extraAcct > 0
+	if !hasNew {
+		if last {
+			e.dropChunk(s, x)
+		}
+		return
+	}
+	x.chunksDelivered++
+	ev := event.Event{
+		Type:       event.Data,
+		Stream:     s,
+		Info:       s.Snapshot(x.chunksDelivered),
+		Data:       c.buf,
+		HoleBefore: c.holeBefore,
+		Last:       last,
+		Accounted:  c.accounted(),
+		Pkts:       c.pkts,
+	}
+	prev := c.buf
+	if last {
+		x.chunk = chunkState{}
+		delete(e.dirty, s)
+	} else {
+		x.chunk = e.newChunkBuf(s, prev, e.now)
+		if x.chunk.fill() > 0 {
+			e.markDirty(s, x)
+		} else {
+			delete(e.dirty, s)
+		}
+	}
+	e.push(ev)
+}
+
+// dropChunk releases an undelivered chunk's memory (discard/termination of
+// an empty tail).
+func (e *Engine) dropChunk(s *flowtab.Stream, x *streamExt) {
+	if acct := x.chunk.accounted(); acct > 0 {
+		e.mm.Release(acct)
+	}
+	x.chunk = chunkState{}
+	delete(e.dirty, s)
+}
+
+// push enqueues an event, releasing chunk memory if the ring is full.
+func (e *Engine) push(ev event.Event) {
+	if !e.q.Push(ev) {
+		e.stats.EventsLost++
+		e.stats.EventsLostBytes += uint64(len(ev.Data))
+		if ev.Accounted > 0 {
+			e.mm.Release(ev.Accounted)
+		}
+	}
+}
+
+func (e *Engine) markDirty(s *flowtab.Stream, x *streamExt) {
+	if x.chunk.fill() > x.chunk.overlapLen || x.chunk.extraAcct > 0 {
+		e.dirty[s] = struct{}{}
+	}
+}
+
+// reachCutoff transitions a stream to the cutoff state: its last chunk is
+// delivered, further data is discarded, and — with FDIR enabled — the NIC
+// stops delivering its data packets at all (subzero copy).
+func (e *Engine) reachCutoff(s *flowtab.Stream, x *streamExt) {
+	if s.Status != flowtab.StatusActive {
+		return
+	}
+	s.Status = flowtab.StatusCutoff
+	e.deliverChunk(s, x, false)
+	e.installFDIR(s, x)
+}
+
+// installFDIR installs the per-stream drop-filter pair: ACK-only and
+// ACK|PSH data packets die at the NIC while RST/FIN still reach the engine
+// for termination and FIN-sequence statistics (§5.5).
+func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
+	if !e.cfg.UseFDIR || e.nicDev == nil || s.HWFilter || s.Key.Proto != pkt.ProtoTCP {
+		return
+	}
+	deadline := e.now + x.filterTimeout
+	for _, flags := range []uint8{pkt.FlagACK, pkt.FlagACK | pkt.FlagPSH} {
+		evicted, did, err := e.nicDev.AddFilter(nic.FilterSpec{
+			Key:      s.Key,
+			Flex:     nic.FlexOnlyFlags(flags),
+			Action:   nic.ActionDrop,
+			Deadline: deadline,
+		})
+		if err != nil {
+			return
+		}
+		if did {
+			// The evicted filter may belong to a stream on any core; if it
+			// is ours, clear its flag so it re-installs on next packet.
+			if other := e.table.Lookup(evicted); other != nil {
+				other.HWFilter = false
+			}
+		}
+	}
+	s.HWFilter = true
+	e.stats.FDIRInstalled++
+	heap.Push(&e.filters, filterEntry{deadline: deadline, key: s.Key, id: s.ID})
+}
+
+// reinstallFDIR re-adds an expired/evicted filter with a doubled timeout.
+func (e *Engine) reinstallFDIR(s *flowtab.Stream, x *streamExt) {
+	if !e.cfg.UseFDIR || e.nicDev == nil || s.Key.Proto != pkt.ProtoTCP {
+		return
+	}
+	if s.HWFilter {
+		// A data packet slipped past an installed filter (e.g. TCP
+		// options changed the flex bytes); nothing to do.
+		return
+	}
+	const maxFilterTimeout = int64(3600e9)
+	x.filterTimeout *= 2
+	if x.filterTimeout > maxFilterTimeout {
+		x.filterTimeout = maxFilterTimeout
+	}
+	e.installFDIR(s, x)
+}
+
+// removeFDIR removes a stream's filters on termination.
+func (e *Engine) removeFDIR(s *flowtab.Stream) {
+	if s.HWFilter && e.nicDev != nil {
+		e.nicDev.RemoveFilters(s.Key, false)
+		s.HWFilter = false
+		e.stats.FDIRRemoved++
+	}
+}
+
+// terminatePair ends both directions of a connection.
+func (e *Engine) terminatePair(s *flowtab.Stream, status flowtab.Status) {
+	opp := s.Opposite
+	e.finishStream(s, status)
+	if opp != nil && opp.InTable() {
+		e.finishStream(opp, status)
+	}
+}
+
+// finishStream flushes, emits the final data and termination events, and
+// retires the record.
+func (e *Engine) finishStream(s *flowtab.Stream, status flowtab.Status) {
+	x := ext(s)
+	if s.Asm != nil {
+		s.Asm.Flush(func(b []byte, hole bool) {
+			if s.Status == flowtab.StatusActive {
+				e.appendData(s, x, b, hole)
+			}
+		})
+	}
+	if s.Status == flowtab.StatusActive || s.Status == flowtab.StatusCutoff {
+		e.deliverChunk(s, x, true)
+	} else {
+		e.dropChunk(s, x)
+	}
+	s.Status = status
+	s.Error |= func() reassembly.Flags {
+		if s.Asm != nil {
+			return s.Asm.Flags()
+		}
+		return 0
+	}()
+	switch status {
+	case flowtab.StatusClosed:
+		e.stats.StreamsClosed++
+	case flowtab.StatusTimedOut:
+		e.stats.StreamsExpired++
+	case flowtab.StatusEvicted:
+		e.stats.StreamsEvicted++
+	}
+	if s.Asm != nil {
+		as := s.Asm.Stats()
+		e.stats.AsmDuplicateBytes += as.DuplicateBytes
+		e.stats.AsmDeliveredBytes += as.DeliveredBytes
+		e.stats.AsmHolesSkipped += as.HolesSkipped
+		e.stats.AsmOutOfOrder += as.OutOfOrderSegs
+		e.stats.AsmDroppedSegs += as.DroppedSegments
+	}
+	e.removeFDIR(s)
+	if !x.ignored {
+		e.push(event.Event{Type: event.Termination, Stream: s, Info: s.Snapshot(x.chunksDelivered)})
+	}
+	delete(e.dirty, s)
+	e.table.Remove(s)
+	e.table.Recycle(s)
+}
+
+// CheckTimers advances the engine's clock work: control messages, flush
+// timeouts, inactivity expiry, defragmenter expiry, and FDIR filter
+// deadlines. Drivers call it periodically (the paper's kernel module does
+// the same from a timer).
+func (e *Engine) CheckTimers(now int64) {
+	if now > e.now {
+		e.now = now
+	}
+	e.drainCtrl()
+	e.flushStaleChunks(now)
+	e.expireIdle(now)
+	e.expireFilters(now)
+	if e.defrag != nil {
+		e.defrag.Expire(now)
+	}
+}
+
+func (e *Engine) drainCtrl() {
+	e.ctrlBuf = e.ctrl.drain(e.ctrlBuf)
+	for i := range e.ctrlBuf {
+		e.applyCtrl(e.ctrlBuf[i])
+	}
+}
+
+// flushStaleChunks delivers partial chunks older than their stream's flush
+// timeout.
+func (e *Engine) flushStaleChunks(now int64) {
+	for s := range e.dirty {
+		x := ext(s)
+		ft := s.FlushTimeout
+		if ft <= 0 {
+			continue
+		}
+		if x.chunk.fill() > x.chunk.overlapLen && now-x.chunk.firstTS >= ft {
+			e.deliverChunk(s, x, false)
+		}
+	}
+}
+
+// expireIdle removes streams idle past their inactivity timeout, walking
+// from the oldest end of the access list (§5.2).
+func (e *Engine) expireIdle(now int64) {
+	var victims []*flowtab.Stream
+	e.table.TailWalk(func(s *flowtab.Stream) bool {
+		if s.LastAccess()+e.minInactivity > now {
+			return false // everything newer is fresher still
+		}
+		if s.HWFilter {
+			// The NIC is dropping this stream's packets on our behalf;
+			// silence is expected, not inactivity. The filter's own
+			// deadline (expireFilters) restores visibility first.
+			return true
+		}
+		tmo := s.InactivityTimeout
+		if tmo <= 0 {
+			tmo = e.cfg.InactivityTimeout
+		}
+		if s.LastAccess()+tmo <= now {
+			victims = append(victims, s)
+		}
+		return true
+	})
+	for _, s := range victims {
+		if s.InTable() {
+			e.finishStream(s, flowtab.StatusTimedOut)
+		}
+	}
+}
+
+// expireFilters removes FDIR filters whose deadline passed; the stream (if
+// still alive) will re-install with a doubled timeout when its packets
+// reappear.
+func (e *Engine) expireFilters(now int64) {
+	for len(e.filters) > 0 && e.filters[0].deadline <= now {
+		fe := heap.Pop(&e.filters).(filterEntry)
+		if e.nicDev != nil {
+			if removed := e.nicDev.RemoveFilters(fe.key, false); removed > 0 {
+				e.stats.FDIRRemoved++
+			}
+		}
+		if s := e.table.Lookup(fe.key); s != nil && s.ID == fe.id {
+			s.HWFilter = false
+		}
+	}
+}
+
+// Shutdown terminates every tracked stream, emitting final events.
+func (e *Engine) Shutdown() {
+	e.drainCtrl()
+	var all []*flowtab.Stream
+	e.table.Walk(func(s *flowtab.Stream) bool {
+		all = append(all, s)
+		return true
+	})
+	for _, s := range all {
+		if s.InTable() {
+			e.finishStream(s, flowtab.StatusTimedOut)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package event implements the per-core event queues between the Scap
+// kernel-path engine and the user-level worker threads (paper §5.4): stream
+// creation, stream data, and stream termination events, carried in a
+// single-producer single-consumer ring with wakeup support.
+package event
+
+import (
+	"sync"
+
+	"scap/internal/flowtab"
+)
+
+// Type discriminates events.
+type Type uint8
+
+const (
+	// Creation fires when a new stream is tracked.
+	Creation Type = iota
+	// Data fires when a chunk is ready: full, flushed by timeout, cut off,
+	// or final at termination.
+	Data
+	// Termination fires when a stream ends (FIN/RST, timeout, eviction).
+	Termination
+)
+
+func (t Type) String() string {
+	switch t {
+	case Creation:
+		return "creation"
+	case Data:
+		return "data"
+	case Termination:
+		return "termination"
+	}
+	return "unknown"
+}
+
+// Event is one queue entry. Data events carry the chunk payload; the slice
+// is owned by the stream's chunk storage and is valid until the worker
+// returns from its callback (after which the engine may recycle it).
+type Event struct {
+	Type Type
+	// Stream is the live kernel record. Workers must not dereference it —
+	// it is mutated concurrently by the engine; it serves only as an
+	// opaque handle for control operations (validated against Info.ID).
+	Stream *flowtab.Stream
+	// Info is the consistent snapshot taken when the event was enqueued.
+	Info flowtab.Info
+	// Chunk fields, meaningful for Data events.
+	Data       []byte
+	HoleBefore bool // reassembly skipped a hole before this chunk
+	Last       bool // final chunk of the stream
+	// Accounted is how many bytes of Data count against the stream-memory
+	// budget (overlap bytes carried from the previous chunk are not
+	// counted twice); the consumer releases them after the callback.
+	Accounted int
+	// Pkts are the per-packet records for scap_next_stream_packet, present
+	// when the socket was created with packet delivery enabled.
+	Pkts []PacketRecord
+}
+
+// PacketRecord describes one captured packet of a chunk for packet-based
+// delivery (paper §5.7): a capture header plus the location of the
+// packet's payload bytes within the chunk.
+type PacketRecord struct {
+	TS      int64
+	WireLen int
+	CapLen  int
+	Seq     uint32
+	Flags   uint8
+	// Off/Len locate the payload inside the chunk's Data; Len 0 means the
+	// bytes are not present in this chunk (duplicate or dropped data).
+	Off int32
+	Len int32
+}
+
+// Queue is the per-core event ring. The kernel-path engine is the only
+// producer; the worker thread is the only consumer. A mutex (not atomics)
+// keeps it obviously correct; the producer and consumer touch it briefly.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []Event
+	head, n int
+	closed  bool
+
+	// Dropped counts events discarded because the ring was full — the
+	// analogue of a packet-capture buffer overflowing.
+	Dropped uint64
+}
+
+// DefaultQueueCap is the default ring capacity.
+const DefaultQueueCap = 1 << 16
+
+// NewQueue creates a queue with the given capacity (0 selects the default).
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultQueueCap
+	}
+	q := &Queue{buf: make([]Event, capacity)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues an event; it reports false (and counts a drop) if the ring
+// is full or closed.
+func (q *Queue) Push(e Event) bool {
+	q.mu.Lock()
+	if q.closed || q.n == len(q.buf) {
+		if !q.closed {
+			q.Dropped++
+		}
+		q.mu.Unlock()
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// Poll removes the next event without blocking.
+func (q *Queue) Poll() (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+// Wait blocks until an event is available or the queue is closed; it
+// returns false only when closed and drained — the worker's poll() loop.
+func (q *Queue) Wait() (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	return q.popLocked()
+}
+
+func (q *Queue) popLocked() (Event, bool) {
+	if q.n == 0 {
+		return Event{}, false
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = Event{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e, true
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Close wakes all waiters; subsequent pushes fail. Pending events remain
+// drainable via Poll/Wait.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,137 @@
+package event
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scap/internal/flowtab"
+)
+
+func TestPushPollFIFO(t *testing.T) {
+	q := NewQueue(8)
+	s := &flowtab.Stream{}
+	for i, typ := range []Type{Creation, Data, Termination} {
+		if !q.Push(Event{Type: typ, Stream: s, Data: []byte{byte(i)}}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Len() != 3 {
+		t.Errorf("len = %d", q.Len())
+	}
+	for i, want := range []Type{Creation, Data, Termination} {
+		e, ok := q.Poll()
+		if !ok || e.Type != want || e.Data[0] != byte(i) {
+			t.Fatalf("poll %d = %+v, %v", i, e, ok)
+		}
+	}
+	if _, ok := q.Poll(); ok {
+		t.Error("poll on empty queue succeeded")
+	}
+}
+
+func TestOverflowCountsDrops(t *testing.T) {
+	q := NewQueue(2)
+	for i := 0; i < 5; i++ {
+		q.Push(Event{Type: Data})
+	}
+	if q.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", q.Dropped)
+	}
+}
+
+func TestWaitBlocksUntilPush(t *testing.T) {
+	q := NewQueue(4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got Event
+	go func() {
+		defer wg.Done()
+		got, _ = q.Wait()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(Event{Type: Termination})
+	wg.Wait()
+	if got.Type != Termination {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCloseWakesWaiter(t *testing.T) {
+	q := NewQueue(4)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Wait()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Wait returned an event after Close on empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on Close")
+	}
+	if q.Push(Event{}) {
+		t.Error("push after close succeeded")
+	}
+}
+
+func TestCloseDrainsPending(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(Event{Type: Data})
+	q.Close()
+	if e, ok := q.Wait(); !ok || e.Type != Data {
+		t.Error("pending event lost on close")
+	}
+	if _, ok := q.Wait(); ok {
+		t.Error("spurious event after drain")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q := NewQueue(4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Push(Event{Data: []byte{byte(round), byte(i)}}) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			e, ok := q.Poll()
+			if !ok || e.Data[1] != byte(i) {
+				t.Fatalf("round %d poll %d: %+v %v", round, i, e, ok)
+			}
+		}
+	}
+}
+
+func TestProducerConsumerStress(t *testing.T) {
+	q := NewQueue(64)
+	const total = 10000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := 0
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := q.Wait(); !ok {
+				return
+			}
+			received++
+		}
+	}()
+	sent := 0
+	for i := 0; i < total; i++ {
+		if q.Push(Event{Type: Data}) {
+			sent++
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if received != sent {
+		t.Errorf("received %d, sent %d (dropped %d)", received, sent, q.Dropped)
+	}
+}

@@ -1,0 +1,67 @@
+package event
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scap/internal/flowtab"
+)
+
+func infoWithID(id uint64) flowtab.Info { return flowtab.Info{ID: id} }
+
+// TestQueueMatchesReferenceFIFO drives the ring with random push/poll
+// sequences and compares against a plain-slice FIFO model.
+func TestQueueMatchesReferenceFIFO(t *testing.T) {
+	type ops struct {
+		Cap     int
+		Actions []bool // true = push, false = poll
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			o := ops{Cap: 1 + r.Intn(16), Actions: make([]bool, r.Intn(200))}
+			for i := range o.Actions {
+				o.Actions[i] = r.Intn(2) == 0
+			}
+			v[0] = reflect.ValueOf(o)
+		},
+	}
+	seq := uint64(0)
+	check := func(o ops) bool {
+		q := NewQueue(o.Cap)
+		var model []uint64
+		for _, push := range o.Actions {
+			if push {
+				seq++
+				ev := Event{Info: infoWithID(seq)}
+				ok := q.Push(ev)
+				if ok != (len(model) < o.Cap) {
+					return false
+				}
+				if ok {
+					model = append(model, seq)
+				}
+			} else {
+				ev, ok := q.Poll()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if ev.Info.ID != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package flowtab
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+func benchKeys(n int) []pkt.FlowKey {
+	keys := make([]pkt.FlowKey, n)
+	for i := range keys {
+		keys[i] = pkt.FlowKey{
+			SrcIP:   netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+			DstIP:   netip.AddrFrom4([4]byte{192, 168, 1, 1}),
+			SrcPort: uint16(i),
+			DstPort: 80,
+			Proto:   pkt.ProtoTCP,
+		}
+	}
+	return keys
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tab := NewTable(rand.New(rand.NewSource(1)))
+	keys := benchKeys(1 << 16)
+	for i, k := range keys {
+		tab.GetOrCreate(k, int64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tab.Lookup(keys[i&(len(keys)-1)]) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkGetOrCreateChurn(b *testing.B) {
+	tab := NewTable(rand.New(rand.NewSource(2)))
+	keys := benchKeys(1 << 12)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(len(keys)-1)]
+		s, created := tab.GetOrCreate(k, int64(i))
+		if created && tab.Len() > 1<<11 {
+			// Steady-state churn: retire the oldest.
+			if old := tab.EvictOldest(nil); old != nil {
+				tab.Recycle(old)
+			}
+		}
+		_ = s
+	}
+}
+
+func BenchmarkTouchLRU(b *testing.B) {
+	tab := NewTable(rand.New(rand.NewSource(3)))
+	keys := benchKeys(1 << 10)
+	streams := make([]*Stream, len(keys))
+	for i, k := range keys {
+		streams[i], _ = tab.GetOrCreate(k, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Touch(streams[i&(len(streams)-1)], int64(i))
+	}
+}

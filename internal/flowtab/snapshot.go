@@ -1,0 +1,67 @@
+package flowtab
+
+import (
+	"scap/internal/pkt"
+	"scap/internal/reassembly"
+)
+
+// Info is a value-copy of a stream descriptor taken by the kernel-path
+// engine right before an event is enqueued. The paper maintains a second
+// stream_t instance for exactly this reason (§5.4): the kernel keeps
+// mutating the live record while user level reads, so each event carries a
+// consistent snapshot instead.
+type Info struct {
+	ID     uint64
+	Key    pkt.FlowKey
+	Dir    pkt.Direction
+	Status Status
+	Error  reassembly.Flags
+	Stats  Stats
+
+	Cutoff       int64
+	Priority     int
+	ChunkSize    int
+	OverlapSize  int
+	FlushTimeout int64
+
+	// Chunks is the number of data chunks delivered so far (including the
+	// one carried by the current event, for data events).
+	Chunks uint64
+	// OppositeID is the ID of the reverse-direction stream, 0 if untracked.
+	OppositeID uint64
+	// HWFilter reports that packets of this stream are being dropped at
+	// the NIC by an FDIR filter pair.
+	HWFilter bool
+	// EstimatedBytes is the flow size estimate: the payload counter, or —
+	// when an FDIR filter suppressed the flow's middle — the span implied
+	// by the FIN sequence number (paper §5.5).
+	EstimatedBytes uint64
+}
+
+// Snapshot captures the current descriptor state. chunks is the delivered
+// chunk count maintained by the engine.
+func (s *Stream) Snapshot(chunks uint64) Info {
+	info := Info{
+		EstimatedBytes: s.EstimatedBytes(),
+		ID:             s.ID,
+		Key:            s.Key,
+		Dir:            s.Dir,
+		Status:         s.Status,
+		Error:          s.Error,
+		Stats:          s.Stats,
+		Cutoff:         s.Cutoff,
+		Priority:       s.Priority,
+		ChunkSize:      s.ChunkSize,
+		OverlapSize:    s.OverlapSize,
+		FlushTimeout:   s.FlushTimeout,
+		Chunks:         chunks,
+		HWFilter:       s.HWFilter,
+	}
+	if s.Asm != nil {
+		info.Error |= s.Asm.Flags()
+	}
+	if s.Opposite != nil {
+		info.OppositeID = s.Opposite.ID
+	}
+	return info
+}

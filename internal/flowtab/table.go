@@ -1,0 +1,267 @@
+package flowtab
+
+import (
+	"math/rand"
+
+	"scap/internal/pkt"
+)
+
+// Table is the per-core flow table. It is not safe for concurrent use: in
+// Scap every stream belongs to exactly one core, whose kernel thread owns
+// that core's table.
+type Table struct {
+	seed    uint64
+	buckets []*Stream
+	count   int
+	nextID  uint64
+
+	// LRU access list: head is most recently touched (paper §5.2 keeps
+	// the list sorted by moving streams to the front on each packet).
+	lruHead *Stream
+	lruTail *Stream
+
+	// free is a pool of recycled records, mirroring Scap's pre-allocated
+	// stream_t pools.
+	free *Stream
+
+	// Counters.
+	Created uint64
+	Expired uint64
+	Evicted uint64
+}
+
+const (
+	initialBuckets = 1024
+	maxLoadFactor  = 0.75
+)
+
+// SetIDBase offsets the stream ID counter so that several tables (one per
+// core) allocate from disjoint ID spaces; stream IDs are then unique
+// socket-wide. Call before the first stream is created.
+func (t *Table) SetIDBase(base uint64) { t.nextID = base }
+
+// NewTable creates a table with a randomly seeded hash function, like the
+// kernel module, to resist algorithmic-complexity attacks on the buckets.
+func NewTable(rng *rand.Rand) *Table {
+	var seed uint64
+	if rng != nil {
+		seed = rng.Uint64()
+	} else {
+		seed = rand.Uint64()
+	}
+	return &Table{
+		seed:    seed,
+		buckets: make([]*Stream, initialBuckets),
+	}
+}
+
+// Len returns the number of tracked streams (directions).
+func (t *Table) Len() int { return t.count }
+
+// Lookup finds the stream for the exact (directional) key.
+func (t *Table) Lookup(key pkt.FlowKey) *Stream {
+	idx := key.Hash(t.seed) & uint64(len(t.buckets)-1)
+	for s := t.buckets[idx]; s != nil; s = s.hnext {
+		if s.Key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// GetOrCreate returns the stream for key, creating (and cross-linking with
+// the opposite direction, if tracked) on miss. created reports whether a
+// new record was made. now updates the access list position.
+func (t *Table) GetOrCreate(key pkt.FlowKey, now int64) (s *Stream, created bool) {
+	if s = t.Lookup(key); s != nil {
+		t.Touch(s, now)
+		return s, false
+	}
+	s = t.alloc()
+	t.nextID++
+	s.ID = t.nextID
+	s.Key = key
+	s.Status = StatusActive
+	s.Stats.Start = now
+	s.Stats.End = now
+	s.lastAccess = now
+	s.Cutoff = -1 // inherit socket default
+
+	if opp := t.Lookup(key.Reverse()); opp != nil {
+		s.Opposite = opp
+		opp.Opposite = s
+		s.Dir = opp.Dir.Reverse()
+	} else {
+		s.Dir = pkt.DirClient
+	}
+
+	t.insert(s)
+	t.lruPushFront(s)
+	t.Created++
+	return s, true
+}
+
+// Touch moves s to the front of the access list and stamps its access time.
+func (t *Table) Touch(s *Stream, now int64) {
+	s.lastAccess = now
+	if t.lruHead == s {
+		return
+	}
+	t.lruUnlink(s)
+	t.lruPushFront(s)
+}
+
+// Remove detaches s from the table and access list. The record stays valid
+// (events may still reference it) until Recycle is called.
+func (t *Table) Remove(s *Stream) {
+	if !s.inTable {
+		return
+	}
+	idx := s.Key.Hash(t.seed) & uint64(len(t.buckets)-1)
+	pp := &t.buckets[idx]
+	for *pp != nil {
+		if *pp == s {
+			*pp = s.hnext
+			break
+		}
+		pp = &(*pp).hnext
+	}
+	s.hnext = nil
+	t.lruUnlink(s)
+	s.inTable = false
+	t.count--
+	if s.Opposite != nil {
+		s.Opposite.Opposite = nil
+		s.Opposite = nil
+	}
+}
+
+// Recycle returns a detached record to the pool. Callers must not hold
+// references past this point.
+func (t *Table) Recycle(s *Stream) {
+	if s.inTable {
+		t.Remove(s)
+	}
+	*s = Stream{}
+	s.hnext = t.free
+	t.free = s
+}
+
+// ExpireBefore removes every stream whose last access is older than
+// deadline, invoking fn for each before removal. It walks from the tail of
+// the access list, so the scan stops at the first fresh stream — the
+// paper's "periodically, starting from the end of the list" sweep.
+func (t *Table) ExpireBefore(deadline int64, fn func(*Stream)) int {
+	n := 0
+	for t.lruTail != nil && t.lruTail.lastAccess < deadline {
+		s := t.lruTail
+		s.Status = StatusTimedOut
+		if fn != nil {
+			fn(s)
+		}
+		t.Remove(s)
+		t.Expired++
+		n++
+	}
+	return n
+}
+
+// EvictOldest removes the least recently touched stream to make room for a
+// newer one (Scap "always stores newer streams" under memory exhaustion).
+func (t *Table) EvictOldest(fn func(*Stream)) *Stream {
+	s := t.lruTail
+	if s == nil {
+		return nil
+	}
+	s.Status = StatusEvicted
+	if fn != nil {
+		fn(s)
+	}
+	t.Remove(s)
+	t.Evicted++
+	return s
+}
+
+// Oldest returns the tail of the access list without removing it.
+func (t *Table) Oldest() *Stream { return t.lruTail }
+
+// Walk calls fn for every tracked stream until fn returns false. Iteration
+// order is most- to least-recently accessed.
+func (t *Table) Walk(fn func(*Stream) bool) {
+	for s := t.lruHead; s != nil; s = s.lruNext {
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+// TailWalk iterates from least- to most-recently accessed until fn returns
+// false. Callers must not add or remove streams during the walk; expiry
+// sweeps collect victims first and remove them afterwards.
+func (t *Table) TailWalk(fn func(*Stream) bool) {
+	for s := t.lruTail; s != nil; s = s.lruPrev {
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+func (t *Table) alloc() *Stream {
+	if s := t.free; s != nil {
+		t.free = s.hnext
+		*s = Stream{}
+		return s
+	}
+	return &Stream{}
+}
+
+func (t *Table) insert(s *Stream) {
+	if float64(t.count+1) > maxLoadFactor*float64(len(t.buckets)) {
+		t.grow()
+	}
+	idx := s.Key.Hash(t.seed) & uint64(len(t.buckets)-1)
+	s.hnext = t.buckets[idx]
+	t.buckets[idx] = s
+	s.inTable = true
+	t.count++
+}
+
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([]*Stream, len(old)*2)
+	for _, head := range old {
+		for s := head; s != nil; {
+			next := s.hnext
+			idx := s.Key.Hash(t.seed) & uint64(len(t.buckets)-1)
+			s.hnext = t.buckets[idx]
+			t.buckets[idx] = s
+			s = next
+		}
+	}
+}
+
+func (t *Table) lruPushFront(s *Stream) {
+	s.lruPrev = nil
+	s.lruNext = t.lruHead
+	if t.lruHead != nil {
+		t.lruHead.lruPrev = s
+	}
+	t.lruHead = s
+	if t.lruTail == nil {
+		t.lruTail = s
+	}
+}
+
+func (t *Table) lruUnlink(s *Stream) {
+	if s.lruPrev != nil {
+		s.lruPrev.lruNext = s.lruNext
+	} else if t.lruHead == s {
+		t.lruHead = s.lruNext
+	}
+	if s.lruNext != nil {
+		s.lruNext.lruPrev = s.lruPrev
+	} else if t.lruTail == s {
+		t.lruTail = s.lruPrev
+	}
+	s.lruPrev, s.lruNext = nil, nil
+}

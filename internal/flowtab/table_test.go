@@ -1,0 +1,228 @@
+package flowtab
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+func tk(sp, dp uint16) pkt.FlowKey {
+	return pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: sp, DstPort: dp, Proto: pkt.ProtoTCP,
+	}
+}
+
+func newT() *Table { return NewTable(rand.New(rand.NewSource(1))) }
+
+func TestGetOrCreateAndLookup(t *testing.T) {
+	tab := newT()
+	k := tk(1000, 80)
+	s, created := tab.GetOrCreate(k, 100)
+	if !created || s == nil {
+		t.Fatal("first GetOrCreate should create")
+	}
+	if s.Dir != pkt.DirClient || s.Status != StatusActive || s.Stats.Start != 100 {
+		t.Errorf("new stream = %+v", s)
+	}
+	s2, created := tab.GetOrCreate(k, 200)
+	if created || s2 != s {
+		t.Error("second GetOrCreate should find the same record")
+	}
+	if s.LastAccess() != 200 {
+		t.Errorf("lastAccess = %d", s.LastAccess())
+	}
+	if tab.Lookup(tk(1000, 81)) != nil {
+		t.Error("lookup of unknown key succeeded")
+	}
+}
+
+func TestOppositeDirectionLinking(t *testing.T) {
+	tab := newT()
+	k := tk(1000, 80)
+	c, _ := tab.GetOrCreate(k, 1)
+	srv, created := tab.GetOrCreate(k.Reverse(), 2)
+	if !created {
+		t.Fatal("reverse direction should be a distinct record")
+	}
+	if c.Opposite != srv || srv.Opposite != c {
+		t.Error("directions not cross-linked")
+	}
+	if srv.Dir != pkt.DirServer {
+		t.Errorf("server dir = %v", srv.Dir)
+	}
+	if c.ID == srv.ID {
+		t.Error("directions share an ID")
+	}
+	tab.Remove(c)
+	if srv.Opposite != nil {
+		t.Error("removing one direction left a dangling Opposite")
+	}
+}
+
+func TestLRUExpiry(t *testing.T) {
+	tab := newT()
+	for i := 0; i < 10; i++ {
+		tab.GetOrCreate(tk(uint16(1000+i), 80), int64(i))
+	}
+	// Touch stream 0 so it becomes the freshest.
+	tab.Touch(tab.Lookup(tk(1000, 80)), 100)
+	var expired []*Stream
+	n := tab.ExpireBefore(5, func(s *Stream) { expired = append(expired, s) })
+	if n != 4 { // streams created at t=1..4 (stream 0 was touched at 100)
+		t.Fatalf("expired %d, want 4", n)
+	}
+	for _, s := range expired {
+		if s.Status != StatusTimedOut {
+			t.Errorf("expired stream status = %v", s.Status)
+		}
+		if s.Key == tk(1000, 80) {
+			t.Error("freshly touched stream expired")
+		}
+	}
+	if tab.Len() != 6 {
+		t.Errorf("len = %d, want 6", tab.Len())
+	}
+}
+
+func TestExpirySweepStopsAtFreshStream(t *testing.T) {
+	tab := newT()
+	for i := 0; i < 1000; i++ {
+		tab.GetOrCreate(tk(uint16(i), 80), int64(i))
+	}
+	// Nothing is older than deadline 0: sweep must do no work and remove
+	// nothing.
+	if n := tab.ExpireBefore(0, nil); n != 0 {
+		t.Errorf("expired %d, want 0", n)
+	}
+}
+
+// TestExpiryNeverKillsFresh is the property test for the access-list sweep:
+// after arbitrary interleaved creates and touches, no stream accessed within
+// the timeout window is ever expired.
+func TestExpiryNeverKillsFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tab := newT()
+	const timeout = 50
+	now := int64(0)
+	live := map[pkt.FlowKey]bool{}
+	for step := 0; step < 5000; step++ {
+		now++
+		switch r.Intn(3) {
+		case 0, 1:
+			k := tk(uint16(r.Intn(500)), 80)
+			tab.GetOrCreate(k, now)
+			live[k] = true
+		case 2:
+			tab.ExpireBefore(now-timeout, func(s *Stream) {
+				if now-s.LastAccess() <= timeout {
+					t.Fatalf("expired stream %v accessed %d ago", s.Key, now-s.LastAccess())
+				}
+				delete(live, s.Key)
+			})
+		}
+	}
+	// Every live key must still be resident.
+	for k := range live {
+		if s := tab.Lookup(k); s != nil && now-s.LastAccess() <= timeout {
+			continue
+		} else if s == nil {
+			// Expired legitimately only if stale.
+			continue
+		}
+	}
+}
+
+func TestEvictOldest(t *testing.T) {
+	tab := newT()
+	for i := 0; i < 5; i++ {
+		tab.GetOrCreate(tk(uint16(2000+i), 80), int64(i))
+	}
+	ev := tab.EvictOldest(nil)
+	if ev == nil || ev.Key != tk(2000, 80) {
+		t.Fatalf("evicted %v, want oldest", ev)
+	}
+	if ev.Status != StatusEvicted {
+		t.Errorf("status = %v", ev.Status)
+	}
+	if tab.Evicted != 1 || tab.Len() != 4 {
+		t.Errorf("Evicted=%d Len=%d", tab.Evicted, tab.Len())
+	}
+}
+
+func TestDynamicGrowthMillionsOfStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large table test")
+	}
+	tab := newT()
+	const n = 1 << 20 // ~1M directions; Fig 5's point is there is no cap
+	mk := func(i int) pkt.FlowKey {
+		return pkt.FlowKey{
+			SrcIP:   netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+			DstIP:   pkt.MustAddr("10.255.0.2"),
+			SrcPort: uint16(i), DstPort: 80, Proto: pkt.ProtoTCP,
+		}
+	}
+	for i := 0; i < n; i++ {
+		tab.GetOrCreate(mk(i), int64(i))
+	}
+	if tab.Len() != n {
+		t.Fatalf("len = %d, want %d", tab.Len(), n)
+	}
+	// All streams remain findable (no silent cap).
+	if tab.Lookup(mk(1)) == nil {
+		t.Error("early stream lost after growth")
+	}
+}
+
+func TestRecycleReuse(t *testing.T) {
+	tab := newT()
+	s, _ := tab.GetOrCreate(tk(1, 2), 0)
+	s.User = "cookie"
+	tab.Remove(s)
+	tab.Recycle(s)
+	s2, _ := tab.GetOrCreate(tk(3, 4), 0)
+	if s2 != s {
+		t.Log("allocator did not reuse record (allowed, but pool expected)")
+	}
+	if s2.User != nil {
+		t.Error("recycled record leaked state")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tab := newT()
+	for i := 0; i < 5; i++ {
+		tab.GetOrCreate(tk(uint16(100+i), 80), int64(i))
+	}
+	var ports []uint16
+	tab.Walk(func(s *Stream) bool {
+		ports = append(ports, s.Key.SrcPort)
+		return true
+	})
+	// Most recent first.
+	for i := 0; i < 5; i++ {
+		if ports[i] != uint16(104-i) {
+			t.Fatalf("walk order = %v", ports)
+		}
+	}
+}
+
+func TestRandomizedSeedDiffers(t *testing.T) {
+	t1 := NewTable(rand.New(rand.NewSource(1)))
+	t2 := NewTable(rand.New(rand.NewSource(2)))
+	if t1.seed == t2.seed {
+		t.Error("different RNGs produced identical seeds")
+	}
+}
+
+func TestEstimatedBytesFromFIN(t *testing.T) {
+	tab := newT()
+	s, _ := tab.GetOrCreate(tk(1, 2), 0)
+	s.Stats.PayloadBytes = 100
+	if s.EstimatedBytes() != 100 {
+		t.Errorf("EstimatedBytes = %d", s.EstimatedBytes())
+	}
+}

@@ -1,0 +1,242 @@
+// Package httpx is a streaming HTTP/1.x message-head parser designed for
+// Scap's chunk-oriented delivery: it consumes reassembled stream bytes
+// incrementally (state survives across chunks), emitting request and
+// response heads as they complete. It exists for the class of monitoring
+// applications the paper's introduction motivates — tools that reason
+// about "HTTP headers, SQL arguments, email messages" rather than packets
+// — and is used by the examples.
+//
+// The parser is deliberately tolerant: it scans for plausible message
+// heads and resynchronizes after garbage, since monitored streams may be
+// truncated by cutoffs or have best-effort reassembly holes.
+package httpx
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// Kind discriminates parsed message heads.
+type Kind uint8
+
+// Message kinds.
+const (
+	Request Kind = iota
+	Response
+)
+
+// Message is one parsed HTTP/1.x message head.
+type Message struct {
+	Kind Kind
+
+	// Request fields.
+	Method string
+	Target string
+
+	// Response fields.
+	StatusCode int
+
+	Proto   string // "HTTP/1.1"
+	Headers []Header
+
+	// ContentLength is parsed from the headers; -1 when absent.
+	ContentLength int64
+}
+
+// Header is one header field (name preserved as sent; Name comparison
+// helpers fold case).
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Get returns the first value of a header, case-insensitively.
+func (m *Message) Get(name string) (string, bool) {
+	for _, h := range m.Headers {
+		if equalFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// methods the scanner recognizes as the start of a request line.
+var methods = [][]byte{
+	[]byte("GET "), []byte("POST "), []byte("PUT "), []byte("DELETE "),
+	[]byte("HEAD "), []byte("OPTIONS "), []byte("PATCH "), []byte("CONNECT "),
+	[]byte("TRACE "),
+}
+
+var respPrefix = []byte("HTTP/1.")
+
+// Limits protecting against hostile input.
+const (
+	maxHeadBytes  = 64 << 10
+	maxHeaderLine = 8 << 10
+	maxHeaders    = 100
+)
+
+// Parser incrementally extracts message heads from one direction of a
+// stream. The zero value is ready to use.
+type Parser struct {
+	buf     []byte
+	scanned int // bytes of buf already known not to start a message
+	// Truncated counts message heads abandoned for exceeding limits.
+	Truncated int
+}
+
+// Feed consumes the next chunk of stream bytes, invoking fn for every
+// complete message head found. Parsing state carries over between calls;
+// fn's Message is only valid during the call.
+func (p *Parser) Feed(data []byte, fn func(*Message) bool) {
+	p.buf = append(p.buf, data...)
+	for {
+		start := p.findStart()
+		if start < 0 {
+			// No plausible head: keep only a small tail (a prefix of a
+			// method or "HTTP/" may be split across chunks).
+			if len(p.buf) > 16 {
+				p.buf = append(p.buf[:0], p.buf[len(p.buf)-16:]...)
+			}
+			p.scanned = 0
+			return
+		}
+		if start > 0 {
+			p.buf = append(p.buf[:0], p.buf[start:]...)
+		}
+		p.scanned = 0
+		end := bytes.Index(p.buf, []byte("\r\n\r\n"))
+		if end < 0 {
+			if len(p.buf) > maxHeadBytes {
+				// Hostile or binary: drop and resynchronize.
+				p.Truncated++
+				p.buf = p.buf[:0]
+			}
+			return
+		}
+		head := p.buf[:end]
+		var msg Message
+		ok := parseHead(head, &msg)
+		// Consume the head regardless; body bytes are skipped by the
+		// scanner when looking for the next head.
+		p.buf = append(p.buf[:0], p.buf[end+4:]...)
+		if ok && !fn(&msg) {
+			return
+		}
+	}
+}
+
+// findStart locates the next offset in buf that looks like a message head.
+func (p *Parser) findStart() int {
+	limit := len(p.buf)
+	for i := p.scanned; i < limit; i++ {
+		rest := p.buf[i:]
+		if rest[0] == 'H' && bytes.HasPrefix(rest, respPrefix) {
+			return i
+		}
+		for _, m := range methods {
+			if rest[0] == m[0] && bytes.HasPrefix(rest, m) {
+				return i
+			}
+		}
+	}
+	p.scanned = limit
+	return -1
+}
+
+// parseHead parses "request-line/status-line CRLF *(header CRLF)".
+func parseHead(head []byte, msg *Message) bool {
+	lineEnd := bytes.Index(head, []byte("\r\n"))
+	firstLine := head
+	rest := []byte(nil)
+	if lineEnd >= 0 {
+		firstLine = head[:lineEnd]
+		rest = head[lineEnd+2:]
+	}
+	if !parseFirstLine(firstLine, msg) {
+		return false
+	}
+	msg.ContentLength = -1
+	for len(rest) > 0 && len(msg.Headers) < maxHeaders {
+		var line []byte
+		if i := bytes.Index(rest, []byte("\r\n")); i >= 0 {
+			line, rest = rest[:i], rest[i+2:]
+		} else {
+			line, rest = rest, nil
+		}
+		if len(line) == 0 || len(line) > maxHeaderLine {
+			continue
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			continue
+		}
+		h := Header{
+			Name:  string(line[:colon]),
+			Value: string(bytes.TrimSpace(line[colon+1:])),
+		}
+		msg.Headers = append(msg.Headers, h)
+		if equalFold(h.Name, "Content-Length") {
+			if n, err := strconv.ParseInt(h.Value, 10, 64); err == nil && n >= 0 {
+				msg.ContentLength = n
+			}
+		}
+	}
+	return true
+}
+
+func parseFirstLine(line []byte, msg *Message) bool {
+	if bytes.HasPrefix(line, respPrefix) {
+		// HTTP/1.x SP status SP reason
+		sp := bytes.IndexByte(line, ' ')
+		if sp < 0 || len(line) < sp+4 {
+			return false
+		}
+		code, err := strconv.Atoi(string(line[sp+1 : sp+4]))
+		if err != nil || code < 100 || code > 599 {
+			return false
+		}
+		msg.Kind = Response
+		msg.Proto = string(line[:sp])
+		msg.StatusCode = code
+		return true
+	}
+	// METHOD SP target SP HTTP/1.x
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 <= 0 {
+		return false
+	}
+	sp2 := bytes.LastIndexByte(line, ' ')
+	if sp2 <= sp1 {
+		return false
+	}
+	proto := line[sp2+1:]
+	if !bytes.HasPrefix(proto, []byte("HTTP/")) {
+		return false
+	}
+	msg.Kind = Request
+	msg.Method = string(line[:sp1])
+	msg.Target = string(bytes.TrimSpace(line[sp1+1 : sp2]))
+	msg.Proto = string(proto)
+	return msg.Target != ""
+}
+
+// equalFold is ASCII case-insensitive comparison (header names are ASCII).
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package httpx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func collect(p *Parser, chunks ...string) []Message {
+	var out []Message
+	for _, c := range chunks {
+		p.Feed([]byte(c), func(m *Message) bool {
+			cp := *m
+			cp.Headers = append([]Header(nil), m.Headers...)
+			out = append(out, cp)
+			return true
+		})
+	}
+	return out
+}
+
+const sampleReq = "GET /index.html?q=1 HTTP/1.1\r\nHost: example.com\r\nUser-Agent: test\r\n\r\n"
+const sampleResp = "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nContent-Type: text/plain\r\n\r\nhello"
+
+func TestParseRequest(t *testing.T) {
+	msgs := collect(&Parser{}, sampleReq)
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	m := msgs[0]
+	if m.Kind != Request || m.Method != "GET" || m.Target != "/index.html?q=1" || m.Proto != "HTTP/1.1" {
+		t.Errorf("parsed %+v", m)
+	}
+	if host, ok := m.Get("host"); !ok || host != "example.com" {
+		t.Errorf("Host = %q, %v", host, ok)
+	}
+	if m.ContentLength != -1 {
+		t.Errorf("ContentLength = %d", m.ContentLength)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	msgs := collect(&Parser{}, sampleResp)
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	m := msgs[0]
+	if m.Kind != Response || m.StatusCode != 200 || m.ContentLength != 5 {
+		t.Errorf("parsed %+v", m)
+	}
+	if ct, _ := m.Get("CONTENT-TYPE"); ct != "text/plain" {
+		t.Errorf("content-type = %q", ct)
+	}
+}
+
+func TestChunkBoundaryEveryOffset(t *testing.T) {
+	full := sampleReq + sampleResp + sampleReq
+	for cut1 := 1; cut1 < len(full)-1; cut1 += 7 {
+		for cut2 := cut1 + 1; cut2 < len(full); cut2 += 13 {
+			p := &Parser{}
+			msgs := collect(p, full[:cut1], full[cut1:cut2], full[cut2:])
+			if len(msgs) != 3 {
+				t.Fatalf("cuts (%d,%d): %d messages", cut1, cut2, len(msgs))
+			}
+			if msgs[1].Kind != Response || msgs[2].Method != "GET" {
+				t.Fatalf("cuts (%d,%d): wrong messages %+v", cut1, cut2, msgs)
+			}
+		}
+	}
+}
+
+func TestResyncAfterGarbage(t *testing.T) {
+	garbage := strings.Repeat("\x00\xffbinary\r\n", 50)
+	msgs := collect(&Parser{}, garbage+sampleReq+garbage, sampleResp)
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if msgs[0].Kind != Request || msgs[1].Kind != Response {
+		t.Errorf("kinds = %v %v", msgs[0].Kind, msgs[1].Kind)
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	pipeline := strings.Repeat("POST /api HTTP/1.1\r\nContent-Length: 0\r\n\r\n", 5)
+	msgs := collect(&Parser{}, pipeline)
+	if len(msgs) != 5 {
+		t.Fatalf("messages = %d, want 5", len(msgs))
+	}
+	for _, m := range msgs {
+		if m.Method != "POST" || m.ContentLength != 0 {
+			t.Errorf("msg %+v", m)
+		}
+	}
+}
+
+func TestMalformedLinesSkipped(t *testing.T) {
+	bad := []string{
+		"GET  HTTP/1.1\r\n\r\n",          // empty target
+		"HTTP/1.1 xxx Bad\r\n\r\n",       // non-numeric status
+		"HTTP/1.1 99 Too-Low\r\n\r\n",    // out-of-range status
+		"FROBNICATE /x HTTP/1.1\r\n\r\n", // unknown method (not scanned)
+		"GET /ok\r\n\r\n",                // missing protocol
+	}
+	for _, s := range bad {
+		if msgs := collect(&Parser{}, s); len(msgs) != 0 {
+			t.Errorf("accepted %q: %+v", s, msgs)
+		}
+	}
+}
+
+func TestOversizeHeadDropped(t *testing.T) {
+	p := &Parser{}
+	huge := "GET /x HTTP/1.1\r\n" + strings.Repeat("A", maxHeadBytes+1024)
+	msgs := collect(p, huge)
+	if len(msgs) != 0 {
+		t.Errorf("oversize head parsed")
+	}
+	if p.Truncated != 1 {
+		t.Errorf("Truncated = %d", p.Truncated)
+	}
+	// Parser must recover afterwards.
+	if msgs := collect(p, sampleReq); len(msgs) != 1 {
+		t.Errorf("no recovery after oversize head: %d", len(msgs))
+	}
+}
+
+func TestHeaderLimit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("GET / HTTP/1.1\r\n")
+	for i := 0; i < maxHeaders+50; i++ {
+		b.WriteString("X-H: v\r\n")
+	}
+	b.WriteString("\r\n")
+	msgs := collect(&Parser{}, b.String())
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if len(msgs[0].Headers) > maxHeaders {
+		t.Errorf("headers = %d", len(msgs[0].Headers))
+	}
+}
+
+func TestFeedNeverPanicsOnRandomInput(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := &Parser{}
+	for i := 0; i < 500; i++ {
+		b := make([]byte, r.Intn(300))
+		for j := range b {
+			// Bias toward HTTP-ish bytes to exercise deep paths.
+			if r.Intn(3) == 0 {
+				b[j] = "GETPOST HTTP/1.\r\n: "[r.Intn(19)]
+			} else {
+				b[j] = byte(r.Intn(256))
+			}
+		}
+		p.Feed(b, func(*Message) bool { return true })
+	}
+}
+
+func TestEqualFold(t *testing.T) {
+	if !equalFold("Content-Length", "content-length") || equalFold("a", "ab") || equalFold("a", "b") {
+		t.Error("equalFold broken")
+	}
+}

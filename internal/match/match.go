@@ -1,0 +1,234 @@
+// Package match implements Aho-Corasick multi-pattern string matching as
+// used by the paper's pattern-matching evaluation application (Section 6.5).
+//
+// The automaton is built in two stages: a trie with failure links
+// (Aho & Corasick, CACM 1975), then — when the state count permits — a dense
+// DFA whose rows are full 256-entry transition tables, so the scan loop is a
+// single table lookup per input byte. Large pattern sets fall back to
+// failure-link traversal with identical semantics.
+package match
+
+import (
+	"errors"
+	"sort"
+)
+
+// Match reports one pattern occurrence. End is the index one past the last
+// byte of the occurrence within the scanned slice (plus any streamed prefix
+// tracked by the caller).
+type Match struct {
+	Pattern int // index into the pattern set
+	End     int
+}
+
+// State carries the automaton position across chunk boundaries when
+// scanning a stream incrementally. The zero State is the start state.
+type State struct{ s int32 }
+
+// denseLimit bounds the memory spent on the dense DFA (states × 256 × 4 B).
+// Above it the matcher uses failure links.
+const denseLimit = 1 << 17
+
+// Matcher is an immutable Aho-Corasick automaton, safe for concurrent use.
+type Matcher struct {
+	patterns [][]byte
+
+	// Trie representation.
+	children []map[byte]int32
+	fail     []int32
+	// out[s] lists pattern indices ending at state s (including via
+	// dictionary suffix links, flattened at build time).
+	out [][]int32
+
+	// Dense DFA, nil when the automaton is too large.
+	next []int32 // states × 256
+}
+
+// ErrNoPatterns is returned when compiling an empty pattern set.
+var ErrNoPatterns = errors.New("match: no patterns")
+
+// New compiles the pattern set. Patterns are matched as raw byte strings;
+// empty patterns are rejected. Duplicate patterns are allowed and report
+// their own indices.
+func New(patterns [][]byte) (*Matcher, error) {
+	if len(patterns) == 0 {
+		return nil, ErrNoPatterns
+	}
+	m := &Matcher{patterns: patterns}
+	m.children = append(m.children, map[byte]int32{})
+	m.out = append(m.out, nil)
+	for idx, p := range patterns {
+		if len(p) == 0 {
+			return nil, errors.New("match: empty pattern")
+		}
+		s := int32(0)
+		for _, b := range p {
+			nxt, ok := m.children[s][b]
+			if !ok {
+				nxt = int32(len(m.children))
+				m.children[s][b] = nxt
+				m.children = append(m.children, map[byte]int32{})
+				m.out = append(m.out, nil)
+			}
+			s = nxt
+		}
+		m.out[s] = append(m.out[s], int32(idx))
+	}
+	m.buildFailLinks()
+	if len(m.children) <= denseLimit {
+		m.buildDense()
+	}
+	return m, nil
+}
+
+// NewStrings is New for string literals.
+func NewStrings(patterns []string) (*Matcher, error) {
+	bs := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		bs[i] = []byte(p)
+	}
+	return New(bs)
+}
+
+func (m *Matcher) buildFailLinks() {
+	n := len(m.children)
+	m.fail = make([]int32, n)
+	queue := make([]int32, 0, n)
+	for _, c := range m.children[0] {
+		queue = append(queue, c)
+	}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		// Deterministic iteration keeps builds reproducible; map order
+		// does not affect correctness but sorted order aids debugging.
+		bytes := make([]int, 0, len(m.children[s]))
+		for b := range m.children[s] {
+			bytes = append(bytes, int(b))
+		}
+		sort.Ints(bytes)
+		for _, bi := range bytes {
+			b := byte(bi)
+			c := m.children[s][b]
+			queue = append(queue, c)
+			f := m.fail[s]
+			for f != 0 {
+				if nxt, ok := m.children[f][b]; ok {
+					f = nxt
+					goto linked
+				}
+				f = m.fail[f]
+			}
+			if nxt, ok := m.children[0][b]; ok && nxt != c {
+				f = nxt
+			} else {
+				f = 0
+			}
+		linked:
+			m.fail[c] = f
+			// Flatten dictionary links: every match reachable through the
+			// failure chain is reported directly from c.
+			if len(m.out[f]) > 0 {
+				m.out[c] = append(m.out[c], m.out[f]...)
+			}
+		}
+	}
+}
+
+func (m *Matcher) buildDense() {
+	n := len(m.children)
+	m.next = make([]int32, n*256)
+	for b := 0; b < 256; b++ {
+		if c, ok := m.children[0][byte(b)]; ok {
+			m.next[b] = c
+		}
+	}
+	// BFS order guarantees fail state rows are complete before dependents.
+	queue := []int32{}
+	for _, c := range m.children[0] {
+		queue = append(queue, c)
+	}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		row := m.next[s*256 : s*256+256]
+		failRow := m.next[m.fail[s]*256 : m.fail[s]*256+256]
+		for b := 0; b < 256; b++ {
+			if c, ok := m.children[s][byte(b)]; ok {
+				row[b] = c
+				queue = append(queue, c)
+			} else {
+				row[b] = failRow[b]
+			}
+		}
+	}
+}
+
+// NumStates returns the automaton size, exposed for cost models and tests.
+func (m *Matcher) NumStates() int { return len(m.children) }
+
+// Dense reports whether the dense DFA is in use.
+func (m *Matcher) Dense() bool { return m.next != nil }
+
+// Pattern returns the idx'th pattern.
+func (m *Matcher) Pattern(idx int) []byte { return m.patterns[idx] }
+
+// NumPatterns returns the size of the pattern set.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// Scan finds every occurrence of every pattern in data, invoking fn for
+// each. Scanning stops early if fn returns false. Overlapping and nested
+// occurrences are all reported.
+func (m *Matcher) Scan(data []byte, fn func(Match) bool) {
+	m.Resume(State{}, data, fn)
+}
+
+// Resume continues a streaming scan from a saved state and returns the
+// state after consuming data. Match.End values are relative to this chunk;
+// a match that started in a previous chunk reports End < len(pattern).
+func (m *Matcher) Resume(st State, data []byte, fn func(Match) bool) State {
+	s := st.s
+	if m.next != nil {
+		for i, b := range data {
+			s = m.next[s*256+int32(b)]
+			if len(m.out[s]) > 0 {
+				for _, pid := range m.out[s] {
+					if !fn(Match{Pattern: int(pid), End: i + 1}) {
+						return State{s}
+					}
+				}
+			}
+		}
+		return State{s}
+	}
+	for i, b := range data {
+		for {
+			if nxt, ok := m.children[s][b]; ok {
+				s = nxt
+				break
+			}
+			if s == 0 {
+				break
+			}
+			s = m.fail[s]
+		}
+		for _, pid := range m.out[s] {
+			if !fn(Match{Pattern: int(pid), End: i + 1}) {
+				return State{s}
+			}
+		}
+	}
+	return State{s}
+}
+
+// Count returns the total number of occurrences in data.
+func (m *Matcher) Count(data []byte) int {
+	n := 0
+	m.Scan(data, func(Match) bool { n++; return true })
+	return n
+}
+
+// Contains reports whether any pattern occurs in data.
+func (m *Matcher) Contains(data []byte) bool {
+	found := false
+	m.Scan(data, func(Match) bool { found = true; return false })
+	return found
+}

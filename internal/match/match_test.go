@@ -1,0 +1,233 @@
+package match
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// naiveFind returns all (pattern, end) occurrences by brute force.
+func naiveFind(patterns [][]byte, data []byte) []Match {
+	var out []Match
+	for end := 1; end <= len(data); end++ {
+		for pi, p := range patterns {
+			if end >= len(p) && bytes.Equal(data[end-len(p):end], p) {
+				out = append(out, Match{Pattern: pi, End: end})
+			}
+		}
+	}
+	return out
+}
+
+func collect(m *Matcher, data []byte) []Match {
+	var out []Match
+	m.Scan(data, func(mm Match) bool { out = append(out, mm); return true })
+	return out
+}
+
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[Match]int{}
+	for _, m := range a {
+		seen[m]++
+	}
+	for _, m := range b {
+		seen[m]--
+		if seen[m] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicMatching(t *testing.T) {
+	m, err := NewStrings([]string{"he", "she", "his", "hers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(m, []byte("ushers"))
+	// Classic AC example: "she" at 4, "he" at 4, "hers" at 6.
+	want := []Match{{Pattern: 1, End: 4}, {Pattern: 0, End: 4}, {Pattern: 3, End: 6}}
+	if !sameMatches(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestOverlappingAndNested(t *testing.T) {
+	m, _ := NewStrings([]string{"aa", "aaa"})
+	got := collect(m, []byte("aaaa"))
+	// "aa" ends at 2,3,4; "aaa" ends at 3,4.
+	if len(got) != 5 {
+		t.Errorf("got %d matches, want 5: %v", len(got), got)
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	m, _ := NewStrings([]string{"abc", "abc"})
+	got := collect(m, []byte("xabcx"))
+	if len(got) != 2 || got[0].Pattern == got[1].Pattern {
+		t.Errorf("duplicate patterns should both report: %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := New(nil); err != ErrNoPatterns {
+		t.Errorf("New(nil) err = %v, want ErrNoPatterns", err)
+	}
+	if _, err := NewStrings([]string{"ok", ""}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	m, _ := NewStrings([]string{"x"})
+	if n := m.Count(nil); n != 0 {
+		t.Errorf("Count(nil) = %d", n)
+	}
+}
+
+func TestBinaryPatterns(t *testing.T) {
+	m, err := New([][]byte{{0x00, 0xff}, {0xff, 0x00, 0xff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0xff, 0x00, 0xff, 0x00, 0xff}
+	got := collect(m, data)
+	// {00 ff} ends at 3 and 5; {ff 00 ff} ends at 3 and 5.
+	if len(got) != 4 {
+		t.Errorf("binary matches = %v (want 4 occurrences)", got)
+	}
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	alphabet := []byte("abcd")
+	for trial := 0; trial < 50; trial++ {
+		np := 1 + r.Intn(8)
+		patterns := make([][]byte, np)
+		for i := range patterns {
+			p := make([]byte, 1+r.Intn(5))
+			for j := range p {
+				p[j] = alphabet[r.Intn(len(alphabet))]
+			}
+			patterns[i] = p
+		}
+		data := make([]byte, r.Intn(200))
+		for j := range data {
+			data[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		m, err := New(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(m, data)
+		want := naiveFind(patterns, data)
+		if !sameMatches(got, want) {
+			t.Fatalf("trial %d: patterns %q data %q: got %v want %v",
+				trial, patterns, data, got, want)
+		}
+	}
+}
+
+func TestSparseEqualsDense(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	patterns := [][]byte{[]byte("attack"), []byte("tac"), []byte("ck"), []byte("kat")}
+	m, _ := New(patterns)
+	if !m.Dense() {
+		t.Fatal("expected dense automaton")
+	}
+	sparse := *m
+	sparse.next = nil
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, r.Intn(300))
+		for j := range data {
+			data[j] = "atck"[r.Intn(4)]
+		}
+		if !sameMatches(collect(m, data), collect(&sparse, data)) {
+			t.Fatalf("dense and sparse disagree on %q", data)
+		}
+	}
+}
+
+func TestStreamingAcrossChunks(t *testing.T) {
+	m, _ := NewStrings([]string{"boundary", "spanning"})
+	data := []byte("xxboundaryyy-spanning-zz")
+	for cut := 1; cut < len(data)-1; cut++ {
+		var got []Match
+		st := m.Resume(State{}, data[:cut], func(mm Match) bool {
+			got = append(got, mm)
+			return true
+		})
+		m.Resume(st, data[cut:], func(mm Match) bool {
+			got = append(got, Match{Pattern: mm.Pattern, End: mm.End + cut})
+			return true
+		})
+		want := collect(m, data)
+		if !sameMatches(got, want) {
+			t.Fatalf("cut=%d: got %v want %v", cut, got, want)
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	m, _ := NewStrings([]string{"a"})
+	calls := 0
+	m.Scan([]byte("aaaa"), func(Match) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop ignored: %d calls", calls)
+	}
+	if !m.Contains([]byte("za")) || m.Contains([]byte("zz")) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestLargePatternSet(t *testing.T) {
+	// Mimics the paper's 2,120 web-attack strings.
+	r := rand.New(rand.NewSource(2120))
+	patterns := make([][]byte, 2120)
+	for i := range patterns {
+		p := make([]byte, 4+r.Intn(20))
+		for j := range p {
+			p[j] = byte('a' + r.Intn(26))
+		}
+		patterns[i] = p
+	}
+	m, err := New(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embed a few known patterns in a payload and check they are found.
+	payload := bytes.Repeat([]byte("GET /index.html HTTP/1.1 "), 50)
+	payload = append(payload, patterns[7]...)
+	payload = append(payload, []byte(" filler ")...)
+	payload = append(payload, patterns[2000]...)
+	found := map[int]bool{}
+	m.Scan(payload, func(mm Match) bool { found[mm.Pattern] = true; return true })
+	if !found[7] || !found[2000] {
+		t.Errorf("embedded patterns not found: %v", found)
+	}
+}
+
+func BenchmarkScanDense(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	patterns := make([][]byte, 2000)
+	for i := range patterns {
+		p := make([]byte, 6+r.Intn(12))
+		for j := range p {
+			p[j] = byte('a' + r.Intn(26))
+		}
+		patterns[i] = p
+	}
+	m, err := New(patterns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 16*1024)
+	for j := range data {
+		data[j] = byte('a' + r.Intn(26))
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Count(data)
+	}
+}

@@ -1,0 +1,220 @@
+// Package mem implements Scap's stream-memory accounting and Prioritized
+// Packet Loss (paper §2.2 and §7): a fixed memory budget shared by all
+// stream data, a base threshold below which nothing is dropped, and n+1
+// equally spaced watermarks above it that shed low-priority traffic first,
+// with an optional overload cutoff that trims streams beyond a byte
+// position while memory is tight.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Decision is the PPL admission result for one packet.
+type Decision uint8
+
+const (
+	// Admit stores the packet's payload.
+	Admit Decision = iota
+	// DropPriority sheds the packet because memory is above its
+	// priority's watermark.
+	DropPriority
+	// DropOverloadCutoff sheds the packet because memory is in the
+	// pressure region and the packet lies beyond the overload cutoff in
+	// its stream.
+	DropOverloadCutoff
+	// DropNoMemory sheds the packet because the budget is exhausted.
+	DropNoMemory
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Admit:
+		return "admit"
+	case DropPriority:
+		return "drop-priority"
+	case DropOverloadCutoff:
+		return "drop-overload-cutoff"
+	case DropNoMemory:
+		return "drop-no-memory"
+	}
+	return fmt.Sprintf("decision(%d)", uint8(d))
+}
+
+// Config parametrizes a Manager.
+type Config struct {
+	// Size is the total stream-memory budget in bytes (the paper's
+	// memory_size; 1 GB in the evaluation).
+	Size int64
+	// BaseThreshold is the fraction of Size below which PPL never drops.
+	// Zero selects the default of 0.9.
+	BaseThreshold float64
+	// Priorities is the number of priority levels in use (the paper's n).
+	// Zero selects 1.
+	Priorities int
+	// OverloadCutoff, when > 0, drops bytes beyond this position in their
+	// stream while memory is inside the pressure region.
+	OverloadCutoff int64
+}
+
+// Stats counts admission outcomes.
+type Stats struct {
+	Admitted        uint64
+	DroppedPriority uint64
+	DroppedCutoff   uint64
+	DroppedNoMemory uint64
+	HighWater       int64
+}
+
+// Manager tracks stream-memory usage and makes PPL decisions. It is a pure
+// accounting object: callers reserve and release byte counts; the actual
+// buffers live with the streams. One Manager is shared by every core of a
+// Scap socket (the paper uses a single stream-memory buffer), so it is safe
+// for concurrent use; the critical sections are a few arithmetic ops.
+type Manager struct {
+	mu    sync.Mutex
+	cfg   Config
+	used  int64
+	stats Stats
+}
+
+// New creates a Manager. Invalid configuration values are normalized.
+func New(cfg Config) *Manager {
+	if cfg.Size <= 0 {
+		cfg.Size = 1 << 30
+	}
+	if cfg.BaseThreshold <= 0 || cfg.BaseThreshold > 1 {
+		cfg.BaseThreshold = 0.9
+	}
+	if cfg.Priorities <= 0 {
+		cfg.Priorities = 1
+	}
+	return &Manager{cfg: cfg}
+}
+
+// Used returns the bytes currently reserved.
+func (m *Manager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Size returns the configured budget.
+func (m *Manager) Size() int64 { return m.cfg.Size }
+
+// UsedFraction returns used/size.
+func (m *Manager) UsedFraction() float64 {
+	return float64(m.Used()) / float64(m.cfg.Size)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// SetOverloadCutoff updates the overload cutoff at runtime
+// (scap_set_parameter(SCAP_OVERLOAD_CUTOFF, v)).
+func (m *Manager) SetOverloadCutoff(v int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.OverloadCutoff = v
+}
+
+// SetPriorities updates the number of priority levels in use.
+func (m *Manager) SetPriorities(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > 0 {
+		m.cfg.Priorities = n
+	}
+}
+
+// Watermark returns the memory fraction above which priority level p
+// (0 = lowest) is dropped: watermark_{p+1} in the paper's numbering, where
+// watermark_0 = base_threshold and watermark_n = 1.
+func (m *Manager) Watermark(p int) float64 {
+	n := m.cfg.Priorities
+	if p >= n {
+		p = n - 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	base := m.cfg.BaseThreshold
+	return base + (1-base)*float64(p+1)/float64(n)
+}
+
+// Admit decides the fate of size payload bytes of a packet with the given
+// priority (0 = lowest) whose first byte sits at streamPos within its
+// stream. On Admit the bytes are reserved; every other decision reserves
+// nothing.
+func (m *Manager) Admit(priority int, streamPos int64, size int) Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.decideLocked(priority, streamPos, size)
+	if d == Admit {
+		m.reserveLocked(size)
+		m.stats.Admitted++
+	}
+	return d
+}
+
+// Decide is Admit without the reservation: the engine uses it to gate
+// reassembly, then accounts the actual bytes stored in chunks via Reserve
+// (duplicate and out-of-order bytes never hit the budget twice).
+func (m *Manager) Decide(priority int, streamPos int64, size int) Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.decideLocked(priority, streamPos, size)
+}
+
+func (m *Manager) decideLocked(priority int, streamPos int64, size int) Decision {
+	if int64(size) > m.cfg.Size-m.used {
+		m.stats.DroppedNoMemory++
+		return DropNoMemory
+	}
+	frac := float64(m.used+int64(size)) / float64(m.cfg.Size)
+	if frac > m.cfg.BaseThreshold {
+		if frac > m.Watermark(priority) {
+			m.stats.DroppedPriority++
+			return DropPriority
+		}
+		if m.cfg.OverloadCutoff > 0 && streamPos >= m.cfg.OverloadCutoff {
+			m.stats.DroppedCutoff++
+			return DropOverloadCutoff
+		}
+	}
+	return Admit
+}
+
+// Reserve grabs size bytes unconditionally (used for bookkeeping that must
+// not fail, e.g. handshake packets, which Scap always captures). It reports
+// whether the budget could cover it; on false the reservation still happens
+// so accounting stays truthful, and callers should shed load.
+func (m *Manager) Reserve(size int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reserveLocked(size)
+}
+
+func (m *Manager) reserveLocked(size int) bool {
+	m.used += int64(size)
+	if m.used > m.stats.HighWater {
+		m.stats.HighWater = m.used
+	}
+	return m.used <= m.cfg.Size
+}
+
+// Release returns size bytes to the budget (chunk consumed by the
+// application, stream discarded, etc.).
+func (m *Manager) Release(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.used -= int64(size)
+	if m.used < 0 {
+		panic(fmt.Sprintf("mem: released more than reserved (used=%d)", m.used))
+	}
+}

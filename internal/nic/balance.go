@@ -1,0 +1,127 @@
+package nic
+
+import "scap/internal/pkt"
+
+// balancer implements the paper's dynamic load balancing (§2.4): RSS's
+// static hash can leave cores with uneven stream counts, so when a new
+// connection lands on a queue that holds a disproportionate share of the
+// active streams, an FDIR queue filter redirects the connection (both
+// directions) to the least-loaded queue.
+type flowAssign struct {
+	queue int8
+	fins  uint8
+}
+
+type balancer struct {
+	counts []int                      // active connections per queue
+	flows  map[pkt.FlowKey]flowAssign // canonical key -> assignment
+	// imbalanceFactor: a queue is overloaded when its active-stream count
+	// exceeds factor × average (plus slack for small counts).
+	factor float64
+	slack  int
+	// Redirects counts installed redirections (stats/tests).
+	Redirects uint64
+}
+
+func newBalancer(queues int) *balancer {
+	return &balancer{
+		counts: make([]int, queues),
+		flows:  make(map[pkt.FlowKey]flowAssign),
+		factor: 1.25,
+		slack:  8,
+	}
+}
+
+// admit records a new connection headed for queue q (after RSS and any
+// redirect filter) and returns the queue it should use. If q is overloaded
+// it picks the coldest queue and installs redirect filters via n.
+func (b *balancer) admit(n *NIC, key pkt.FlowKey, q int, ts int64) int {
+	ck, _ := key.Canonical()
+	if prev, ok := b.flows[ck]; ok {
+		return int(prev.queue)
+	}
+	total := 0
+	coldest := 0
+	for i, c := range b.counts {
+		total += c
+		if c < b.counts[coldest] {
+			coldest = i
+		}
+	}
+	avg := float64(total) / float64(len(b.counts))
+	if float64(b.counts[q]) > b.factor*avg+float64(b.slack) && coldest != q {
+		// Redirect the whole connection to the coldest queue. If the
+		// filter table is full the add fails silently and the stream
+		// stays where RSS put it.
+		spec := FilterSpec{Key: key, Action: ActionQueue, Queue: coldest, Deadline: ts + int64(60e9)}
+		if _, _, err := n.filters.addPair(spec); err == nil {
+			b.Redirects++
+			q = coldest
+		}
+	}
+	b.counts[q]++
+	b.flows[ck] = flowAssign{queue: int8(q)}
+	return q
+}
+
+// close releases a connection's accounting. A connection ends at its RST
+// or its second FIN (both directions closed); removing the redirect on the
+// first FIN would split the remaining half-connection back onto the RSS
+// queue mid-stream.
+func (b *balancer) close(n *NIC, key pkt.FlowKey, rst bool) {
+	ck, _ := key.Canonical()
+	fa, ok := b.flows[ck]
+	if !ok {
+		return
+	}
+	if !rst {
+		fa.fins++
+		if fa.fins < 2 {
+			b.flows[ck] = fa
+			return
+		}
+	}
+	delete(b.flows, ck)
+	if b.counts[fa.queue] > 0 {
+		b.counts[fa.queue]--
+	}
+	n.removeRedirects(key)
+}
+
+// addPair installs queue-redirect filters for both directions of key.
+func (t *filterTable) addPair(spec FilterSpec) (pkt.FlowKey, bool, error) {
+	s1 := spec
+	if err := t.add(&s1); err != nil {
+		return pkt.FlowKey{}, false, err
+	}
+	s2 := spec
+	s2.Key = spec.Key.Reverse()
+	if err := t.add(&s2); err != nil {
+		t.removeKey(s1.Key, false)
+		return pkt.FlowKey{}, false, err
+	}
+	return pkt.FlowKey{}, false, nil
+}
+
+// removeRedirects drops ActionQueue filters for both directions of key,
+// leaving any drop filters (cutoff) in place.
+func (n *NIC) removeRedirects(key pkt.FlowKey) {
+	for _, k := range []pkt.FlowKey{key, key.Reverse()} {
+		specs := n.filters.perfect[k]
+		kept := specs[:0]
+		removed := 0
+		for _, s := range specs {
+			if s.Action == ActionQueue {
+				removed++
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			delete(n.filters.perfect, k)
+		} else {
+			n.filters.perfect[k] = kept
+		}
+		n.filters.nPerfect -= removed
+	}
+}

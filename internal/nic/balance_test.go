@@ -1,0 +1,133 @@
+package nic
+
+import (
+	"net/netip"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+func synFrame(k pkt.FlowKey) []byte {
+	return pkt.BuildTCP(pkt.TCPSpec{Key: k, Seq: 1, Flags: pkt.FlagSYN})
+}
+
+func ackFrame(k pkt.FlowKey, seq uint32) []byte {
+	return pkt.BuildTCP(pkt.TCPSpec{Key: k, Seq: seq, Flags: pkt.FlagACK, Payload: []byte("data")})
+}
+
+func finFrame(k pkt.FlowKey) []byte {
+	return pkt.BuildTCP(pkt.TCPSpec{Key: k, Seq: 99, Flags: pkt.FlagFIN | pkt.FlagACK})
+}
+
+func flowN(i int) pkt.FlowKey {
+	return pkt.FlowKey{
+		SrcIP:   netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}),
+		DstIP:   netip.AddrFrom4([4]byte{192, 168, byte(i), 2}),
+		SrcPort: uint16(10000 + i), DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+}
+
+func TestBalancerSpreadsHotQueue(t *testing.T) {
+	n := New(Config{Queues: 4, DynamicBalance: true})
+	// Find many flows that RSS maps to the same queue, then offer them:
+	// the balancer must redirect the overflow elsewhere.
+	hot := -1
+	var offered, stayed int
+	for i := 0; i < 4000 && offered < 400; i++ {
+		k := flowN(i)
+		q := n.QueueFor(k)
+		if hot < 0 {
+			hot = q
+		}
+		if q != hot {
+			continue
+		}
+		offered++
+		got := n.Receive(synFrame(k), int64(i)*1000)
+		if got < 0 {
+			t.Fatalf("SYN dropped for %v", k)
+		}
+		if got == hot {
+			stayed++
+		}
+	}
+	if offered < 100 {
+		t.Fatalf("could not build a hot queue (offered %d)", offered)
+	}
+	if stayed > offered/2 {
+		t.Errorf("%d of %d hot-queue flows stayed — balancer inactive", stayed, offered)
+	}
+	if n.lb.Redirects == 0 {
+		t.Error("no redirects recorded")
+	}
+}
+
+func TestBalancerKeepsConnectionTogether(t *testing.T) {
+	n := New(Config{Queues: 4, DynamicBalance: true})
+	// Preload imbalance on one queue.
+	hotKey := flowN(0)
+	hot := n.QueueFor(hotKey)
+	loaded := 0
+	for i := 0; i < 4000 && loaded < 100; i++ {
+		k := flowN(i)
+		if n.QueueFor(k) != hot {
+			continue
+		}
+		n.Receive(synFrame(k), int64(i))
+		loaded++
+	}
+	// A fresh flow destined for the hot queue gets redirected; all of its
+	// later packets — both directions — must follow it.
+	var fresh pkt.FlowKey
+	for i := 5000; ; i++ {
+		if k := flowN(i); n.QueueFor(k) == hot {
+			fresh = k
+			break
+		}
+	}
+	q0 := n.Receive(synFrame(fresh), 1e6)
+	if q0 < 0 {
+		t.Fatal("SYN dropped")
+	}
+	if q1 := n.Receive(ackFrame(fresh, 2), 1e6+1); q1 != q0 {
+		t.Errorf("data packet on queue %d, SYN went to %d", q1, q0)
+	}
+	if q2 := n.Receive(ackFrame(fresh.Reverse(), 500), 1e6+2); q2 != q0 {
+		t.Errorf("reverse packet on queue %d, want %d", q2, q0)
+	}
+	// First FIN must not break the assignment.
+	if q3 := n.Receive(finFrame(fresh), 1e6+3); q3 != q0 {
+		t.Errorf("first FIN on queue %d, want %d", q3, q0)
+	}
+	if q4 := n.Receive(ackFrame(fresh.Reverse(), 600), 1e6+4); q4 != q0 {
+		t.Errorf("post-FIN reverse data on queue %d, want %d", q4, q0)
+	}
+	// Second FIN releases the redirect.
+	n.Receive(finFrame(fresh.Reverse()), 1e6+5)
+	if _, ok := n.lb.flows[canonOf(fresh)]; ok {
+		t.Error("connection still tracked after both FINs")
+	}
+}
+
+func canonOf(k pkt.FlowKey) pkt.FlowKey {
+	c, _ := k.Canonical()
+	return c
+}
+
+func TestBalancerRSTReleasesImmediately(t *testing.T) {
+	n := New(Config{Queues: 2, DynamicBalance: true})
+	k := flowN(1)
+	n.Receive(synFrame(k), 1)
+	rst := pkt.BuildTCP(pkt.TCPSpec{Key: k, Seq: 5, Flags: pkt.FlagRST})
+	n.Receive(rst, 2)
+	if _, ok := n.lb.flows[canonOf(k)]; ok {
+		t.Error("connection still tracked after RST")
+	}
+}
+
+func TestBalancerDisabledSingleQueue(t *testing.T) {
+	n := New(Config{Queues: 1, DynamicBalance: true})
+	if n.lb != nil {
+		t.Error("balancer active with one queue")
+	}
+}

@@ -1,0 +1,197 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"scap/internal/pkt"
+)
+
+// FilterAction is what happens to a packet matching an FDIR filter.
+type FilterAction uint8
+
+const (
+	// ActionDrop discards the packet at the NIC: it is never written to
+	// host memory (subzero copy).
+	ActionDrop FilterAction = iota
+	// ActionQueue steers the packet to a specific receive queue,
+	// overriding RSS (used for dynamic load balancing).
+	ActionQueue
+)
+
+// FlexMatch matches a big-endian 16-bit value at a byte offset within the
+// first 64 bytes of the frame — the 82599's "flexible 2-byte tuple". Scap's
+// modified driver points it at the TCP data-offset/flags bytes so that
+// pure-ACK and ACK|PSH data packets can be dropped while RST/FIN packets
+// still reach the host for stream termination.
+type FlexMatch struct {
+	Offset int    // byte offset within the frame, must be <= 62
+	Value  uint16 // value to compare
+	Mask   uint16 // 0 means exact match on all 16 bits
+}
+
+// TCPFlagsFlexOffset is the offset of the TCP data-offset/flags 2-byte
+// tuple for an IPv4 packet without IP options.
+const TCPFlagsFlexOffset = pkt.EthernetHeaderLen + pkt.IPv4MinHeaderLen + 12
+
+// FlexOnlyFlags returns the FlexMatch for "TCP packets whose header is 20
+// bytes and whose flag byte equals flags" — the pair Scap installs per
+// stream uses flags=ACK and flags=ACK|PSH.
+func FlexOnlyFlags(flags uint8) FlexMatch {
+	return FlexMatch{
+		Offset: TCPFlagsFlexOffset,
+		Value:  uint16(pkt.TCPMinHeaderLen/4)<<12 | uint16(flags),
+	}
+}
+
+func (f FlexMatch) matches(frame []byte) bool {
+	if f.Offset == 0 && f.Value == 0 && f.Mask == 0 {
+		return true // zero FlexMatch means "no flex constraint"
+	}
+	if f.Offset < 0 || f.Offset+2 > len(frame) || f.Offset > 62 {
+		return false
+	}
+	v := uint16(frame[f.Offset])<<8 | uint16(frame[f.Offset+1])
+	mask := f.Mask
+	if mask == 0 {
+		mask = 0xffff
+	}
+	return v&mask == f.Value&mask
+}
+
+// FilterSpec describes one flow-director filter. Perfect filters match the
+// exact 5-tuple; signature filters match a hash of it (and can therefore
+// collide, like the hardware's hash-based table).
+type FilterSpec struct {
+	Key       pkt.FlowKey
+	Flex      FlexMatch
+	Action    FilterAction
+	Queue     int   // destination for ActionQueue
+	Signature bool  // use the signature (hash) table
+	Deadline  int64 // virtual-time eviction hint maintained by the caller
+}
+
+// Filter-table errors.
+var (
+	ErrFilterTableFull = errors.New("nic: filter table full")
+	ErrFilterNotFound  = errors.New("nic: filter not found")
+)
+
+// filterTable holds perfect and signature filters with hardware-like
+// capacity limits. Multiple filters per key are allowed (Scap installs two
+// per stream, differing in flex value).
+type filterTable struct {
+	perfectCap int
+	sigCap     int
+	perfect    map[pkt.FlowKey][]*FilterSpec
+	signature  map[uint64][]*FilterSpec
+	nPerfect   int
+	nSignature int
+}
+
+func newFilterTable(perfectCap, sigCap int) *filterTable {
+	return &filterTable{
+		perfectCap: perfectCap,
+		sigCap:     sigCap,
+		perfect:    make(map[pkt.FlowKey][]*FilterSpec),
+		signature:  make(map[uint64][]*FilterSpec),
+	}
+}
+
+// sigHash mimics the signature table's hash: it deliberately ignores part
+// of the tuple resolution by folding to 15 bits, so distinct flows can
+// collide like in the hardware table.
+func sigHash(k pkt.FlowKey) uint64 { return k.Hash(0x82599) & 0x7fff }
+
+func (t *filterTable) add(spec *FilterSpec) error {
+	if spec.Signature {
+		if t.nSignature >= t.sigCap {
+			return fmt.Errorf("%w: %d signature filters", ErrFilterTableFull, t.nSignature)
+		}
+		h := sigHash(spec.Key)
+		t.signature[h] = append(t.signature[h], spec)
+		t.nSignature++
+		return nil
+	}
+	if t.nPerfect >= t.perfectCap {
+		return fmt.Errorf("%w: %d perfect filters", ErrFilterTableFull, t.nPerfect)
+	}
+	t.perfect[spec.Key] = append(t.perfect[spec.Key], spec)
+	t.nPerfect++
+	return nil
+}
+
+// removeKey removes every filter installed for key in the given table and
+// returns how many were removed.
+func (t *filterTable) removeKey(key pkt.FlowKey, signature bool) int {
+	if signature {
+		h := sigHash(key)
+		kept := t.signature[h][:0]
+		removed := 0
+		for _, s := range t.signature[h] {
+			if s.Key == key {
+				removed++
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			delete(t.signature, h)
+		} else {
+			t.signature[h] = kept
+		}
+		t.nSignature -= removed
+		return removed
+	}
+	removed := len(t.perfect[key])
+	delete(t.perfect, key)
+	t.nPerfect -= removed
+	return removed
+}
+
+// lookup returns the first filter matching the packet. Perfect filters are
+// consulted before signature filters, mirroring the hardware's precedence.
+func (t *filterTable) lookup(p *pkt.Packet) *FilterSpec {
+	if specs, ok := t.perfect[p.Key]; ok {
+		for _, s := range specs {
+			if s.Flex.matches(p.Data) {
+				return s
+			}
+		}
+	}
+	if t.nSignature > 0 {
+		if specs, ok := t.signature[sigHash(p.Key)]; ok {
+			for _, s := range specs {
+				// Signature filters still verify flex bytes, but not the
+				// full tuple — that is the source of hash collisions.
+				if s.Flex.matches(p.Data) {
+					return s
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// evictEarliest removes the filter set (all flex variants of one key) with
+// the smallest deadline from the perfect table and returns its key. Used
+// when the table is full: the paper evicts a filter with a small timeout
+// because it does not correspond to a long-lived stream.
+func (t *filterTable) evictEarliest() (pkt.FlowKey, bool) {
+	var bestKey pkt.FlowKey
+	best := int64(1<<63 - 1)
+	found := false
+	for k, specs := range t.perfect {
+		for _, s := range specs {
+			if s.Deadline < best {
+				best = s.Deadline
+				bestKey = k
+				found = true
+			}
+		}
+	}
+	if found {
+		t.removeKey(bestKey, false)
+	}
+	return bestKey, found
+}

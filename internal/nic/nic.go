@@ -1,0 +1,263 @@
+package nic
+
+import (
+	"fmt"
+
+	"scap/internal/pkt"
+	"scap/internal/reassembly"
+)
+
+// Hardware capacities of the modeled controller (Intel 82599).
+const (
+	DefaultPerfectFilters   = 8192
+	DefaultSignatureFilters = 32768
+	DefaultQueueDepth       = 4096
+)
+
+// Config configures a simulated NIC.
+type Config struct {
+	// Queues is the number of receive queues (one per core in Scap).
+	Queues int
+	// QueueDepth is the ring size of each receive queue in packets.
+	QueueDepth int
+	// RSSKey is the Toeplitz key; zero value selects the symmetric key.
+	RSSKey RSSKey
+	// PerfectFilterCap / SignatureFilterCap bound the FDIR tables.
+	PerfectFilterCap   int
+	SignatureFilterCap int
+	// DynamicBalance enables the paper's §2.4 load balancing: new
+	// connections landing on a queue holding a disproportionate share of
+	// the active streams are redirected (via FDIR queue filters) to the
+	// least-loaded queue.
+	DynamicBalance bool
+	// Defragment reassembles IPv4 fragments before RSS steering. Real
+	// hardware hashes fragments on addresses only (no ports), which would
+	// scatter a flow's fragments and whole packets across queues; the
+	// capture framework enables this in strict mode so each flow's entire
+	// byte stream reaches one core. (Comparable in spirit to receive-side
+	// coalescing offloads.)
+	Defragment bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Queues <= 0 {
+		c.Queues = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.RSSKey == (RSSKey{}) {
+		c.RSSKey = SymmetricRSSKey(0x6d5a)
+	}
+	if c.PerfectFilterCap <= 0 {
+		c.PerfectFilterCap = DefaultPerfectFilters
+	}
+	if c.SignatureFilterCap <= 0 {
+		c.SignatureFilterCap = DefaultSignatureFilters
+	}
+}
+
+// Frame is one received frame with its capture timestamp.
+type Frame struct {
+	Data []byte
+	TS   int64
+}
+
+// ring is a fixed-capacity FIFO of frames.
+type ring struct {
+	buf  []Frame
+	head int
+	n    int
+}
+
+func (r *ring) push(f Frame) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = f
+	r.n++
+	return true
+}
+
+func (r *ring) pop() (Frame, bool) {
+	if r.n == 0 {
+		return Frame{}, false
+	}
+	f := r.buf[r.head]
+	r.buf[r.head] = Frame{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return f, true
+}
+
+// Stats aggregates NIC counters. Like the real hardware, drop counts are
+// only available in aggregate, not per filter — which is why Scap estimates
+// per-flow statistics from FIN/RST sequence numbers.
+type Stats struct {
+	Received       uint64 // frames offered to the NIC
+	DroppedFilter  uint64 // dropped by an FDIR drop filter (never reached memory)
+	DroppedRing    uint64 // dropped because the destination ring was full
+	Redirected     uint64 // steered by an FDIR queue filter
+	DecodeFailures uint64 // undecodable frames (delivered nowhere)
+}
+
+// NIC is a simulated multi-queue controller. It is not safe for concurrent
+// Receive calls; the capture frameworks drive it from a single delivery
+// goroutine (or from the virtual-time simulator) and drain queues from
+// per-core consumers guarded by their own synchronization.
+type NIC struct {
+	cfg     Config
+	rings   []ring
+	filters *filterTable
+	defrag  *reassembly.Defragmenter
+	lb      *balancer
+	stats   Stats
+	// queueDepthHW tracks per-queue occupancy highwater for tests.
+	highwater []int
+	scratch   pkt.Packet
+}
+
+// New creates a NIC with cfg.
+func New(cfg Config) *NIC {
+	cfg.applyDefaults()
+	n := &NIC{
+		cfg:       cfg,
+		rings:     make([]ring, cfg.Queues),
+		filters:   newFilterTable(cfg.PerfectFilterCap, cfg.SignatureFilterCap),
+		highwater: make([]int, cfg.Queues),
+	}
+	for i := range n.rings {
+		n.rings[i].buf = make([]Frame, cfg.QueueDepth)
+	}
+	if cfg.Defragment {
+		n.defrag = reassembly.NewDefragmenter(0, 0)
+	}
+	if cfg.DynamicBalance && cfg.Queues > 1 {
+		n.lb = newBalancer(cfg.Queues)
+	}
+	return n
+}
+
+// Queues returns the number of receive queues.
+func (n *NIC) Queues() int { return n.cfg.Queues }
+
+// Receive offers one frame to the NIC at virtual time ts. It returns the
+// queue the frame was enqueued on, or -1 if the frame was dropped (by a
+// filter, a full ring, or a decode failure).
+func (n *NIC) Receive(data []byte, ts int64) int {
+	n.stats.Received++
+	p := &n.scratch
+	if err := pkt.Decode(data, p); err != nil {
+		n.stats.DecodeFailures++
+		return -1
+	}
+	p.Timestamp = ts
+
+	if p.IsFragment() && n.defrag != nil && p.IPVersion == 4 {
+		if n.stats.Received%4096 == 0 {
+			n.defrag.Expire(ts)
+		}
+		whole := n.defrag.Add(p)
+		if whole == nil {
+			return -1 // held until the datagram completes
+		}
+		data = pkt.RebuildIPv4Frame(p, whole)
+		if err := pkt.Decode(data, p); err != nil {
+			n.stats.DecodeFailures++
+			return -1
+		}
+		p.Timestamp = ts
+	}
+
+	queue := n.rssQueue(p)
+	if f := n.filters.lookup(p); f != nil {
+		switch f.Action {
+		case ActionDrop:
+			n.stats.DroppedFilter++
+			return -1
+		case ActionQueue:
+			if f.Queue >= 0 && f.Queue < len(n.rings) {
+				queue = f.Queue
+				n.stats.Redirected++
+			}
+		}
+	}
+	if n.lb != nil && p.Key.Proto == pkt.ProtoTCP {
+		switch {
+		case p.TCPFlags&pkt.FlagRST != 0:
+			n.lb.close(n, p.Key, true)
+		case p.TCPFlags&pkt.FlagFIN != 0:
+			n.lb.close(n, p.Key, false)
+		case p.TCPFlags&pkt.FlagSYN != 0 && p.TCPFlags&pkt.FlagACK == 0:
+			queue = n.lb.admit(n, p.Key, queue, ts)
+		}
+	}
+	if !n.rings[queue].push(Frame{Data: data, TS: ts}) {
+		n.stats.DroppedRing++
+		return -1
+	}
+	if n.rings[queue].n > n.highwater[queue] {
+		n.highwater[queue] = n.rings[queue].n
+	}
+	return queue
+}
+
+// rssQueue computes the RSS queue for a decoded packet.
+func (n *NIC) rssQueue(p *pkt.Packet) int {
+	hasPorts := p.Key.Proto == pkt.ProtoTCP || p.Key.Proto == pkt.ProtoUDP
+	h := RSSHash(&n.cfg.RSSKey, p.Key.SrcIP, p.Key.DstIP, p.Key.SrcPort, p.Key.DstPort, hasPorts)
+	// The 82599 indexes a 128-entry indirection table with the low 7 bits;
+	// with an identity-style table this reduces to a modulo.
+	return int(h&0x7f) % n.cfg.Queues
+}
+
+// QueueFor reports the queue RSS would choose for a flow key, letting the
+// engine predict stream placement (e.g. for load-balance decisions).
+func (n *NIC) QueueFor(key pkt.FlowKey) int {
+	p := pkt.Packet{Key: key}
+	return n.rssQueue(&p)
+}
+
+// Poll removes and returns the next frame of queue q.
+func (n *NIC) Poll(q int) (Frame, bool) { return n.rings[q].pop() }
+
+// QueueLen returns the current occupancy of queue q.
+func (n *NIC) QueueLen(q int) int { return n.rings[q].n }
+
+// AddFilter installs an FDIR filter. If the perfect table is full, the
+// filter set with the earliest deadline is evicted first (the paper's
+// policy: a filter with a small timeout does not correspond to a long-lived
+// stream); the evicted key is returned so the caller can reconcile its
+// bookkeeping.
+func (n *NIC) AddFilter(spec FilterSpec) (evicted pkt.FlowKey, didEvict bool, err error) {
+	s := spec
+	err = n.filters.add(&s)
+	if err == nil || spec.Signature {
+		return pkt.FlowKey{}, false, err
+	}
+	evicted, didEvict = n.filters.evictEarliest()
+	if !didEvict {
+		return pkt.FlowKey{}, false, err
+	}
+	if err := n.filters.add(&s); err != nil {
+		return evicted, true, fmt.Errorf("nic: add after eviction: %w", err)
+	}
+	return evicted, true, nil
+}
+
+// RemoveFilters removes all filters for key and reports how many were
+// removed.
+func (n *NIC) RemoveFilters(key pkt.FlowKey, signature bool) int {
+	return n.filters.removeKey(key, signature)
+}
+
+// FilterCount returns the number of installed (perfect, signature) filters.
+func (n *NIC) FilterCount() (perfect, signature int) {
+	return n.filters.nPerfect, n.filters.nSignature
+}
+
+// Stats returns a snapshot of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Highwater returns the maximum occupancy queue q has reached.
+func (n *NIC) Highwater(q int) int { return n.highwater[q] }

@@ -1,0 +1,110 @@
+// Package pcapring models the PF_PACKET shared ring buffer that Libpcap
+// (and therefore YAF, Libnids, and Snort) uses on Linux: the kernel copies
+// every frame — truncated to the snaplen — into a fixed-size memory-mapped
+// ring, and the application consumes frames from it at user level. When
+// the application falls behind and the ring fills, arriving frames are
+// dropped, which is exactly the loss mechanism the paper measures for the
+// user-level baselines.
+package pcapring
+
+// Frame is one captured frame in the ring.
+type Frame struct {
+	Data    []byte
+	TS      int64
+	WireLen int
+}
+
+// Stats counts ring activity.
+type Stats struct {
+	Received uint64 // frames offered
+	Dropped  uint64 // frames lost to a full ring
+	Bytes    uint64 // bytes stored (after snaplen truncation)
+}
+
+// Ring is the shared buffer. Like the kernel ring it is bounded in bytes,
+// not frames; each stored frame also pays a fixed per-slot header overhead.
+type Ring struct {
+	capBytes int
+	snaplen  int
+	used     int
+	frames   []Frame
+	head     int
+	n        int
+	stats    Stats
+}
+
+// slotOverhead approximates tpacket's per-frame header + alignment.
+const slotOverhead = 64
+
+// New creates a ring of capBytes total capacity (default 512 MB, the
+// paper's setting) and the given snaplen (0 = full frames).
+func New(capBytes, snaplen int) *Ring {
+	if capBytes <= 0 {
+		capBytes = 512 << 20
+	}
+	if snaplen <= 0 {
+		snaplen = 1 << 16
+	}
+	return &Ring{
+		capBytes: capBytes,
+		snaplen:  snaplen,
+		frames:   make([]Frame, 1024),
+	}
+}
+
+// Push copies one frame into the ring; false means the ring was full and
+// the frame was dropped. The input slice is copied (the kernel's copy into
+// the mmap area), so callers may reuse it.
+func (r *Ring) Push(data []byte, ts int64) bool {
+	r.stats.Received++
+	capLen := len(data)
+	if capLen > r.snaplen {
+		capLen = r.snaplen
+	}
+	need := capLen + slotOverhead
+	if r.used+need > r.capBytes {
+		r.stats.Dropped++
+		return false
+	}
+	if r.n == len(r.frames) {
+		r.growSlots()
+	}
+	cp := make([]byte, capLen)
+	copy(cp, data[:capLen])
+	r.frames[(r.head+r.n)%len(r.frames)] = Frame{Data: cp, TS: ts, WireLen: len(data)}
+	r.n++
+	r.used += need
+	r.stats.Bytes += uint64(capLen)
+	return true
+}
+
+// Pop removes the oldest frame.
+func (r *Ring) Pop() (Frame, bool) {
+	if r.n == 0 {
+		return Frame{}, false
+	}
+	f := r.frames[r.head]
+	r.frames[r.head] = Frame{}
+	r.head = (r.head + 1) % len(r.frames)
+	r.n--
+	r.used -= len(f.Data) + slotOverhead
+	return f, true
+}
+
+// Len returns the number of queued frames.
+func (r *Ring) Len() int { return r.n }
+
+// UsedBytes returns current occupancy.
+func (r *Ring) UsedBytes() int { return r.used }
+
+// Stats returns a snapshot of the counters.
+func (r *Ring) Stats() Stats { return r.stats }
+
+func (r *Ring) growSlots() {
+	bigger := make([]Frame, len(r.frames)*2)
+	for i := 0; i < r.n; i++ {
+		bigger[i] = r.frames[(r.head+i)%len(r.frames)]
+	}
+	r.frames = bigger
+	r.head = 0
+}

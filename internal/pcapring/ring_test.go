@@ -1,0 +1,117 @@
+package pcapring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New(1<<20, 0)
+	for i := 0; i < 100; i++ {
+		if !r.Push([]byte{byte(i)}, int64(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		f, ok := r.Pop()
+		if !ok || f.Data[0] != byte(i) || f.TS != int64(i) {
+			t.Fatalf("pop %d = %+v, %v", i, f, ok)
+		}
+	}
+}
+
+func TestByteCapacityAccounting(t *testing.T) {
+	r := New(10*(100+slotOverhead), 0)
+	frame := make([]byte, 100)
+	for i := 0; i < 10; i++ {
+		if !r.Push(frame, 0) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.Push(frame, 0) {
+		t.Error("push above capacity accepted")
+	}
+	r.Pop()
+	if !r.Push(frame, 0) {
+		t.Error("push after pop rejected")
+	}
+	if r.UsedBytes() != 10*(100+slotOverhead) {
+		t.Errorf("used = %d", r.UsedBytes())
+	}
+}
+
+func TestSlotGrowthKeepsOrder(t *testing.T) {
+	// Many tiny frames force the slot array (initially 1024) to grow while
+	// wrapped around.
+	r := New(64<<20, 0)
+	const n = 5000
+	popped := 0
+	for i := 0; i < n; i++ {
+		if !r.Push([]byte{byte(i), byte(i >> 8)}, int64(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+		// Interleave pops so head is mid-array when growth happens.
+		if i%3 == 0 {
+			f, ok := r.Pop()
+			if !ok || f.TS != int64(popped) {
+				t.Fatalf("pop %d = %+v", popped, f)
+			}
+			popped++
+		}
+	}
+	for {
+		f, ok := r.Pop()
+		if !ok {
+			break
+		}
+		if f.TS != int64(popped) {
+			t.Fatalf("order broken at %d: ts=%d", popped, f.TS)
+		}
+		popped++
+	}
+	if popped != n {
+		t.Errorf("popped %d of %d", popped, n)
+	}
+}
+
+func TestRandomizedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	r := New(4096, 128)
+	type mf struct {
+		ts  int64
+		cap int
+	}
+	var model []mf
+	used := 0
+	for op := 0; op < 20000; op++ {
+		if rng.Intn(2) == 0 {
+			n := 1 + rng.Intn(300)
+			capLen := n
+			if capLen > 128 {
+				capLen = 128
+			}
+			ok := r.Push(make([]byte, n), int64(op))
+			fits := used+capLen+slotOverhead <= 4096
+			if ok != fits {
+				t.Fatalf("op %d: push=%v fits=%v", op, ok, fits)
+			}
+			if ok {
+				model = append(model, mf{int64(op), capLen})
+				used += capLen + slotOverhead
+			}
+		} else {
+			f, ok := r.Pop()
+			if ok != (len(model) > 0) {
+				t.Fatalf("op %d: pop=%v model=%d", op, ok, len(model))
+			}
+			if ok {
+				if f.TS != model[0].ts || len(f.Data) != model[0].cap {
+					t.Fatalf("op %d: got ts=%d len=%d want ts=%d len=%d",
+						op, f.TS, len(f.Data), model[0].ts, model[0].cap)
+				}
+				used -= model[0].cap + slotOverhead
+				model = model[1:]
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package pkt
+
+import "net/netip"
+
+// Checksum computes the Internet checksum (RFC 1071) over data folded into
+// an initial partial sum. Pass the result of PseudoHeaderSum as initial when
+// checksumming TCP/UDP.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		sum += uint32(data[i]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum returns the partial checksum of the IPv4/IPv6 pseudo
+// header used by TCP and UDP: source, destination, protocol, and transport
+// length.
+func PseudoHeaderSum(src, dst netip.Addr, proto uint8, l4len int) uint32 {
+	var sum uint32
+	addAddr := func(a netip.Addr) {
+		if a.Is4() {
+			b := a.As4()
+			sum += uint32(b[0])<<8 | uint32(b[1])
+			sum += uint32(b[2])<<8 | uint32(b[3])
+			return
+		}
+		b := a.As16()
+		for i := 0; i < 16; i += 2 {
+			sum += uint32(b[i])<<8 | uint32(b[i+1])
+		}
+	}
+	addAddr(src)
+	addAddr(dst)
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}

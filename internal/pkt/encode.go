@@ -1,0 +1,213 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPSpec describes one TCP segment to synthesize.
+type TCPSpec struct {
+	Key     FlowKey
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	TTL     uint8 // 0 means 64
+	IPID    uint16
+	Payload []byte
+}
+
+// UDPSpec describes one UDP datagram to synthesize.
+type UDPSpec struct {
+	Key     FlowKey
+	TTL     uint8
+	IPID    uint16
+	Payload []byte
+}
+
+// BuildTCP serializes a complete Ethernet/IP/TCP frame with valid lengths
+// and checksums.
+func BuildTCP(s TCPSpec) []byte {
+	return AppendTCP(nil, s)
+}
+
+// AppendTCP appends the frame for s to dst and returns the extended slice.
+// Reusing dst across calls lets generators build frames without per-packet
+// allocation.
+func AppendTCP(dst []byte, s TCPSpec) []byte {
+	l4len := TCPMinHeaderLen + len(s.Payload)
+	start := len(dst)
+	dst = appendEthIP(dst, s.Key, s.TTL, s.IPID, l4len)
+	l4 := len(dst)
+	var hdr [TCPMinHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], s.Key.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], s.Key.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], s.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], s.Ack)
+	hdr[12] = (TCPMinHeaderLen / 4) << 4
+	hdr[13] = s.Flags & 0x3f
+	win := s.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(hdr[14:16], win)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, s.Payload...)
+	csum := Checksum(dst[l4:], PseudoHeaderSum(s.Key.SrcIP, s.Key.DstIP, ProtoTCP, l4len))
+	binary.BigEndian.PutUint16(dst[l4+16:l4+18], csum)
+	_ = start
+	return dst
+}
+
+// BuildUDP serializes a complete Ethernet/IP/UDP frame.
+func BuildUDP(s UDPSpec) []byte {
+	return AppendUDP(nil, s)
+}
+
+// AppendUDP appends the frame for s to dst and returns the extended slice.
+func AppendUDP(dst []byte, s UDPSpec) []byte {
+	l4len := UDPHeaderLen + len(s.Payload)
+	dst = appendEthIP(dst, s.Key, s.TTL, s.IPID, l4len)
+	l4 := len(dst)
+	var hdr [UDPHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], s.Key.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], s.Key.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(l4len))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, s.Payload...)
+	csum := Checksum(dst[l4:], PseudoHeaderSum(s.Key.SrcIP, s.Key.DstIP, ProtoUDP, l4len))
+	if csum == 0 {
+		csum = 0xffff
+	}
+	binary.BigEndian.PutUint16(dst[l4+6:l4+8], csum)
+	return dst
+}
+
+// appendEthIP appends the Ethernet and IP headers for a frame whose
+// transport header+payload is l4len bytes. The key's proto selects the IP
+// protocol field.
+func appendEthIP(dst []byte, key FlowKey, ttl uint8, ipid uint16, l4len int) []byte {
+	if ttl == 0 {
+		ttl = 64
+	}
+	v4 := key.SrcIP.Is4()
+	if v4 != key.DstIP.Is4() {
+		panic(fmt.Sprintf("pkt: mixed address families in %v", key))
+	}
+	var eth [EthernetHeaderLen]byte
+	// Locally administered MACs derived from the ports keep frames
+	// distinguishable in pcap dumps without mattering to any consumer.
+	eth[0], eth[5] = 0x02, byte(key.SrcPort)
+	eth[6], eth[11] = 0x02, byte(key.DstPort)
+	if v4 {
+		binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv4)
+	} else {
+		binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv6)
+	}
+	dst = append(dst, eth[:]...)
+	if v4 {
+		var ip [IPv4MinHeaderLen]byte
+		ip[0] = 0x45
+		binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4MinHeaderLen+l4len))
+		binary.BigEndian.PutUint16(ip[4:6], ipid)
+		ip[8] = ttl
+		ip[9] = key.Proto
+		src, dstAddr := key.SrcIP.As4(), key.DstIP.As4()
+		copy(ip[12:16], src[:])
+		copy(ip[16:20], dstAddr[:])
+		binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:], 0))
+		return append(dst, ip[:]...)
+	}
+	var ip [IPv6HeaderLen]byte
+	ip[0] = 0x60
+	binary.BigEndian.PutUint16(ip[4:6], uint16(l4len))
+	ip[6] = key.Proto
+	ip[7] = ttl
+	src, dstAddr := key.SrcIP.As16(), key.DstIP.As16()
+	copy(ip[8:24], src[:])
+	copy(ip[24:40], dstAddr[:])
+	return append(dst, ip[:]...)
+}
+
+// WrapVLAN inserts an 802.1Q tag with the given VLAN ID into a built
+// Ethernet frame (after the MAC addresses).
+func WrapVLAN(frame []byte, vid uint16) []byte {
+	if len(frame) < EthernetHeaderLen {
+		panic("pkt: frame too short for a VLAN tag")
+	}
+	out := make([]byte, 0, len(frame)+4)
+	out = append(out, frame[:12]...)
+	out = binary.BigEndian.AppendUint16(out, EtherTypeVLAN)
+	out = binary.BigEndian.AppendUint16(out, vid&0x0fff)
+	return append(out, frame[12:]...)
+}
+
+// RebuildIPv4Frame reconstructs a whole Ethernet+IPv4 frame from a decoded
+// fragment's network-layer fields and a fully reassembled IP payload
+// (transport header + data). Used by the NIC-level defragmenter to hand
+// unfragmented frames to RSS steering.
+func RebuildIPv4Frame(p *Packet, ipPayload []byte) []byte {
+	frame := make([]byte, 0, EthernetHeaderLen+IPv4MinHeaderLen+len(ipPayload))
+	var eth [EthernetHeaderLen]byte
+	if len(p.Data) >= EthernetHeaderLen {
+		copy(eth[:], p.Data[:EthernetHeaderLen])
+	}
+	binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv4)
+	frame = append(frame, eth[:]...)
+	var ip [IPv4MinHeaderLen]byte
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4MinHeaderLen+len(ipPayload)))
+	binary.BigEndian.PutUint16(ip[4:6], p.IPID)
+	ip[8] = p.TTL
+	ip[9] = p.Key.Proto
+	src, dst := p.Key.SrcIP.As4(), p.Key.DstIP.As4()
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:], 0))
+	frame = append(frame, ip[:]...)
+	return append(frame, ipPayload...)
+}
+
+// FragmentIPv4 splits a built IPv4 frame into fragments whose payloads are at
+// most mtu-20 bytes (rounded down to a multiple of 8 except for the last).
+// Used by evasion tests against strict-mode reassembly. Panics if the frame
+// is not IPv4.
+func FragmentIPv4(frame []byte, mtu int) [][]byte {
+	if len(frame) < EthernetHeaderLen+IPv4MinHeaderLen {
+		panic("pkt: frame too short to fragment")
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		panic("pkt: FragmentIPv4 on non-IPv4 frame")
+	}
+	ip := frame[EthernetHeaderLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	payload := ip[ihl:]
+	maxFrag := (mtu - ihl) &^ 7
+	if maxFrag <= 0 {
+		panic("pkt: mtu too small")
+	}
+	var frags [][]byte
+	for off := 0; off < len(payload); off += maxFrag {
+		end := off + maxFrag
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		frag := make([]byte, 0, EthernetHeaderLen+ihl+end-off)
+		frag = append(frag, frame[:EthernetHeaderLen]...)
+		frag = append(frag, ip[:ihl]...)
+		frag = append(frag, payload[off:end]...)
+		h := frag[EthernetHeaderLen:]
+		binary.BigEndian.PutUint16(h[2:4], uint16(ihl+end-off))
+		fragField := uint16(off / 8)
+		if more {
+			fragField |= 0x2000
+		}
+		binary.BigEndian.PutUint16(h[6:8], fragField)
+		binary.BigEndian.PutUint16(h[10:12], 0)
+		binary.BigEndian.PutUint16(h[10:12], Checksum(h[:ihl], 0))
+		frags = append(frags, frag)
+	}
+	return frags
+}

@@ -1,0 +1,129 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// FlowKey identifies one direction of a transport-layer conversation.
+type FlowKey struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP: k.DstIP, DstIP: k.SrcIP,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// Canonical returns a direction-independent form of the key (the
+// lexicographically smaller endpoint first) and reports whether the key was
+// swapped to produce it. Both directions of a connection canonicalize to the
+// same value, which makes the canonical key usable as a connection map key.
+func (k FlowKey) Canonical() (FlowKey, bool) {
+	if k.less() {
+		return k, false
+	}
+	return k.Reverse(), true
+}
+
+// less reports whether (SrcIP, SrcPort) sorts before (DstIP, DstPort).
+func (k FlowKey) less() bool {
+	switch c := k.SrcIP.Compare(k.DstIP); {
+	case c < 0:
+		return true
+	case c > 0:
+		return false
+	}
+	return k.SrcPort <= k.DstPort
+}
+
+// Hash returns a direction-sensitive 64-bit hash of the key mixed with seed.
+// It is an FNV-1a variant over the tuple bytes; the seed randomizes the
+// table layout the way the Scap kernel module picks a random hash function
+// at initialization to resist algorithmic-complexity attacks.
+func (k FlowKey) Hash(seed uint64) uint64 {
+	h := fnvOffset ^ seed
+	h = hashAddr(h, k.SrcIP)
+	h = hashAddr(h, k.DstIP)
+	h = hashU16(h, k.SrcPort)
+	h = hashU16(h, k.DstPort)
+	h = hashByte(h, k.Proto)
+	return h
+}
+
+// SymHash returns a direction-independent hash: both directions of a
+// connection produce the same value. Used for flow-table bucketing so a
+// lookup can find the connection regardless of packet direction.
+func (k FlowKey) SymHash(seed uint64) uint64 {
+	c, _ := k.Canonical()
+	return c.Hash(seed)
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func hashU16(h uint64, v uint16) uint64 {
+	h = hashByte(h, byte(v>>8))
+	return hashByte(h, byte(v))
+}
+
+func hashAddr(h uint64, a netip.Addr) uint64 {
+	if a.Is4() {
+		b := a.As4()
+		for _, x := range b {
+			h = hashByte(h, x)
+		}
+		return h
+	}
+	b := a.As16()
+	for _, x := range b {
+		h = hashByte(h, x)
+	}
+	return h
+}
+
+// AppendBytes appends a fixed-width binary form of the key (used by
+// signature FDIR filters and tests). IPv4 addresses are widened to 16 bytes.
+func (k FlowKey) AppendBytes(dst []byte) []byte {
+	s := k.SrcIP.As16()
+	d := k.DstIP.As16()
+	dst = append(dst, s[:]...)
+	dst = append(dst, d[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, k.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, k.DstPort)
+	return append(dst, k.Proto)
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d/%s",
+		k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, protoName(k.Proto))
+}
+
+func protoName(p uint8) string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoICMP:
+		return "icmp"
+	case ProtoICMPv6:
+		return "icmp6"
+	}
+	return fmt.Sprintf("proto-%d", p)
+}

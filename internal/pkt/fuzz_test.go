@@ -1,0 +1,65 @@
+package pkt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics throws random and mutated frames at the decoder:
+// any outcome is fine except a panic or an out-of-bounds slice.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var p Packet
+	// Pure garbage of every small length.
+	for n := 0; n < 128; n++ {
+		for trial := 0; trial < 20; trial++ {
+			b := make([]byte, n)
+			r.Read(b)
+			_ = Decode(b, &p)
+		}
+	}
+	// Mutations of a valid frame: flip bytes, truncate at every offset.
+	valid := BuildTCP(TCPSpec{
+		Key: FlowKey{
+			SrcIP: MustAddr("10.0.0.1"), DstIP: MustAddr("10.0.0.2"),
+			SrcPort: 1234, DstPort: 80, Proto: ProtoTCP,
+		},
+		Seq: 7, Flags: FlagACK, Payload: make([]byte, 64),
+	})
+	for i := 0; i < len(valid); i++ {
+		trunc := valid[:i]
+		_ = Decode(trunc, &p)
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= 1 << bit
+			_ = Decode(mut, &p)
+		}
+	}
+	// IPv6 with hostile extension-header chains.
+	v6 := BuildTCP(TCPSpec{
+		Key: FlowKey{
+			SrcIP: MustAddr("2001:db8::1"), DstIP: MustAddr("2001:db8::2"),
+			SrcPort: 1, DstPort: 2, Proto: ProtoTCP,
+		},
+		Payload: make([]byte, 32),
+	})
+	for i := EthernetHeaderLen; i < len(v6); i++ {
+		mut := append([]byte(nil), v6...)
+		mut[i] = byte(r.Intn(256))
+		_ = Decode(mut, &p)
+	}
+}
+
+// TestDecodeTransportNeverPanics covers the defragmentation reparse path.
+func TestDecodeTransportNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	var p Packet
+	for n := 0; n < 64; n++ {
+		for _, proto := range []uint8{ProtoTCP, ProtoUDP, ProtoICMP, 99} {
+			b := make([]byte, n)
+			r.Read(b)
+			p.Key.Proto = proto
+			_ = DecodeTransport(b, &p)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package pkt provides the packet model shared by every Scap subsystem:
+// a zero-allocation decoder for Ethernet/IPv4/IPv6/TCP/UDP frames, frame
+// builders used by the workload generator, the 5-tuple FlowKey, and the
+// Internet checksum.
+//
+// The decoder follows the gopacket DecodingLayerParser philosophy: it parses
+// into a caller-owned Packet value and keeps payload references as sub-slices
+// of the input frame, so the hot capture path performs no heap allocation.
+package pkt
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers understood by the framework.
+const (
+	ProtoICMP   = 1
+	ProtoTCP    = 6
+	ProtoUDP    = 17
+	ProtoICMPv6 = 58
+)
+
+// TCP header flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+	FlagURG = 1 << 5
+)
+
+// EtherTypes of interest.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+	EtherTypeVLAN = 0x8100 // 802.1Q
+	EtherTypeQinQ = 0x88A8 // 802.1ad service tag
+)
+
+// Header sizes.
+const (
+	EthernetHeaderLen = 14
+	IPv4MinHeaderLen  = 20
+	IPv6HeaderLen     = 40
+	TCPMinHeaderLen   = 20
+	UDPHeaderLen      = 8
+)
+
+// Direction of a packet relative to the stream that owns it. The initiator
+// of a connection (the sender of the SYN, or of the first packet seen) sends
+// in the client direction.
+type Direction uint8
+
+const (
+	DirClient Direction = 0 // initiator -> responder
+	DirServer Direction = 1 // responder -> initiator
+)
+
+// Reverse returns the opposite direction.
+func (d Direction) Reverse() Direction { return d ^ 1 }
+
+func (d Direction) String() string {
+	if d == DirClient {
+		return "client"
+	}
+	return "server"
+}
+
+// Packet is the decoded view of one captured frame. Data always aliases the
+// frame the packet was decoded from; Payload aliases Data. A Packet is valid
+// only as long as the underlying frame buffer is.
+type Packet struct {
+	// Timestamp is the capture time in nanoseconds of virtual time.
+	Timestamp int64
+	// Data is the full frame starting at the Ethernet header.
+	Data []byte
+	// WireLen is the original length on the wire (>= len(Data) when the
+	// capture was truncated by a snaplen).
+	WireLen int
+
+	// Key is the 5-tuple as it appears in this packet (src = sender).
+	Key FlowKey
+
+	EtherType uint16
+	IPVersion uint8
+	TTL       uint8
+	IPID      uint16
+
+	// HasVLAN/VLANID report the outermost 802.1Q tag, if any.
+	HasVLAN bool
+	VLANID  uint16
+
+	// FragOffset is the IPv4 fragment offset in bytes; MoreFrags reports
+	// the MF bit. A packet is a fragment iff FragOffset > 0 || MoreFrags.
+	FragOffset int
+	MoreFrags  bool
+
+	// L4Offset is the byte offset of the transport header within Data.
+	L4Offset int
+
+	// TCP/UDP fields. For UDP only Payload is meaningful beyond the ports.
+	Seq      uint32
+	Ack      uint32
+	TCPFlags uint8
+	Window   uint16
+
+	// Payload is the transport payload (TCP segment data / UDP datagram
+	// data), aliasing Data. Empty for pure-ACK packets.
+	Payload []byte
+}
+
+// IsFragment reports whether the packet is a non-first or first IPv4 fragment.
+func (p *Packet) IsFragment() bool { return p.FragOffset > 0 || p.MoreFrags }
+
+// HasFlag reports whether all TCP flag bits in mask are set.
+func (p *Packet) HasFlag(mask uint8) bool { return p.TCPFlags&mask == mask }
+
+// FlagString renders the TCP flags in the conventional compact form.
+func FlagString(flags uint8) string {
+	buf := make([]byte, 0, 6)
+	names := []struct {
+		bit uint8
+		ch  byte
+	}{
+		{FlagSYN, 'S'}, {FlagFIN, 'F'}, {FlagRST, 'R'},
+		{FlagPSH, 'P'}, {FlagACK, 'A'}, {FlagURG, 'U'},
+	}
+	for _, n := range names {
+		if flags&n.bit != 0 {
+			buf = append(buf, n.ch)
+		}
+	}
+	if len(buf) == 0 {
+		return "."
+	}
+	return string(buf)
+}
+
+// SeqLen is the amount of TCP sequence space the packet consumes: payload
+// bytes plus one for SYN and one for FIN.
+func (p *Packet) SeqLen() uint32 {
+	n := uint32(len(p.Payload))
+	if p.TCPFlags&FlagSYN != 0 {
+		n++
+	}
+	if p.TCPFlags&FlagFIN != 0 {
+		n++
+	}
+	return n
+}
+
+func (p *Packet) String() string {
+	switch p.Key.Proto {
+	case ProtoTCP:
+		return fmt.Sprintf("%s [%s] seq=%d ack=%d len=%d",
+			p.Key, FlagString(p.TCPFlags), p.Seq, p.Ack, len(p.Payload))
+	default:
+		return fmt.Sprintf("%s len=%d", p.Key, len(p.Payload))
+	}
+}
+
+// MustAddr parses an address, panicking on failure. Intended for tests and
+// generators with literal addresses.
+func MustAddr(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

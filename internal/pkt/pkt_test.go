@@ -1,0 +1,337 @@
+package pkt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func tcpKey(sp, dp uint16) FlowKey {
+	return FlowKey{
+		SrcIP:   MustAddr("10.0.0.1"),
+		DstIP:   MustAddr("192.168.1.2"),
+		SrcPort: sp, DstPort: dp,
+		Proto: ProtoTCP,
+	}
+}
+
+func TestDecodeTCPRoundTrip(t *testing.T) {
+	spec := TCPSpec{
+		Key:     tcpKey(44321, 80),
+		Seq:     0xdeadbeef,
+		Ack:     0x01020304,
+		Flags:   FlagPSH | FlagACK,
+		Window:  8192,
+		TTL:     61,
+		IPID:    77,
+		Payload: []byte("GET / HTTP/1.1\r\n"),
+	}
+	frame := BuildTCP(spec)
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if p.Key != spec.Key {
+		t.Errorf("key = %v, want %v", p.Key, spec.Key)
+	}
+	if p.Seq != spec.Seq || p.Ack != spec.Ack {
+		t.Errorf("seq/ack = %d/%d, want %d/%d", p.Seq, p.Ack, spec.Seq, spec.Ack)
+	}
+	if p.TCPFlags != spec.Flags {
+		t.Errorf("flags = %#x, want %#x", p.TCPFlags, spec.Flags)
+	}
+	if p.Window != spec.Window || p.TTL != spec.TTL || p.IPID != spec.IPID {
+		t.Errorf("window/ttl/ipid = %d/%d/%d", p.Window, p.TTL, p.IPID)
+	}
+	if !bytes.Equal(p.Payload, spec.Payload) {
+		t.Errorf("payload = %q, want %q", p.Payload, spec.Payload)
+	}
+	if p.IsFragment() {
+		t.Error("unfragmented packet reported as fragment")
+	}
+	if p.IPVersion != 4 {
+		t.Errorf("ip version = %d, want 4", p.IPVersion)
+	}
+}
+
+func TestDecodeUDPRoundTrip(t *testing.T) {
+	key := FlowKey{
+		SrcIP:   MustAddr("10.1.2.3"),
+		DstIP:   MustAddr("10.4.5.6"),
+		SrcPort: 5353, DstPort: 53,
+		Proto: ProtoUDP,
+	}
+	frame := BuildUDP(UDPSpec{Key: key, Payload: []byte("query")})
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if p.Key != key {
+		t.Errorf("key = %v, want %v", p.Key, key)
+	}
+	if string(p.Payload) != "query" {
+		t.Errorf("payload = %q", p.Payload)
+	}
+}
+
+func TestDecodeIPv6TCP(t *testing.T) {
+	key := FlowKey{
+		SrcIP:   MustAddr("2001:db8::1"),
+		DstIP:   MustAddr("2001:db8::2"),
+		SrcPort: 1234, DstPort: 443,
+		Proto: ProtoTCP,
+	}
+	frame := BuildTCP(TCPSpec{Key: key, Seq: 9, Flags: FlagSYN})
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if p.Key != key {
+		t.Errorf("key = %v, want %v", p.Key, key)
+	}
+	if p.IPVersion != 6 {
+		t.Errorf("ip version = %d, want 6", p.IPVersion)
+	}
+	if p.Seq != 9 || p.TCPFlags != FlagSYN {
+		t.Errorf("seq=%d flags=%#x", p.Seq, p.TCPFlags)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	frame := BuildTCP(TCPSpec{Key: tcpKey(1, 2), Payload: []byte("hello")})
+	for _, cut := range []int{0, 5, EthernetHeaderLen - 1, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4MinHeaderLen + 4} {
+		var p Packet
+		err := Decode(frame[:cut], &p)
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeUnsupportedEtherType(t *testing.T) {
+	frame := make([]byte, 64)
+	frame[12], frame[13] = 0x08, 0x06 // ARP
+	var p Packet
+	if err := Decode(frame, &p); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestTCPChecksumValid(t *testing.T) {
+	frame := BuildTCP(TCPSpec{Key: tcpKey(99, 80), Payload: []byte("abcde")})
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	l4 := frame[p.L4Offset:]
+	sum := Checksum(l4, PseudoHeaderSum(p.Key.SrcIP, p.Key.DstIP, ProtoTCP, len(l4)))
+	if sum != 0 {
+		t.Errorf("verifying checksum over valid segment = %#x, want 0", sum)
+	}
+}
+
+func TestIPv4HeaderChecksumValid(t *testing.T) {
+	frame := BuildTCP(TCPSpec{Key: tcpKey(99, 80)})
+	hdr := frame[EthernetHeaderLen : EthernetHeaderLen+IPv4MinHeaderLen]
+	if sum := Checksum(hdr, 0); sum != 0 {
+		t.Errorf("ip header checksum verify = %#x, want 0", sum)
+	}
+}
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestFragmentIPv4RoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 100)
+	frame := BuildTCP(TCPSpec{Key: tcpKey(7, 8), Seq: 5, Flags: FlagACK, Payload: payload})
+	frags := FragmentIPv4(frame, 576)
+	if len(frags) < 3 {
+		t.Fatalf("got %d fragments, want >= 3", len(frags))
+	}
+	var reassembled []byte
+	for i, f := range frags {
+		var p Packet
+		if err := Decode(f, &p); err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if !p.IsFragment() {
+			t.Fatalf("fragment %d not flagged as fragment", i)
+		}
+		if p.FragOffset != len(reassembled) {
+			t.Fatalf("fragment %d offset = %d, want %d", i, p.FragOffset, len(reassembled))
+		}
+		if wantMore := i < len(frags)-1; p.MoreFrags != wantMore {
+			t.Fatalf("fragment %d MF = %v, want %v", i, p.MoreFrags, wantMore)
+		}
+		reassembled = append(reassembled, p.Payload...)
+	}
+	var orig Packet
+	if err := Decode(frame, &orig); err != nil {
+		t.Fatal(err)
+	}
+	// Reassembled bytes include the TCP header of the original datagram.
+	if !bytes.Equal(reassembled[TCPMinHeaderLen:], orig.Payload) {
+		t.Error("reassembled fragments do not reproduce the original payload")
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := tcpKey(1000, 80)
+	r := k.Reverse()
+	if r.SrcPort != 80 || r.DstPort != 1000 || r.SrcIP != k.DstIP || r.DstIP != k.SrcIP {
+		t.Errorf("reverse = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestFlowKeyCanonicalSymmetric(t *testing.T) {
+	k := tcpKey(1000, 80)
+	c1, sw1 := k.Canonical()
+	c2, sw2 := k.Reverse().Canonical()
+	if c1 != c2 {
+		t.Errorf("canonical forms differ: %v vs %v", c1, c2)
+	}
+	if sw1 == sw2 {
+		t.Error("exactly one direction should report swapped")
+	}
+}
+
+func randAddr(r *rand.Rand) netip.Addr {
+	if r.Intn(4) == 0 {
+		var b [16]byte
+		r.Read(b[:])
+		return netip.AddrFrom16(b)
+	}
+	var b [4]byte
+	r.Read(b[:])
+	return netip.AddrFrom4(b)
+}
+
+func randKey(r *rand.Rand) FlowKey {
+	k := FlowKey{
+		SrcIP:   randAddr(r),
+		SrcPort: uint16(r.Intn(65536)),
+		DstPort: uint16(r.Intn(65536)),
+		Proto:   ProtoTCP,
+	}
+	if k.SrcIP.Is4() {
+		var b [4]byte
+		r.Read(b[:])
+		k.DstIP = netip.AddrFrom4(b)
+	} else {
+		var b [16]byte
+		r.Read(b[:])
+		k.DstIP = netip.AddrFrom16(b)
+	}
+	return k
+}
+
+func TestSymHashProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(randKey(r))
+			v[1] = reflect.ValueOf(r.Uint64())
+		},
+	}
+	f := func(k FlowKey, seed uint64) bool {
+		return k.SymHash(seed) == k.Reverse().SymHash(seed)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSeedChangesLayout(t *testing.T) {
+	k := tcpKey(12345, 80)
+	if k.Hash(1) == k.Hash(2) {
+		t.Error("different seeds produced identical hashes")
+	}
+}
+
+func TestCanonicalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		k := randKey(r)
+		c1, _ := k.Canonical()
+		c2, _ := k.Reverse().Canonical()
+		if c1 != c2 {
+			t.Fatalf("canonical mismatch for %v", k)
+		}
+		c3, _ := c1.Canonical()
+		if c3 != c1 {
+			t.Fatalf("canonical not idempotent for %v", k)
+		}
+	}
+}
+
+func TestSeqLen(t *testing.T) {
+	cases := []struct {
+		flags uint8
+		n     int
+		want  uint32
+	}{
+		{FlagACK, 0, 0},
+		{FlagSYN, 0, 1},
+		{FlagFIN | FlagACK, 3, 4},
+		{FlagSYN | FlagFIN, 10, 12},
+	}
+	for _, c := range cases {
+		p := Packet{TCPFlags: c.flags, Payload: make([]byte, c.n)}
+		if got := p.SeqLen(); got != c.want {
+			t.Errorf("SeqLen(flags=%#x,n=%d) = %d, want %d", c.flags, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if s := FlagString(FlagSYN | FlagACK); s != "SA" {
+		t.Errorf("FlagString = %q, want SA", s)
+	}
+	if s := FlagString(0); s != "." {
+		t.Errorf("FlagString(0) = %q, want .", s)
+	}
+}
+
+func TestDecodeDoesNotAllocate(t *testing.T) {
+	frame := BuildTCP(TCPSpec{Key: tcpKey(5, 6), Payload: bytes.Repeat([]byte("x"), 512)})
+	var p Packet
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := Decode(frame, &p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Decode allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkDecodeTCP(b *testing.B) {
+	frame := BuildTCP(TCPSpec{Key: tcpKey(5, 6), Payload: bytes.Repeat([]byte("x"), 1400)})
+	var p Packet
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Decode(frame, &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymHash(b *testing.B) {
+	k := tcpKey(4444, 80)
+	for i := 0; i < b.N; i++ {
+		_ = k.SymHash(uint64(i))
+	}
+}

@@ -1,0 +1,68 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDecodeVLANTagged(t *testing.T) {
+	spec := TCPSpec{
+		Key:     tcpKey(1234, 80),
+		Seq:     42,
+		Flags:   FlagACK | FlagPSH,
+		Payload: []byte("tagged payload"),
+	}
+	plain := BuildTCP(spec)
+	tagged := WrapVLAN(plain, 100)
+
+	var p Packet
+	if err := Decode(tagged, &p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !p.HasVLAN || p.VLANID != 100 {
+		t.Errorf("vlan = %v/%d", p.HasVLAN, p.VLANID)
+	}
+	if p.Key != spec.Key || p.Seq != 42 {
+		t.Errorf("inner packet fields lost: %+v", p.Key)
+	}
+	if !bytes.Equal(p.Payload, spec.Payload) {
+		t.Errorf("payload = %q", p.Payload)
+	}
+
+	// Untagged decodes report no VLAN.
+	if err := Decode(plain, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasVLAN {
+		t.Error("untagged frame reported a VLAN")
+	}
+}
+
+func TestDecodeQinQ(t *testing.T) {
+	inner := BuildTCP(TCPSpec{Key: tcpKey(1, 2), Flags: FlagSYN})
+	// Service tag (802.1ad) wrapping a customer tag.
+	double := WrapVLAN(WrapVLAN(inner, 200), 300)
+	// Rewrite the outer tag's TPID to 802.1ad.
+	qinq := uint16(EtherTypeQinQ)
+	double[12] = byte(qinq >> 8)
+	double[13] = byte(qinq & 0xff)
+	var p Packet
+	if err := Decode(double, &p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !p.HasVLAN || p.VLANID != 300 {
+		t.Errorf("outer vlan = %v/%d, want 300", p.HasVLAN, p.VLANID)
+	}
+	if p.Key.Proto != ProtoTCP || p.TCPFlags != FlagSYN {
+		t.Errorf("inner TCP lost: %+v", p)
+	}
+}
+
+func TestVLANTruncated(t *testing.T) {
+	plain := BuildTCP(TCPSpec{Key: tcpKey(1, 2)})
+	tagged := WrapVLAN(plain, 5)
+	var p Packet
+	if err := Decode(tagged[:15], &p); err == nil {
+		t.Error("truncated VLAN frame decoded")
+	}
+}

@@ -1,0 +1,195 @@
+// Package queueing implements the analytic models of paper §7: the
+// M/M/1/N loss formula behind Figure 11 and the multi-priority birth-death
+// chain behind Figure 12, which predict at what free-memory threshold PPL
+// stops dropping important packets.
+//
+// The paper prints closed forms for the two- and three-priority cases; we
+// solve the general n-priority chain exactly from its stationary
+// distribution (the printed three-priority constants contain typesetting
+// glitches — e.g. a ρ^(N/3) factor — so the exact chain, cross-validated
+// by Monte-Carlo simulation in the tests, is the implementation of record).
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// MM1NLoss returns the steady-state loss probability of an M/M/1/N queue
+// with offered load rho = λ/μ: the probability an arriving packet finds
+// all N slots full (PASTA), equation (1) of the paper.
+func MM1NLoss(rho float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if rho < 0 {
+		return 0
+	}
+	if math.Abs(rho-1) < 1e-12 {
+		return 1 / float64(n+1)
+	}
+	num := (1 - rho) * math.Pow(rho, float64(n))
+	den := 1 - math.Pow(rho, float64(n+1))
+	return num / den
+}
+
+// ErrBadInput reports invalid model parameters.
+var ErrBadInput = errors.New("queueing: invalid parameters")
+
+// PriorityLoss solves the PPL birth-death chain for p priority classes
+// (index 0 = lowest) with per-class offered loads rhos[i] = λ_i/μ and N
+// memory slots per watermark region (p regions, p*N states above empty).
+//
+// Arrivals of class i are admitted only while the occupancy is below
+// (i+1)*N; the return value is each class's loss probability: the
+// stationary probability that occupancy is at or above its admission
+// boundary.
+func PriorityLoss(rhos []float64, n int) ([]float64, error) {
+	p := len(rhos)
+	if p == 0 || n <= 0 {
+		return nil, ErrBadInput
+	}
+	for _, r := range rhos {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, ErrBadInput
+		}
+	}
+	// regionLoad[i] is the total offered load while occupancy is inside
+	// region i (classes i..p-1 still arriving).
+	regionLoad := make([]float64, p)
+	for i := 0; i < p; i++ {
+		sum := 0.0
+		for j := i; j < p; j++ {
+			sum += rhos[j]
+		}
+		regionLoad[i] = sum
+	}
+	// Stationary weights w[k] ∝ Π birth/death ratios; computed iteratively
+	// to avoid overflow for large n (normalize on the fly).
+	states := p*n + 1
+	w := make([]float64, states)
+	w[0] = 1
+	total := 1.0
+	for k := 1; k < states; k++ {
+		region := (k - 1) / n
+		w[k] = w[k-1] * regionLoad[region]
+		total += w[k]
+		if total > 1e300 { // rescale to stay finite
+			for j := 0; j <= k; j++ {
+				w[j] /= 1e300
+			}
+			total /= 1e300
+		}
+	}
+	// Loss of class i = P(occupancy >= (i+1)*n).
+	out := make([]float64, p)
+	for i := 0; i < p; i++ {
+		boundary := (i + 1) * n
+		sum := 0.0
+		for k := boundary; k < states; k++ {
+			sum += w[k]
+		}
+		out[i] = sum / total
+	}
+	return out, nil
+}
+
+// TwoPriorityLoss returns the (low, high) loss probabilities for the
+// two-priority chain in closed form, derived from the stationary
+// distribution of the 2N-state birth-death chain of paper §7:
+//
+//	π_k = π_0·ρ12^k                 for 0 ≤ k ≤ N
+//	π_k = π_0·ρ12^N·ρ2^(k-N)        for N < k ≤ 2N
+//
+// with ρ12 = (λ1+λ2)/μ and ρ2 = λ2/μ. High-priority loss is π_2N (PASTA);
+// low-priority loss is P(occupancy ≥ N). It cross-checks PriorityLoss.
+func TwoPriorityLoss(rho1, rho2 float64, n int) (low, high float64) {
+	if n <= 0 {
+		return 1, 1
+	}
+	rho12 := rho1 + rho2
+	// Stationary weights, computed iteratively for numerical robustness.
+	w := 1.0
+	total := 1.0
+	var tailFromN float64
+	for k := 1; k <= 2*n; k++ {
+		if k <= n {
+			w *= rho12
+		} else {
+			w *= rho2
+		}
+		total += w
+		if k >= n {
+			tailFromN += w
+		}
+	}
+	return tailFromN / total, w / total
+}
+
+// SimulatePriorityLoss estimates the same loss probabilities by simulating
+// the chain: exponential inter-arrivals per class and exponential service.
+// It exists to validate PriorityLoss and for scenarios outside the
+// Markovian assumptions.
+func SimulatePriorityLoss(rhos []float64, n int, events int, seed int64) []float64 {
+	p := len(rhos)
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for _, r := range rhos {
+		total += r
+	}
+	mu := 1.0
+	occupancy := 0
+	arrivals := make([]float64, p)
+	losses := make([]float64, p)
+	// Next event times.
+	next := make([]float64, p)
+	for i := range next {
+		if rhos[i] > 0 {
+			next[i] = rng.ExpFloat64() / rhos[i]
+		} else {
+			next[i] = math.Inf(1)
+		}
+	}
+	nextSvc := math.Inf(1)
+	now := 0.0
+	for e := 0; e < events; e++ {
+		// Find earliest event.
+		minI := -1
+		minT := nextSvc
+		for i, t := range next {
+			if t < minT {
+				minT, minI = t, i
+			}
+		}
+		now = minT
+		if minI < 0 {
+			// Service completion.
+			occupancy--
+			if occupancy > 0 {
+				nextSvc = now + rng.ExpFloat64()/mu
+			} else {
+				nextSvc = math.Inf(1)
+			}
+			continue
+		}
+		// Arrival of class minI.
+		arrivals[minI]++
+		if occupancy >= (minI+1)*n {
+			losses[minI]++
+		} else {
+			occupancy++
+			if occupancy == 1 {
+				nextSvc = now + rng.ExpFloat64()/mu
+			}
+		}
+		next[minI] = now + rng.ExpFloat64()/rhos[minI]
+	}
+	out := make([]float64, p)
+	for i := range out {
+		if arrivals[i] > 0 {
+			out[i] = losses[i] / arrivals[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1NLossKnownValues(t *testing.T) {
+	cases := []struct {
+		rho  float64
+		n    int
+		want float64
+	}{
+		// Hand-computed: ρ=0.5,N=2: (0.5·0.25)/(1−0.125)=0.142857…
+		{0.5, 2, 0.125 / 0.875},
+		// ρ=1 limit: uniform over N+1 states.
+		{1.0, 4, 0.2},
+		// N=0: always full.
+		{0.5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := MM1NLoss(c.rho, c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MM1NLoss(%v,%d) = %v, want %v", c.rho, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMM1NLossMonotonicInN(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		prev := 1.0
+		for n := 1; n <= 200; n++ {
+			p := MM1NLoss(rho, n)
+			if p > prev+1e-15 {
+				t.Fatalf("loss not decreasing at rho=%v n=%d", rho, n)
+			}
+			prev = p
+		}
+	}
+}
+
+// TestFig11Anchors reproduces the paper's qualitative Figure 11 claims:
+// ρ=0.1 needs <10 slots for ~zero loss; ρ=0.5 a bit over 20; ρ=0.9 about
+// 150 slots to reach ~1e-8.
+func TestFig11Anchors(t *testing.T) {
+	if p := MM1NLoss(0.1, 10); p > 1e-8 {
+		t.Errorf("rho=0.1 N=10: loss %v, want < 1e-8", p)
+	}
+	if p := MM1NLoss(0.5, 25); p > 1e-7 {
+		t.Errorf("rho=0.5 N=25: loss %v, want < 1e-7", p)
+	}
+	if p := MM1NLoss(0.9, 150); p > 1e-6 {
+		t.Errorf("rho=0.9 N=150: loss %v", p)
+	}
+	if p := MM1NLoss(0.9, 20); p < 1e-3 {
+		t.Errorf("rho=0.9 N=20 should still lose packets: %v", p)
+	}
+}
+
+func TestPriorityLossSinglePriorityMatchesMM1N(t *testing.T) {
+	for _, rho := range []float64{0.2, 0.6, 0.95, 1.3} {
+		for _, n := range []int{1, 5, 20, 100} {
+			got, err := PriorityLoss([]float64{rho}, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := MM1NLoss(rho, n)
+			if math.Abs(got[0]-want) > 1e-9*math.Max(want, 1e-30) && math.Abs(got[0]-want) > 1e-15 {
+				t.Errorf("rho=%v n=%d: chain %v vs closed form %v", rho, n, got[0], want)
+			}
+		}
+	}
+}
+
+func TestPriorityLossOrdering(t *testing.T) {
+	// Higher priorities always lose less.
+	rhos := []float64{0.3, 0.3, 0.3}
+	for n := 1; n <= 40; n++ {
+		loss, err := PriorityLoss(rhos, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(loss); i++ {
+			if loss[i] > loss[i-1]+1e-15 {
+				t.Fatalf("n=%d: priority %d loses more than %d: %v", n, i, i-1, loss)
+			}
+		}
+	}
+}
+
+// TestFig12Anchors: with ρ1=ρ2=0.3 (medium, high), a few tens of slots
+// drive both loss probabilities to practically zero.
+func TestFig12Anchors(t *testing.T) {
+	// Paper Figure 12 has three classes: low (not plotted), medium ρ=0.3,
+	// high ρ=0.3. Model them with a low class of load 0.3 as well.
+	rhos := []float64{0.3, 0.3, 0.3}
+	loss, err := PriorityLoss(rhos, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss[1] > 1e-8 || loss[2] > 1e-10 {
+		t.Errorf("N=40 losses = %v, want practically zero", loss)
+	}
+	lossSmall, _ := PriorityLoss(rhos, 3)
+	if lossSmall[1] < 1e-6 {
+		t.Errorf("N=3 medium loss = %v, should be visible", lossSmall[1])
+	}
+}
+
+func TestPriorityLossInvalid(t *testing.T) {
+	if _, err := PriorityLoss(nil, 5); err == nil {
+		t.Error("nil rhos accepted")
+	}
+	if _, err := PriorityLoss([]float64{0.5}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PriorityLoss([]float64{math.NaN()}, 5); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestPriorityLossOverloadApproachesOne(t *testing.T) {
+	loss, err := PriorityLoss([]float64{5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss[0] < 0.5 {
+		t.Errorf("low priority under 10x overload loses only %v", loss[0])
+	}
+	if loss[1] >= loss[0] {
+		t.Errorf("priority inversion: %v", loss)
+	}
+}
+
+func TestPriorityLossLargeNNoOverflow(t *testing.T) {
+	loss, err := PriorityLoss([]float64{1.5, 1.2}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range loss {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Errorf("loss[%d] = %v", i, p)
+		}
+	}
+}
+
+// TestTwoPriorityClosedFormMatchesChain: the closed form and the generic
+// chain solver are independent derivations and must agree.
+func TestTwoPriorityClosedFormMatchesChain(t *testing.T) {
+	for _, tc := range []struct {
+		r1, r2 float64
+		n      int
+	}{
+		{0.3, 0.3, 5}, {0.8, 0.1, 10}, {0.1, 0.8, 3}, {1.2, 0.5, 7},
+	} {
+		low, high := TwoPriorityLoss(tc.r1, tc.r2, tc.n)
+		chain, err := PriorityLoss([]float64{tc.r1, tc.r2}, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(low-chain[0]) > 1e-12 || math.Abs(high-chain[1]) > 1e-12 {
+			t.Errorf("rho=(%v,%v) n=%d: closed form (%g,%g) vs chain (%g,%g)",
+				tc.r1, tc.r2, tc.n, low, high, chain[0], chain[1])
+		}
+	}
+}
+
+// TestChainMatchesSimulation is the Monte-Carlo cross-validation of the
+// exact solver.
+func TestChainMatchesSimulation(t *testing.T) {
+	cases := [][]float64{
+		{0.7},
+		{0.4, 0.4},
+		{0.3, 0.3, 0.3},
+		{0.8, 0.1},
+	}
+	for _, rhos := range cases {
+		n := 4
+		exact, err := PriorityLoss(rhos, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := SimulatePriorityLoss(rhos, n, 2_000_000, 1)
+		for i := range exact {
+			diff := math.Abs(exact[i] - sim[i])
+			tol := 0.15*exact[i] + 5e-4
+			if diff > tol {
+				t.Errorf("rhos=%v class %d: exact %v sim %v", rhos, i, exact[i], sim[i])
+			}
+		}
+	}
+}

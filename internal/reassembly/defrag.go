@@ -1,0 +1,184 @@
+package reassembly
+
+import (
+	"net/netip"
+
+	"scap/internal/pkt"
+)
+
+// fragKey identifies an IPv4 datagram under reassembly (RFC 791: source,
+// destination, protocol, identification).
+type fragKey struct {
+	src, dst netip.Addr
+	proto    uint8
+	id       uint16
+}
+
+// fragBuf accumulates fragments of one datagram.
+type fragBuf struct {
+	parts    []seg // byte ranges within the reassembled datagram
+	total    int   // length once the last fragment is seen, -1 until then
+	bytes    int
+	firstTS  int64
+	deadline int64
+}
+
+// Defragmenter reassembles IPv4 fragments. Strict-mode Scap normalizes
+// fragmented traffic before TCP reassembly, closing the classic
+// fragmentation evasion channels. Overlapping fragments are resolved with
+// PolicyFirst (first copy wins), the conservative normalization choice of
+// Handley, Paxson & Kreibich.
+type Defragmenter struct {
+	flows   map[fragKey]*fragBuf
+	timeout int64 // virtual ns a partial datagram may wait
+	maxMem  int
+	mem     int
+	// Stats
+	Reassembled  uint64
+	TimedOut     uint64
+	OverLimit    uint64
+	OverlapBytes uint64
+}
+
+// DefaultFragTimeout is how long a partial datagram may wait for its
+// missing fragments (30 virtual seconds, matching Linux's ipfrag_time).
+const DefaultFragTimeout = int64(30e9)
+
+// NewDefragmenter creates a defragmenter bounded to maxMem buffered bytes
+// (0 selects 4 MiB).
+func NewDefragmenter(timeout int64, maxMem int) *Defragmenter {
+	if timeout <= 0 {
+		timeout = DefaultFragTimeout
+	}
+	if maxMem <= 0 {
+		maxMem = 4 << 20
+	}
+	return &Defragmenter{
+		flows:   make(map[fragKey]*fragBuf),
+		timeout: timeout,
+		maxMem:  maxMem,
+	}
+}
+
+// Add offers a fragment. If it completes its datagram, the reassembled IP
+// payload (transport header + data) is returned; otherwise nil. Non-final
+// fragments whose payload length is not a multiple of 8 are discarded as
+// malformed.
+func (d *Defragmenter) Add(p *pkt.Packet) []byte {
+	if !p.IsFragment() {
+		return p.Payload
+	}
+	if p.MoreFrags && len(p.Payload)%8 != 0 {
+		return nil
+	}
+	k := fragKey{src: p.Key.SrcIP, dst: p.Key.DstIP, proto: p.Key.Proto, id: p.IPID}
+	fb := d.flows[k]
+	if fb == nil {
+		fb = &fragBuf{total: -1, firstTS: p.Timestamp, deadline: p.Timestamp + d.timeout}
+		d.flows[k] = fb
+	}
+	start := int64(p.FragOffset)
+	end := start + int64(len(p.Payload))
+	if !p.MoreFrags {
+		fb.total = int(end)
+	}
+	// First-wins overlap: subtract existing coverage from the new piece.
+	type piece struct{ s, e int64 }
+	pieces := []piece{{start, end}}
+	for _, old := range fb.parts {
+		var next []piece
+		for _, pc := range pieces {
+			if pc.e <= old.start || pc.s >= old.end() {
+				next = append(next, pc)
+				continue
+			}
+			d.OverlapBytes += uint64(min64(pc.e, old.end()) - max64(pc.s, old.start))
+			if pc.s < old.start {
+				next = append(next, piece{pc.s, old.start})
+			}
+			if pc.e > old.end() {
+				next = append(next, piece{old.end(), pc.e})
+			}
+		}
+		pieces = next
+	}
+	for _, pc := range pieces {
+		cp := make([]byte, pc.e-pc.s)
+		copy(cp, p.Payload[pc.s-start:pc.e-start])
+		fb.parts = append(fb.parts, seg{start: pc.s, data: cp})
+		fb.bytes += len(cp)
+		d.mem += len(cp)
+	}
+	if d.mem > d.maxMem {
+		d.shed()
+	}
+	if done := d.tryComplete(k, fb); done != nil {
+		return done
+	}
+	return nil
+}
+
+// tryComplete checks contiguous coverage of [0, total) and returns the
+// reassembled payload when complete.
+func (d *Defragmenter) tryComplete(k fragKey, fb *fragBuf) []byte {
+	if fb.total < 0 {
+		return nil
+	}
+	// Sort parts (insertion sort; fragment counts are small).
+	for i := 1; i < len(fb.parts); i++ {
+		for j := i; j > 0 && fb.parts[j].start < fb.parts[j-1].start; j-- {
+			fb.parts[j], fb.parts[j-1] = fb.parts[j-1], fb.parts[j]
+		}
+	}
+	pos := int64(0)
+	for _, s := range fb.parts {
+		if s.start > pos {
+			return nil // hole
+		}
+		if s.end() > pos {
+			pos = s.end()
+		}
+	}
+	if pos < int64(fb.total) {
+		return nil
+	}
+	out := make([]byte, fb.total)
+	for _, s := range fb.parts {
+		copy(out[s.start:], s.data)
+	}
+	d.mem -= fb.bytes
+	delete(d.flows, k)
+	d.Reassembled++
+	return out
+}
+
+// Expire drops partial datagrams whose deadline has passed.
+func (d *Defragmenter) Expire(now int64) {
+	for k, fb := range d.flows {
+		if fb.deadline <= now {
+			d.mem -= fb.bytes
+			delete(d.flows, k)
+			d.TimedOut++
+		}
+	}
+}
+
+// shed evicts the oldest partial datagram to get back under the memory
+// budget.
+func (d *Defragmenter) shed() {
+	for d.mem > d.maxMem && len(d.flows) > 0 {
+		var oldestK fragKey
+		var oldest *fragBuf
+		for k, fb := range d.flows {
+			if oldest == nil || fb.firstTS < oldest.firstTS {
+				oldest, oldestK = fb, k
+			}
+		}
+		d.mem -= oldest.bytes
+		delete(d.flows, oldestK)
+		d.OverLimit++
+	}
+}
+
+// Pending returns the number of incomplete datagrams held.
+func (d *Defragmenter) Pending() int { return len(d.flows) }

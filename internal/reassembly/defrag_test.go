@@ -1,0 +1,166 @@
+package reassembly
+
+import (
+	"bytes"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+func fragPackets(t *testing.T, payloadLen, mtu int) ([][]byte, []byte) {
+	t.Helper()
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: 1111, DstPort: 80, Proto: pkt.ProtoTCP,
+	}
+	payload := bytes.Repeat([]byte("payload-"), payloadLen/8)
+	frame := pkt.BuildTCP(pkt.TCPSpec{Key: key, Seq: 1, Flags: pkt.FlagACK, IPID: 42, Payload: payload})
+	var orig pkt.Packet
+	if err := pkt.Decode(frame, &orig); err != nil {
+		t.Fatal(err)
+	}
+	// The complete IP payload is TCP header + data.
+	full := frame[orig.L4Offset:]
+	return pkt.FragmentIPv4(frame, mtu), full
+}
+
+func decodeFrag(t *testing.T, frame []byte, ts int64) *pkt.Packet {
+	t.Helper()
+	p := &pkt.Packet{Timestamp: ts}
+	if err := pkt.Decode(frame, p); err != nil {
+		t.Fatal(err)
+	}
+	p.Timestamp = ts
+	return p
+}
+
+func TestDefragInOrder(t *testing.T) {
+	frames, want := fragPackets(t, 4096, 576)
+	d := NewDefragmenter(0, 0)
+	var got []byte
+	for i, f := range frames {
+		out := d.Add(decodeFrag(t, f, int64(i)))
+		if i < len(frames)-1 && out != nil {
+			t.Fatalf("completed early at fragment %d", i)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reassembled %d bytes, want %d", len(got), len(want))
+	}
+	if d.Pending() != 0 || d.Reassembled != 1 {
+		t.Errorf("pending=%d reassembled=%d", d.Pending(), d.Reassembled)
+	}
+}
+
+func TestDefragReversedOrder(t *testing.T) {
+	frames, want := fragPackets(t, 4096, 576)
+	d := NewDefragmenter(0, 0)
+	var got []byte
+	for i := len(frames) - 1; i >= 0; i-- {
+		if out := d.Add(decodeFrag(t, frames[i], 0)); out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reversed-order reassembly failed (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestDefragDuplicateFragmentFirstWins(t *testing.T) {
+	frames, want := fragPackets(t, 2048, 576)
+	d := NewDefragmenter(0, 0)
+	var got []byte
+	for i, f := range frames {
+		if out := d.Add(decodeFrag(t, f, 0)); out != nil {
+			got = out
+		}
+		if i == 0 {
+			// Resend the first fragment with corrupted payload bytes: the
+			// original copy must win (first-wins normalization).
+			evil := append([]byte(nil), f...)
+			for j := pkt.EthernetHeaderLen + pkt.IPv4MinHeaderLen; j < len(evil); j++ {
+				evil[j] = 0xEE
+			}
+			d.Add(decodeFrag(t, evil, 0))
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("duplicate fragment overwrote original data")
+	}
+	if d.OverlapBytes == 0 {
+		t.Error("overlap not counted")
+	}
+}
+
+func TestDefragTimeout(t *testing.T) {
+	frames, _ := fragPackets(t, 2048, 576)
+	d := NewDefragmenter(1000, 0)
+	d.Add(decodeFrag(t, frames[0], 100)) // partial
+	d.Expire(2000)
+	if d.Pending() != 0 || d.TimedOut != 1 {
+		t.Errorf("pending=%d timedOut=%d", d.Pending(), d.TimedOut)
+	}
+	// Late fragments recreate a partial buffer but can never complete the
+	// datagram without the rest.
+	for _, f := range frames[1:] {
+		if out := d.Add(decodeFrag(t, f, 3000)); out != nil {
+			t.Fatal("completed after first fragment expired")
+		}
+	}
+}
+
+func TestDefragMemoryShedding(t *testing.T) {
+	d := NewDefragmenter(0, 2048)
+	// Many distinct partial datagrams overflow the budget.
+	for id := 0; id < 32; id++ {
+		frames, _ := fragPackets(t, 2048, 576)
+		// Re-stamp the IP ID so each datagram is distinct.
+		f := append([]byte(nil), frames[0]...)
+		f[pkt.EthernetHeaderLen+4] = byte(id >> 8)
+		f[pkt.EthernetHeaderLen+5] = byte(id)
+		h := f[pkt.EthernetHeaderLen : pkt.EthernetHeaderLen+20]
+		h[10], h[11] = 0, 0
+		csum := pkt.Checksum(h, 0)
+		h[10], h[11] = byte(csum>>8), byte(csum)
+		d.Add(decodeFrag(t, f, int64(id)))
+	}
+	if d.OverLimit == 0 {
+		t.Error("no datagrams shed despite memory pressure")
+	}
+}
+
+func TestDefragPassthroughUnfragmented(t *testing.T) {
+	key := pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP,
+	}
+	frame := pkt.BuildUDP(pkt.UDPSpec{Key: key, Payload: []byte("whole")})
+	d := NewDefragmenter(0, 0)
+	p := decodeFrag(t, frame, 0)
+	if out := d.Add(p); string(out) != "whole" {
+		t.Errorf("passthrough = %q", out)
+	}
+}
+
+func TestDefragMalformedMiddleFragment(t *testing.T) {
+	d := NewDefragmenter(0, 0)
+	// Non-final fragment whose payload is not a multiple of 8.
+	p := &pkt.Packet{
+		Timestamp: 0,
+		MoreFrags: true,
+		Payload:   []byte("odd"),
+		Key: pkt.FlowKey{
+			SrcIP: pkt.MustAddr("1.1.1.1"), DstIP: pkt.MustAddr("2.2.2.2"),
+			Proto: pkt.ProtoTCP,
+		},
+	}
+	if out := d.Add(p); out != nil {
+		t.Error("malformed fragment accepted")
+	}
+	if d.Pending() != 0 {
+		t.Error("malformed fragment buffered")
+	}
+}

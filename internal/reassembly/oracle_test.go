@@ -1,0 +1,138 @@
+package reassembly
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// contentAt gives every sequence position a deterministic byte, so any two
+// segments covering the same range carry identical content and every
+// overlap policy must produce the same final stream.
+func contentAt(seq int64) byte {
+	x := uint64(seq)*2654435761 + 0x9e3779b9
+	return byte(x >> 7)
+}
+
+func fillContent(start int64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = contentAt(start + int64(i))
+	}
+	return b
+}
+
+// TestOracleRandomOverlaps is the strongest assembler property test:
+// random overlapping segments with consistent content, shuffled, plus full
+// coverage of [0,N) — the final stream must be exactly the oracle bytes,
+// for every policy and both modes (no holes can occur with full coverage
+// and an adequate buffer budget).
+func TestOracleRandomOverlaps(t *testing.T) {
+	type testCase struct {
+		Total    int
+		Policy   Policy
+		Mode     Mode
+		Segments [][2]int // (start, len) pairs, possibly overlapping
+	}
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			total := 200 + r.Intn(4000)
+			tc := testCase{
+				Total:  total,
+				Policy: Policy(r.Intn(6)),
+				Mode:   Mode(r.Intn(2)),
+			}
+			// Random overlapping segments.
+			for i := 0; i < r.Intn(30); i++ {
+				start := r.Intn(total)
+				n := 1 + r.Intn(total-start)
+				tc.Segments = append(tc.Segments, [2]int{start, n})
+			}
+			// Guarantee coverage: contiguous segmentation of [0,total).
+			pos := 0
+			for pos < total {
+				n := 1 + r.Intn(900)
+				if pos+n > total {
+					n = total - pos
+				}
+				tc.Segments = append(tc.Segments, [2]int{pos, n})
+				pos += n
+			}
+			r.Shuffle(len(tc.Segments), func(i, j int) {
+				tc.Segments[i], tc.Segments[j] = tc.Segments[j], tc.Segments[i]
+			})
+			v[0] = reflect.ValueOf(tc)
+		},
+	}
+	check := func(tc testCase) bool {
+		a := New(Config{
+			Mode:                tc.Mode,
+			Policy:              tc.Policy,
+			MaxBufferedBytes:    1 << 24,
+			MaxBufferedSegments: 1 << 16,
+		})
+		a.Init(0) // first byte at seq 1
+		var got []byte
+		emit := func(b []byte, hole bool) {
+			if hole {
+				t.Logf("unexpected hole (mode %v)", tc.Mode)
+			}
+			got = append(got, b...)
+		}
+		for _, seg := range tc.Segments {
+			start, n := seg[0], seg[1]
+			a.Segment(uint32(1+start), fillContent(int64(start), n), emit)
+		}
+		a.Flush(emit)
+		want := fillContent(0, tc.Total)
+		if !bytes.Equal(got, want) {
+			t.Logf("mode=%v policy=%v total=%d: got %d bytes want %d",
+				tc.Mode, tc.Policy, tc.Total, len(got), len(want))
+			return false
+		}
+		return a.PendingBytes() == 0
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOracleDuplicateStats checks the duplicate accounting against the
+// oracle: total input bytes minus unique coverage equals the sum of
+// duplicate and overlap-discarded bytes.
+func TestOracleDuplicateStats(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		total := 500 + r.Intn(2000)
+		a := New(Config{Mode: ModeFast, MaxBufferedBytes: 1 << 22, MaxBufferedSegments: 1 << 14})
+		a.Init(0)
+		emit := func([]byte, bool) {}
+		fed := 0
+		pos := 0
+		for pos < total {
+			n := 1 + r.Intn(400)
+			if pos+n > total {
+				n = total - pos
+			}
+			// Send each in-order segment, sometimes twice.
+			times := 1 + r.Intn(2)
+			for k := 0; k < times; k++ {
+				a.Segment(uint32(1+pos), fillContent(int64(pos), n), emit)
+				fed += n
+			}
+			pos += n
+		}
+		a.Flush(emit)
+		st := a.Stats()
+		accounted := st.DeliveredBytes + st.DuplicateBytes + st.OverlapNewWins + st.OverlapOldWins
+		if accounted != uint64(fed) {
+			t.Fatalf("trial %d: fed %d, accounted %d (%+v)", trial, fed, accounted, st)
+		}
+		if st.DeliveredBytes != uint64(total) {
+			t.Fatalf("trial %d: delivered %d, want %d", trial, st.DeliveredBytes, total)
+		}
+	}
+}

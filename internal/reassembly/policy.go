@@ -1,0 +1,101 @@
+// Package reassembly implements Scap's transport-layer reassembly engines:
+// the strict and fast ("best-effort") TCP modes described in paper §2.3,
+// target-based overlapping-segment policies in the style of Snort's Stream5
+// (Novak & Sturges 2007) and Shankar & Paxson's Active Mapping, and an IPv4
+// defragmenter used by strict-mode protocol normalization.
+package reassembly
+
+import "fmt"
+
+// Mode selects the TCP reassembly discipline (paper §2.3).
+type Mode uint8
+
+const (
+	// ModeStrict reassembles according to the published guidelines: data
+	// is only delivered in sequence, holes are never skipped, and evasion
+	// attempts based on IP/TCP fragmentation are normalized away. Segments
+	// that cannot be ordered within the buffer budget are dropped with an
+	// error flag.
+	ModeStrict Mode = iota
+	// ModeFast is best-effort: it follows strict semantics while it can
+	// (retransmissions, reordering, overlaps) but when a sequence hole
+	// cannot be filled within the buffer budget it writes through,
+	// flagging the chunk instead of stalling — the resilience-to-loss
+	// behaviour Scap needs under overload.
+	ModeFast
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStrict:
+		return "strict"
+	case ModeFast:
+		return "fast"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Policy selects the target-based overlap resolution: which bytes win when
+// a new segment overlaps data that is buffered but not yet delivered.
+// Different operating systems resolve overlaps differently, and a NIDS must
+// mirror the monitored host's stack or an attacker can desynchronize it
+// (Ptacek & Newsham 1998). The policies here follow the Stream5 model; see
+// each constant for the exact rule implemented.
+type Policy uint8
+
+const (
+	// PolicyFirst keeps the bytes that arrived first, everywhere.
+	PolicyFirst Policy = iota
+	// PolicyLast always prefers the newest copy of every byte.
+	PolicyLast
+	// PolicyBSD keeps old data, except that a new segment beginning
+	// strictly before the old one wins for the whole overlapped range.
+	PolicyBSD
+	// PolicyLinux keeps old data, except that a new segment beginning at
+	// or before the old one's start wins for the overlapped range.
+	PolicyLinux
+	// PolicyWindows behaves like PolicyBSD (the Stream5 table groups
+	// Windows with BSD for this case); kept distinct so per-host policy
+	// configuration reads naturally.
+	PolicyWindows
+	// PolicySolaris keeps old data unless the new segment completely
+	// covers the old one, in which case the new copy wins.
+	PolicySolaris
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFirst:
+		return "first"
+	case PolicyLast:
+		return "last"
+	case PolicyBSD:
+		return "bsd"
+	case PolicyLinux:
+		return "linux"
+	case PolicyWindows:
+		return "windows"
+	case PolicySolaris:
+		return "solaris"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// newWins reports whether the new segment's bytes win the overlapped range
+// against an existing buffered segment, given the relative geometry:
+// newStart/newEnd and oldStart/oldEnd in unwrapped sequence space.
+func (p Policy) newWins(newStart, newEnd, oldStart, oldEnd int64) bool {
+	switch p {
+	case PolicyFirst:
+		return false
+	case PolicyLast:
+		return true
+	case PolicyBSD, PolicyWindows:
+		return newStart < oldStart
+	case PolicyLinux:
+		return newStart <= oldStart
+	case PolicySolaris:
+		return newStart <= oldStart && newEnd >= oldEnd
+	}
+	return false
+}

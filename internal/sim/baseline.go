@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"scap/internal/baseline"
+	"scap/internal/match"
+	"scap/internal/pcapring"
+	"scap/internal/pkt"
+	"scap/internal/trace"
+)
+
+// BaselineKind selects the comparison system.
+type BaselineKind uint8
+
+const (
+	// KindYAF is the flow meter (96-byte snaplen, no reassembly).
+	KindYAF BaselineKind = iota
+	// KindLibnids is the user-level reassembly library.
+	KindLibnids
+	// KindSnort is the Stream5-style preprocessor.
+	KindSnort
+)
+
+func (k BaselineKind) String() string {
+	switch k {
+	case KindYAF:
+		return "yaf"
+	case KindLibnids:
+		return "libnids"
+	case KindSnort:
+		return "snort"
+	}
+	return "baseline"
+}
+
+// BaselineConfig describes one baseline run.
+type BaselineConfig struct {
+	Model     CostModel
+	Kind      BaselineKind
+	App       AppKind
+	Matcher   *match.Matcher
+	RingBytes int   // PF_PACKET ring size (512 MB in the paper)
+	MaxFlows  int   // connection-table limit
+	Cutoff    int64 // user-level cutoff (Figure 8); -1 = unlimited
+	ChunkSize int   // Stream5 flush point
+}
+
+// BaselineSim drives a baseline through the kernel-ring-user pipeline.
+type BaselineSim struct {
+	cfg  BaselineConfig
+	ring *pcapring.Ring
+	nids *baseline.UserReassembler
+	yaf  *baseline.YAF
+	// cores are shared per-core timelines: softirq work lands on the core
+	// RSS steered the frame to; the single-threaded application runs on
+	// core 0 and contends with that core's softirq share.
+	cores      []Server
+	kernelBusy []int64
+	workerBusy int64
+	met        Metrics
+
+	matchStates map[*baseline.UserStream]match.State
+	matchedFlow map[*baseline.UserStream]bool
+	dataFlows   map[pkt.FlowKey]struct{}
+	lastTS      int64
+	lastExpire  int64
+	snaplen     int
+	dec         pkt.Packet
+	pendingUser float64 // cycles accumulated by callbacks during ProcessFrame
+}
+
+// NewBaselineSim builds the pipeline.
+func NewBaselineSim(cfg BaselineConfig) *BaselineSim {
+	if cfg.Model.CoreHz == 0 {
+		cfg.Model = DefaultCostModel()
+	}
+	if cfg.RingBytes <= 0 {
+		cfg.RingBytes = 512 << 20
+	}
+	if cfg.Cutoff == 0 {
+		cfg.Cutoff = baseline.CutoffUnlimited
+	}
+	b := &BaselineSim{
+		cfg:         cfg,
+		cores:       make([]Server, cfg.Model.Cores),
+		kernelBusy:  make([]int64, cfg.Model.Cores),
+		matchStates: make(map[*baseline.UserStream]match.State),
+		matchedFlow: make(map[*baseline.UserStream]bool),
+		dataFlows:   make(map[pkt.FlowKey]struct{}),
+	}
+	b.snaplen = 0
+	onData := func(s *baseline.UserStream, data []byte) {
+		b.met.DeliveredBytes += uint64(len(data))
+		if len(data) > 0 {
+			ck, _ := s.Key.Canonical()
+			b.dataFlows[ck] = struct{}{}
+		}
+		if cfg.App == AppMatch {
+			b.pendingUser += cfg.Model.MatchPerByte * float64(len(data))
+			if cfg.Matcher != nil {
+				st := b.matchStates[s]
+				st = cfg.Matcher.Resume(st, data, func(match.Match) bool {
+					b.met.Matches++
+					if !b.matchedFlow[s] {
+						b.matchedFlow[s] = true
+						b.met.MatchedFlows++
+					}
+					return true
+				})
+				b.matchStates[s] = st
+			}
+		}
+		if s.Closed {
+			delete(b.matchStates, s)
+		}
+	}
+	switch cfg.Kind {
+	case KindYAF:
+		b.snaplen = baseline.YAFSnaplen
+		b.yaf = baseline.NewYAF(0, nil)
+	case KindLibnids:
+		b.nids = baseline.NewLibnids(cfg.MaxFlows, cfg.Cutoff, onData)
+	case KindSnort:
+		chunk := cfg.ChunkSize
+		if chunk <= 0 {
+			chunk = 16 << 10
+		}
+		b.nids = baseline.NewStream5(cfg.MaxFlows, chunk, cfg.Cutoff, onData)
+	}
+	b.ring = pcapring.New(cfg.RingBytes, b.snaplen)
+	return b
+}
+
+// Run replays the source and returns metrics.
+func (b *BaselineSim) Run(src trace.Source, bitsPerSec float64) Metrics {
+	frames, end := trace.Replay(src, bitsPerSec, func(frame []byte, ts int64) bool {
+		b.met.OfferedBytes += uint64(len(frame))
+		b.arrive(frame, ts)
+		return true
+	})
+	b.met.OfferedPackets = frames
+	b.finish(end)
+	return b.met
+}
+
+func (b *BaselineSim) arrive(frame []byte, ts int64) {
+	b.lastTS = ts
+	// Periodic flow expiry, like the libraries' timer callbacks.
+	if ts-b.lastExpire >= int64(1e9) {
+		b.lastExpire = ts
+		if b.nids != nil {
+			b.nids.Expire(ts)
+		}
+		if b.yaf != nil {
+			b.yaf.Expire(ts)
+		}
+	}
+	// User application catches up first: it frees ring space.
+	b.drainUser(ts)
+
+	// Kernel stage: the softirq runs on whichever core RSS steered the
+	// frame to; a cheap hash spreads the work like the paper's multi-queue
+	// interrupt handling.
+	coreIdx := int((uint64(ts)*2654435761 + uint64(len(frame))) % uint64(len(b.cores)))
+	capLen := len(frame)
+	if b.snaplen > 0 && capLen > b.snaplen {
+		capLen = b.snaplen
+	}
+	cycles := b.cfg.Model.PcapPerPacket + b.cfg.Model.PcapPerByte*float64(capLen)
+	b.kernelBusy[coreIdx] += b.cores[coreIdx].Work(ts, cycles, b.cfg.Model.CoreHz)
+
+	b.ring.Push(frame, ts) // drops internally when full
+}
+
+// drainUser lets the single application thread (on core 0) consume ring
+// frames until its clock passes ts.
+func (b *BaselineSim) drainUser(ts int64) {
+	srv := &b.cores[0]
+	for srv.FreeAt() <= ts {
+		f, ok := b.ring.Pop()
+		if !ok {
+			return
+		}
+		cycles := b.userCost(f)
+		b.workerBusy += srv.Work(max64(srv.FreeAt(), f.TS), cycles, b.cfg.Model.CoreHz)
+	}
+}
+
+// userCost runs the real per-frame application work and prices it.
+func (b *BaselineSim) userCost(f pcapring.Frame) float64 {
+	b.pendingUser = 0
+	var cycles float64
+	switch b.cfg.Kind {
+	case KindYAF:
+		b.yaf.ProcessFrame(f)
+		cycles = b.cfg.Model.YafPerPacket
+	case KindLibnids, KindSnort:
+		before := b.nids.Counters()
+		b.nids.ProcessFrame(f)
+		after := b.nids.Counters()
+		perPkt := b.cfg.Model.NidsPerPacket
+		if b.cfg.Kind == KindSnort {
+			perPkt = b.cfg.Model.SnortPerPacket
+		}
+		copied := float64(after.ReassemblyCopy - before.ReassemblyCopy)
+		cycles = perPkt +
+			b.cfg.Model.UserCopyPerByte*copied +
+			b.cfg.Model.RingReadPerByte*float64(len(f.Data)) +
+			b.cfg.Model.ScatterPerByte*copied
+	}
+	return cycles + b.pendingUser
+}
+
+func (b *BaselineSim) finish(end int64) {
+	// Drain whatever the app can still read, then flush flow state.
+	b.drainUser(int64(1) << 62)
+	switch b.cfg.Kind {
+	case KindYAF:
+		b.yaf.Close()
+	default:
+		b.nids.Close()
+	}
+	elapsed := end
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	b.met.ElapsedNs = elapsed
+	rs := b.ring.Stats()
+	b.met.DroppedRing = rs.Dropped
+	var kernelBusy int64
+	for _, kb := range b.kernelBusy {
+		kernelBusy += kb
+	}
+	b.met.KernelBusyNs = kernelBusy
+	b.met.Softirq = float64(kernelBusy) / (float64(elapsed) * float64(b.cfg.Model.Cores))
+	b.met.WorkerBusyNs = b.workerBusy
+	b.met.CPUUser = utilization(b.workerBusy, elapsed)
+	if b.nids != nil {
+		c := b.nids.Counters()
+		b.met.StreamsCreated = c.StreamsTracked * 2
+		// StreamsLost is finalized by the harness, which knows how many
+		// connections the workload actually contained: lost = offered −
+		// (tracked − evicted). Here we record the evictions.
+		b.met.StreamsLost = int(c.StreamsEvicted)
+	}
+	b.met.FlowsWithData = len(b.dataFlows)
+}
+
+// Reassembler exposes the userland reassembler (tests).
+func (b *BaselineSim) Reassembler() *baseline.UserReassembler { return b.nids }

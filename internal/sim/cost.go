@@ -1,0 +1,125 @@
+// Package sim runs the capture systems under a discrete virtual-time
+// pipeline with a calibrated CPU cycle-cost model, replacing the paper's
+// 10 GbE testbed (two Xeon hosts, §6.1). The functional logic that runs is
+// the real code — the Scap engine, the NIC model, the baselines' ring and
+// reassembly — only the *clock* is virtual: each pipeline stage is a
+// single-server queue whose service times are cycle costs divided by the
+// core frequency, and packet loss emerges from bounded queues overflowing
+// exactly as on real hardware.
+//
+// The cost constants are calibrated jointly against the paper's anchor
+// points (see cost_test.go): Libnids/Snort saturate stream delivery around
+// 2.5 Gbit/s while Scap reaches 5.5; YAF saturates flow export near
+// 4 Gbit/s while Scap survives 6 with <10% CPU; one Scap matching worker
+// handles ~1 Gbit/s vs ~0.75 for the baselines; eight workers reach
+// ~5.5 Gbit/s. Absolute numbers are testbed artifacts; the model preserves
+// the cost *ratios* the paper attributes to copies, early discard, and
+// locality.
+package sim
+
+// CostModel prices pipeline operations in CPU cycles.
+type CostModel struct {
+	// CoreHz is cycles per second per core (the testbed's 2 GHz Xeons).
+	CoreHz float64
+	// Cores is the number of physical cores (8 in the paper's sensor).
+	Cores int
+
+	// Kernel path: the PF_PACKET handler used by the baselines.
+	PcapPerPacket float64 // softirq + driver + bookkeeping
+	PcapPerByte   float64 // copy into the mmap ring (after snaplen)
+
+	// Kernel path: the Scap module.
+	ScapPerPacket float64 // flow lookup, stream_t update, event plumbing
+	ScapPerByte   float64 // in-kernel reassembly + write into stream region
+
+	// User level.
+	EventPerChunk   float64 // Scap stub: poll + dispatch one event
+	TouchPerByte    float64 // reading delivered stream data (cache-friendly)
+	RingReadPerByte float64 // baselines reading frames out of the mmap ring
+	MatchPerByte    float64 // Aho-Corasick DFA step per input byte
+	YafPerPacket    float64 // YAF: recv + decode + flow update
+	NidsPerPacket   float64 // Libnids: recv + decode + TCB management
+	SnortPerPacket  float64 // Snort/Stream5: same role, leaner packet path
+	UserCopyPerByte float64 // user-level reassembly copy (the extra copy)
+	ScatterPerByte  float64 // cache-miss penalty for packet-interleaved data
+
+	// Cache model for Figure 7 (L2 misses per packet, computed
+	// analytically from delivered bytes).
+	MissBasePerPacket    float64
+	MissPerByteGrouped   float64 // Scap: consecutive segments stored together
+	MissPerByteScattered float64 // Libnids: segments scattered in memory
+	MissPerByteSnort     float64
+}
+
+// DefaultCostModel returns the calibrated model. The derivation (with the
+// synthetic trace's ~960-byte average frame): one Scap matching worker
+// saturates near 1 Gbit/s when payload×MatchPerByte plus its 1/Cores share
+// of kernel work fills a core; eight workers then saturate near 5.5 Gbit/s
+// because every core also carries kernel reassembly — the paper's
+// explanation for the sub-linear speedup.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CoreHz: 2e9,
+		Cores:  8,
+
+		PcapPerPacket: 1000,
+		PcapPerByte:   3.0,
+
+		ScapPerPacket: 900,
+		ScapPerByte:   7.0,
+
+		EventPerChunk:   300,
+		TouchPerByte:    2.1,
+		RingReadPerByte: 1.5,
+		MatchPerByte:    17,
+		YafPerPacket:    3800,
+		NidsPerPacket:   2000,
+		SnortPerPacket:  1800,
+		UserCopyPerByte: 2.5,
+		ScatterPerByte:  1.5,
+
+		MissBasePerPacket:    4,
+		MissPerByteGrouped:   0.0055,
+		MissPerByteScattered: 0.0140,
+		MissPerByteSnort:     0.0175,
+	}
+}
+
+// Server is one virtual CPU core's timeline. Kernel (softirq) and worker
+// work on the same core share the timeline — Scap deliberately collocates
+// each queue's kernel thread with its worker thread (paper §2.4), and the
+// contention between the two is what shapes the multicore scaling curve.
+// Busy time is accounted per class by the caller.
+type Server struct {
+	freeAt int64 // virtual ns when the current backlog drains
+}
+
+// FreeAt returns when the core next idles.
+func (s *Server) FreeAt() int64 { return s.freeAt }
+
+// Work schedules cycles of work arriving at now; it returns the busy
+// duration added, for the caller's per-class accounting.
+func (s *Server) Work(now int64, cycles, hz float64) int64 {
+	start := now
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	dur := int64(cycles / hz * 1e9)
+	s.freeAt = start + dur
+	return dur
+}
+
+// Idle reports whether the core has no backlog at time now.
+func (s *Server) Idle(now int64) bool { return s.freeAt <= now }
+
+// utilization converts busy nanoseconds to a clamped fraction.
+func utilization(busy, elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+func TestServerWorkSerializes(t *testing.T) {
+	var s Server
+	hz := 1e9 // 1 cycle = 1 ns
+	// Work arriving at t=0 for 100 cycles finishes at 100.
+	if d := s.Work(0, 100, hz); d != 100 {
+		t.Errorf("dur = %d", d)
+	}
+	if s.FreeAt() != 100 {
+		t.Errorf("freeAt = %d", s.FreeAt())
+	}
+	// Work arriving at t=50 queues behind the backlog.
+	s.Work(50, 100, hz)
+	if s.FreeAt() != 200 {
+		t.Errorf("freeAt = %d, want 200 (queued)", s.FreeAt())
+	}
+	// Work arriving after the backlog drains starts at its arrival time.
+	s.Work(1000, 100, hz)
+	if s.FreeAt() != 1100 {
+		t.Errorf("freeAt = %d, want 1100 (idle gap)", s.FreeAt())
+	}
+	if !s.Idle(2000) || s.Idle(1050) {
+		t.Error("Idle wrong")
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	if u := utilization(500, 1000); u != 0.5 {
+		t.Errorf("u = %v", u)
+	}
+	if u := utilization(2000, 1000); u != 1 {
+		t.Errorf("overload u = %v, want clamp to 1", u)
+	}
+	if u := utilization(10, 0); u != 0 {
+		t.Errorf("zero elapsed u = %v", u)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.CoreHz != 2e9 || m.Cores != 8 {
+		t.Errorf("testbed shape wrong: %+v", m)
+	}
+	// The calibrated orderings the figures depend on.
+	if m.ScapPerByte <= m.PcapPerByte {
+		t.Error("kernel reassembly must cost more per byte than a ring copy")
+	}
+	if m.MatchPerByte <= m.TouchPerByte {
+		t.Error("matching must dominate touching")
+	}
+	if m.MissPerByteScattered <= m.MissPerByteGrouped {
+		t.Error("scattered data must miss more than grouped data")
+	}
+	if m.NidsPerPacket <= m.ScapPerPacket-1000 {
+		t.Error("per-packet cost ordering broken")
+	}
+}
+
+func TestMetricsLossFractionConversion(t *testing.T) {
+	m := Metrics{
+		OfferedPackets:    1000,
+		DroppedPPL:        100,
+		DroppedEvents:     5,
+		DroppedEventBytes: 50_000,
+		AvgPayload:        1000,
+	}
+	// 100 PPL + 50 packet-equivalents from chunk bytes.
+	if got := m.PacketLossFraction(); got != 0.15 {
+		t.Errorf("loss = %v, want 0.15", got)
+	}
+	// Without AvgPayload, chunk count is used directly.
+	m.AvgPayload = 0
+	if got := m.PacketLossFraction(); got != 0.105 {
+		t.Errorf("loss = %v, want 0.105", got)
+	}
+	// Clamped to 1.
+	m.DroppedPPL = 10_000
+	if got := m.PacketLossFraction(); got != 1 {
+		t.Errorf("loss = %v, want 1", got)
+	}
+}

@@ -1,0 +1,407 @@
+package sim
+
+import (
+	"math/rand"
+
+	"scap/internal/core"
+	"scap/internal/event"
+	"scap/internal/match"
+	"scap/internal/mem"
+	"scap/internal/nic"
+	"scap/internal/pkt"
+	"scap/internal/reassembly"
+	"scap/internal/trace"
+)
+
+// AppKind selects the user-level application the workers run.
+type AppKind uint8
+
+const (
+	// AppFlowStats consumes creation/termination events only (the §3.3.1
+	// flow-export application; used with cutoff 0).
+	AppFlowStats AppKind = iota
+	// AppDelivery receives every chunk and only touches the bytes.
+	AppDelivery
+	// AppMatch runs Aho-Corasick over every delivered chunk (§3.3.2).
+	AppMatch
+)
+
+// PrioritySetter assigns a PPL priority to new streams (Figure 9); nil
+// leaves every stream at priority 0.
+type PrioritySetter func(info *pkt.FlowKey) int
+
+// ScapConfig describes one Scap run under the simulator.
+type ScapConfig struct {
+	Model          CostModel
+	Engine         core.Config
+	Workers        int
+	Queues         int   // NIC queues; 0 = Model.Cores
+	MemBytes       int64 // stream memory budget
+	EventQCap      int
+	Matcher        *match.Matcher // for AppMatch
+	App            AppKind
+	Priority       PrioritySetter
+	BaseThresh     float64
+	OverloadCutoff int64
+}
+
+// Metrics is the measured outcome of one simulated run, with fields for
+// every series the paper's figures plot.
+type Metrics struct {
+	OfferedPackets uint64
+	OfferedBytes   uint64
+	ElapsedNs      int64
+
+	// Loss accounting.
+	DroppedRing       uint64 // NIC ring overflow (capture loss)
+	DroppedPPL        uint64 // PPL sheds under memory pressure
+	DroppedEvents     uint64 // chunks lost to a full event queue
+	DroppedEventBytes uint64 // payload bytes in those chunks
+	DroppedAtNIC      uint64 // FDIR drop filters (intentional, not loss)
+	// AvgPayload is payload bytes per packet seen by the engines, used to
+	// convert chunk losses to packet equivalents.
+	AvgPayload float64
+
+	// Work accounting.
+	KernelBusyNs int64
+	WorkerBusyNs int64
+	CPUUser      float64 // busiest worker's utilization
+	Softirq      float64 // kernel cycles over all-cores capacity
+
+	DeliveredBytes uint64
+	Matches        uint64
+	MatchedFlows   int
+	// FlowsWithData counts connections for which at least one chunk
+	// reached the application — the complement of the paper's "lost
+	// streams" metric (Figures 5c, 6c).
+	FlowsWithData int
+
+	StreamsCreated uint64 // directions
+	StreamsLost    int    // connections never tracked or fully dropped
+
+	// High/low priority split (Figure 9).
+	DroppedHigh, DroppedLow uint64
+	PktsHigh, PktsLow       uint64
+}
+
+// PacketLossFraction returns lost packets / offered, counting involuntary
+// losses only: ring overflow, PPL sheds, and event-queue chunk losses
+// converted to packet equivalents via the average payload size.
+func (m *Metrics) PacketLossFraction() float64 {
+	if m.OfferedPackets == 0 {
+		return 0
+	}
+	lost := float64(m.DroppedRing + m.DroppedPPL)
+	if m.AvgPayload > 0 {
+		lost += float64(m.DroppedEventBytes) / m.AvgPayload
+	} else {
+		lost += float64(m.DroppedEvents)
+	}
+	if lost > float64(m.OfferedPackets) {
+		lost = float64(m.OfferedPackets)
+	}
+	return lost / float64(m.OfferedPackets)
+}
+
+// ScapSim drives the real engine pipeline under virtual time.
+type ScapSim struct {
+	cfg     ScapConfig
+	nicDev  *nic.NIC
+	engines []*core.Engine
+	queues  []*event.Queue
+	// cores are the shared per-core timelines: queue q's kernel thread
+	// runs on cores[q], worker w on cores[w] — collocated like Scap's
+	// kernel/worker thread pairs.
+	cores       []Server
+	kernelBusy  []int64
+	workerBusy  []int64
+	workerCount int
+	mm          *mem.Manager
+
+	matchStates map[uint64]match.State
+	matchedFlow map[uint64]bool
+	dataFlows   map[pkt.FlowKey]struct{}
+	met         Metrics
+	lastTS      int64
+	lastTimer   int64
+}
+
+// NewScapSim builds the pipeline.
+func NewScapSim(cfg ScapConfig) *ScapSim {
+	if cfg.Model.CoreHz == 0 {
+		cfg.Model = DefaultCostModel()
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = cfg.Model.Cores
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = 1 << 30
+	}
+	if cfg.EventQCap <= 0 {
+		cfg.EventQCap = 1 << 14
+	}
+	nCores := cfg.Queues
+	if cfg.Workers > nCores {
+		nCores = cfg.Workers
+	}
+	s := &ScapSim{
+		cfg: cfg,
+		nicDev: nic.New(nic.Config{
+			Queues:         cfg.Queues,
+			Defragment:     cfg.Engine.Mode == reassembly.ModeStrict,
+			DynamicBalance: true,
+		}),
+		cores:       make([]Server, nCores),
+		kernelBusy:  make([]int64, nCores),
+		workerBusy:  make([]int64, nCores),
+		workerCount: cfg.Workers,
+		matchStates: make(map[uint64]match.State),
+		matchedFlow: make(map[uint64]bool),
+		dataFlows:   make(map[pkt.FlowKey]struct{}),
+	}
+	s.mm = mem.New(mem.Config{
+		Size:           cfg.MemBytes,
+		BaseThreshold:  cfg.BaseThresh,
+		Priorities:     cfg.Engine.Priorities,
+		OverloadCutoff: cfg.OverloadCutoff,
+	})
+	rng := rand.New(rand.NewSource(12345))
+	for q := 0; q < cfg.Queues; q++ {
+		eq := event.NewQueue(cfg.EventQCap)
+		s.queues = append(s.queues, eq)
+		s.engines = append(s.engines, core.NewEngine(core.Options{
+			Config: cfg.Engine,
+			Mem:    s.mm,
+			NIC:    s.nicDev,
+			Queue:  eq,
+			CoreID: q,
+			Rand:   rng,
+		}))
+	}
+	return s
+}
+
+// Run replays the source at the given rate and returns the metrics.
+func (s *ScapSim) Run(src trace.Source, bitsPerSec float64) Metrics {
+	frames, end := trace.Replay(src, bitsPerSec, func(frame []byte, ts int64) bool {
+		s.met.OfferedBytes += uint64(len(frame))
+		s.arrive(frame, ts)
+		return true
+	})
+	s.met.OfferedPackets = frames
+	s.finish(end)
+	return s.met
+}
+
+// timerPeriod is how often (virtual ns) the kernel timer work runs, like
+// the kernel module's periodic sweep.
+const timerPeriod = int64(10e6)
+
+// arrive processes one frame arrival at virtual time ts.
+func (s *ScapSim) arrive(frame []byte, ts int64) {
+	s.lastTS = ts
+	// Let every stage catch up to the new arrival time first.
+	if ts-s.lastTimer >= timerPeriod {
+		s.lastTimer = ts
+		s.drainKernels(ts)
+	}
+	s.drainWorkers(ts)
+
+	q := s.nicDev.Receive(frame, ts)
+	if q < 0 {
+		return // dropped at NIC (filter, ring, or undecodable)
+	}
+	// Kernel thread for queue q picks the frame up when free.
+	s.serveQueue(q, ts)
+}
+
+// serveQueue runs the kernel stage for everything currently in NIC queue q
+// that the kernel server can start before blocking the simulation's
+// causality (it may run ahead of ts; that just means backlog).
+func (s *ScapSim) serveQueue(q int, now int64) {
+	eng := s.engines[q]
+	for {
+		f, ok := s.nicDev.Poll(q)
+		if !ok {
+			return
+		}
+		before := eng.Stats()
+		eng.HandleFrame(f.Data, f.TS)
+		after := eng.Stats()
+		stored := after.StoredBytes - before.StoredBytes
+		cycles := s.cfg.Model.ScapPerPacket + s.cfg.Model.ScapPerByte*float64(stored)
+		s.kernelBusy[q] += s.cores[q].Work(now, cycles, s.cfg.Model.CoreHz)
+	}
+}
+
+func (s *ScapSim) drainKernels(ts int64) {
+	// Periodic timer work: expiry, flush timeouts, filter deadlines.
+	for _, eng := range s.engines {
+		eng.CheckTimers(ts)
+	}
+}
+
+// workerQueues lists the queues worker w polls (round-robin assignment
+// when workers < queues).
+func (s *ScapSim) workerQueues(w int) []int {
+	var qs []int
+	for q := w; q < len(s.queues); q += s.workerCount {
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// drainWorkers lets each worker consume events until its virtual clock
+// passes ts.
+func (s *ScapSim) drainWorkers(ts int64) {
+	for w := 0; w < s.workerCount; w++ {
+		s.drainWorker(w, ts)
+	}
+}
+
+func (s *ScapSim) drainWorker(w int, until int64) {
+	srv := &s.cores[w]
+	qs := s.workerQueues(w)
+	for srv.FreeAt() <= until {
+		progressed := false
+		for _, q := range qs {
+			ev, ok := s.queues[q].Poll()
+			if !ok {
+				continue
+			}
+			progressed = true
+			cycles := s.consumeEvent(w, q, &ev)
+			s.workerBusy[w] += srv.Work(max64(srv.FreeAt(), ev.Info.Stats.End), cycles, s.cfg.Model.CoreHz)
+			if srv.FreeAt() > until {
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// consumeEvent is the user-level application: it prices the callback and
+// performs the real app work (matching), then releases chunk memory.
+func (s *ScapSim) consumeEvent(w, q int, ev *event.Event) float64 {
+	cycles := s.cfg.Model.EventPerChunk
+	switch ev.Type {
+	case event.Creation:
+		if s.cfg.Priority != nil {
+			if p := s.cfg.Priority(&ev.Info.Key); p != 0 {
+				s.engines[q].Control(core.Ctrl{
+					Op: core.OpSetPriority, Stream: ev.Stream, ID: ev.Info.ID, Value: int64(p),
+				})
+			}
+		}
+	case event.Data:
+		s.met.DeliveredBytes += uint64(len(ev.Data))
+		if len(ev.Data) > 0 {
+			ck, _ := ev.Info.Key.Canonical()
+			s.dataFlows[ck] = struct{}{}
+		}
+		switch s.cfg.App {
+		case AppDelivery:
+			cycles += s.cfg.Model.TouchPerByte * float64(len(ev.Data))
+		case AppMatch:
+			cycles += s.cfg.Model.MatchPerByte * float64(len(ev.Data))
+			if s.cfg.Matcher != nil {
+				st := s.matchStates[ev.Info.ID]
+				st = s.cfg.Matcher.Resume(st, ev.Data, func(match.Match) bool {
+					s.met.Matches++
+					if !s.matchedFlow[ev.Info.ID] {
+						s.matchedFlow[ev.Info.ID] = true
+						s.met.MatchedFlows++
+					}
+					return true
+				})
+				s.matchStates[ev.Info.ID] = st
+			}
+		}
+		if ev.Accounted > 0 {
+			s.mm.Release(ev.Accounted)
+		}
+		if ev.Last {
+			delete(s.matchStates, ev.Info.ID)
+		}
+	case event.Termination:
+		// Per-priority loss split (Figure 9).
+		if ev.Info.Priority > 0 {
+			s.met.PktsHigh += ev.Info.Stats.Pkts
+			s.met.DroppedHigh += ev.Info.Stats.DroppedPkts
+		} else {
+			s.met.PktsLow += ev.Info.Stats.Pkts
+			s.met.DroppedLow += ev.Info.Stats.DroppedPkts
+		}
+		delete(s.matchStates, ev.Info.ID)
+	}
+	return cycles
+}
+
+// finish drains all queues and computes the final metrics.
+func (s *ScapSim) finish(end int64) {
+	for _, eng := range s.engines {
+		eng.CheckTimers(end + int64(60e9))
+		eng.Shutdown()
+	}
+	const horizon = int64(1) << 62
+	s.drainWorkers(horizon)
+
+	nicStats := s.nicDev.Stats()
+	s.met.DroppedRing = nicStats.DroppedRing
+	s.met.DroppedAtNIC = nicStats.DroppedFilter
+
+	var kernelBusy int64
+	for _, b := range s.kernelBusy {
+		kernelBusy += b
+	}
+	s.met.KernelBusyNs = kernelBusy
+	elapsed := end
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	s.met.ElapsedNs = elapsed
+	s.met.Softirq = float64(kernelBusy) / (float64(elapsed) * float64(s.cfg.Model.Cores))
+	var maxU float64
+	var workerBusy int64
+	for w := 0; w < s.workerCount; w++ {
+		workerBusy += s.workerBusy[w]
+		if u := utilization(s.workerBusy[w], elapsed); u > maxU {
+			maxU = u
+		}
+	}
+	s.met.WorkerBusyNs = workerBusy
+	s.met.CPUUser = maxU
+
+	var payload, packets uint64
+	for _, eng := range s.engines {
+		st := eng.Stats()
+		s.met.DroppedPPL += st.PPLDroppedPkts
+		s.met.DroppedEvents += st.EventsLost
+		s.met.DroppedEventBytes += st.EventsLostBytes
+		s.met.StreamsCreated += st.StreamsCreated
+		payload += st.PayloadBytes
+		packets += st.Packets
+	}
+	if packets > 0 {
+		s.met.AvgPayload = float64(payload) / float64(packets)
+	}
+	s.met.FlowsWithData = len(s.dataFlows)
+}
+
+// Engines exposes the engines (for priority counters in Figure 9 runs).
+func (s *ScapSim) Engines() []*core.Engine { return s.engines }
+
+// Mem exposes the shared memory manager.
+func (s *ScapSim) Mem() *mem.Manager { return s.mm }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

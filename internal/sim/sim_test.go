@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"scap/internal/core"
+	"scap/internal/match"
+	"scap/internal/pkt"
+	"scap/internal/reassembly"
+	"scap/internal/trace"
+)
+
+// Shared workload for the anchor tests: generated once, replayed per run.
+// Buffer sizes are scaled to the trace the way the paper's 512 MB ring and
+// 1 GB stream memory relate to its 46 GB trace.
+var (
+	testWorkloadOnce sync.Once
+	testFrames       *trace.SliceSource
+	testGen          *trace.Generator
+	testPatterns     [][]byte
+	testMatcher      *match.Matcher
+)
+
+// Buffer sizes are scaled to the ~125 MB synthetic trace. The ring follows
+// the paper's byte ratio (512 MB / 46 GB ≈ 1.1%). Stream memory is sized
+// by the dimension that matters for it — how long a burst it can absorb:
+// the paper's 1 GB holds ≈ 8 s of one worker's chunk throughput, far more
+// than any burst in its 60 s replays, so memory never binds below
+// saturation; 16 MB (≈ 140 ms) preserves that regime at our scale while
+// still filling quickly under sustained overload (the PPL experiments).
+const (
+	testRing = 2 << 20
+	testMem  = 16 << 20
+)
+
+func workload(t testing.TB) (*trace.SliceSource, *trace.Generator) {
+	testWorkloadOnce.Do(func() {
+		testPatterns = genPatterns(400)
+		var err error
+		testMatcher, err = match.New(testPatterns)
+		if err != nil {
+			panic(err)
+		}
+		testGen = trace.NewGenerator(trace.GenConfig{
+			Seed:          77,
+			Flows:         8000,
+			Concurrency:   128,
+			Alpha:         0.8, // heavy tail: ~18% of bytes within 10 KB cutoffs
+			MinFlowBytes:  400,
+			MaxFlowBytes:  20 << 20,
+			EmbedPatterns: testPatterns,
+			EmbedProb:     0.5,
+		})
+		testFrames = &trace.SliceSource{Frames: trace.Collect(testGen, 0)}
+	})
+	testFrames.Reset()
+	return testFrames, testGen
+}
+
+func genPatterns(n int) [][]byte {
+	// Deterministic pseudo-attack strings, >= 8 bytes so spontaneous
+	// matches in random payload are vanishingly rare.
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, 8+i%12)
+		x := uint32(i)*2654435761 + 12345
+		for j := range p {
+			x = x*1664525 + 1013904223
+			p[j] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ#$%"[x%29]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+const gbit = 1e9
+
+func scapRun(t testing.TB, app AppKind, workers int, rate float64, mut func(*ScapConfig)) Metrics {
+	src, _ := workload(t)
+	cfg := ScapConfig{
+		Engine: core.Config{
+			Cutoff:            core.CutoffUnlimited,
+			Mode:              reassembly.ModeFast, // the evaluation's SCAP_TCP_FAST
+			InactivityTimeout: 10e9,
+		},
+		Workers:  workers,
+		MemBytes: testMem,
+		App:      app,
+		Matcher:  testMatcher,
+	}
+	if app == AppFlowStats {
+		cfg.Engine.Cutoff = 0
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return NewScapSim(cfg).Run(src, rate)
+}
+
+func baselineRun(t testing.TB, kind BaselineKind, app AppKind, rate float64, mut func(*BaselineConfig)) Metrics {
+	src, _ := workload(t)
+	cfg := BaselineConfig{
+		Kind:      kind,
+		App:       app,
+		Matcher:   testMatcher,
+		RingBytes: testRing,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return NewBaselineSim(cfg).Run(src, rate)
+}
+
+// --- Figure 3 anchors: flow-statistics export ---
+
+func TestFlowExportScapSurvives6G(t *testing.T) {
+	m := scapRun(t, AppFlowStats, 1, 6*gbit, nil)
+	if loss := m.PacketLossFraction(); loss > 0.01 {
+		t.Errorf("Scap flow export at 6G: loss %.3f, want ~0", loss)
+	}
+	if m.CPUUser > 0.15 {
+		t.Errorf("Scap flow export CPU = %.2f, want < 0.15", m.CPUUser)
+	}
+	if m.Softirq > 0.10 {
+		t.Errorf("Scap flow export softirq = %.2f, want small (no payload copies)", m.Softirq)
+	}
+}
+
+func TestFlowExportScapFDIRReducesSoftirq(t *testing.T) {
+	plain := scapRun(t, AppFlowStats, 1, 6*gbit, nil)
+	fdir := scapRun(t, AppFlowStats, 1, 6*gbit, func(c *ScapConfig) {
+		c.Engine.UseFDIR = true
+	})
+	if fdir.DroppedAtNIC == 0 {
+		t.Fatal("FDIR installed no drops")
+	}
+	if fdir.Softirq >= plain.Softirq {
+		t.Errorf("FDIR softirq %.4f not below plain %.4f", fdir.Softirq, plain.Softirq)
+	}
+	if loss := fdir.PacketLossFraction(); loss > 0.01 {
+		t.Errorf("FDIR flow export loss %.3f", loss)
+	}
+}
+
+func TestFlowExportLibnidsSaturates(t *testing.T) {
+	low := baselineRun(t, KindLibnids, AppFlowStats, 1.5*gbit, nil)
+	if loss := low.PacketLossFraction(); loss > 0.02 {
+		t.Errorf("libnids at 1.5G: loss %.3f, want ~0", loss)
+	}
+	high := baselineRun(t, KindLibnids, AppFlowStats, 4*gbit, nil)
+	if loss := high.PacketLossFraction(); loss < 0.10 {
+		t.Errorf("libnids at 4G: loss %.3f, want substantial", loss)
+	}
+	// The worker shares its core with that core's softirq load, so its
+	// own utilization tops out below 1.
+	if high.CPUUser < 0.75 {
+		t.Errorf("libnids at 4G CPU = %.2f, want near-saturated", high.CPUUser)
+	}
+}
+
+func TestFlowExportYAFBetweenLibnidsAndScap(t *testing.T) {
+	y3 := baselineRun(t, KindYAF, AppFlowStats, 2.5*gbit, nil)
+	if loss := y3.PacketLossFraction(); loss > 0.02 {
+		t.Errorf("yaf at 2.5G: loss %.3f, want ~0", loss)
+	}
+	y6 := baselineRun(t, KindYAF, AppFlowStats, 6*gbit, nil)
+	if loss := y6.PacketLossFraction(); loss < 0.05 {
+		t.Errorf("yaf at 6G: loss %.3f, want loss (saturated)", loss)
+	}
+	n6 := baselineRun(t, KindLibnids, AppFlowStats, 6*gbit, nil)
+	if y6.PacketLossFraction() >= n6.PacketLossFraction() {
+		t.Errorf("yaf should lose less than libnids at 6G: %.3f vs %.3f",
+			y6.PacketLossFraction(), n6.PacketLossFraction())
+	}
+}
+
+// --- Figure 4 anchors: full stream delivery ---
+
+func TestDeliveryScapTwiceBaselineRate(t *testing.T) {
+	s4 := scapRun(t, AppDelivery, 1, 4*gbit, nil)
+	if loss := s4.PacketLossFraction(); loss > 0.02 {
+		t.Errorf("Scap delivery at 4G: loss %.3f, want ~0", loss)
+	}
+	n4 := baselineRun(t, KindLibnids, AppDelivery, 4*gbit, nil)
+	if loss := n4.PacketLossFraction(); loss < 0.2 {
+		t.Errorf("libnids delivery at 4G: loss %.3f, want heavy", loss)
+	}
+	n2 := baselineRun(t, KindLibnids, AppDelivery, 2*gbit, nil)
+	if loss := n2.PacketLossFraction(); loss > 0.05 {
+		t.Errorf("libnids delivery at 2G: loss %.3f, want ~0", loss)
+	}
+	// Snort behaves like libnids here.
+	sn2 := baselineRun(t, KindSnort, AppDelivery, 2*gbit, nil)
+	if loss := sn2.PacketLossFraction(); loss > 0.05 {
+		t.Errorf("snort delivery at 2G: loss %.3f", loss)
+	}
+}
+
+func TestDeliveryScapCheaperCPU(t *testing.T) {
+	s2 := scapRun(t, AppDelivery, 1, 2*gbit, nil)
+	n2 := baselineRun(t, KindLibnids, AppDelivery, 2*gbit, nil)
+	if s2.CPUUser >= n2.CPUUser {
+		t.Errorf("Scap user CPU %.2f not below libnids %.2f at 2G", s2.CPUUser, n2.CPUUser)
+	}
+	// The flip side: Scap does the reassembly in the kernel, so its
+	// softirq share is higher than the baselines' simple ring copy.
+	if s2.Softirq <= n2.Softirq {
+		t.Errorf("Scap softirq %.3f should exceed libnids %.3f when delivering streams",
+			s2.Softirq, n2.Softirq)
+	}
+}
+
+// --- Figure 6 anchors: pattern matching ---
+
+func TestMatchingScapHandlesHigherRate(t *testing.T) {
+	s := scapRun(t, AppMatch, 1, 0.9*gbit, nil)
+	if loss := s.PacketLossFraction(); loss > 0.02 {
+		t.Errorf("Scap matching at 0.9G: loss %.3f, want ~0", loss)
+	}
+	n := baselineRun(t, KindLibnids, AppMatch, 0.9*gbit, nil)
+	sn := baselineRun(t, KindSnort, AppMatch, 0.9*gbit, nil)
+	if n.PacketLossFraction() < 0.01 && sn.PacketLossFraction() < 0.01 {
+		t.Errorf("baselines at 0.9G should already drop: libnids %.3f snort %.3f",
+			n.PacketLossFraction(), sn.PacketLossFraction())
+	}
+}
+
+func TestMatchingAccuracyUnderOverload(t *testing.T) {
+	_, gen := workload(t)
+	s := scapRun(t, AppMatch, 1, 6*gbit, nil)
+	n := baselineRun(t, KindLibnids, AppMatch, 6*gbit, nil)
+	if s.MatchedFlows <= n.MatchedFlows {
+		t.Errorf("at 6G Scap matched %d flows vs libnids %d — paper expects a large Scap lead",
+			s.MatchedFlows, n.MatchedFlows)
+	}
+	if gen.Embedded > 0 {
+		sr := float64(s.MatchedFlows) / float64(gen.Embedded)
+		nr := float64(n.MatchedFlows) / float64(gen.Embedded)
+		t.Logf("match recall at 6G: scap %.2f libnids %.2f (embedded %d)", sr, nr, gen.Embedded)
+		// The paper sees 50% vs <10% (a 5× lead); our synthetic trace has
+		// far smaller flows (patterns survive in fewer packets), so the
+		// lead is smaller but must stay decisive.
+		if sr < 1.4*nr {
+			t.Errorf("Scap recall %.2f not clearly above libnids %.2f", sr, nr)
+		}
+		if sr < 0.35 {
+			t.Errorf("Scap recall %.2f under heavy overload, want >= 0.35", sr)
+		}
+	}
+}
+
+func TestMatchingFullRecallAtLowRate(t *testing.T) {
+	_, gen := workload(t)
+	s := scapRun(t, AppMatch, 1, 0.25*gbit, nil)
+	if gen.Embedded == 0 {
+		t.Fatal("no embedded patterns")
+	}
+	recall := float64(s.MatchedFlows) / float64(gen.Embedded)
+	if recall < 0.99 {
+		t.Errorf("recall at idle rate = %.3f (matched %d of %d)", recall, s.MatchedFlows, gen.Embedded)
+	}
+}
+
+// --- Figure 8 anchor: kernel cutoff eliminates loss, user cutoff does not ---
+
+func TestCutoffPlacementMatters(t *testing.T) {
+	const rate = 4 * gbit
+	scap := scapRun(t, AppMatch, 1, rate, func(c *ScapConfig) {
+		c.Engine.Cutoff = 10 << 10
+	})
+	if loss := scap.PacketLossFraction(); loss > 0.02 {
+		t.Errorf("Scap 10KB cutoff at 4G: loss %.3f, want ~0", loss)
+	}
+	noCut := scapRun(t, AppMatch, 1, rate, nil)
+	// The in-kernel cutoff must take the worker from saturation to
+	// headroom (the paper sees 97% → 22%; our synthetic tail is lighter,
+	// so the reduction is smaller but must still be decisive).
+	if scap.CPUUser > 0.9 || scap.CPUUser >= noCut.CPUUser {
+		t.Errorf("Scap 10KB cutoff CPU = %.2f (no cutoff %.2f), want clear relief",
+			scap.CPUUser, noCut.CPUUser)
+	}
+	nids := baselineRun(t, KindLibnids, AppMatch, rate, func(c *BaselineConfig) {
+		c.Cutoff = 10 << 10
+	})
+	if loss := nids.PacketLossFraction(); loss < 0.2 {
+		t.Errorf("libnids with user-level cutoff at 4G: loss %.3f — cutoff should not save it", loss)
+	}
+}
+
+// --- Figure 9 anchor: PPL protects high-priority streams ---
+
+func TestPPLPrioritiesProtectHigh(t *testing.T) {
+	// Port 22 carries ~5% of the synthetic flows, matching the paper's
+	// choice of a minority class (port 80 is 8.4% of *their* trace but
+	// 55% of ours): PPL can only protect a class whose own demand fits
+	// the system's capacity.
+	m := scapRun(t, AppMatch, 1, 5*gbit, func(c *ScapConfig) {
+		c.Engine.Priorities = 2
+		c.BaseThresh = 0.5
+		c.Priority = func(k *pkt.FlowKey) int {
+			if k.SrcPort == 22 || k.DstPort == 22 {
+				return 1
+			}
+			return 0
+		}
+	})
+	if m.PktsHigh == 0 || m.PktsLow == 0 {
+		t.Fatalf("priority split missing: high=%d low=%d", m.PktsHigh, m.PktsLow)
+	}
+	lowLoss := float64(m.DroppedLow) / float64(m.PktsLow)
+	highLoss := float64(m.DroppedHigh) / float64(m.PktsHigh)
+	t.Logf("PPL at 5G: high loss %.4f low loss %.4f", highLoss, lowLoss)
+	if lowLoss < 0.05 {
+		t.Errorf("low-priority loss %.4f — overload not reached", lowLoss)
+	}
+	if highLoss > lowLoss/4 {
+		t.Errorf("high-priority loss %.4f not well below low %.4f", highLoss, lowLoss)
+	}
+}
+
+// TestOverloadCutoffPreservesStreamHeads validates the §2.2 overload
+// cutoff: under the same overload, trimming streams beyond a byte position
+// (instead of dropping whole packets blindly) preserves more stream heads —
+// measured as pattern recall, since patterns sit near stream starts.
+func TestOverloadCutoffPreservesStreamHeads(t *testing.T) {
+	_, gen := workload(t)
+	const rate = 4 * gbit
+	plain := scapRun(t, AppMatch, 1, rate, func(c *ScapConfig) {
+		c.BaseThresh = 0.5
+	})
+	trimmed := scapRun(t, AppMatch, 1, rate, func(c *ScapConfig) {
+		c.BaseThresh = 0.5
+		c.OverloadCutoff = 8 << 10
+	})
+	if gen.Embedded == 0 {
+		t.Fatal("no embedded patterns")
+	}
+	pr := float64(plain.MatchedFlows) / float64(gen.Embedded)
+	tr := float64(trimmed.MatchedFlows) / float64(gen.Embedded)
+	t.Logf("recall at 4G: plain %.3f, overload-cutoff %.3f", pr, tr)
+	if tr <= pr {
+		t.Errorf("overload cutoff did not improve recall: %.3f <= %.3f", tr, pr)
+	}
+}
+
+// --- Figure 10 anchor: multicore scaling ---
+
+func TestMulticoreScaling(t *testing.T) {
+	one := scapRun(t, AppMatch, 1, 3*gbit, nil)
+	if loss := one.PacketLossFraction(); loss < 0.1 {
+		t.Errorf("1 worker at 3G: loss %.3f, expected overload", loss)
+	}
+	eight := scapRun(t, AppMatch, 8, 3*gbit, nil)
+	// Heavy-tailed flows make the per-queue load uneven (the paper's
+	// motivation for FDIR-based rebalancing), so a small residual loss on
+	// the hottest core is expected at our trace scale.
+	if loss := eight.PacketLossFraction(); loss > 0.1 || loss > one.PacketLossFraction()/3 {
+		t.Errorf("8 workers at 3G: loss %.3f (1 worker: %.3f), want a large improvement",
+			loss, one.PacketLossFraction())
+	}
+}
+
+// --- Figure 5 anchor: concurrent streams ---
+
+func TestConcurrentStreamsTableLimits(t *testing.T) {
+	mkSrc := func() *trace.SliceSource {
+		g := trace.ConcurrentStreamsWorkload(9, 4000, 2000, 20, 1460)
+		return &trace.SliceSource{Frames: trace.Collect(g, 0)}
+	}
+	// Baseline with a 1000-connection table loses most streams.
+	nids := NewBaselineSim(BaselineConfig{
+		Kind: KindLibnids, App: AppDelivery, RingBytes: testRing, MaxFlows: 1000,
+	})
+	nm := nids.Run(mkSrc(), 1*gbit)
+	c := nids.Reassembler().Counters()
+	if c.StreamsRefused == 0 {
+		t.Errorf("libnids with 1000-flow table refused nothing: %+v", c)
+	}
+	_ = nm
+	// Scap with dynamic tables tracks everything.
+	scap := NewScapSim(ScapConfig{
+		Engine:   core.Config{Cutoff: core.CutoffUnlimited, Mode: reassembly.ModeFast},
+		Workers:  1,
+		MemBytes: 64 << 20,
+		App:      AppDelivery,
+	})
+	sm := scap.Run(mkSrc(), 1*gbit)
+	if sm.StreamsCreated < 4000*2 {
+		t.Errorf("Scap tracked %d directions, want %d", sm.StreamsCreated, 8000)
+	}
+	if loss := sm.PacketLossFraction(); loss > 0.02 {
+		t.Errorf("Scap with 2000 concurrent streams at 1G: loss %.3f", loss)
+	}
+}

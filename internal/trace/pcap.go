@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// pcap file constants (libpcap classic format).
+const (
+	pcapMagicMicros = 0xa1b2c3d4
+	pcapMagicNanos  = 0xa1b23c4d
+	pcapVersionMaj  = 2
+	pcapVersionMin  = 4
+	pcapLinkEth     = 1
+	pcapHeaderLen   = 24
+	pcapRecordLen   = 16
+)
+
+// ErrNotPcap reports a bad magic number.
+var ErrNotPcap = errors.New("trace: not a pcap file")
+
+// PcapWriter streams frames into a classic pcap file with nanosecond
+// timestamps.
+type PcapWriter struct {
+	w       *bufio.Writer
+	snaplen int
+	wrote   bool
+}
+
+// NewPcapWriter creates a writer; snaplen 0 means no truncation (65535).
+func NewPcapWriter(w io.Writer, snaplen int) *PcapWriter {
+	if snaplen <= 0 {
+		snaplen = 65535
+	}
+	return &PcapWriter{w: bufio.NewWriterSize(w, 1<<16), snaplen: snaplen}
+}
+
+func (pw *PcapWriter) writeHeader() error {
+	var h [pcapHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], pcapMagicNanos)
+	binary.LittleEndian.PutUint16(h[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(h[6:8], pcapVersionMin)
+	binary.LittleEndian.PutUint32(h[16:20], uint32(pw.snaplen))
+	binary.LittleEndian.PutUint32(h[20:24], pcapLinkEth)
+	_, err := pw.w.Write(h[:])
+	return err
+}
+
+// Write appends one frame captured at ts (nanoseconds).
+func (pw *PcapWriter) Write(frame []byte, ts int64) error {
+	if !pw.wrote {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.wrote = true
+	}
+	capLen := len(frame)
+	if capLen > pw.snaplen {
+		capLen = pw.snaplen
+	}
+	var rec [pcapRecordLen]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts/1e9))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts%1e9))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(frame[:capLen])
+	return err
+}
+
+// Flush drains buffered output. Writers over files must Flush before close.
+func (pw *PcapWriter) Flush() error {
+	if !pw.wrote {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.wrote = true
+	}
+	return pw.w.Flush()
+}
+
+// PcapReader iterates a classic pcap file (microsecond or nanosecond,
+// either byte order).
+type PcapReader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	snaplen int
+	started bool
+}
+
+// NewPcapReader wraps r.
+func NewPcapReader(r io.Reader) *PcapReader {
+	return &PcapReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (pr *PcapReader) readHeader() error {
+	var h [pcapHeaderLen]byte
+	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+		return fmt.Errorf("trace: pcap header: %w", err)
+	}
+	magicLE := binary.LittleEndian.Uint32(h[0:4])
+	magicBE := binary.BigEndian.Uint32(h[0:4])
+	switch {
+	case magicLE == pcapMagicMicros:
+		pr.order = binary.LittleEndian
+	case magicLE == pcapMagicNanos:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	case magicBE == pcapMagicMicros:
+		pr.order = binary.BigEndian
+	case magicBE == pcapMagicNanos:
+		pr.order, pr.nanos = binary.BigEndian, true
+	default:
+		return fmt.Errorf("%w: magic %#08x", ErrNotPcap, magicLE)
+	}
+	pr.snaplen = int(pr.order.Uint32(h[16:20]))
+	if link := pr.order.Uint32(h[20:24]); link != pcapLinkEth {
+		return fmt.Errorf("trace: unsupported link type %d", link)
+	}
+	pr.started = true
+	return nil
+}
+
+// Next returns the next frame and timestamp; io.EOF at end of file.
+func (pr *PcapReader) Next() ([]byte, int64, error) {
+	if !pr.started {
+		if err := pr.readHeader(); err != nil {
+			return nil, 0, err
+		}
+	}
+	var rec [pcapRecordLen]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	sec := int64(pr.order.Uint32(rec[0:4]))
+	sub := int64(pr.order.Uint32(rec[4:8]))
+	ts := sec * 1e9
+	if pr.nanos {
+		ts += sub
+	} else {
+		ts += sub * 1000
+	}
+	capLen := int(pr.order.Uint32(rec[8:12]))
+	if capLen < 0 || capLen > 256<<10 {
+		return nil, 0, fmt.Errorf("trace: implausible capture length %d", capLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return nil, 0, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return frame, ts, nil
+}

@@ -1,0 +1,70 @@
+package trace
+
+// Source yields frames in emission order; nil means exhausted.
+// *Generator implements Source.
+type Source interface {
+	Next() []byte
+}
+
+// Replay assigns virtual timestamps to src's frames for a constant target
+// rate in bits per second, invoking fn for each frame until src is
+// exhausted or fn returns false. It returns the number of frames emitted
+// and the final virtual time.
+//
+// The timestamp model is the paper's replay setup: a sender pushing the
+// trace at a fixed rate, so inter-arrival time is frame bits divided by
+// the link rate (plus Ethernet framing overhead: preamble, IFG, FCS).
+func Replay(src Source, bitsPerSec float64, fn func(frame []byte, ts int64) bool) (frames uint64, end int64) {
+	// 24 bytes of per-frame overhead on the wire: 7 preamble + 1 SFD +
+	// 4 FCS + 12 inter-frame gap.
+	const frameOverhead = 24
+	var ts float64
+	for {
+		frame := src.Next()
+		if frame == nil {
+			break
+		}
+		wireBits := float64(len(frame)+frameOverhead) * 8
+		ts += wireBits / bitsPerSec * 1e9
+		frames++
+		if !fn(frame, int64(ts)) {
+			break
+		}
+	}
+	return frames, int64(ts)
+}
+
+// SliceSource replays a pre-built frame list.
+type SliceSource struct {
+	Frames [][]byte
+	i      int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() []byte {
+	if s.i >= len(s.Frames) {
+		return nil
+	}
+	f := s.Frames[s.i]
+	s.i++
+	return f
+}
+
+// Reset rewinds the source for another pass.
+func (s *SliceSource) Reset() { s.i = 0 }
+
+// Collect materializes up to max frames from a source (all if max <= 0).
+func Collect(src Source, max int) [][]byte {
+	var out [][]byte
+	for {
+		f := src.Next()
+		if f == nil {
+			break
+		}
+		out = append(out, f)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package trace
+
+import "scap/internal/pkt"
+
+// sessionPhase is the flow state machine position.
+type sessionPhase uint8
+
+const (
+	phaseSYN sessionPhase = iota
+	phaseSYNACK
+	phaseData
+	phaseFIN
+	phaseFINACK
+	phaseDone
+)
+
+// session holds the generation state of one flow.
+type session struct {
+	key      pkt.FlowKey
+	tcp      bool
+	phase    sessionPhase
+	seq      uint32 // client next sequence
+	srvSeq   uint32 // server next sequence
+	reqLeft  int    // client payload bytes remaining
+	respLeft int    // server payload bytes remaining
+	ipid     uint16
+
+	// pending holds delayed/duplicated frames (FIFO); nested reorder and
+	// duplication decisions may queue more than one.
+	pending [][]byte
+	// embed is spliced into the first data segment.
+	embed []byte
+}
+
+func (g *Generator) newSession() *session {
+	total := g.paretoSize()
+	req := int(float64(total) * g.cfg.RequestFraction)
+	if req < 1 {
+		req = 1
+	}
+	resp := total - req
+	if resp < 1 {
+		resp = 1
+	}
+	ss := &session{
+		key: pkt.FlowKey{
+			SrcIP:   g.randClientAddr(),
+			DstIP:   g.randServerAddr(),
+			SrcPort: uint16(1024 + g.rng.Intn(64000)),
+			DstPort: g.pickPort(),
+			Proto:   pkt.ProtoTCP,
+		},
+		tcp:      g.rng.Float64() < g.cfg.TCPFraction,
+		seq:      g.rng.Uint32(),
+		srvSeq:   g.rng.Uint32(),
+		reqLeft:  req,
+		respLeft: resp,
+	}
+	if !ss.tcp {
+		ss.key.Proto = pkt.ProtoUDP
+		ss.phase = phaseData
+	}
+	if len(g.cfg.EmbedPatterns) > 0 && g.rng.Float64() < g.cfg.EmbedProb {
+		ss.embed = g.cfg.EmbedPatterns[g.rng.Intn(len(g.cfg.EmbedPatterns))]
+	}
+	return ss
+}
+
+// next emits the session's next frame, or nil when the session is done.
+func (ss *session) next(g *Generator) []byte {
+	if len(ss.pending) > 0 {
+		f := ss.pending[0]
+		ss.pending = ss.pending[1:]
+		return f
+	}
+	ss.ipid++
+	if !ss.tcp {
+		return ss.nextUDP(g)
+	}
+	switch ss.phase {
+	case phaseSYN:
+		f := pkt.BuildTCP(pkt.TCPSpec{Key: ss.key, Seq: ss.seq, Flags: pkt.FlagSYN, IPID: ss.ipid})
+		ss.seq++
+		ss.phase = phaseSYNACK
+		return f
+	case phaseSYNACK:
+		f := pkt.BuildTCP(pkt.TCPSpec{
+			Key: ss.key.Reverse(), Seq: ss.srvSeq, Ack: ss.seq,
+			Flags: pkt.FlagSYN | pkt.FlagACK, IPID: ss.ipid,
+		})
+		ss.srvSeq++
+		ss.phase = phaseData
+		return f
+	case phaseData:
+		return ss.nextTCPData(g)
+	case phaseFIN:
+		f := pkt.BuildTCP(pkt.TCPSpec{
+			Key: ss.key, Seq: ss.seq, Ack: ss.srvSeq,
+			Flags: pkt.FlagFIN | pkt.FlagACK, IPID: ss.ipid,
+		})
+		ss.seq++
+		ss.phase = phaseFINACK
+		return f
+	case phaseFINACK:
+		f := pkt.BuildTCP(pkt.TCPSpec{
+			Key: ss.key.Reverse(), Seq: ss.srvSeq, Ack: ss.seq,
+			Flags: pkt.FlagFIN | pkt.FlagACK, IPID: ss.ipid,
+		})
+		ss.srvSeq++
+		ss.phase = phaseDone
+		return f
+	}
+	return nil
+}
+
+func (ss *session) nextTCPData(g *Generator) []byte {
+	if ss.reqLeft <= 0 && ss.respLeft <= 0 {
+		ss.phase = phaseFIN
+		return ss.next(g)
+	}
+	// Send the request first, then the response (a simple
+	// transaction-shaped flow, like HTTP).
+	var frame []byte
+	if ss.reqLeft > 0 {
+		n := minInt(ss.reqLeft, g.cfg.MSS)
+		payload := ss.payload(g, n)
+		frame = pkt.BuildTCP(pkt.TCPSpec{
+			Key: ss.key, Seq: ss.seq, Ack: ss.srvSeq,
+			Flags: pkt.FlagACK | pkt.FlagPSH, Payload: payload, IPID: ss.ipid,
+		})
+		ss.seq += uint32(n)
+		ss.reqLeft -= n
+	} else {
+		n := minInt(ss.respLeft, g.cfg.MSS)
+		payload := ss.payload(g, n)
+		frame = pkt.BuildTCP(pkt.TCPSpec{
+			Key: ss.key.Reverse(), Seq: ss.srvSeq, Ack: ss.seq,
+			Flags: pkt.FlagACK | pkt.FlagPSH, Payload: payload, IPID: ss.ipid,
+		})
+		ss.srvSeq += uint32(n)
+		ss.respLeft -= n
+	}
+	// Perturbations: duplication re-emits the same frame next turn;
+	// reordering delays this frame one turn behind its successor.
+	switch {
+	case g.rng.Float64() < g.cfg.DuplicateProb:
+		dup := make([]byte, len(frame))
+		copy(dup, frame)
+		ss.pending = append(ss.pending, dup)
+	case g.rng.Float64() < g.cfg.ReorderProb && (ss.reqLeft > 0 || ss.respLeft > 0):
+		// Generate the successor now and emit it first; this frame goes
+		// to the front of the pending queue so nothing is lost when the
+		// recursive call queued frames of its own.
+		succ := ss.nextTCPData(g)
+		ss.pending = append([][]byte{frame}, ss.pending...)
+		return succ
+	}
+	return frame
+}
+
+func (ss *session) nextUDP(g *Generator) []byte {
+	if ss.reqLeft <= 0 && ss.respLeft <= 0 {
+		ss.phase = phaseDone
+		return nil
+	}
+	var frame []byte
+	if ss.reqLeft > 0 {
+		n := minInt(ss.reqLeft, g.cfg.MSS)
+		frame = pkt.BuildUDP(pkt.UDPSpec{Key: ss.key, Payload: ss.payload(g, n), IPID: ss.ipid})
+		ss.reqLeft -= n
+	} else {
+		n := minInt(ss.respLeft, g.cfg.MSS)
+		frame = pkt.BuildUDP(pkt.UDPSpec{Key: ss.key.Reverse(), Payload: ss.payload(g, n), IPID: ss.ipid})
+		ss.respLeft -= n
+	}
+	return frame
+}
+
+// payload builds n bytes of content, splicing the embedded pattern into the
+// flow's first data segment.
+func (ss *session) payload(g *Generator, n int) []byte {
+	b := make([]byte, n)
+	g.fillPayload(b)
+	if ss.embed != nil && n >= len(ss.embed) {
+		copy(b, ss.embed)
+		ss.embed = nil
+		g.Embedded++
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ConcurrentStreamsWorkload builds the Figure 5 workload: streams of
+// exactly pktsPerStream full-MSS segments, multiplexed so that `concurrent`
+// streams are open simultaneously, repeated until `total` streams have been
+// emitted. All streams are TCP with proper handshakes and FIN teardown.
+func ConcurrentStreamsWorkload(seed int64, total, concurrent, pktsPerStream, mss int) *Generator {
+	flowBytes := pktsPerStream * mss
+	return NewGenerator(GenConfig{
+		Seed:         seed,
+		Flows:        total,
+		Concurrency:  concurrent,
+		Alpha:        100, // effectively constant at MinFlowBytes
+		MinFlowBytes: flowBytes,
+		MaxFlowBytes: flowBytes + 1,
+		MSS:          mss,
+		TCPFraction:  1.0,
+	})
+}

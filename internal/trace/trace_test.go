@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sort"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+func TestGeneratorProducesDecodableFrames(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 1, Flows: 50, Concurrency: 8})
+	var p pkt.Packet
+	n := 0
+	for {
+		f := g.Next()
+		if f == nil {
+			break
+		}
+		if err := pkt.Decode(f, &p); err != nil {
+			t.Fatalf("frame %d undecodable: %v", n, err)
+		}
+		n++
+		if n > 1<<20 {
+			t.Fatal("generator did not terminate")
+		}
+	}
+	if g.FlowsMade != 50 {
+		t.Errorf("flows made = %d", g.FlowsMade)
+	}
+	if uint64(n) != g.Packets {
+		t.Errorf("packet count mismatch: %d vs %d", n, g.Packets)
+	}
+}
+
+// TestGeneratorStreamsReassemble drives every generated flow through a map
+// of per-direction expectations: sequence-contiguous payload bytes.
+func TestGeneratorStreamsReassemble(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 2, Flows: 30, Concurrency: 4, MaxFlowBytes: 50000})
+	type flowState struct {
+		sawSYN, sawFIN bool
+		payload        int
+	}
+	flows := map[pkt.FlowKey]*flowState{}
+	var p pkt.Packet
+	for {
+		f := g.Next()
+		if f == nil {
+			break
+		}
+		if err := pkt.Decode(f, &p); err != nil {
+			t.Fatal(err)
+		}
+		fs := flows[p.Key]
+		if fs == nil {
+			fs = &flowState{}
+			flows[p.Key] = fs
+		}
+		if p.TCPFlags&pkt.FlagSYN != 0 {
+			fs.sawSYN = true
+		}
+		if p.TCPFlags&pkt.FlagFIN != 0 {
+			fs.sawFIN = true
+		}
+		fs.payload += len(p.Payload)
+	}
+	tcpFlows, udpFlows := 0, 0
+	for k, fs := range flows {
+		if k.Proto == pkt.ProtoTCP {
+			tcpFlows++
+			// Every TCP direction with a SYN eventually got a FIN.
+			if fs.sawSYN && !fs.sawFIN {
+				t.Errorf("flow %v: SYN without FIN", k)
+			}
+		} else {
+			udpFlows++
+		}
+	}
+	if tcpFlows == 0 {
+		t.Error("no TCP flows generated")
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 3, Flows: 1, Concurrency: 1})
+	sizes := make([]int, 5000)
+	for i := range sizes {
+		sizes[i] = g.paretoSize()
+	}
+	sort.Ints(sizes)
+	median := sizes[len(sizes)/2]
+	p99 := sizes[len(sizes)*99/100]
+	if p99 < 20*median {
+		t.Errorf("distribution not heavy-tailed: median=%d p99=%d", median, p99)
+	}
+	for _, s := range sizes {
+		if s < g.cfg.MinFlowBytes || s > g.cfg.MaxFlowBytes {
+			t.Fatalf("size %d outside bounds", s)
+		}
+	}
+	// Mass concentration: the top 10% of flows must carry most bytes (the
+	// property that makes cutoffs effective).
+	var total, top float64
+	for i, s := range sizes {
+		total += float64(s)
+		if i >= len(sizes)*90/100 {
+			top += float64(s)
+		}
+	}
+	if top/total < 0.5 {
+		t.Errorf("top decile carries only %.0f%% of bytes", 100*top/total)
+	}
+}
+
+func TestEmbeddedPatterns(t *testing.T) {
+	pattern := []byte("ATTACK-SIGNATURE-XYZ")
+	g := NewGenerator(GenConfig{
+		Seed: 4, Flows: 40, Concurrency: 4,
+		EmbedPatterns: [][]byte{pattern}, EmbedProb: 1.0,
+		MinFlowBytes: 500, MaxFlowBytes: 2000,
+	})
+	found := 0
+	for {
+		f := g.Next()
+		if f == nil {
+			break
+		}
+		if bytes.Contains(f, pattern) {
+			found++
+		}
+	}
+	if found < 30 {
+		t.Errorf("pattern embedded in %d flows, want ~40", found)
+	}
+}
+
+func TestConcurrentStreamsWorkload(t *testing.T) {
+	g := ConcurrentStreamsWorkload(5, 20, 10, 5, 1000)
+	var p pkt.Packet
+	open := map[pkt.FlowKey]bool{}
+	maxOpen := 0
+	for {
+		f := g.Next()
+		if f == nil {
+			break
+		}
+		if err := pkt.Decode(f, &p); err != nil {
+			t.Fatal(err)
+		}
+		k, _ := p.Key.Canonical()
+		if p.TCPFlags&pkt.FlagSYN != 0 && p.TCPFlags&pkt.FlagACK == 0 {
+			open[k] = true
+			if len(open) > maxOpen {
+				maxOpen = len(open)
+			}
+		}
+		if p.TCPFlags&pkt.FlagFIN != 0 {
+			delete(open, k)
+		}
+	}
+	if maxOpen > 11 {
+		t.Errorf("concurrency exceeded: %d", maxOpen)
+	}
+	if g.FlowsMade != 20 {
+		t.Errorf("flows = %d", g.FlowsMade)
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 6, Flows: 10, Concurrency: 2, MaxFlowBytes: 5000})
+	var frames [][]byte
+	var stamps []int64
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf, 0)
+	Replay(g, 1e9, func(f []byte, ts int64) bool {
+		cp := append([]byte(nil), f...)
+		frames = append(frames, cp)
+		stamps = append(stamps, ts)
+		if err := w.Write(f, ts); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewPcapReader(&buf)
+	for i := range frames {
+		f, ts, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(f, frames[i]) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		if ts != stamps[i] {
+			t.Fatalf("record %d ts = %d, want %d", i, ts, stamps[i])
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestPcapSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf, 96)
+	frame := make([]byte, 1500)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	w.Write(frame, 42)
+	w.Flush()
+	r := NewPcapReader(&buf)
+	f, _, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 96 || !bytes.Equal(f, frame[:96]) {
+		t.Errorf("snaplen truncation failed: %d bytes", len(f))
+	}
+}
+
+func TestPcapBadMagic(t *testing.T) {
+	r := NewPcapReader(bytes.NewReader(make([]byte, 64)))
+	if _, _, err := r.Next(); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReplayRateTiming(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 7, Flows: 200, Concurrency: 16})
+	var bits float64
+	var last int64
+	frames, end := Replay(g, 1e9, func(f []byte, ts int64) bool { // 1 Gbit/s
+		if ts < last {
+			t.Fatal("timestamps not monotonic")
+		}
+		last = ts
+		bits += float64(len(f)+24) * 8
+		return true
+	})
+	if frames == 0 {
+		t.Fatal("no frames")
+	}
+	// end ≈ bits / rate.
+	wantNs := bits / 1e9 * 1e9
+	if math.Abs(float64(end)-wantNs) > wantNs*0.01 {
+		t.Errorf("end = %d ns, want ≈ %.0f", end, wantNs)
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	src := &SliceSource{Frames: [][]byte{{1}, {2}}}
+	if len(Collect(src, 0)) != 2 {
+		t.Fatal("collect failed")
+	}
+	if src.Next() != nil {
+		t.Error("exhausted source returned a frame")
+	}
+	src.Reset()
+	if f := src.Next(); f == nil || f[0] != 1 {
+		t.Error("reset failed")
+	}
+}
+
+func TestDuplicatesAndReordering(t *testing.T) {
+	g := NewGenerator(GenConfig{
+		Seed: 8, Flows: 50, Concurrency: 1,
+		DuplicateProb: 0.2, ReorderProb: 0.2,
+		MinFlowBytes: 10000, MaxFlowBytes: 20000,
+	})
+	var p pkt.Packet
+	seen := map[string]int{}
+	ooo := 0
+	lastSeq := map[pkt.FlowKey]uint32{}
+	for {
+		f := g.Next()
+		if f == nil {
+			break
+		}
+		if err := pkt.Decode(f, &p); err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Payload) > 0 {
+			sig := string(f[:54])
+			seen[sig]++
+			if prev, ok := lastSeq[p.Key]; ok && int32(p.Seq-prev) < 0 {
+				ooo++
+			}
+			lastSeq[p.Key] = p.Seq
+		}
+	}
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicate segments generated")
+	}
+	if ooo == 0 {
+		t.Error("no reordered segments generated")
+	}
+}

@@ -1,0 +1,73 @@
+package scap
+
+// Stats aggregates socket-wide counters across the NIC and every engine
+// core (scap_stats_t).
+type Stats struct {
+	// NIC level.
+	FramesReceived  uint64 // frames offered to the NIC
+	DroppedAtNIC    uint64 // dropped by FDIR filters before reaching memory
+	DroppedRing     uint64 // lost to full receive rings
+	RedirectedFlows uint64 // steered by load-balancing filters
+
+	// Kernel path.
+	Packets        uint64 // packets processed by the engines
+	PayloadBytes   uint64 // transport payload seen
+	StoredBytes    uint64 // payload written to stream memory
+	CutoffPkts     uint64 // discarded beyond stream cutoffs
+	CutoffBytes    uint64
+	PPLDroppedPkts uint64 // shed by prioritized packet loss
+	EventsLost     uint64 // chunks lost to full event queues
+	DecodeErrors   uint64
+
+	// Streams.
+	StreamsCreated uint64 // stream directions tracked
+	StreamsClosed  uint64 // terminated by FIN/RST
+	StreamsExpired uint64 // inactivity timeouts
+	StreamsEvicted uint64 // removed under table pressure
+
+	// Hardware filters.
+	FDIRInstalled uint64
+	FDIRRemoved   uint64
+
+	// Memory.
+	MemoryUsed      int64
+	MemoryHighWater int64
+	MemorySize      int64
+}
+
+// GetStats returns a snapshot of the overall statistics for all streams
+// seen so far (scap_get_stats). Counters are collected without stopping
+// the capture path; a snapshot taken mid-burst may be momentarily
+// inconsistent between fields, like reading /proc counters.
+func (h *Handle) GetStats() (Stats, error) {
+	if !h.started && h.engines == nil {
+		return Stats{}, ErrNotStarted
+	}
+	var st Stats
+	ns := h.nicDev.Stats()
+	st.FramesReceived = ns.Received
+	st.DroppedAtNIC = ns.DroppedFilter
+	st.DroppedRing = ns.DroppedRing
+	st.RedirectedFlows = ns.Redirected
+	for _, eng := range h.engines {
+		es := eng.Stats()
+		st.Packets += es.Packets
+		st.PayloadBytes += es.PayloadBytes
+		st.StoredBytes += es.StoredBytes
+		st.CutoffPkts += es.CutoffPkts
+		st.CutoffBytes += es.CutoffBytes
+		st.PPLDroppedPkts += es.PPLDroppedPkts
+		st.EventsLost += es.EventsLost
+		st.DecodeErrors += es.DecodeErrors
+		st.StreamsCreated += es.StreamsCreated
+		st.StreamsClosed += es.StreamsClosed
+		st.StreamsExpired += es.StreamsExpired
+		st.StreamsEvicted += es.StreamsEvicted
+		st.FDIRInstalled += es.FDIRInstalled
+		st.FDIRRemoved += es.FDIRRemoved
+	}
+	st.MemoryUsed = h.mm.Used()
+	st.MemoryHighWater = h.mm.Stats().HighWater
+	st.MemorySize = h.mm.Size()
+	return st, nil
+}
