@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test test-short race vet lint fmt-check check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -short -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs scaplint, the repo's own static-analysis suite (hot-path
+# allocation, snapshot-getter, and lock-discipline invariants).
+lint:
+	$(GO) run ./cmd/scaplint ./...
+
+fmt-check:
+	@out=$$(gofmt -l . | grep -v '^testdata/' || true); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the full CI gate.
+check: build vet lint fmt-check race

@@ -18,15 +18,28 @@ import (
 // goroutine per NIC queue and the configured number of worker goroutines —
 // the user-space equivalent of the paper's per-core kernel thread plus
 // worker thread pairs.
+//
+// Concurrency model: each engine is owned by its kernel goroutine (frames
+// reach it only through its frameCh); workers touch streams only via the
+// per-engine ctrl queue; injectors serialize on injectMu; everything else
+// a foreign goroutine may read (engine counters, NIC stats, memory
+// accounting) is protected at its source.
 type captureState struct {
 	h *Handle
 
-	mu        sync.Mutex
-	frameCh   []chan frameIn // per-queue hand-off NIC -> kernel goroutine
-	stopped   bool
-	kernelWG  sync.WaitGroup
-	workerWG  sync.WaitGroup
-	injectMu  sync.Mutex
+	mu sync.Mutex
+	// frameCh hands frames from the NIC to the kernel goroutines. It is
+	// written once in start, before any goroutine runs, and is read-only
+	// afterwards (the channels themselves provide the synchronization).
+	frameCh []chan frameIn
+	// stopped is guarded by mu, making stop idempotent.
+	stopped  bool
+	kernelWG sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	injectMu sync.Mutex
+	// lastTS is guarded by injectMu: concurrent injectors and the timer
+	// tick agree on a strictly increasing virtual clock through it.
 	lastTS    int64
 	timerStop chan struct{}
 }

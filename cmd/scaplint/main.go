@@ -1,0 +1,80 @@
+// Command scaplint runs the repo's custom static analyzers over the
+// module: statssnapshot (racy snapshot getters on shared types),
+// hotpathalloc (allocations on the //scap:hotpath per-packet path), and
+// lockdiscipline ("guarded by mu" field access outside the mutex).
+//
+// Usage:
+//
+//	go run ./cmd/scaplint ./...          # whole module (the default)
+//	go run ./cmd/scaplint ./internal/core ./internal/event
+//	go run ./cmd/scaplint -list          # print the analyzer suite
+//
+// scaplint exits 1 when it reports findings and 2 on usage or load errors.
+// Suppress an individual finding with a justification:
+//
+//	x = append(x, y) //scaplint:ignore hotpathalloc appends into preallocated capacity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scap/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "print progress and type-load warnings")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Packages(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "scaplint: loaded %s (%d files, %d type warnings)\n",
+				p.Path, len(p.Files), len(p.TypeErrors))
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "scaplint: \ttype warning: %v\n", te)
+			}
+		}
+	}
+	diags := analysis.RunAll(pkgs, analysis.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scaplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scaplint:", err)
+	os.Exit(2)
+}

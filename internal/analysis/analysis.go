@@ -1,0 +1,83 @@
+// Package analysis implements scaplint, a repo-specific static-analysis
+// suite for the capture path's hot-path and concurrency invariants.
+//
+// The paper's performance claims rest on a disciplined split between the
+// per-core kernel path (one goroutine owning each engine) and user threads
+// reading snapshots. Go's race detector only checks the interleavings tests
+// happen to execute; these analyzers enforce the invariants statically:
+//
+//   - statssnapshot: exported snapshot getters on shared types must not
+//     return structs whose fields are mutated elsewhere without
+//     synchronization (the Engine.Stats data-race shape).
+//   - hotpathalloc: functions marked //scap:hotpath must not allocate
+//     (fmt formatting, time.Now, map/slice literals, make, new, capturing
+//     closures, unvetted append) on the per-packet path.
+//   - lockdiscipline: struct fields annotated "guarded by <mu>" must only
+//     be touched by methods that acquire that mutex (or are *Locked
+//     helpers called with it held).
+//
+// Everything is built on the stdlib go/ast + go/types + go/parser stack;
+// the module stays dependency-free. Findings can be suppressed line-by-line
+// with "//scaplint:ignore <analyzer> [reason]" on the flagged line or the
+// line above it.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check applied to a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{StatsSnapshot, HotPathAlloc, LockDiscipline}
+}
+
+// RunAll applies the analyzers to every package, drops suppressed
+// diagnostics, and sorts the rest by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		sup := p.suppressions()
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if sup.matches(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one "// want <analyzer> \"regexp\"" comment in a fixture.
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(\w+)\s+("(?:[^"\\]|\\.)*")`)
+
+// loadFixtures loads testdata/src/<name> with the repo loader.
+func loadFixtures(t *testing.T, name string) (*Loader, *Package) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return loader, pkg
+}
+
+// wantsOf extracts the expectations from a loaded fixture package.
+func wantsOf(t *testing.T, p *Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := strconv.Unquote(m[2])
+				if err != nil {
+					t.Fatalf("bad want pattern %s: %v", m[2], err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, expectation{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: m[1],
+					re:       regexp.MustCompile(pattern),
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkAnalyzer runs one analyzer over a fixture package and requires an
+// exact 1:1 match between diagnostics and want comments: same file, same
+// line, matching analyzer name and message.
+func checkAnalyzer(t *testing.T, a *Analyzer, p *Package) []Diagnostic {
+	t.Helper()
+	diags := RunAll([]*Package{p}, []*Analyzer{a})
+	wants := wantsOf(t, p)
+	matched := make([]bool, len(wants))
+outer:
+	for _, d := range diags {
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.analyzer != d.Analyzer {
+				t.Errorf("%s: analyzer = %s, want %s", d.Pos, d.Analyzer, w.analyzer)
+			}
+			if !w.re.MatchString(d.Message) {
+				t.Errorf("%s: message %q does not match %q", d.Pos, d.Message, w.re)
+			}
+			matched[i] = true
+			continue outer
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+	for _, d := range diags {
+		if d.Pos.Line <= 0 || d.Pos.Column <= 0 {
+			t.Errorf("diagnostic without a full position: %s", d)
+		}
+	}
+	return diags
+}
+
+// positionOf returns file:line:col for the diagnostic whose message
+// contains substr, for exact-position assertions.
+func positionOf(t *testing.T, diags []Diagnostic, substr string) string {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return fmt.Sprintf("%s:%d:%d", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column)
+		}
+	}
+	t.Fatalf("no diagnostic containing %q", substr)
+	return ""
+}
+
+// firstFuncPos is a helper for sanity checks on fixture shape.
+func firstFuncPos(p *Package, name string) string {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				pos := p.Fset.Position(fd.Pos())
+				return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Source annotations recognized by the analyzers.
+const (
+	// hotpathMarker marks a function as part of the per-packet path.
+	hotpathMarker = "scap:hotpath"
+	// sharedMarker marks a type as accessed by more than one goroutine.
+	sharedMarker = "scap:shared"
+	// ignoreMarker suppresses diagnostics on its line or the line below.
+	ignoreMarker = "scaplint:ignore"
+)
+
+// hasMarker reports whether any comment line of cg is "//<marker>" with
+// optional trailing prose.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathFuncs returns the functions of p marked //scap:hotpath.
+func hotpathFuncs(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasMarker(fd.Doc, hotpathMarker) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// namedStruct is one struct type declaration together with its markers.
+type namedStruct struct {
+	Name   string
+	Spec   *ast.TypeSpec
+	Struct *ast.StructType
+	Shared bool
+}
+
+// structTypes returns every struct type declared in p. The //scap:shared
+// marker is honored on both the TypeSpec and its enclosing GenDecl doc.
+func structTypes(p *Package) []namedStruct {
+	var out []namedStruct
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				shared := hasMarker(ts.Doc, sharedMarker) ||
+					(len(gd.Specs) == 1 && hasMarker(gd.Doc, sharedMarker))
+				out = append(out, namedStruct{Name: ts.Name.Name, Spec: ts, Struct: st, Shared: shared})
+			}
+		}
+	}
+	return out
+}
+
+// guardedFields parses "guarded by <mutex>" annotations from a struct's
+// field comments (doc comment above or line comment beside the field) and
+// returns fieldName -> mutexFieldName.
+func guardedFields(st *ast.StructType) map[string]string {
+	guards := make(map[string]string)
+	for _, field := range st.Fields.List {
+		mu := guardName(field.Doc)
+		if mu == "" {
+			mu = guardName(field.Comment)
+		}
+		if mu == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			guards[name.Name] = mu
+		}
+	}
+	return guards
+}
+
+// guardName extracts the mutex name following "guarded by" in a comment
+// group, or "" if absent.
+func guardName(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.ToLower(c.Text)
+		idx := strings.Index(text, "guarded by ")
+		if idx < 0 {
+			continue
+		}
+		rest := c.Text[idx+len("guarded by "):]
+		name := strings.FieldsFunc(rest, func(r rune) bool {
+			return !isIdentRune(r)
+		})
+		if len(name) > 0 {
+			return name[0]
+		}
+	}
+	return ""
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+}
+
+// methodsOf returns the methods declared on type name (any receiver form).
+func methodsOf(p *Package, name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if receiverTypeName(fd) == name {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName returns the bare type name of a method's receiver.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// receiverName returns the receiver variable's name, or "" for _ / unnamed.
+func receiverName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// --- suppressions ---
+
+type suppressionSet struct {
+	// byLine maps filename -> line -> analyzer names (or "all").
+	byLine map[string]map[int]map[string]bool
+}
+
+// suppressions collects every //scaplint:ignore comment in the package.
+func (p *Package) suppressions() suppressionSet {
+	s := suppressionSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, ignoreMarker)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := p.Fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byLine[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				if len(fields) == 0 {
+					names["all"] = true
+				} else {
+					names[fields[0]] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether d is suppressed by an ignore comment on its own
+// line or on the line directly above it.
+func (s suppressionSet) matches(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[line]; names != nil {
+			if names["all"] || names[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc flags allocation and formatting work inside functions
+// marked //scap:hotpath — the per-packet path that the paper keeps free of
+// per-packet memory management: fmt formatting, time.Now (the engines run
+// on virtual time), map/slice literals, make, new, closures that capture
+// variables, append without a vetted preallocation, and string<->[]byte
+// conversions. Vetted sites carry //scaplint:ignore hotpathalloc with a
+// justification.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "no allocations, formatting, or wall-clock reads in //scap:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, fd := range hotpathFuncs(p) {
+		if fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		flag := func(n ast.Node, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(n.Pos()),
+				Analyzer: "hotpathalloc",
+				Message:  fmt.Sprintf("%s: ", name) + fmt.Sprintf(format, args...),
+			})
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkHotCall(p, node, flag)
+			case *ast.CompositeLit:
+				switch underlyingOf(p, node).(type) {
+				case *types.Map:
+					flag(node, "map literal allocates in a hot path")
+				case *types.Slice:
+					flag(node, "slice literal allocates in a hot path")
+				}
+			case *ast.FuncLit:
+				if captured := capturedVars(p, node); len(captured) > 0 {
+					flag(node, "closure captures %s and allocates in a hot path", captured[0])
+				}
+			case *ast.GoStmt:
+				flag(node, "goroutine launch in a hot path")
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func checkHotCall(p *Package, call *ast.CallExpr, flag func(ast.Node, string, ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkg := importedPackage(p, fun.X); pkg != "" {
+			switch {
+			case pkg == "fmt":
+				flag(call, "fmt.%s formats and allocates in a hot path", fun.Sel.Name)
+			case pkg == "time" && fun.Sel.Name == "Now":
+				flag(call, "time.Now reads the wall clock in a hot path (use the engine's virtual time)")
+			}
+		}
+	case *ast.Ident:
+		obj := p.Info.Uses[fun]
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			// A conversion T(x): allocation when crossing string/[]byte.
+			if tv, ok := p.Info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+				if conversionAllocates(p, tv.Type, call.Args[0]) {
+					flag(call, "%s conversion copies its operand in a hot path", fun.Name)
+				}
+			}
+			return
+		}
+		switch fun.Name {
+		case "append":
+			flag(call, "append may grow its backing array in a hot path (preallocate, or vet and suppress)")
+		case "make":
+			if len(call.Args) > 0 {
+				switch underlyingOf(p, call.Args[0]).(type) {
+				case *types.Map:
+					flag(call, "make(map) allocates in a hot path")
+				case *types.Chan:
+					flag(call, "make(chan) allocates in a hot path")
+				default:
+					flag(call, "make allocates in a hot path")
+				}
+			}
+		case "new":
+			flag(call, "new allocates in a hot path")
+		}
+	}
+}
+
+// underlyingOf returns the underlying type of an expression (nil-safe).
+func underlyingOf(p *Package, expr ast.Expr) types.Type {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// importedPackage returns the package path when expr names an import
+// (e.g. the "fmt" in fmt.Printf), else "".
+func importedPackage(p *Package, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// conversionAllocates reports the string<->[]byte copying conversions.
+func conversionAllocates(p *Package, to types.Type, arg ast.Expr) bool {
+	from := underlyingOf(p, arg)
+	if from == nil {
+		return false
+	}
+	toU := to.Underlying()
+	if isString(toU) && isByteSlice(from) {
+		return true
+	}
+	return isByteSlice(toU) && isString(from)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// capturedVars lists outer-scope variables a function literal closes over;
+// a closure capturing nothing compiles to a static function and does not
+// allocate per call.
+func capturedVars(p *Package, fl *ast.FuncLit) []string {
+	var captured []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || obj.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if obj.Pkg() != nil && obj.Pkg().Scope().Lookup(obj.Name()) == obj {
+			return true
+		}
+		// Declared inside the literal (params or locals) is not a capture.
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		seen[obj] = true
+		captured = append(captured, obj.Name())
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+func TestHotPathAllocFixtures(t *testing.T) {
+	_, pkg := loadFixtures(t, "hotpathalloc")
+	diags := checkAnalyzer(t, HotPathAlloc, pkg)
+
+	// Exact-position checks: call diagnostics anchor on the call expression.
+	if got, want := positionOf(t, diags, "fmt.Printf"), "fixtures.go:20:2"; got != want {
+		t.Errorf("fmt.Printf diagnostic at %s, want %s", got, want)
+	}
+	if got, want := positionOf(t, diags, "time.Now"), "fixtures.go:21:8"; got != want {
+		t.Errorf("time.Now diagnostic at %s, want %s", got, want)
+	}
+}
+
+func TestHotPathAllocOnlyAnnotatedFuncs(t *testing.T) {
+	// coldPath commits the same sins as handleBad but is not annotated:
+	// every diagnostic must come from an annotated function.
+	_, pkg := loadFixtures(t, "hotpathalloc")
+	diags := RunAll([]*Package{pkg}, []*Analyzer{HotPathAlloc})
+	if fp := firstFuncPos(pkg, "coldPath"); fp == "" {
+		t.Fatal("fixture func coldPath missing")
+	}
+	for _, d := range diags {
+		for _, bad := range []string{"coldPath", "handleGood", "pureClosure"} {
+			if len(d.Message) >= len(bad) && d.Message[:len(bad)] == bad {
+				t.Errorf("diagnostic from un-annotated or clean function: %s", d)
+			}
+		}
+	}
+}

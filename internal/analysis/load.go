@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("scap/internal/core") or, for directories
+	// loaded outside the module (testdata fixtures), the directory path.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints. The analyzers run on
+	// best-effort type information, so these are warnings, not fatal.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module without shelling
+// out to the go tool: module-internal imports are resolved from source,
+// everything else goes through the stdlib source importer (GOROOT).
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // module root directory
+	modPath string // module path from go.mod
+	dirFor  map[string]string
+	cache   map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader indexes the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(modData), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		dirFor:  make(map[string]string),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == ".git" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			ip := modPath
+			if rel != "." {
+				ip = modPath + "/" + filepath.ToSlash(rel)
+			}
+			l.dirFor[ip] = path
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// Packages resolves patterns to loaded packages. Supported patterns:
+// "./..." (every package of the module), an import path within the module,
+// or a directory path (absolute or ./relative).
+func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(ip string) {
+		if !seen[ip] {
+			seen[ip] = true
+			paths = append(paths, ip)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all" || pat == l.modPath+"/...":
+			all := make([]string, 0, len(l.dirFor))
+			for ip := range l.dirFor {
+				all = append(all, ip)
+			}
+			sort.Strings(all)
+			for _, ip := range all {
+				add(ip)
+			}
+		default:
+			if _, ok := l.dirFor[pat]; ok {
+				add(pat)
+				continue
+			}
+			// Directory form: ./internal/core or an absolute path.
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(l.root, dir)
+			}
+			rel, err := filepath.Rel(l.root, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("analysis: pattern %q is outside module %s", pat, l.modPath)
+			}
+			ip := l.modPath
+			if rel != "." {
+				ip = l.modPath + "/" + filepath.ToSlash(rel)
+			}
+			if _, ok := l.dirFor[ip]; !ok {
+				// Not in the module index (e.g. a testdata fixture dir):
+				// load it standalone when it holds Go files.
+				if hasGoFiles(dir) {
+					p, err := l.LoadDir(dir)
+					if err != nil {
+						return nil, err
+					}
+					if !seen[p.Path] {
+						seen[p.Path] = true
+						l.cache[p.Path] = p
+						paths = append(paths, p.Path)
+					}
+					continue
+				}
+				return nil, fmt.Errorf("analysis: no package for pattern %q", pat)
+			}
+			add(ip)
+		}
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// load type-checks one module package by import path, memoized.
+func (l *Loader) load(ip string) (*Package, error) {
+	if p, ok := l.cache[ip]; ok {
+		return p, nil
+	}
+	if l.loading[ip] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", ip)
+	}
+	dir, ok := l.dirFor[ip]
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown package %s", ip)
+	}
+	l.loading[ip] = true
+	defer delete(l.loading, ip)
+	p, err := l.check(ip, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[ip] = p
+	return p, nil
+}
+
+// LoadDir loads a directory outside the module index (testdata fixtures).
+// Its imports may only reference the standard library or module packages.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(dir, dir)
+}
+
+func (l *Loader) check(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, e := range ents {
+		if !goSource(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even on type errors;
+	// the analyzers degrade gracefully on missing type info.
+	p.Types, _ = conf.Check(path, l.Fset, p.Files, p.Info)
+	return p, nil
+}
+
+func (l *Loader) importPkg(ipath string) (*types.Package, error) {
+	if ipath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ipath == l.modPath || strings.HasPrefix(ipath, l.modPath+"/") {
+		p, err := l.load(ipath)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(ipath)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

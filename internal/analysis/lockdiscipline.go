@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// LockDiscipline enforces the "guarded by <mu>" field convention: a struct
+// field annotated with a guard comment may only be read or written by
+// methods that acquire that mutex on the same receiver (recv.mu.Lock or
+// recv.mu.RLock anywhere in the body), or by *Locked helpers that document
+// being called with the lock held. This is a lightweight, method-granular
+// check — it does not prove the lock is held at the access — but it
+// catches the common regression of adding an unlocked accessor.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "fields annotated 'guarded by mu' are only touched under that mutex",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, st := range structTypes(p) {
+		guards := guardedFields(st.Struct)
+		if len(guards) == 0 {
+			continue
+		}
+		for _, m := range methodsOf(p, st.Name) {
+			if m.Body == nil || methodAssumesLock(m) {
+				continue
+			}
+			recv := receiverName(m)
+			if recv == "" {
+				continue
+			}
+			held := lockAcquisitions(m, recv)
+			// One diagnostic per (method, field): the first access.
+			reported := make(map[string]bool)
+			ast.Inspect(m.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				base, ok := sel.X.(*ast.Ident)
+				if !ok || base.Name != recv {
+					return true
+				}
+				field := sel.Sel.Name
+				mu, guarded := guards[field]
+				if !guarded || held[mu] || reported[field] {
+					return true
+				}
+				reported[field] = true
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(sel.Pos()),
+					Analyzer: "lockdiscipline",
+					Message: fmt.Sprintf(
+						"%s.%s accesses %s.%s, guarded by %s, without acquiring it (lock %s.%s, or rename the method *Locked if callers hold it)",
+						st.Name, m.Name.Name, recv, field, mu, recv, mu),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

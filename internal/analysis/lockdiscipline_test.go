@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockDisciplineFixtures(t *testing.T) {
+	_, pkg := loadFixtures(t, "lockdiscipline")
+	diags := checkAnalyzer(t, LockDiscipline, pkg)
+
+	// Exact-position checks: the diagnostic anchors on the selector
+	// expression of the first unguarded access.
+	if got, want := positionOf(t, diags, "state.Bad accesses s.count"), "fixtures.go:29:9"; got != want {
+		t.Errorf("state.Bad diagnostic at %s, want %s", got, want)
+	}
+	if got, want := positionOf(t, diags, "state.WrongLock"), "fixtures.go:35:2"; got != want {
+		t.Errorf("state.WrongLock diagnostic at %s, want %s", got, want)
+	}
+}
+
+func TestLockDisciplineSuppression(t *testing.T) {
+	// The Suppressed method carries //scaplint:ignore lockdiscipline; the
+	// raw run must find it, the filtered run must not.
+	_, pkg := loadFixtures(t, "lockdiscipline")
+	raw := LockDiscipline.Run(pkg)
+	found := false
+	for _, d := range raw {
+		if d.Analyzer == "lockdiscipline" && strings.Contains(d.Message, "state.Suppressed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("raw run should flag state.Suppressed before suppression filtering")
+	}
+	filtered := RunAll([]*Package{pkg}, []*Analyzer{LockDiscipline})
+	for _, d := range filtered {
+		if strings.Contains(d.Message, "state.Suppressed") {
+			t.Errorf("suppressed diagnostic survived filtering: %s", d)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatsSnapshot flags exported snapshot/getter methods on //scap:shared
+// types that return a struct field by value while other methods of the
+// same type mutate that struct's fields without synchronization — the
+// Engine.Stats() data-race shape: a reader copies the counters struct
+// while the kernel goroutine increments it.
+var StatsSnapshot = &Analyzer{
+	Name: "statssnapshot",
+	Doc:  "snapshot getters on shared types must not race with counter mutations",
+	Run:  runStatsSnapshot,
+}
+
+func runStatsSnapshot(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, st := range structTypes(p) {
+		if !st.Shared {
+			continue
+		}
+		methods := methodsOf(p, st.Name)
+		for _, getter := range methods {
+			if !getter.Name.IsExported() || getter.Body == nil {
+				continue
+			}
+			field, ret := returnedStructField(p, getter)
+			if field == "" {
+				continue
+			}
+			// The getter is safe only if it holds a lock AND every
+			// mutation of the returned struct happens under a lock too.
+			getterLocked := methodAssumesLock(getter) || len(lockAcquisitions(getter, receiverName(getter))) > 0
+			var firstBad *mutationSite
+			mutations := 0
+			for _, m := range methods {
+				if m == getter || m.Body == nil {
+					continue
+				}
+				sites := fieldMutations(p, m, field)
+				mutations += len(sites)
+				if len(sites) == 0 {
+					continue
+				}
+				if methodAssumesLock(m) || len(lockAcquisitions(m, receiverName(m))) > 0 {
+					continue
+				}
+				if firstBad == nil {
+					firstBad = &sites[0]
+					firstBad.method = m.Name.Name
+				}
+			}
+			if mutations == 0 {
+				continue // nothing writes the struct; a copy is safe
+			}
+			if getterLocked && firstBad == nil {
+				continue
+			}
+			msg := ""
+			switch {
+			case firstBad != nil:
+				msg = fmt.Sprintf(
+					"%s.%s returns %s.%s by value while %s mutates %s.%s at %s without synchronization (use a lock on both sides or atomic counters)",
+					st.Name, getter.Name.Name, receiverName(getter), field,
+					firstBad.method, receiverName(getter), field,
+					p.Fset.Position(firstBad.pos))
+			default:
+				msg = fmt.Sprintf(
+					"%s.%s returns %s.%s by value without holding the lock that protects its writers",
+					st.Name, getter.Name.Name, receiverName(getter), field)
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(ret.Pos()),
+				Analyzer: "statssnapshot",
+				Message:  msg,
+			})
+		}
+	}
+	return diags
+}
+
+// returnedStructField detects the "return recv.field" shape where field's
+// type is (or has underlying) struct, returning the field name and the
+// return statement.
+func returnedStructField(p *Package, fd *ast.FuncDecl) (string, *ast.ReturnStmt) {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return "", nil
+	}
+	recv := receiverName(fd)
+	if recv == "" {
+		return "", nil
+	}
+	var field string
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if field != "" {
+			return false
+		}
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok || len(r.Results) != 1 {
+			return true
+		}
+		sel, ok := r.Results[0].(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != recv {
+			return true
+		}
+		if !isStructValued(p, sel) {
+			return true
+		}
+		field = sel.Sel.Name
+		ret = r
+		return false
+	})
+	return field, ret
+}
+
+// isStructValued reports whether expr has struct underlying type. Without
+// type information (degraded load) it conservatively reports true.
+func isStructValued(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	_, isStruct := tv.Type.Underlying().(*types.Struct)
+	return isStruct
+}
+
+type mutationSite struct {
+	pos    token.Pos
+	method string
+}
+
+// fieldMutations finds writes to recv.field or any recv.field.X... chain
+// inside method m: assignments, compound assignments, and ++/--.
+func fieldMutations(p *Package, m *ast.FuncDecl, field string) []mutationSite {
+	recv := receiverName(m)
+	if recv == "" {
+		return nil
+	}
+	var sites []mutationSite
+	record := func(expr ast.Expr) {
+		if rootedAtField(expr, recv, field) {
+			sites = append(sites, mutationSite{pos: expr.Pos()})
+		}
+	}
+	ast.Inspect(m.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(stmt.X)
+		}
+		return true
+	})
+	return sites
+}
+
+// rootedAtField reports whether expr is a selector chain recv.field[.more].
+func rootedAtField(expr ast.Expr, recv, field string) bool {
+	for {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if base, ok := sel.X.(*ast.Ident); ok {
+			return base.Name == recv && sel.Sel.Name == field
+		}
+		expr = sel.X
+	}
+}
+
+// methodAssumesLock reports the *Locked naming convention: helpers called
+// with the lock already held.
+func methodAssumesLock(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return len(name) > len("Locked") && name[len(name)-len("Locked"):] == "Locked"
+}
+
+// lockAcquisitions returns the mutex field names m for which the body
+// contains recv.m.Lock() or recv.m.RLock().
+func lockAcquisitions(fd *ast.FuncDecl, recv string) map[string]bool {
+	out := make(map[string]bool)
+	if fd.Body == nil || recv == "" {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base, ok := inner.X.(*ast.Ident); ok && base.Name == recv {
+			out[inner.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}

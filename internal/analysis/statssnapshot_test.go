@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+func TestStatsSnapshotFixtures(t *testing.T) {
+	_, pkg := loadFixtures(t, "statssnapshot")
+	diags := checkAnalyzer(t, StatsSnapshot, pkg)
+
+	// Exact-position checks: the diagnostic anchors on the return statement
+	// of the racy getter.
+	if got, want := positionOf(t, diags, "BadEngine.Stats returns e.stats"), "fixtures.go:24:40"; got != want {
+		t.Errorf("BadEngine diagnostic at %s, want %s", got, want)
+	}
+	if got, want := positionOf(t, diags, "HalfLocked.Stats returns h.stats"), "fixtures.go:65:2"; got != want {
+		t.Errorf("HalfLocked diagnostic at %s, want %s", got, want)
+	}
+}
+
+func TestStatsSnapshotFixtureShape(t *testing.T) {
+	// Guard against fixture drift: the types the test names must exist.
+	_, pkg := loadFixtures(t, "statssnapshot")
+	for _, name := range []string{"BadEngine", "GoodEngine", "HalfLocked", "LockedHelper", "SingleOwner", "ReadOnly"} {
+		found := false
+		for _, st := range structTypes(pkg) {
+			if st.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture struct %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package fixtures exercises the hotpathalloc analyzer: allocation,
+// formatting, and wall-clock work inside //scap:hotpath functions.
+package fixtures
+
+import (
+	"fmt"
+	"time"
+)
+
+type engine struct {
+	n   int
+	buf []byte
+	log []string
+}
+
+// handleBad commits every hot-path sin the analyzer knows about.
+//
+//scap:hotpath
+func (e *engine) handleBad(data []byte) {
+	fmt.Printf("pkt %d\n", e.n) // want hotpathalloc "fmt.Printf"
+	ts := time.Now()            // want hotpathalloc "time.Now"
+	_ = ts
+	m := map[string]int{"a": 1} // want hotpathalloc "map literal"
+	_ = m
+	s := []int{1, 2} // want hotpathalloc "slice literal"
+	_ = s
+	f := func() int { return e.n } // want hotpathalloc "closure captures e"
+	_ = f
+	e.log = append(e.log, "x") // want hotpathalloc "append may grow"
+	h := make(map[uint64]int)  // want hotpathalloc "make\\(map\\)"
+	_ = h
+	b := make([]byte, 64) // want hotpathalloc "make allocates"
+	_ = b
+	p := new(engine) // want hotpathalloc "new allocates"
+	_ = p
+	str := string(data) // want hotpathalloc "string conversion copies"
+	_ = str
+}
+
+// handleGood does only the things the per-packet path is allowed to do.
+//
+//scap:hotpath
+func (e *engine) handleGood(data []byte) {
+	e.n++
+	if len(data) > 0 {
+		e.n += int(data[0])
+	}
+	g := nonCapturing // package-level func value: no per-call allocation
+	e.n = g(e.n)
+	e.buf = append(e.buf, data...) //scaplint:ignore hotpathalloc appends into preallocated capacity
+}
+
+// nonCapturing is a package-level closure; referencing it is free.
+var nonCapturing = func(x int) int { return x + 1 }
+
+// coldPath is not annotated: anything goes.
+func (e *engine) coldPath() {
+	fmt.Println("cold", time.Now(), map[int]int{})
+	e.log = append(e.log, "cold")
+}
+
+// pureClosure shows a non-capturing literal inside a hot path: the
+// compiler lifts it to a static function, so it is not flagged.
+//
+//scap:hotpath
+func (e *engine) pureClosure() {
+	f := func(x int) int { return x * 2 }
+	e.n = f(e.n)
+}

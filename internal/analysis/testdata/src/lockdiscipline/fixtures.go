@@ -1,0 +1,72 @@
+// Package fixtures exercises the lockdiscipline analyzer: "guarded by mu"
+// fields touched outside their mutex.
+package fixtures
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+	// pending is guarded by mu.
+	pending []int
+
+	injectMu sync.Mutex
+	last     int64 // guarded by injectMu
+
+	free int // unguarded: single-owner bookkeeping
+}
+
+// Good locks the right mutex before touching count.
+func (s *state) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Bad reads count without any lock.
+func (s *state) Bad() int {
+	return s.count // want lockdiscipline "state.Bad accesses s.count"
+}
+
+// WrongLock holds injectMu, but count is guarded by mu.
+func (s *state) WrongLock() {
+	s.injectMu.Lock()
+	s.count++ // want lockdiscipline "guarded by mu"
+	s.injectMu.Unlock()
+}
+
+// BadWrite mutates two guarded fields without locks: one finding each.
+func (s *state) BadWrite(v int) {
+	s.pending = append(s.pending, v) // want lockdiscipline "s.pending"
+	s.last = int64(v)                // want lockdiscipline "guarded by injectMu"
+}
+
+// drainLocked follows the *Locked convention: callers hold mu.
+func (s *state) drainLocked() []int {
+	out := s.pending
+	s.pending = nil
+	return out
+}
+
+// Stamp uses the correct mutex for the injectMu-guarded field.
+func (s *state) Stamp(v int64) {
+	s.injectMu.Lock()
+	s.last = v
+	s.injectMu.Unlock()
+}
+
+// Free touches only unguarded state.
+func (s *state) Free() int { return s.free }
+
+// Suppressed documents an audited exception.
+func (s *state) Suppressed() int {
+	return s.count //scaplint:ignore lockdiscipline snapshot read audited for tests
+}
+
+// otherState must not inherit state's guards.
+type otherState struct {
+	count int
+}
+
+func (o *otherState) Bump() { o.count++ }

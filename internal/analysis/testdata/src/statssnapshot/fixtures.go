@@ -1,0 +1,109 @@
+// Package fixtures exercises the statssnapshot analyzer: shared types
+// whose snapshot getters race with counter mutations. Lines carrying a
+// "want" comment must produce exactly one diagnostic; all other lines must
+// stay clean.
+package fixtures
+
+import "sync"
+
+// Counters mirrors an engine's statistics block.
+type Counters struct {
+	Frames uint64
+	Bytes  uint64
+}
+
+// BadEngine reproduces the Engine.Stats() race: the kernel goroutine
+// mutates the counters while readers copy them without synchronization.
+//
+//scap:shared
+type BadEngine struct {
+	stats Counters
+}
+
+// Stats returns a snapshot of the counters.
+func (e *BadEngine) Stats() Counters { return e.stats } // want statssnapshot "returns e.stats by value"
+
+func (e *BadEngine) handleFrame(n int) {
+	e.stats.Frames++
+	e.stats.Bytes += uint64(n)
+}
+
+// GoodEngine takes the same snapshot under a mutex on both sides.
+//
+//scap:shared
+type GoodEngine struct {
+	mu    sync.Mutex
+	stats Counters
+}
+
+// Stats returns a snapshot of the counters.
+func (e *GoodEngine) Stats() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *GoodEngine) handleFrame(n int) {
+	e.mu.Lock()
+	e.stats.Frames++
+	e.stats.Bytes += uint64(n)
+	e.mu.Unlock()
+}
+
+// HalfLocked locks the getter but not the writer: still a race.
+//
+//scap:shared
+type HalfLocked struct {
+	mu    sync.Mutex
+	stats Counters
+}
+
+// Stats returns a snapshot of the counters.
+func (h *HalfLocked) Stats() Counters {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats // want statssnapshot "mutates h.stats"
+}
+
+func (h *HalfLocked) handleFrame() {
+	h.stats.Frames++
+}
+
+// LockedHelper writes through a *Locked helper, which documents that its
+// callers hold the mutex: not flagged.
+//
+//scap:shared
+type LockedHelper struct {
+	mu    sync.Mutex
+	stats Counters
+}
+
+// Stats returns a snapshot of the counters.
+func (l *LockedHelper) Stats() Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+func (l *LockedHelper) bumpLocked() { l.stats.Frames++ }
+
+// SingleOwner is not marked //scap:shared: it belongs to one goroutine
+// (like a per-core flow table) and unsynchronized snapshots are fine.
+type SingleOwner struct {
+	stats Counters
+}
+
+// Stats returns a snapshot of the counters.
+func (s *SingleOwner) Stats() Counters { return s.stats }
+
+func (s *SingleOwner) handleFrame() { s.stats.Frames++ }
+
+// ReadOnly never mutates the struct it returns: a copy is always safe.
+//
+//scap:shared
+type ReadOnly struct {
+	limits Counters
+}
+
+// Limits returns the configured limits.
+func (r *ReadOnly) Limits() Counters { return r.limits }

@@ -62,6 +62,9 @@ func TestPatternsDeterministic(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short runs")
+	}
 	figs := quickRunner(t).Fig3()
 	if len(figs) != 3 {
 		t.Fatalf("fig3 parts = %d", len(figs))
@@ -83,6 +86,9 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short runs")
+	}
 	figs := quickRunner(t).Fig4()
 	loss := figs[0]
 	// Scap delivers loss-free at 4G where the baselines drop heavily.
@@ -95,6 +101,9 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short runs")
+	}
 	figs := quickRunner(t).Fig6()
 	matched := figs[1]
 	// Full recall at the lowest rate; Scap retains a lead at 6G.
@@ -118,6 +127,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short runs")
+	}
 	figs := quickRunner(t).Fig10()
 	maxRate := figs[1]
 	xs := maxRate.Xs()
@@ -138,6 +150,9 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11MatchesQueueing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short runs")
+	}
 	fig := Fig11()
 	if v := fig.Value("rho=0.1", 10); v > 1e-8 {
 		t.Errorf("rho=0.1 N=10 loss = %v", v)
@@ -148,6 +163,9 @@ func TestFig11MatchesQueueing(t *testing.T) {
 }
 
 func TestFig12Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short runs")
+	}
 	fig := Fig12()
 	for _, x := range fig.Xs() {
 		if fig.Value("High-priority", x) > fig.Value("Medium-priority", x)+1e-18 {

@@ -56,8 +56,11 @@ type Ctrl struct {
 
 // ctrlQueue is a mutex-guarded MPSC queue (several worker threads may
 // target the same engine; only the engine drains).
+//
+//scap:shared
 type ctrlQueue struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// msgs is guarded by mu.
 	msgs []Ctrl
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"math/rand"
+	"sync/atomic"
 
 	"scap/internal/event"
 	"scap/internal/flowtab"
@@ -48,6 +49,43 @@ type Stats struct {
 	FDIRRemoved   uint64
 }
 
+// counters is the engine's live statistics block. The owning kernel-path
+// goroutine is the only writer; Stats may be called from any goroutine
+// (scap_get_stats polls it while frames flow), so every counter is an
+// atomic: the writer pays one uncontended atomic add per event and readers
+// assemble a snapshot without stalling the hot path or tearing a value.
+type counters struct {
+	frames       atomic.Uint64
+	decodeErrors atomic.Uint64
+	fragsHeld    atomic.Uint64
+	fragsDropped atomic.Uint64
+	packets      atomic.Uint64
+	payloadBytes atomic.Uint64
+	storedBytes  atomic.Uint64
+
+	filterIgnoredPkts atomic.Uint64
+	cutoffPkts        atomic.Uint64
+	cutoffBytes       atomic.Uint64
+	pplDroppedPkts    atomic.Uint64
+	pplDroppedBytes   atomic.Uint64
+	eventsLost        atomic.Uint64
+	eventsLostBytes   atomic.Uint64
+
+	streamsCreated atomic.Uint64
+	streamsClosed  atomic.Uint64
+	streamsExpired atomic.Uint64
+	streamsEvicted atomic.Uint64
+
+	asmDuplicateBytes atomic.Uint64
+	asmDeliveredBytes atomic.Uint64
+	asmHolesSkipped   atomic.Uint64
+	asmOutOfOrder     atomic.Uint64
+	asmDroppedSegs    atomic.Uint64
+
+	fdirInstalled atomic.Uint64
+	fdirRemoved   atomic.Uint64
+}
+
 // Options wires an Engine to its shared resources.
 type Options struct {
 	Config Config
@@ -82,7 +120,11 @@ func (h filterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *filterHeap) Push(x any)        { *h = append(*h, x.(filterEntry)) }
 func (h *filterHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// Engine is one core's kernel path.
+// Engine is one core's kernel path. The owning goroutine is the only one
+// that may call HandleFrame, HandlePacket, CheckTimers, and Shutdown;
+// Stats and Control are safe from any goroutine.
+//
+//scap:shared
 type Engine struct {
 	cfg    Config
 	mm     *mem.Manager
@@ -102,10 +144,19 @@ type Engine struct {
 	minInactivity int64
 
 	maxStreams int
-	stats      Stats
+	stats      counters
 	scratch    pkt.Packet
 	ctrlBuf    []Ctrl
 	now        int64
+
+	// curStream/curExt name the stream whose payload is currently being
+	// fed through the assembler; emitCb and flushCb are bound once at
+	// construction so the per-packet path hands the assembler a callback
+	// without allocating a closure per payload.
+	curStream *flowtab.Stream
+	curExt    *streamExt
+	emitCb    reassembly.Emit
+	flushCb   reassembly.Emit
 }
 
 // NewEngine creates an engine.
@@ -122,6 +173,8 @@ func NewEngine(opts Options) *Engine {
 		minInactivity: cfg.InactivityTimeout,
 		maxStreams:    opts.MaxStreams,
 	}
+	e.emitCb = e.emitToCur
+	e.flushCb = e.flushToCur
 	if e.mm == nil {
 		e.mm = mem.New(mem.Config{Priorities: cfg.Priorities})
 	}
@@ -136,8 +189,43 @@ func NewEngine(opts Options) *Engine {
 	return e
 }
 
-// Stats returns a snapshot of the counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the counters. It is safe to call from any
+// goroutine while the engine runs: each counter is loaded atomically, so
+// the snapshot is race-free (individual fields may lag each other by a
+// packet, like reading /proc counters).
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Frames:       e.stats.frames.Load(),
+		DecodeErrors: e.stats.decodeErrors.Load(),
+		FragsHeld:    e.stats.fragsHeld.Load(),
+		FragsDropped: e.stats.fragsDropped.Load(),
+		Packets:      e.stats.packets.Load(),
+		PayloadBytes: e.stats.payloadBytes.Load(),
+		StoredBytes:  e.stats.storedBytes.Load(),
+
+		FilterIgnoredPkts: e.stats.filterIgnoredPkts.Load(),
+		CutoffPkts:        e.stats.cutoffPkts.Load(),
+		CutoffBytes:       e.stats.cutoffBytes.Load(),
+		PPLDroppedPkts:    e.stats.pplDroppedPkts.Load(),
+		PPLDroppedBytes:   e.stats.pplDroppedBytes.Load(),
+		EventsLost:        e.stats.eventsLost.Load(),
+		EventsLostBytes:   e.stats.eventsLostBytes.Load(),
+
+		StreamsCreated: e.stats.streamsCreated.Load(),
+		StreamsClosed:  e.stats.streamsClosed.Load(),
+		StreamsExpired: e.stats.streamsExpired.Load(),
+		StreamsEvicted: e.stats.streamsEvicted.Load(),
+
+		AsmDuplicateBytes: e.stats.asmDuplicateBytes.Load(),
+		AsmDeliveredBytes: e.stats.asmDeliveredBytes.Load(),
+		AsmHolesSkipped:   e.stats.asmHolesSkipped.Load(),
+		AsmOutOfOrder:     e.stats.asmOutOfOrder.Load(),
+		AsmDroppedSegs:    e.stats.asmDroppedSegs.Load(),
+
+		FDIRInstalled: e.stats.fdirInstalled.Load(),
+		FDIRRemoved:   e.stats.fdirRemoved.Load(),
+	}
+}
 
 // Table exposes the flow table (tests and the simulator use it).
 func (e *Engine) Table() *flowtab.Table { return e.table }
@@ -149,15 +237,17 @@ func (e *Engine) Queue() *event.Queue { return e.q }
 func (e *Engine) Now() int64 { return e.now }
 
 // HandleFrame is the softirq entry point: decode and process one frame.
+//
+//scap:hotpath
 func (e *Engine) HandleFrame(data []byte, ts int64) {
 	e.drainCtrl()
-	e.stats.Frames++
+	e.stats.frames.Add(1)
 	if ts > e.now {
 		e.now = ts
 	}
 	p := &e.scratch
 	if err := pkt.Decode(data, p); err != nil {
-		e.stats.DecodeErrors++
+		e.stats.decodeErrors.Add(1)
 		return
 	}
 	p.Timestamp = ts
@@ -165,6 +255,8 @@ func (e *Engine) HandleFrame(data []byte, ts int64) {
 }
 
 // HandlePacket processes an already-decoded packet.
+//
+//scap:hotpath
 func (e *Engine) HandlePacket(p *pkt.Packet) {
 	if p.Timestamp > e.now {
 		e.now = p.Timestamp
@@ -173,12 +265,12 @@ func (e *Engine) HandlePacket(p *pkt.Packet) {
 		if e.defrag == nil {
 			// Fast mode does not spend memory on defragmentation; the
 			// fragmented datagram is counted against the stream as loss.
-			e.stats.FragsDropped++
+			e.stats.fragsDropped.Add(1)
 			return
 		}
 		whole := e.defrag.Add(p)
 		if whole == nil {
-			e.stats.FragsHeld++
+			e.stats.fragsHeld.Add(1)
 			return
 		}
 		// Reparse the transport header from the reassembled datagram.
@@ -186,15 +278,18 @@ func (e *Engine) HandlePacket(p *pkt.Packet) {
 		np = *p
 		np.FragOffset, np.MoreFrags = 0, false
 		if err := pkt.DecodeTransport(whole, &np); err != nil {
-			e.stats.DecodeErrors++
+			e.stats.decodeErrors.Add(1)
 			return
 		}
 		p = &np
 	}
-	e.stats.Packets++
+	e.stats.packets.Add(1)
 	e.process(p)
 }
 
+// process runs the per-packet stream logic for one decoded packet.
+//
+//scap:hotpath
 func (e *Engine) process(p *pkt.Packet) {
 	ts := p.Timestamp
 	if e.maxStreams > 0 && e.table.Len() >= e.maxStreams && e.table.Lookup(p.Key) == nil {
@@ -213,7 +308,7 @@ func (e *Engine) process(p *pkt.Packet) {
 	s.Stats.End = ts
 
 	if x.ignored {
-		e.stats.FilterIgnoredPkts++
+		e.stats.filterIgnoredPkts.Add(1)
 		return
 	}
 
@@ -223,15 +318,13 @@ func (e *Engine) process(p *pkt.Packet) {
 	}
 	// UDP and other protocols: concatenate payloads in arrival order
 	// (paper §2.3).
-	e.processPayloadBytes(s, x, p, p.Payload, func(b []byte, emit reassembly.Emit) {
-		emit(b, false)
-	})
+	e.processPayloadBytes(s, x, p, p.Payload, false)
 }
 
 // initStream resolves a new stream's configuration and fires its creation
 // event.
 func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
-	e.stats.StreamsCreated++
+	e.stats.streamsCreated.Add(1)
 	if e.cfg.Filter != nil && !e.cfg.Filter.Match(p) {
 		// Neither direction matches ⇒ the stream is uninteresting. A
 		// directional filter (e.g. "src port 80") must still keep both
@@ -268,6 +361,7 @@ func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 	e.push(event.Event{Type: event.Creation, Stream: s, Info: s.Snapshot(0)})
 }
 
+//scap:hotpath
 func (e *Engine) processTCP(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 	if p.HasFlag(pkt.FlagSYN) {
 		s.SawSYN = true
@@ -292,9 +386,7 @@ func (e *Engine) processTCP(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 		if !s.SawSYN {
 			s.Error |= reassembly.FlagBadHandshake
 		}
-		e.processPayloadBytes(s, x, p, p.Payload, func(b []byte, emit reassembly.Emit) {
-			s.Asm.Segment(p.Seq, b, emit)
-		})
+		e.processPayloadBytes(s, x, p, p.Payload, true)
 	}
 
 	if p.TCPFlags&pkt.FlagFIN != 0 {
@@ -306,22 +398,24 @@ func (e *Engine) processTCP(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 	}
 }
 
-// processPayloadBytes runs the cutoff check, PPL admission, per-packet
-// record keeping, and hands the payload to feed (which routes through the
-// assembler for TCP or straight to the chunk for datagram protocols).
-func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Packet, payload []byte, feed func([]byte, reassembly.Emit)) {
+// processPayloadBytes runs the cutoff check, PPL admission, and per-packet
+// record keeping, then routes the payload through the assembler (viaAsm,
+// the TCP path) or straight to the chunk (datagram protocols).
+//
+//scap:hotpath
+func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Packet, payload []byte, viaAsm bool) {
 	n := len(payload)
 	if n == 0 {
 		return
 	}
 	s.Stats.PayloadBytes += uint64(n)
-	e.stats.PayloadBytes += uint64(n)
+	e.stats.payloadBytes.Add(uint64(n))
 
 	if x.discard || s.Status == flowtab.StatusCutoff {
 		s.Stats.DiscardedPkts++
 		s.Stats.DiscardedBytes += uint64(n)
-		e.stats.CutoffPkts++
-		e.stats.CutoffBytes += uint64(n)
+		e.stats.cutoffPkts.Add(1)
+		e.stats.cutoffBytes.Add(uint64(n))
 		// Data arriving for a cutoff stream means its NIC filter expired
 		// or was evicted: re-install with a doubled timeout (§5.5).
 		e.reinstallFDIR(s, x)
@@ -333,8 +427,8 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 		e.reachCutoff(s, x)
 		s.Stats.DiscardedPkts++
 		s.Stats.DiscardedBytes += uint64(n)
-		e.stats.CutoffPkts++
-		e.stats.CutoffBytes += uint64(n)
+		e.stats.cutoffPkts.Add(1)
+		e.stats.cutoffBytes.Add(uint64(n))
 		return
 	}
 
@@ -343,22 +437,43 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 	default:
 		s.Stats.DroppedPkts++
 		s.Stats.DroppedBytes += uint64(n)
-		e.stats.PPLDroppedPkts++
-		e.stats.PPLDroppedBytes += uint64(n)
+		e.stats.pplDroppedPkts.Add(1)
+		e.stats.pplDroppedBytes.Add(uint64(n))
 		return
 	}
 
 	if e.cfg.NeedPkts {
 		e.recordPacket(s, x, p, n)
 	}
-	feed(payload, func(b []byte, hole bool) {
-		e.appendData(s, x, b, hole)
-	})
+	e.curStream, e.curExt = s, x
+	if viaAsm {
+		s.Asm.Segment(p.Seq, payload, e.emitCb)
+	} else {
+		e.appendData(s, x, payload, false)
+	}
+}
+
+// emitToCur appends assembler output to the current stream's chunk. It is
+// bound to emitCb at construction; see the field comment.
+//
+//scap:hotpath
+func (e *Engine) emitToCur(b []byte, hole bool) {
+	e.appendData(e.curStream, e.curExt, b, hole)
+}
+
+// flushToCur is emitToCur for final flushes, where a stream that has
+// already been cut off or discarded must not regain data.
+func (e *Engine) flushToCur(b []byte, hole bool) {
+	if e.curStream.Status == flowtab.StatusActive {
+		e.appendData(e.curStream, e.curExt, b, hole)
+	}
 }
 
 // recordPacket appends a packet record to the current chunk. Off points at
 // the chunk position where in-order payload will land; out-of-order bytes
 // get Len 0 (their payload lands elsewhere after reassembly).
+//
+//scap:hotpath
 func (e *Engine) recordPacket(s *flowtab.Stream, x *streamExt, p *pkt.Packet, n int) {
 	if x.chunk.buf == nil {
 		x.chunk = e.newChunkBuf(s, nil, e.now)
@@ -376,11 +491,13 @@ func (e *Engine) recordPacket(s *flowtab.Stream, x *streamExt, p *pkt.Packet, n 
 		rec.Off = int32(x.chunk.fill())
 		rec.Len = int32(n)
 	}
-	x.chunk.pkts = append(x.chunk.pkts, rec)
+	x.chunk.pkts = append(x.chunk.pkts, rec) //scaplint:ignore hotpathalloc per-chunk record list, bounded by the chunk's packet count and released with the chunk
 }
 
 // appendData copies reassembled bytes into the stream's chunk, enforcing
 // the cutoff and delivering chunks as they fill.
+//
+//scap:hotpath
 func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool) {
 	if hole {
 		s.Error |= reassembly.FlagHole
@@ -391,7 +508,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 			if remain <= 0 {
 				e.reachCutoff(s, x)
 				s.Stats.DiscardedBytes += uint64(len(b))
-				e.stats.CutoffBytes += uint64(len(b))
+				e.stats.cutoffBytes.Add(uint64(len(b)))
 				return
 			}
 			if int64(len(b)) > remain {
@@ -399,7 +516,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 				tail := b[remain:]
 				e.appendData(s, x, head, hole)
 				s.Stats.DiscardedBytes += uint64(len(tail))
-				e.stats.CutoffBytes += uint64(len(tail))
+				e.stats.cutoffBytes.Add(uint64(len(tail)))
 				e.reachCutoff(s, x)
 				return
 			}
@@ -425,10 +542,10 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 		if c.fill() == c.overlapLen {
 			c.firstTS = e.now
 		}
-		c.buf = append(c.buf, b[:take]...)
+		c.buf = append(c.buf, b[:take]...) //scaplint:ignore hotpathalloc take <= room, so the append stays inside the chunk's preallocated capacity
 		b = b[take:]
 		s.Stats.CapturedBytes += uint64(take)
-		e.stats.StoredBytes += uint64(take)
+		e.stats.storedBytes.Add(uint64(take))
 		e.mm.Reserve(take)
 		e.markDirty(s, x)
 		if c.room() == 0 {
@@ -485,10 +602,12 @@ func (e *Engine) dropChunk(s *flowtab.Stream, x *streamExt) {
 }
 
 // push enqueues an event, releasing chunk memory if the ring is full.
+//
+//scap:hotpath
 func (e *Engine) push(ev event.Event) {
 	if !e.q.Push(ev) {
-		e.stats.EventsLost++
-		e.stats.EventsLostBytes += uint64(len(ev.Data))
+		e.stats.eventsLost.Add(1)
+		e.stats.eventsLostBytes.Add(uint64(len(ev.Data)))
 		if ev.Accounted > 0 {
 			e.mm.Release(ev.Accounted)
 		}
@@ -540,7 +659,7 @@ func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
 		}
 	}
 	s.HWFilter = true
-	e.stats.FDIRInstalled++
+	e.stats.fdirInstalled.Add(1)
 	heap.Push(&e.filters, filterEntry{deadline: deadline, key: s.Key, id: s.ID})
 }
 
@@ -567,7 +686,7 @@ func (e *Engine) removeFDIR(s *flowtab.Stream) {
 	if s.HWFilter && e.nicDev != nil {
 		e.nicDev.RemoveFilters(s.Key, false)
 		s.HWFilter = false
-		e.stats.FDIRRemoved++
+		e.stats.fdirRemoved.Add(1)
 	}
 }
 
@@ -585,11 +704,8 @@ func (e *Engine) terminatePair(s *flowtab.Stream, status flowtab.Status) {
 func (e *Engine) finishStream(s *flowtab.Stream, status flowtab.Status) {
 	x := ext(s)
 	if s.Asm != nil {
-		s.Asm.Flush(func(b []byte, hole bool) {
-			if s.Status == flowtab.StatusActive {
-				e.appendData(s, x, b, hole)
-			}
-		})
+		e.curStream, e.curExt = s, x
+		s.Asm.Flush(e.flushCb)
 	}
 	if s.Status == flowtab.StatusActive || s.Status == flowtab.StatusCutoff {
 		e.deliverChunk(s, x, true)
@@ -605,19 +721,19 @@ func (e *Engine) finishStream(s *flowtab.Stream, status flowtab.Status) {
 	}()
 	switch status {
 	case flowtab.StatusClosed:
-		e.stats.StreamsClosed++
+		e.stats.streamsClosed.Add(1)
 	case flowtab.StatusTimedOut:
-		e.stats.StreamsExpired++
+		e.stats.streamsExpired.Add(1)
 	case flowtab.StatusEvicted:
-		e.stats.StreamsEvicted++
+		e.stats.streamsEvicted.Add(1)
 	}
 	if s.Asm != nil {
 		as := s.Asm.Stats()
-		e.stats.AsmDuplicateBytes += as.DuplicateBytes
-		e.stats.AsmDeliveredBytes += as.DeliveredBytes
-		e.stats.AsmHolesSkipped += as.HolesSkipped
-		e.stats.AsmOutOfOrder += as.OutOfOrderSegs
-		e.stats.AsmDroppedSegs += as.DroppedSegments
+		e.stats.asmDuplicateBytes.Add(as.DuplicateBytes)
+		e.stats.asmDeliveredBytes.Add(as.DeliveredBytes)
+		e.stats.asmHolesSkipped.Add(as.HolesSkipped)
+		e.stats.asmOutOfOrder.Add(as.OutOfOrderSegs)
+		e.stats.asmDroppedSegs.Add(as.DroppedSegments)
 	}
 	e.removeFDIR(s)
 	if !x.ignored {
@@ -705,7 +821,7 @@ func (e *Engine) expireFilters(now int64) {
 		fe := heap.Pop(&e.filters).(filterEntry)
 		if e.nicDev != nil {
 			if removed := e.nicDev.RemoveFilters(fe.key, false); removed > 0 {
-				e.stats.FDIRRemoved++
+				e.stats.fdirRemoved.Add(1)
 			}
 		}
 		if s := e.table.Lookup(fe.key); s != nil && s.ID == fe.id {

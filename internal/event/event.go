@@ -77,15 +77,21 @@ type PacketRecord struct {
 // Queue is the per-core event ring. The kernel-path engine is the only
 // producer; the worker thread is the only consumer. A mutex (not atomics)
 // keeps it obviously correct; the producer and consumer touch it briefly.
+//
+//scap:shared
 type Queue struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	buf     []Event
+	mu   sync.Mutex
+	cond *sync.Cond
+	// buf is guarded by mu.
+	buf []Event
+	// head and n are guarded by mu.
 	head, n int
-	closed  bool
+	// closed is guarded by mu.
+	closed bool
 
 	// Dropped counts events discarded because the ring was full — the
-	// analogue of a packet-capture buffer overflowing.
+	// analogue of a packet-capture buffer overflowing. Guarded by mu;
+	// read it only after the producer has stopped (tests do).
 	Dropped uint64
 }
 
@@ -104,6 +110,8 @@ func NewQueue(capacity int) *Queue {
 
 // Push enqueues an event; it reports false (and counts a drop) if the ring
 // is full or closed.
+//
+//scap:hotpath
 func (q *Queue) Push(e Event) bool {
 	q.mu.Lock()
 	if q.closed || q.n == len(q.buf) {

@@ -59,6 +59,8 @@ func NewTable(rng *rand.Rand) *Table {
 func (t *Table) Len() int { return t.count }
 
 // Lookup finds the stream for the exact (directional) key.
+//
+//scap:hotpath
 func (t *Table) Lookup(key pkt.FlowKey) *Stream {
 	idx := key.Hash(t.seed) & uint64(len(t.buckets)-1)
 	for s := t.buckets[idx]; s != nil; s = s.hnext {
@@ -71,7 +73,10 @@ func (t *Table) Lookup(key pkt.FlowKey) *Stream {
 
 // GetOrCreate returns the stream for key, creating (and cross-linking with
 // the opposite direction, if tracked) on miss. created reports whether a
-// new record was made. now updates the access list position.
+// new record was made. now updates the access list position. Allocation on
+// a pool miss lives in alloc, off this function's fast path.
+//
+//scap:hotpath
 func (t *Table) GetOrCreate(key pkt.FlowKey, now int64) (s *Stream, created bool) {
 	if s = t.Lookup(key); s != nil {
 		t.Touch(s, now)
@@ -102,6 +107,8 @@ func (t *Table) GetOrCreate(key pkt.FlowKey, now int64) (s *Stream, created bool
 }
 
 // Touch moves s to the front of the access list and stamps its access time.
+//
+//scap:hotpath
 func (t *Table) Touch(s *Stream, now int64) {
 	s.lastAccess = now
 	if t.lruHead == s {

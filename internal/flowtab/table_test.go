@@ -154,6 +154,9 @@ func TestEvictOldest(t *testing.T) {
 
 func TestDynamicGrowthMillionsOfStreams(t *testing.T) {
 	if testing.Short() {
+		t.Skip("million-stream growth run; skipped in -short runs")
+	}
+	if testing.Short() {
 		t.Skip("large table test")
 	}
 	tab := newT()

@@ -72,10 +72,16 @@ type Stats struct {
 // buffers live with the streams. One Manager is shared by every core of a
 // Scap socket (the paper uses a single stream-memory buffer), so it is safe
 // for concurrent use; the critical sections are a few arithmetic ops.
+//
+//scap:shared
 type Manager struct {
-	mu    sync.Mutex
-	cfg   Config
-	used  int64
+	mu sync.Mutex
+	// cfg is guarded by mu: SetPriorities and SetOverloadCutoff rewrite it
+	// at runtime while every core consults it per packet.
+	cfg Config
+	// used is guarded by mu.
+	used int64
+	// stats is guarded by mu.
 	stats Stats
 }
 
@@ -101,11 +107,17 @@ func (m *Manager) Used() int64 {
 }
 
 // Size returns the configured budget.
-func (m *Manager) Size() int64 { return m.cfg.Size }
+func (m *Manager) Size() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Size
+}
 
 // UsedFraction returns used/size.
 func (m *Manager) UsedFraction() float64 {
-	return float64(m.Used()) / float64(m.cfg.Size)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return float64(m.used) / float64(m.cfg.Size)
 }
 
 // Stats returns a snapshot of the counters.
@@ -136,6 +148,12 @@ func (m *Manager) SetPriorities(n int) {
 // (0 = lowest) is dropped: watermark_{p+1} in the paper's numbering, where
 // watermark_0 = base_threshold and watermark_n = 1.
 func (m *Manager) Watermark(p int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.watermarkLocked(p)
+}
+
+func (m *Manager) watermarkLocked(p int) float64 {
 	n := m.cfg.Priorities
 	if p >= n {
 		p = n - 1
@@ -178,7 +196,7 @@ func (m *Manager) decideLocked(priority int, streamPos int64, size int) Decision
 	}
 	frac := float64(m.used+int64(size)) / float64(m.cfg.Size)
 	if frac > m.cfg.BaseThreshold {
-		if frac > m.Watermark(priority) {
+		if frac > m.watermarkLocked(priority) {
 			m.stats.DroppedPriority++
 			return DropPriority
 		}

@@ -85,7 +85,7 @@ func (b *balancer) close(n *NIC, key pkt.FlowKey, rst bool) {
 	if b.counts[fa.queue] > 0 {
 		b.counts[fa.queue]--
 	}
-	n.removeRedirects(key)
+	n.removeRedirectsLocked(key)
 }
 
 // addPair installs queue-redirect filters for both directions of key.
@@ -103,9 +103,10 @@ func (t *filterTable) addPair(spec FilterSpec) (pkt.FlowKey, bool, error) {
 	return pkt.FlowKey{}, false, nil
 }
 
-// removeRedirects drops ActionQueue filters for both directions of key,
-// leaving any drop filters (cutoff) in place.
-func (n *NIC) removeRedirects(key pkt.FlowKey) {
+// removeRedirectsLocked drops ActionQueue filters for both directions of
+// key, leaving any drop filters (cutoff) in place. Callers hold n.mu (the
+// balancer runs inside Receive).
+func (n *NIC) removeRedirectsLocked(key pkt.FlowKey) {
 	for _, k := range []pkt.FlowKey{key, key.Reverse()} {
 		specs := n.filters.perfect[k]
 		kept := specs[:0]

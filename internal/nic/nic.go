@@ -2,6 +2,7 @@ package nic
 
 import (
 	"fmt"
+	"sync"
 
 	"scap/internal/pkt"
 	"scap/internal/reassembly"
@@ -101,20 +102,30 @@ type Stats struct {
 	DecodeFailures uint64 // undecodable frames (delivered nowhere)
 }
 
-// NIC is a simulated multi-queue controller. It is not safe for concurrent
-// Receive calls; the capture frameworks drive it from a single delivery
-// goroutine (or from the virtual-time simulator) and drain queues from
-// per-core consumers guarded by their own synchronization.
+// NIC is a simulated multi-queue controller. A single mutex serializes all
+// state-touching entry points: the delivery goroutine calls Receive/Poll
+// while every core's kernel goroutine installs and removes FDIR filters
+// (installFDIR on cutoff, expireFilters on deadlines) and any goroutine may
+// read Stats — the software analogue of the hardware's register interface.
+//
+//scap:shared
 type NIC struct {
-	cfg     Config
-	rings   []ring
+	mu  sync.Mutex
+	cfg Config // immutable after New
+	// rings is guarded by mu.
+	rings []ring
+	// filters is guarded by mu.
 	filters *filterTable
-	defrag  *reassembly.Defragmenter
-	lb      *balancer
-	stats   Stats
-	// queueDepthHW tracks per-queue occupancy highwater for tests.
+	// defrag is guarded by mu.
+	defrag *reassembly.Defragmenter
+	// lb is guarded by mu.
+	lb *balancer
+	// stats is guarded by mu.
+	stats Stats
+	// highwater tracks per-queue occupancy peaks for tests; guarded by mu.
 	highwater []int
-	scratch   pkt.Packet
+	// scratch is guarded by mu.
+	scratch pkt.Packet
 }
 
 // New creates a NIC with cfg.
@@ -145,6 +156,8 @@ func (n *NIC) Queues() int { return n.cfg.Queues }
 // queue the frame was enqueued on, or -1 if the frame was dropped (by a
 // filter, a full ring, or a decode failure).
 func (n *NIC) Receive(data []byte, ts int64) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.stats.Received++
 	p := &n.scratch
 	if err := pkt.Decode(data, p); err != nil {
@@ -219,10 +232,18 @@ func (n *NIC) QueueFor(key pkt.FlowKey) int {
 }
 
 // Poll removes and returns the next frame of queue q.
-func (n *NIC) Poll(q int) (Frame, bool) { return n.rings[q].pop() }
+func (n *NIC) Poll(q int) (Frame, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rings[q].pop()
+}
 
 // QueueLen returns the current occupancy of queue q.
-func (n *NIC) QueueLen(q int) int { return n.rings[q].n }
+func (n *NIC) QueueLen(q int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rings[q].n
+}
 
 // AddFilter installs an FDIR filter. If the perfect table is full, the
 // filter set with the earliest deadline is evicted first (the paper's
@@ -230,6 +251,8 @@ func (n *NIC) QueueLen(q int) int { return n.rings[q].n }
 // stream); the evicted key is returned so the caller can reconcile its
 // bookkeeping.
 func (n *NIC) AddFilter(spec FilterSpec) (evicted pkt.FlowKey, didEvict bool, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	s := spec
 	err = n.filters.add(&s)
 	if err == nil || spec.Signature {
@@ -248,16 +271,28 @@ func (n *NIC) AddFilter(spec FilterSpec) (evicted pkt.FlowKey, didEvict bool, er
 // RemoveFilters removes all filters for key and reports how many were
 // removed.
 func (n *NIC) RemoveFilters(key pkt.FlowKey, signature bool) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return n.filters.removeKey(key, signature)
 }
 
 // FilterCount returns the number of installed (perfect, signature) filters.
 func (n *NIC) FilterCount() (perfect, signature int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return n.filters.nPerfect, n.filters.nSignature
 }
 
 // Stats returns a snapshot of the NIC counters.
-func (n *NIC) Stats() Stats { return n.stats }
+func (n *NIC) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
 
 // Highwater returns the maximum occupancy queue q has reached.
-func (n *NIC) Highwater(q int) int { return n.highwater[q] }
+func (n *NIC) Highwater(q int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.highwater[q]
+}

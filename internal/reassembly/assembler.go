@@ -118,6 +118,10 @@ func (a *Assembler) unwrap(seq uint32) int64 {
 
 // Segment processes one TCP segment's payload. Any data that becomes
 // deliverable is passed to emit in order. Zero-length segments are ignored.
+// The in-order fast path is allocation-free; buffering an out-of-order run
+// copies it in insert, which is deliberately off the hot path.
+//
+//scap:hotpath
 func (a *Assembler) Segment(seq uint32, data []byte, emit Emit) {
 	if len(data) == 0 {
 		return

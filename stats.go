@@ -39,6 +39,12 @@ type Stats struct {
 // seen so far (scap_get_stats). Counters are collected without stopping
 // the capture path; a snapshot taken mid-burst may be momentarily
 // inconsistent between fields, like reading /proc counters.
+//
+// Concurrency audit: h.engines, h.queues, h.nicDev, and h.mm are assigned
+// in StartCapture before any capture goroutine exists and are read-only
+// afterwards, so iterating them here is safe; the per-object snapshot
+// calls (Engine.Stats atomics, NIC.Stats and Manager mutexes) make each
+// read race-free against the running capture path.
 func (h *Handle) GetStats() (Stats, error) {
 	if !h.started && h.engines == nil {
 		return Stats{}, ErrNotStarted
