@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint fmt-check check
+.PHONY: build test test-short race vet lint fmt-check bench-quick check
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,16 @@ vet:
 	$(GO) vet ./...
 
 # lint runs scaplint, the repo's own static-analysis suite (hot-path
-# allocation, snapshot-getter, and lock-discipline invariants).
+# allocation, hot-path locking, snapshot-getter, and lock-discipline
+# invariants).
 lint:
 	$(GO) run ./cmd/scaplint ./...
+
+# bench-quick compiles and runs every benchmark for a single iteration —
+# a smoke test that the bench harnesses stay buildable and terminate, not
+# a measurement.
+bench-quick:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 fmt-check:
 	@out=$$(gofmt -l . | grep -v '^testdata/' || true); \

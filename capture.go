@@ -11,6 +11,7 @@ import (
 
 	"scap/internal/core"
 	"scap/internal/event"
+	"scap/internal/nic"
 	"scap/internal/trace"
 )
 
@@ -28,10 +29,11 @@ type captureState struct {
 	h *Handle
 
 	mu sync.Mutex
-	// frameCh hands frames from the NIC to the kernel goroutines. It is
-	// written once in start, before any goroutine runs, and is read-only
-	// afterwards (the channels themselves provide the synchronization).
-	frameCh []chan frameIn
+	// frameCh hands frame batches from the NIC to the kernel goroutines.
+	// It is written once in start, before any goroutine runs, and is
+	// read-only afterwards (the channels themselves provide the
+	// synchronization).
+	frameCh []chan []nic.Frame
 	// stopped is guarded by mu, making stop idempotent.
 	stopped  bool
 	kernelWG sync.WaitGroup
@@ -44,10 +46,9 @@ type captureState struct {
 	timerStop chan struct{}
 }
 
-type frameIn struct {
-	data []byte
-	ts   int64
-}
+// injectBatchSize is how many frames the replay paths accumulate before
+// handing them to the kernel goroutines in one batch.
+const injectBatchSize = 64
 
 func newCaptureState(h *Handle) *captureState {
 	return &captureState{h: h, timerStop: make(chan struct{})}
@@ -55,9 +56,9 @@ func newCaptureState(h *Handle) *captureState {
 
 func (c *captureState) start() {
 	h := c.h
-	c.frameCh = make([]chan frameIn, h.cfg.Queues)
+	c.frameCh = make([]chan []nic.Frame, h.cfg.Queues)
 	for q := range c.frameCh {
-		c.frameCh[q] = make(chan frameIn, 1024)
+		c.frameCh[q] = make(chan []nic.Frame, 256)
 	}
 	// Kernel goroutines: one per queue, each owning its engine.
 	for q := 0; q < h.cfg.Queues; q++ {
@@ -71,8 +72,8 @@ func (c *captureState) start() {
 	}
 }
 
-// kernelLoop is one core's softirq-equivalent: it pulls frames for its
-// queue and drives the engine, running timer work between frames.
+// kernelLoop is one core's softirq-equivalent: it pulls frame batches for
+// its queue and drives the engine, running timer work between batches.
 func (c *captureState) kernelLoop(q int) {
 	defer c.kernelWG.Done()
 	eng := c.h.engines[q]
@@ -80,24 +81,62 @@ func (c *captureState) kernelLoop(q int) {
 	defer ticker.Stop()
 	for {
 		select {
-		case f, ok := <-c.frameCh[q]:
+		case batch, ok := <-c.frameCh[q]:
 			if !ok {
 				return
 			}
-			eng.HandleFrame(f.data, f.ts)
+			eng.HandleFrames(batch)
 		case <-ticker.C:
 			eng.CheckTimers(c.currentTS())
 		}
 	}
 }
 
-// workerLoop polls the worker's event queues, dispatching callbacks
-// (the Scap stub's event-dispatch loop, §5.8).
+// workerBatch is how many events a worker drains from a ring per wakeup.
+const workerBatch = 128
+
+// workerState is one worker's scratch: per-stream bookkeeping, the reused
+// Stream view handed to callbacks, and the batched memory-release
+// accumulator. The worker goroutine owns it exclusively.
+type workerState struct {
+	procTime map[uint64]time.Duration
+	kept     map[uint64][]byte
+	view     Stream
+	// pendingRelease accumulates delivered chunks' Accounted bytes; they
+	// are returned to the memory manager in one Release per drained batch
+	// (and before parking), not one per event.
+	pendingRelease int
+}
+
+func (ws *workerState) forget(id uint64) {
+	if len(ws.procTime) > 0 {
+		delete(ws.procTime, id)
+	}
+	if len(ws.kept) > 0 {
+		delete(ws.kept, id)
+	}
+}
+
+// flushReleases returns the accumulated chunk bytes to the memory budget.
+func (c *captureState) flushReleases(ws *workerState) {
+	if ws.pendingRelease > 0 {
+		c.h.mm.Release(ws.pendingRelease)
+		ws.pendingRelease = 0
+	}
+}
+
+// workerLoop drains the worker's event queues a batch at a time,
+// dispatching callbacks (the Scap stub's event-dispatch loop, §5.8).
 func (c *captureState) workerLoop(w int) {
 	defer c.workerWG.Done()
 	h := c.h
-	procTime := make(map[uint64]time.Duration)
-	kept := make(map[uint64][]byte)
+	ws := &workerState{
+		procTime: make(map[uint64]time.Duration),
+		kept:     make(map[uint64][]byte),
+	}
+	// The final flush covers events dispatched via Wait after the last
+	// batch, so accounting reaches zero once the queues are drained.
+	defer c.flushReleases(ws)
 	var qs []*event.Queue
 	var engs []*core.Engine
 	for q := w; q < len(h.queues); q += h.workers {
@@ -107,6 +146,7 @@ func (c *captureState) workerLoop(w int) {
 	if len(qs) == 0 {
 		return
 	}
+	batch := make([]event.Event, workerBatch)
 	live := len(qs)
 	closed := make([]bool, len(qs))
 	for live > 0 {
@@ -115,28 +155,37 @@ func (c *captureState) workerLoop(w int) {
 			if closed[i] {
 				continue
 			}
-			ev, ok := q.Poll()
-			if !ok {
+			n := q.PopBatch(batch)
+			if n == 0 {
 				continue
 			}
 			progressed = true
-			c.dispatch(engs[i], &ev, procTime, kept)
+			for j := range batch[:n] {
+				c.dispatch(engs[i], &batch[j], ws)
+			}
+			// Drop chunk references so delivered buffers are collectable,
+			// then return their memory in one release.
+			clear(batch[:n])
+			c.flushReleases(ws)
 		}
 		if !progressed {
 			// Block on the first open queue; others are polled again
 			// after it yields (single-queue-per-worker is the common
-			// configuration, where Wait alone drives the loop).
+			// configuration, where Wait alone drives the loop). The
+			// queues are empty here, so flush the accounting before
+			// parking.
 			i := firstOpen(closed)
 			if i < 0 {
 				return
 			}
+			c.flushReleases(ws)
 			ev, ok := qs[i].Wait()
 			if !ok {
 				closed[i] = true
 				live--
 				continue
 			}
-			c.dispatch(engs[i], &ev, procTime, kept)
+			c.dispatch(engs[i], &ev, ws)
 		}
 	}
 }
@@ -150,65 +199,72 @@ func firstOpen(closed []bool) int {
 	return -1
 }
 
-// dispatch runs one event's callback with a Stream view. Kept chunks are
-// merged in the stub: scap_keep_stream_chunk promises that the next
-// invocation receives the previous and the new chunk together, which the
-// worker guarantees locally since it sees each stream's events in order.
-func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, procTime map[uint64]time.Duration, kept map[uint64][]byte) {
+// dispatch runs one event's callback with a Stream view. The view struct
+// is reused across events (callbacks must not retain it past their
+// return), and per-stream map work is skipped entirely when no callback is
+// registered for the event. Kept chunks are merged in the stub:
+// scap_keep_stream_chunk promises that the next invocation receives the
+// previous and the new chunk together, which the worker guarantees locally
+// since it sees each stream's events in order.
+func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerState) {
 	h := c.h
-	sd := &Stream{
-		info:    ev.Info,
-		handle:  h,
-		engine:  eng,
-		raw:     ev.Stream,
-		procCum: procTime[ev.Info.ID],
-	}
 	var fn Handler
 	var kind appEventKind
 	switch ev.Type {
 	case event.Creation:
 		fn, kind = h.onCreate, appEvCreation
 	case event.Data:
-		sd.Data = ev.Data
-		if prev, ok := kept[ev.Info.ID]; ok {
-			sd.Data = append(prev, ev.Data...)
-			delete(kept, ev.Info.ID)
-		}
-		sd.HoleBefore = ev.HoleBefore
-		sd.Last = ev.Last
-		sd.pkts = ev.Pkts
 		fn, kind = h.onData, appEvData
 	case event.Termination:
 		fn, kind = h.onClose, appEvTermination
 	}
-	start := time.Now()
-	if len(h.apps) > 0 {
-		h.dispatchApps(kind, sd)
-		procTime[ev.Info.ID] = sd.procCum + time.Since(start)
-	} else if fn != nil {
-		fn(sd)
-		procTime[ev.Info.ID] = sd.procCum + time.Since(start)
-	}
-	switch ev.Type {
-	case event.Data:
-		if sd.keep && !ev.Last {
+	if len(h.apps) > 0 || fn != nil {
+		sd := &ws.view
+		*sd = Stream{
+			info:    ev.Info,
+			handle:  h,
+			engine:  eng,
+			raw:     ev.Stream,
+			procCum: ws.procTime[ev.Info.ID],
+		}
+		if ev.Type == event.Data {
+			sd.Data = ev.Data
+			if len(ws.kept) > 0 {
+				if prev, ok := ws.kept[ev.Info.ID]; ok {
+					sd.Data = append(prev, ev.Data...)
+					delete(ws.kept, ev.Info.ID)
+				}
+			}
+			sd.HoleBefore = ev.HoleBefore
+			sd.Last = ev.Last
+			sd.pkts = ev.Pkts
+		}
+		start := time.Now()
+		if len(h.apps) > 0 {
+			h.dispatchApps(kind, sd)
+		} else {
+			fn(sd)
+		}
+		ws.procTime[ev.Info.ID] = sd.procCum + time.Since(start)
+		if ev.Type == event.Data && sd.keep && !ev.Last {
 			// Stash a copy for the next delivery; the chunk's budget
 			// reservation is released normally — the kept copy is the
 			// application's memory, not stream memory.
 			cp := make([]byte, len(sd.Data))
 			copy(cp, sd.Data)
-			kept[ev.Info.ID] = cp
+			ws.kept[ev.Info.ID] = cp
 		}
+	}
+	switch ev.Type {
+	case event.Data:
 		if ev.Accounted > 0 {
-			h.mm.Release(ev.Accounted)
+			ws.pendingRelease += ev.Accounted
 		}
 		if ev.Last {
-			delete(procTime, ev.Info.ID)
-			delete(kept, ev.Info.ID)
+			ws.forget(ev.Info.ID)
 		}
 	case event.Termination:
-		delete(procTime, ev.Info.ID)
-		delete(kept, ev.Info.ID)
+		ws.forget(ev.Info.ID)
 	}
 }
 
@@ -218,9 +274,13 @@ func (c *captureState) currentTS() int64 {
 	return c.lastTS
 }
 
-// inject routes one frame through the NIC to its kernel goroutine.
+// inject routes one frame through the NIC to its kernel goroutine. The
+// injector owns data: it goes to the NIC ring and the engine without
+// copying.
+//
+//scap:hotpath
 func (c *captureState) inject(data []byte, ts int64) {
-	c.injectMu.Lock()
+	c.injectMu.Lock() //scaplint:ignore hotpathlock audited: virtual-clock serialization point shared by concurrent injectors; two plain stores under an uncontended mutex
 	if ts <= c.lastTS {
 		ts = c.lastTS + 1
 	}
@@ -234,7 +294,44 @@ func (c *captureState) inject(data []byte, ts int64) {
 	if !ok {
 		return
 	}
-	c.frameCh[q] <- frameIn{data: f.Data, ts: f.TS}
+	c.frameCh[q] <- []nic.Frame{f} //scaplint:ignore hotpathalloc single-frame fallback; the replay paths batch through injectBatch instead
+}
+
+// injectBatch routes a burst of frames: the virtual-clock monotonicity
+// fix-up runs once under injectMu for the whole burst (rewriting
+// timestamps in place), then frames fan out through the NIC into one
+// per-queue batch each, delivered with a single channel send per queue.
+func (c *captureState) injectBatch(frames []RawFrame) {
+	if len(frames) == 0 {
+		return
+	}
+	c.injectMu.Lock()
+	last := c.lastTS
+	for i := range frames {
+		if frames[i].TS <= last {
+			frames[i].TS = last + 1
+		}
+		last = frames[i].TS
+	}
+	c.lastTS = last
+	c.injectMu.Unlock()
+	batches := make([][]nic.Frame, len(c.frameCh))
+	for i := range frames {
+		q := c.h.nicDev.Receive(frames[i].Data, frames[i].TS)
+		if q < 0 {
+			continue
+		}
+		f, ok := c.h.nicDev.Poll(q)
+		if !ok {
+			continue
+		}
+		batches[q] = append(batches[q], f)
+	}
+	for q, b := range batches {
+		if len(b) > 0 {
+			c.frameCh[q] <- b
+		}
+	}
 }
 
 // stop flushes everything and joins the goroutines.
@@ -264,33 +361,61 @@ func (c *captureState) stop() {
 
 // --- Frame input paths ---
 
+// RawFrame is one frame for InjectBatch: raw Ethernet bytes plus a virtual
+// timestamp in nanoseconds.
+type RawFrame struct {
+	Data []byte
+	TS   int64
+}
+
 // InjectFrame feeds one raw Ethernet frame with a virtual timestamp
-// (nanoseconds, strictly increasing per socket). This is the lowest-level
-// input path; ReplayPcap and ReplaySource are built on it.
+// (nanoseconds, strictly increasing per socket; non-increasing timestamps
+// are bumped). Ownership of data transfers to the socket: the capture path
+// holds the slice without copying until the frame has been processed, so
+// the caller must not mutate it afterwards (handing out the same read-only
+// backing repeatedly is fine). This is the lowest-level input path;
+// ReplayPcap, ReplaySource, and InjectBatch are built on the same plumbing.
 func (h *Handle) InjectFrame(data []byte, ts int64) error {
 	if !h.started {
 		return ErrNotStarted
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	h.capture.inject(cp, ts)
+	h.capture.inject(data, ts)
+	return nil
+}
+
+// InjectBatch feeds a burst of frames in one call: the virtual clock is
+// fixed up under one lock acquisition (timestamps may be rewritten in
+// place to stay strictly increasing) and each kernel goroutine receives
+// its queue's frames as a single batch. As with InjectFrame, ownership of
+// every Data slice transfers to the socket.
+func (h *Handle) InjectBatch(frames []RawFrame) error {
+	if !h.started {
+		return ErrNotStarted
+	}
+	h.capture.injectBatch(frames)
 	return nil
 }
 
 // ReplaySource feeds every frame from a workload source, pacing virtual
 // timestamps at the given rate in bits/s (wall-clock runs as fast as the
 // pipeline allows, like the paper's trace replay). It blocks until the
-// source is exhausted.
+// source is exhausted. Frames are handed to the socket in batches without
+// copying — Next relinquishes each returned slice per the trace.Source
+// ownership contract.
 func (h *Handle) ReplaySource(src trace.Source, bitsPerSec float64) error {
 	if !h.started {
 		return ErrNotStarted
 	}
+	batch := make([]RawFrame, 0, injectBatchSize)
 	trace.Replay(src, bitsPerSec, func(frame []byte, ts int64) bool {
-		cp := make([]byte, len(frame))
-		copy(cp, frame)
-		h.capture.inject(cp, ts)
+		batch = append(batch, RawFrame{Data: frame, TS: ts})
+		if len(batch) == injectBatchSize {
+			h.capture.injectBatch(batch)
+			batch = batch[:0]
+		}
 		return true
 	})
+	h.capture.injectBatch(batch)
 	return nil
 }
 
@@ -305,15 +430,21 @@ func (h *Handle) ReplayPcap(path string) error {
 	}
 	defer f.Close()
 	r := trace.NewPcapReader(f)
+	batch := make([]RawFrame, 0, injectBatchSize)
 	for {
 		frame, ts, err := r.Next()
 		if errors.Is(err, io.EOF) {
+			h.capture.injectBatch(batch)
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		h.capture.inject(frame, ts)
+		batch = append(batch, RawFrame{Data: frame, TS: ts})
+		if len(batch) == injectBatchSize {
+			h.capture.injectBatch(batch)
+			batch = batch[:0]
+		}
 	}
 }
 

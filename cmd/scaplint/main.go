@@ -1,6 +1,7 @@
 // Command scaplint runs the repo's custom static analyzers over the
 // module: statssnapshot (racy snapshot getters on shared types),
-// hotpathalloc (allocations on the //scap:hotpath per-packet path), and
+// hotpathalloc (allocations on the //scap:hotpath per-packet path),
+// hotpathlock (sync.Mutex/RWMutex acquisition on that same path), and
 // lockdiscipline ("guarded by mu" field access outside the mutex).
 //
 // Usage:

@@ -1,0 +1,68 @@
+package scap
+
+// End-to-end injection throughput: frames enter through the public replay
+// API, cross the simulated NIC, the per-queue kernel goroutines, the event
+// rings, and the worker dispatch loop. This is the wall-clock benchmark the
+// hot-path synchronization work is judged against (the figure benchmarks in
+// bench_test.go run the *modeled* pipeline in internal/sim; this one runs
+// the real goroutines).
+//
+//	go test -bench=InjectThroughput -benchtime=2s .
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scap/internal/trace"
+)
+
+var (
+	injectOnce   sync.Once
+	injectFrames [][]byte
+	injectBytes  int64
+)
+
+func injectWorkload() [][]byte {
+	injectOnce.Do(func() {
+		g := trace.NewGenerator(trace.GenConfig{Seed: 11, Flows: 1 << 30, Concurrency: 128})
+		injectFrames = trace.Collect(g, 8192)
+		for _, f := range injectFrames {
+			injectBytes += int64(len(f))
+		}
+	})
+	return injectFrames
+}
+
+// BenchmarkInjectThroughput replays a synthetic workload through a running
+// socket at several queue counts. One b.N unit is one frame.
+func BenchmarkInjectThroughput(b *testing.B) {
+	frames := injectWorkload()
+	for _, queues := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("queues=%d", queues), func(b *testing.B) {
+			h, err := Create(Config{Queues: queues, MemorySize: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.DispatchData(func(sd *Stream) {})
+			if err := h.StartCapture(); err != nil {
+				b.Fatal(err)
+			}
+			src := &trace.SliceSource{Frames: frames}
+			b.SetBytes(injectBytes / int64(len(frames)))
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				src.Reset()
+				if err := h.ReplaySource(src, 40e9); err != nil {
+					b.Fatal(err)
+				}
+				done += len(frames)
+			}
+			b.StopTimer()
+			if err := h.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -12,6 +12,9 @@
 //   - hotpathalloc: functions marked //scap:hotpath must not allocate
 //     (fmt formatting, time.Now, map/slice literals, make, new, capturing
 //     closures, unvetted append) on the per-packet path.
+//   - hotpathlock: functions marked //scap:hotpath must not acquire a
+//     sync.Mutex or sync.RWMutex — the per-packet path shares state
+//     through single-writer structures and atomics, not locks.
 //   - lockdiscipline: struct fields annotated "guarded by <mu>" must only
 //     be touched by methods that acquire that mutex (or are *Locked
 //     helpers called with it held).
@@ -48,7 +51,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{StatsSnapshot, HotPathAlloc, LockDiscipline}
+	return []*Analyzer{StatsSnapshot, HotPathAlloc, HotPathLock, LockDiscipline}
 }
 
 // RunAll applies the analyzers to every package, drops suppressed

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotPathLock flags sync.Mutex/sync.RWMutex acquisition inside functions
+// marked //scap:hotpath. The paper's per-packet path shares state through
+// single-writer structures and atomics (per-core engines, SPSC event
+// rings, atomic memory accounting); a mutex on that path reintroduces the
+// cross-core serialization the design removes. Audited exceptions carry
+// //scaplint:ignore hotpathlock with a justification.
+var HotPathLock = &Analyzer{
+	Name: "hotpathlock",
+	Doc:  "no sync.Mutex/RWMutex acquisition in //scap:hotpath functions",
+	Run:  runHotPathLock,
+}
+
+// lockMethods are the acquisition entry points; Unlock is not flagged
+// separately (an unlock without an acquire is already broken code).
+var lockMethods = map[string]bool{
+	"Lock":     true,
+	"RLock":    true,
+	"TryLock":  true,
+	"TryRLock": true,
+}
+
+func runHotPathLock(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, fd := range hotpathFuncs(p) {
+		if fd.Body == nil {
+			continue
+		}
+		fname := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			if tn := receiverTypeName(fd); tn != "" {
+				fname = tn + "." + fname
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !lockMethods[sel.Sel.Name] {
+				return true
+			}
+			mt := mutexTypeName(p, sel)
+			if mt == "" {
+				return true
+			}
+			site := sel.Sel.Name
+			if base := exprText(sel.X); base != "" {
+				site = base + "." + site
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "hotpathlock",
+				Message: fmt.Sprintf(
+					"%s: %s acquires a %s in a hot path (the per-packet path is lock-free by design; vet and //scaplint:ignore audited exceptions)",
+					fname, site, mt),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// mutexTypeName resolves the method's receiver type through the selection
+// (covering both direct fields and embedded/promoted mutexes) and returns
+// "sync.Mutex" / "sync.RWMutex", or "" when the callee is not one of them.
+func mutexTypeName(p *Package, sel *ast.SelectorExpr) string {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if n := obj.Name(); n == "Mutex" || n == "RWMutex" {
+		return "sync." + n
+	}
+	return ""
+}
+
+// exprText renders simple identifier/selector chains ("c.injectMu"); other
+// expression forms yield "" and the caller falls back to the method name.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprText(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPathLockFixtures(t *testing.T) {
+	_, pkg := loadFixtures(t, "hotpathlock")
+	diags := checkAnalyzer(t, HotPathLock, pkg)
+
+	// Exact-position checks: the diagnostic anchors on the call expression
+	// of the acquisition.
+	if got, want := positionOf(t, diags, "ring.Push: r.mu.Lock"), "fixtures.go:17:2"; got != want {
+		t.Errorf("ring.Push diagnostic at %s, want %s", got, want)
+	}
+	if got, want := positionOf(t, diags, "ring.Snapshot: r.rw.RLock"), "fixtures.go:26:2"; got != want {
+		t.Errorf("ring.Snapshot diagnostic at %s, want %s", got, want)
+	}
+	if got, want := positionOf(t, diags, "ring.TryPush: r.mu.TryLock"), "fixtures.go:35:5"; got != want {
+		t.Errorf("ring.TryPush diagnostic at %s, want %s", got, want)
+	}
+	if got, want := positionOf(t, diags, "padded.Bump: p.Lock"), "fixtures.go:53:2"; got != want {
+		t.Errorf("padded.Bump diagnostic at %s, want %s", got, want)
+	}
+}
+
+func TestHotPathLockSuppression(t *testing.T) {
+	// The Audited method carries //scaplint:ignore hotpathlock; the raw run
+	// must find it, the filtered run must not.
+	_, pkg := loadFixtures(t, "hotpathlock")
+	raw := HotPathLock.Run(pkg)
+	found := false
+	for _, d := range raw {
+		if d.Analyzer == "hotpathlock" && strings.Contains(d.Message, "ring.Audited") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("raw run should flag ring.Audited before suppression filtering")
+	}
+	filtered := RunAll([]*Package{pkg}, []*Analyzer{HotPathLock})
+	for _, d := range filtered {
+		if strings.Contains(d.Message, "ring.Audited") {
+			t.Errorf("suppressed diagnostic survived filtering: %s", d)
+		}
+	}
+}

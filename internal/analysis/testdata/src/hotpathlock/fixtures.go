@@ -1,0 +1,87 @@
+// Package fixtures exercises the hotpathlock analyzer: mutex acquisition
+// inside //scap:hotpath functions.
+package fixtures
+
+import "sync"
+
+type ring struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Push locks a plain mutex on the per-event path.
+//
+//scap:hotpath
+func (r *ring) Push(v int) {
+	r.mu.Lock() // want hotpathlock "ring.Push: r.mu.Lock acquires a sync.Mutex"
+	r.n = v
+	r.mu.Unlock()
+}
+
+// Snapshot read-locks an RWMutex on the hot path.
+//
+//scap:hotpath
+func (r *ring) Snapshot() int {
+	r.rw.RLock() // want hotpathlock "ring.Snapshot: r.rw.RLock acquires a sync.RWMutex"
+	defer r.rw.RUnlock()
+	return r.n
+}
+
+// TryPush still serializes when the TryLock succeeds.
+//
+//scap:hotpath
+func (r *ring) TryPush(v int) bool {
+	if r.mu.TryLock() { // want hotpathlock "ring.TryPush: r.mu.TryLock acquires a sync.Mutex"
+		r.n = v
+		r.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// padded embeds its mutex; the promoted method must still be resolved.
+type padded struct {
+	sync.Mutex
+	n int
+}
+
+// Bump locks through the embedded mutex.
+//
+//scap:hotpath
+func (p *padded) Bump() {
+	p.Lock() // want hotpathlock "padded.Bump: p.Lock acquires a sync.Mutex"
+	p.n++
+	p.Unlock()
+}
+
+// Cold is unmarked: locking is fine off the hot path.
+func (r *ring) Cold() {
+	r.mu.Lock()
+	r.n = 0
+	r.mu.Unlock()
+}
+
+// Audited documents a vetted exception with a justification.
+//
+//scap:hotpath
+func (r *ring) Audited() {
+	r.mu.Lock() //scaplint:ignore hotpathlock audited: uncontended startup-only fallback
+	r.n++
+	r.mu.Unlock()
+}
+
+// fakeLock has Lock/Unlock methods but is not a sync mutex; acquiring it
+// must not be flagged.
+type fakeLock struct{ held bool }
+
+func (f *fakeLock) Lock()   { f.held = true }
+func (f *fakeLock) Unlock() { f.held = false }
+
+// Fake locks a non-sync type on the hot path: no diagnostic.
+//
+//scap:hotpath
+func Fake(f *fakeLock) {
+	f.Lock()
+	f.Unlock()
+}

@@ -147,7 +147,11 @@ func (e *Engine) adoptKeptChunk(s *flowtab.Stream, x *streamExt, data []byte, ac
 	if cur.buf != nil {
 		newData = cur.buf[cur.overlapLen:]
 	}
-	merged := make([]byte, 0, len(data)+len(newData)+s.ChunkSize)
+	chunkSize := s.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = e.cfg.ChunkSize
+	}
+	merged := make([]byte, 0, len(data)+len(newData))
 	merged = append(merged, data...)
 	merged = append(merged, newData...)
 	// Rebase accounting so accounted() equals the kept chunk's charge plus
@@ -158,6 +162,7 @@ func (e *Engine) adoptKeptChunk(s *flowtab.Stream, x *streamExt, data []byte, ac
 	// hence extraAcct' = accounted + cur.extraAcct - len(data).
 	x.chunk = chunkState{
 		buf:        merged,
+		size:       len(merged) + chunkSize,
 		overlapLen: 0,
 		extraAcct:  accounted + cur.extraAcct - len(data),
 		holeBefore: cur.holeBefore,

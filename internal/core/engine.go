@@ -149,6 +149,11 @@ type Engine struct {
 	ctrlBuf    []Ctrl
 	now        int64
 
+	// evBuf stages events between flushes so a burst of chunks reaches the
+	// ring through one PushBatch — one tail publication and at most one
+	// consumer wakeup — instead of a push per event.
+	evBuf []event.Event
+
 	// curStream/curExt name the stream whose payload is currently being
 	// fed through the assembler; emitCb and flushCb are bound once at
 	// construction so the per-packet path hands the assembler a callback
@@ -237,10 +242,30 @@ func (e *Engine) Queue() *event.Queue { return e.q }
 func (e *Engine) Now() int64 { return e.now }
 
 // HandleFrame is the softirq entry point: decode and process one frame.
+// Staged events are flushed before it returns, so callers may poll the
+// queue immediately after.
 //
 //scap:hotpath
 func (e *Engine) HandleFrame(data []byte, ts int64) {
 	e.drainCtrl()
+	e.handleFrame(data, ts)
+	e.flushEvents()
+}
+
+// HandleFrames processes a batch of frames with one control drain and one
+// event flush for the whole burst — the kernel goroutine's entry point.
+//
+//scap:hotpath
+func (e *Engine) HandleFrames(frames []nic.Frame) {
+	e.drainCtrl()
+	for i := range frames {
+		e.handleFrame(frames[i].Data, frames[i].TS)
+	}
+	e.flushEvents()
+}
+
+//scap:hotpath
+func (e *Engine) handleFrame(data []byte, ts int64) {
 	e.stats.frames.Add(1)
 	if ts > e.now {
 		e.now = ts
@@ -251,13 +276,20 @@ func (e *Engine) HandleFrame(data []byte, ts int64) {
 		return
 	}
 	p.Timestamp = ts
-	e.HandlePacket(p)
+	e.handlePacket(p)
 }
 
-// HandlePacket processes an already-decoded packet.
+// HandlePacket processes an already-decoded packet and flushes staged
+// events before returning.
 //
 //scap:hotpath
 func (e *Engine) HandlePacket(p *pkt.Packet) {
+	e.handlePacket(p)
+	e.flushEvents()
+}
+
+//scap:hotpath
+func (e *Engine) handlePacket(p *pkt.Packet) {
 	if p.Timestamp > e.now {
 		e.now = p.Timestamp
 	}
@@ -542,7 +574,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 		if c.fill() == c.overlapLen {
 			c.firstTS = e.now
 		}
-		c.buf = append(c.buf, b[:take]...) //scaplint:ignore hotpathalloc take <= room, so the append stays inside the chunk's preallocated capacity
+		c.buf = append(c.buf, b[:take]...) //scaplint:ignore hotpathalloc chunk buffers grow geometrically toward the chunk bound (amortized O(1) per byte); take <= room keeps the fill inside it
 		b = b[take:]
 		s.Stats.CapturedBytes += uint64(take)
 		e.stats.storedBytes.Add(uint64(take))
@@ -601,17 +633,40 @@ func (e *Engine) dropChunk(s *flowtab.Stream, x *streamExt) {
 	delete(e.dirty, s)
 }
 
-// push enqueues an event, releasing chunk memory if the ring is full.
+// evBatchMax bounds staged events so timer sweeps and shutdowns over large
+// tables flush incrementally instead of hoarding the whole table's events.
+const evBatchMax = 256
+
+// push stages an event for the next flush.
 //
 //scap:hotpath
 func (e *Engine) push(ev event.Event) {
-	if !e.q.Push(ev) {
+	e.evBuf = append(e.evBuf, ev) //scaplint:ignore hotpathalloc evBuf reaches evBatchMax capacity once and is then reused across flushes
+	if len(e.evBuf) >= evBatchMax {
+		e.flushEvents()
+	}
+}
+
+// flushEvents publishes the staged events to the ring in one batch. Events
+// the ring cannot take are accounted as lost and their chunk memory is
+// released, exactly like the old per-event push on a full queue.
+func (e *Engine) flushEvents() {
+	if len(e.evBuf) == 0 {
+		return
+	}
+	n := e.q.PushBatch(e.evBuf)
+	for i := n; i < len(e.evBuf); i++ {
+		ev := &e.evBuf[i]
 		e.stats.eventsLost.Add(1)
 		e.stats.eventsLostBytes.Add(uint64(len(ev.Data)))
 		if ev.Accounted > 0 {
 			e.mm.Release(ev.Accounted)
 		}
 	}
+	// Zero the staging area so chunk buffers are not pinned until the
+	// slots are overwritten by a later burst.
+	clear(e.evBuf)
+	e.evBuf = e.evBuf[:0]
 }
 
 func (e *Engine) markDirty(s *flowtab.Stream, x *streamExt) {
@@ -759,6 +814,7 @@ func (e *Engine) CheckTimers(now int64) {
 	if e.defrag != nil {
 		e.defrag.Expire(now)
 	}
+	e.flushEvents()
 }
 
 func (e *Engine) drainCtrl() {
@@ -843,4 +899,5 @@ func (e *Engine) Shutdown() {
 			e.finishStream(s, flowtab.StatusTimedOut)
 		}
 	}
+	e.flushEvents()
 }

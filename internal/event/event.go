@@ -1,11 +1,11 @@
 // Package event implements the per-core event queues between the Scap
 // kernel-path engine and the user-level worker threads (paper §5.4): stream
 // creation, stream data, and stream termination events, carried in a
-// single-producer single-consumer ring with wakeup support.
+// single-producer single-consumer lock-free ring with slow-path parking.
 package event
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"scap/internal/flowtab"
 )
@@ -74,101 +74,245 @@ type PacketRecord struct {
 	Len int32
 }
 
-// Queue is the per-core event ring. The kernel-path engine is the only
-// producer; the worker thread is the only consumer. A mutex (not atomics)
-// keeps it obviously correct; the producer and consumer touch it briefly.
+// Queue is the per-core event ring: a lock-free single-producer
+// single-consumer ring buffer. The kernel-path engine is the only producer;
+// the worker thread draining a given queue is the only consumer (Close and
+// the read-only accessors may be called from anywhere).
+//
+// Memory model: the producer writes buf slots and then publishes them with
+// tail.Store; the consumer observes tail.Load before reading the slots, so
+// the atomic pair carries the happens-before edge. Symmetrically the
+// consumer zeroes a drained slot before head.Store, and the producer checks
+// head.Load before reusing it. head and tail are free-running uint64
+// cursors (they never wrap in practice); capacity is a power of two so slot
+// indexing is a mask, and tail-head is the queue length. Each side keeps a
+// cached snapshot of the other side's cursor (headCache, tailCache) and
+// refreshes it only when the cached value implies full/empty, which keeps
+// the fast path free of cross-core cache-line traffic.
+//
+// Blocking is slow-path-only: Wait advertises the consumer as parked
+// (parked.Store), re-polls to close the race with a concurrent publish, and
+// only then blocks on the wake channel. The producer wakes it only on a
+// parked→unparked transition instead of signaling per event. With Go's
+// sequentially consistent atomics, either the parked consumer's re-poll
+// observes the producer's tail.Store, or the producer's parked.Load
+// observes parked=true and sends the wakeup — a lost sleep is impossible.
+// Spurious tokens (producer observed parked just as the consumer unparked
+// itself) merely cause one extra loop iteration.
 //
 //scap:shared
 type Queue struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	// buf is guarded by mu.
-	buf []Event
-	// head and n are guarded by mu.
-	head, n int
-	// closed is guarded by mu.
-	closed bool
+	buf  []Event
+	mask uint64
 
-	// Dropped counts events discarded because the ring was full — the
-	// analogue of a packet-capture buffer overflowing. Guarded by mu;
-	// read it only after the producer has stopped (tests do).
-	Dropped uint64
+	// Producer-owned cache line: the write cursor and the producer's
+	// snapshot of the consumer cursor.
+	_         [64]byte
+	tail      atomic.Uint64
+	headCache uint64
+
+	// Consumer-owned cache line: the read cursor and the consumer's
+	// snapshot of the producer cursor.
+	_         [64]byte
+	head      atomic.Uint64
+	tailCache uint64
+
+	// Shared cold state: touched only on overflow, park, and shutdown.
+	_       [64]byte
+	dropped atomic.Uint64
+	closed  atomic.Bool
+	parked  atomic.Bool
+	wake    chan struct{}
 }
 
 // DefaultQueueCap is the default ring capacity.
 const DefaultQueueCap = 1 << 16
 
-// NewQueue creates a queue with the given capacity (0 selects the default).
+// NewQueue creates a queue with at least the given capacity (0 selects the
+// default). Capacity is rounded up to a power of two; Cap reports the
+// actual value.
 func NewQueue(capacity int) *Queue {
 	if capacity <= 0 {
 		capacity = DefaultQueueCap
 	}
-	q := &Queue{buf: make([]Event, capacity)}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Queue{
+		buf:  make([]Event, n),
+		mask: uint64(n - 1),
+		wake: make(chan struct{}, 1),
+	}
 }
 
-// Push enqueues an event; it reports false (and counts a drop) if the ring
-// is full or closed.
+// wakeConsumer unparks the consumer if it advertised itself as parked. The
+// CAS guarantees at most one side sends the token for a given park, and the
+// buffered channel makes the send non-blocking.
+func (q *Queue) wakeConsumer() {
+	if q.parked.Load() && q.parked.CompareAndSwap(true, false) {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Push enqueues an event; it reports false if the ring is full (counting a
+// drop) or closed. Producer side only.
 //
 //scap:hotpath
 func (q *Queue) Push(e Event) bool {
-	q.mu.Lock()
-	if q.closed || q.n == len(q.buf) {
-		if !q.closed {
-			q.Dropped++
-		}
-		q.mu.Unlock()
+	if q.closed.Load() {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = e
-	q.n++
-	q.mu.Unlock()
-	q.cond.Signal()
+	t := q.tail.Load()
+	if t-q.headCache >= uint64(len(q.buf)) {
+		q.headCache = q.head.Load()
+		if t-q.headCache >= uint64(len(q.buf)) {
+			q.dropped.Add(1)
+			return false
+		}
+	}
+	q.buf[t&q.mask] = e
+	q.tail.Store(t + 1)
+	q.wakeConsumer()
 	return true
 }
 
-// Poll removes the next event without blocking.
+// PushBatch enqueues as many of evs as fit and returns how many were
+// accepted (0 if the queue is closed). Events beyond the accepted prefix
+// are counted as drops; the caller unwinds their accounting. One tail
+// publication and at most one wakeup cover the whole batch. Producer side
+// only.
+//
+//scap:hotpath
+func (q *Queue) PushBatch(evs []Event) int {
+	if len(evs) == 0 || q.closed.Load() {
+		return 0
+	}
+	t := q.tail.Load()
+	free := uint64(len(q.buf)) - (t - q.headCache)
+	if free < uint64(len(evs)) {
+		q.headCache = q.head.Load()
+		free = uint64(len(q.buf)) - (t - q.headCache)
+	}
+	k := uint64(len(evs))
+	if k > free {
+		q.dropped.Add(k - free)
+		k = free
+	}
+	for i := uint64(0); i < k; i++ {
+		q.buf[(t+i)&q.mask] = evs[i]
+	}
+	if k > 0 {
+		q.tail.Store(t + k)
+		q.wakeConsumer()
+	}
+	return int(k)
+}
+
+// Poll removes the next event without blocking. Consumer side only.
 func (q *Queue) Poll() (Event, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.popLocked()
+	h := q.head.Load()
+	if h == q.tailCache {
+		q.tailCache = q.tail.Load()
+		if h == q.tailCache {
+			return Event{}, false
+		}
+	}
+	i := h & q.mask
+	e := q.buf[i]
+	q.buf[i] = Event{}
+	q.head.Store(h + 1)
+	return e, true
+}
+
+// PopBatch drains up to len(dst) events into dst and returns the count —
+// the worker's drain-a-batch-per-wakeup path. Consumer side only.
+func (q *Queue) PopBatch(dst []Event) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	h := q.head.Load()
+	avail := q.tailCache - h
+	if avail < uint64(len(dst)) {
+		// The cached tail can't fill the whole batch; refresh it so one
+		// wakeup drains as much as the producer has published.
+		q.tailCache = q.tail.Load()
+		avail = q.tailCache - h
+		if avail == 0 {
+			return 0
+		}
+	}
+	k := uint64(len(dst))
+	if k > avail {
+		k = avail
+	}
+	for i := uint64(0); i < k; i++ {
+		idx := (h + i) & q.mask
+		dst[i] = q.buf[idx]
+		q.buf[idx] = Event{}
+	}
+	q.head.Store(h + k)
+	return int(k)
 }
 
 // Wait blocks until an event is available or the queue is closed; it
 // returns false only when closed and drained — the worker's poll() loop.
+// Consumer side only.
 func (q *Queue) Wait() (Event, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.n == 0 && !q.closed {
-		q.cond.Wait()
+	for {
+		if e, ok := q.Poll(); ok {
+			return e, true
+		}
+		if q.closed.Load() {
+			// A push may have raced ahead of Close; drain it.
+			return q.Poll()
+		}
+		q.parked.Store(true)
+		// Re-poll after advertising the park: a producer that published
+		// before seeing parked=true is caught here, so the block below
+		// can never miss its wakeup.
+		if e, ok := q.Poll(); ok {
+			q.parked.Store(false)
+			return e, true
+		}
+		if q.closed.Load() {
+			q.parked.Store(false)
+			return q.Poll()
+		}
+		<-q.wake
 	}
-	return q.popLocked()
 }
 
-func (q *Queue) popLocked() (Event, bool) {
-	if q.n == 0 {
-		return Event{}, false
-	}
-	e := q.buf[q.head]
-	q.buf[q.head] = Event{}
-	q.head = (q.head + 1) % len(q.buf)
-	q.n--
-	return e, true
-}
-
-// Len returns the number of queued events.
+// Len returns the number of queued events (a racy snapshot when the queue
+// is in motion).
 func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.n
+	t := q.tail.Load()
+	h := q.head.Load()
+	if h >= t {
+		return 0
+	}
+	return int(t - h)
 }
 
-// Close wakes all waiters; subsequent pushes fail. Pending events remain
-// drainable via Poll/Wait.
+// Cap returns the ring capacity (the requested capacity rounded up to a
+// power of two).
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Dropped returns the number of events discarded because the ring was full
+// — the analogue of a packet-capture buffer overflowing.
+func (q *Queue) Dropped() uint64 { return q.dropped.Load() }
+
+// Close wakes a parked consumer; subsequent pushes fail. Pending events
+// remain drainable via Poll/Wait. Safe to call from any goroutine.
 func (q *Queue) Close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
+	q.closed.Store(true)
+	// Unconditional token: the consumer may be between advertising the
+	// park and blocking, so the parked flag alone cannot be trusted here.
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
 }

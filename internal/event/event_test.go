@@ -35,8 +35,8 @@ func TestOverflowCountsDrops(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		q.Push(Event{Type: Data})
 	}
-	if q.Dropped != 3 {
-		t.Errorf("Dropped = %d, want 3", q.Dropped)
+	if q.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", q.Dropped())
 	}
 }
 
@@ -132,6 +132,6 @@ func TestProducerConsumerStress(t *testing.T) {
 	q.Close()
 	wg.Wait()
 	if received != sent {
-		t.Errorf("received %d, sent %d (dropped %d)", received, sent, q.Dropped)
+		t.Errorf("received %d, sent %d (dropped %d)", received, sent, q.Dropped())
 	}
 }

@@ -31,13 +31,16 @@ func TestQueueMatchesReferenceFIFO(t *testing.T) {
 	seq := uint64(0)
 	check := func(o ops) bool {
 		q := NewQueue(o.Cap)
+		// Capacities round up to a power of two; the model uses the
+		// actual ring size.
+		capacity := q.Cap()
 		var model []uint64
 		for _, push := range o.Actions {
 			if push {
 				seq++
 				ev := Event{Info: infoWithID(seq)}
 				ok := q.Push(ev)
-				if ok != (len(model) < o.Cap) {
+				if ok != (len(model) < capacity) {
 					return false
 				}
 				if ok {

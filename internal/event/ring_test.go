@@ -1,0 +1,179 @@
+package event
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchOpsMatchReferenceFIFO drives the ring with a random mix of
+// Push, PushBatch, Poll, and PopBatch across many small capacities (so the
+// cursors wrap dozens of times) and compares every step against a
+// plain-slice FIFO model, including the drop accounting for batch tails
+// that exceed the free space.
+func TestBatchOpsMatchReferenceFIFO(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		q := NewQueue(1 + r.Intn(16))
+		capacity := q.Cap()
+		var model []uint64
+		var modelDropped uint64
+		seq := uint64(0)
+		dst := make([]Event, capacity+4)
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0: // Push
+				seq++
+				ok := q.Push(Event{Info: infoWithID(seq)})
+				if ok != (len(model) < capacity) {
+					t.Fatalf("trial %d op %d: Push ok=%v with %d/%d queued", trial, op, ok, len(model), capacity)
+				}
+				if ok {
+					model = append(model, seq)
+				} else {
+					modelDropped++
+				}
+			case 1: // PushBatch, sometimes larger than the free space
+				n := r.Intn(capacity + 3)
+				batch := make([]Event, n)
+				for i := range batch {
+					seq++
+					batch[i] = Event{Info: infoWithID(seq)}
+				}
+				acc := q.PushBatch(batch)
+				want := capacity - len(model)
+				if n < want {
+					want = n
+				}
+				if acc != want {
+					t.Fatalf("trial %d op %d: PushBatch(%d) accepted %d, want %d (%d/%d queued)",
+						trial, op, n, acc, want, len(model), capacity)
+				}
+				for i := 0; i < acc; i++ {
+					model = append(model, batch[i].Info.ID)
+				}
+				modelDropped += uint64(n - acc)
+			case 2: // Poll
+				ev, ok := q.Poll()
+				if ok != (len(model) > 0) {
+					t.Fatalf("trial %d op %d: Poll ok=%v with %d queued", trial, op, ok, len(model))
+				}
+				if ok {
+					if ev.Info.ID != model[0] {
+						t.Fatalf("trial %d op %d: Poll = %d, want %d", trial, op, ev.Info.ID, model[0])
+					}
+					model = model[1:]
+				}
+			case 3: // PopBatch into a random-size destination
+				k := 1 + r.Intn(len(dst))
+				n := q.PopBatch(dst[:k])
+				want := len(model)
+				if k < want {
+					want = k
+				}
+				if n != want {
+					t.Fatalf("trial %d op %d: PopBatch(%d) = %d, want %d", trial, op, k, n, want)
+				}
+				for i := 0; i < n; i++ {
+					if dst[i].Info.ID != model[i] {
+						t.Fatalf("trial %d op %d: PopBatch[%d] = %d, want %d", trial, op, i, dst[i].Info.ID, model[i])
+					}
+				}
+				model = model[n:]
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("trial %d op %d: Len = %d, model %d", trial, op, q.Len(), len(model))
+			}
+			if q.Dropped() != modelDropped {
+				t.Fatalf("trial %d op %d: Dropped = %d, model %d", trial, op, q.Dropped(), modelDropped)
+			}
+		}
+	}
+}
+
+// TestCloseWhileParked races Close against a consumer entering the parking
+// protocol. Every iteration must terminate: a lost wakeup here would hang
+// the consumer forever.
+func TestCloseWhileParked(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		q := NewQueue(4)
+		done := make(chan struct{})
+		go func() {
+			for {
+				if _, ok := q.Wait(); !ok {
+					close(done)
+					return
+				}
+			}
+		}()
+		if i%2 == 0 {
+			q.Push(Event{Type: Data})
+		}
+		runtime.Gosched()
+		q.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: consumer never woke after Close", i)
+		}
+	}
+}
+
+// TestBatchProducerConsumerRace is the SPSC discipline under -race: one
+// producer pushing random-size batches, one consumer draining with
+// PopBatch and parking in Wait when the ring runs dry. Checks strict FIFO
+// order and that accepted + dropped equals everything offered.
+func TestBatchProducerConsumerRace(t *testing.T) {
+	q := NewQueue(256)
+	const total = 50000
+	var wg sync.WaitGroup
+	var received uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dst := make([]Event, 64)
+		var last uint64
+		check := func(id uint64) {
+			if id <= last {
+				t.Errorf("order violation: %d after %d", id, last)
+			}
+			last = id
+			received++
+		}
+		for {
+			n := q.PopBatch(dst)
+			for i := 0; i < n; i++ {
+				check(dst[i].Info.ID)
+			}
+			if n == 0 {
+				ev, ok := q.Wait()
+				if !ok {
+					return
+				}
+				check(ev.Info.ID)
+			}
+		}
+	}()
+	r := rand.New(rand.NewSource(2))
+	batch := make([]Event, 128)
+	seq := uint64(0)
+	sent := uint64(0)
+	for seq < total {
+		n := 1 + r.Intn(len(batch))
+		for i := 0; i < n; i++ {
+			seq++
+			batch[i] = Event{Info: infoWithID(seq)}
+		}
+		sent += uint64(q.PushBatch(batch[:n]))
+	}
+	q.Close()
+	wg.Wait()
+	if received != sent {
+		t.Errorf("received %d, accepted %d", received, sent)
+	}
+	if sent+q.Dropped() != seq {
+		t.Errorf("accepted %d + dropped %d != offered %d", sent, q.Dropped(), seq)
+	}
+}

@@ -12,6 +12,20 @@ func BenchmarkAdmitUncontended(b *testing.B) {
 	}
 }
 
+// BenchmarkMemAdmitParallel contends Admit/Release across GOMAXPROCS — the
+// per-packet PPL decision every core makes against the one shared Manager.
+func BenchmarkMemAdmitParallel(b *testing.B) {
+	m := New(Config{Size: 1 << 30, Priorities: 2})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if m.Admit(1, 0, 1460) == Admit {
+				m.Release(1460)
+			}
+		}
+	})
+}
+
 func BenchmarkDecideUnderPressure(b *testing.B) {
 	m := New(Config{Size: 1 << 20, BaseThreshold: 0.5, Priorities: 4, OverloadCutoff: 1 << 14})
 	m.Reserve(900 << 10) // ~86%: inside the watermark region

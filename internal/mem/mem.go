@@ -9,6 +9,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Decision is the PPL admission result for one packet.
@@ -70,19 +71,28 @@ type Stats struct {
 // Manager tracks stream-memory usage and makes PPL decisions. It is a pure
 // accounting object: callers reserve and release byte counts; the actual
 // buffers live with the streams. One Manager is shared by every core of a
-// Scap socket (the paper uses a single stream-memory buffer), so it is safe
-// for concurrent use; the critical sections are a few arithmetic ops.
+// Scap socket (the paper uses a single stream-memory buffer), so every core
+// consults it per packet — the accounting is therefore lock-free: used is
+// an atomic counter (Admit reserves with a CAS so a decision and its
+// reservation are one atomic step against the budget), the stats are
+// independent atomic counters, and the runtime-mutable configuration hangs
+// off an atomic.Pointer that readers load once per decision. Only the Set*
+// reconfiguration writers serialize, on cfgMu.
 //
 //scap:shared
 type Manager struct {
-	mu sync.Mutex
-	// cfg is guarded by mu: SetPriorities and SetOverloadCutoff rewrite it
-	// at runtime while every core consults it per packet.
-	cfg Config
-	// used is guarded by mu.
-	used int64
-	// stats is guarded by mu.
-	stats Stats
+	cfg atomic.Pointer[Config]
+	// cfgMu serializes configuration writers (copy-on-write into cfg);
+	// the per-packet paths never touch it.
+	cfgMu sync.Mutex
+
+	used atomic.Int64
+
+	admitted        atomic.Uint64
+	droppedPriority atomic.Uint64
+	droppedCutoff   atomic.Uint64
+	droppedNoMemory atomic.Uint64
+	highWater       atomic.Int64
 }
 
 // New creates a Manager. Invalid configuration values are normalized.
@@ -96,143 +106,174 @@ func New(cfg Config) *Manager {
 	if cfg.Priorities <= 0 {
 		cfg.Priorities = 1
 	}
-	return &Manager{cfg: cfg}
+	m := &Manager{}
+	m.cfg.Store(&cfg)
+	return m
 }
 
 // Used returns the bytes currently reserved.
-func (m *Manager) Used() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.used
-}
+func (m *Manager) Used() int64 { return m.used.Load() }
 
 // Size returns the configured budget.
-func (m *Manager) Size() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cfg.Size
-}
+func (m *Manager) Size() int64 { return m.cfg.Load().Size }
 
 // UsedFraction returns used/size.
 func (m *Manager) UsedFraction() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return float64(m.used) / float64(m.cfg.Size)
+	return float64(m.used.Load()) / float64(m.cfg.Load().Size)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Each counter is read
+// atomically; the snapshot as a whole is not a consistent cut while
+// admissions are in flight.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Admitted:        m.admitted.Load(),
+		DroppedPriority: m.droppedPriority.Load(),
+		DroppedCutoff:   m.droppedCutoff.Load(),
+		DroppedNoMemory: m.droppedNoMemory.Load(),
+		HighWater:       m.highWater.Load(),
+	}
 }
 
 // SetOverloadCutoff updates the overload cutoff at runtime
 // (scap_set_parameter(SCAP_OVERLOAD_CUTOFF, v)).
 func (m *Manager) SetOverloadCutoff(v int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cfg.OverloadCutoff = v
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	cfg := *m.cfg.Load()
+	cfg.OverloadCutoff = v
+	m.cfg.Store(&cfg)
 }
 
 // SetPriorities updates the number of priority levels in use.
 func (m *Manager) SetPriorities(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n > 0 {
-		m.cfg.Priorities = n
+	if n <= 0 {
+		return
 	}
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	cfg := *m.cfg.Load()
+	cfg.Priorities = n
+	m.cfg.Store(&cfg)
 }
 
 // Watermark returns the memory fraction above which priority level p
 // (0 = lowest) is dropped: watermark_{p+1} in the paper's numbering, where
 // watermark_0 = base_threshold and watermark_n = 1.
 func (m *Manager) Watermark(p int) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.watermarkLocked(p)
+	return watermark(m.cfg.Load(), p)
 }
 
-func (m *Manager) watermarkLocked(p int) float64 {
-	n := m.cfg.Priorities
+func watermark(cfg *Config, p int) float64 {
+	n := cfg.Priorities
 	if p >= n {
 		p = n - 1
 	}
 	if p < 0 {
 		p = 0
 	}
-	base := m.cfg.BaseThreshold
+	base := cfg.BaseThreshold
 	return base + (1-base)*float64(p+1)/float64(n)
 }
 
 // Admit decides the fate of size payload bytes of a packet with the given
 // priority (0 = lowest) whose first byte sits at streamPos within its
 // stream. On Admit the bytes are reserved; every other decision reserves
-// nothing.
+// nothing. The decision and its reservation commit together via CAS on
+// used, so concurrent admitters can never jointly overshoot the budget.
+//
+//scap:hotpath
 func (m *Manager) Admit(priority int, streamPos int64, size int) Decision {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	d := m.decideLocked(priority, streamPos, size)
-	if d == Admit {
-		m.reserveLocked(size)
-		m.stats.Admitted++
+	cfg := m.cfg.Load()
+	for {
+		used := m.used.Load()
+		d := decide(cfg, used, priority, streamPos, size)
+		if d != Admit {
+			m.countDrop(d)
+			return d
+		}
+		if m.used.CompareAndSwap(used, used+int64(size)) {
+			m.noteHighWater(used + int64(size))
+			m.admitted.Add(1)
+			return Admit
+		}
+		// Lost the race against another reservation or release; the
+		// decision inputs changed, so re-decide against the new usage.
 	}
-	return d
 }
 
 // Decide is Admit without the reservation: the engine uses it to gate
 // reassembly, then accounts the actual bytes stored in chunks via Reserve
 // (duplicate and out-of-order bytes never hit the budget twice).
+//
+//scap:hotpath
 func (m *Manager) Decide(priority int, streamPos int64, size int) Decision {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.decideLocked(priority, streamPos, size)
+	d := decide(m.cfg.Load(), m.used.Load(), priority, streamPos, size)
+	if d != Admit {
+		m.countDrop(d)
+	}
+	return d
 }
 
-func (m *Manager) decideLocked(priority int, streamPos int64, size int) Decision {
-	if int64(size) > m.cfg.Size-m.used {
-		m.stats.DroppedNoMemory++
+// decide is the pure PPL function: no state is touched, so callers can
+// retry it inside a CAS loop without double-counting.
+func decide(cfg *Config, used int64, priority int, streamPos int64, size int) Decision {
+	if int64(size) > cfg.Size-used {
 		return DropNoMemory
 	}
-	frac := float64(m.used+int64(size)) / float64(m.cfg.Size)
-	if frac > m.cfg.BaseThreshold {
-		if frac > m.watermarkLocked(priority) {
-			m.stats.DroppedPriority++
+	frac := float64(used+int64(size)) / float64(cfg.Size)
+	if frac > cfg.BaseThreshold {
+		if frac > watermark(cfg, priority) {
 			return DropPriority
 		}
-		if m.cfg.OverloadCutoff > 0 && streamPos >= m.cfg.OverloadCutoff {
-			m.stats.DroppedCutoff++
+		if cfg.OverloadCutoff > 0 && streamPos >= cfg.OverloadCutoff {
 			return DropOverloadCutoff
 		}
 	}
 	return Admit
 }
 
+func (m *Manager) countDrop(d Decision) {
+	switch d {
+	case DropPriority:
+		m.droppedPriority.Add(1)
+	case DropOverloadCutoff:
+		m.droppedCutoff.Add(1)
+	case DropNoMemory:
+		m.droppedNoMemory.Add(1)
+	}
+}
+
+// noteHighWater advances the high-water mark monotonically.
+func (m *Manager) noteHighWater(used int64) {
+	for {
+		hw := m.highWater.Load()
+		if used <= hw || m.highWater.CompareAndSwap(hw, used) {
+			return
+		}
+	}
+}
+
 // Reserve grabs size bytes unconditionally (used for bookkeeping that must
 // not fail, e.g. handshake packets, which Scap always captures). It reports
 // whether the budget could cover it; on false the reservation still happens
 // so accounting stays truthful, and callers should shed load.
+//
+//scap:hotpath
 func (m *Manager) Reserve(size int) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.reserveLocked(size)
-}
-
-func (m *Manager) reserveLocked(size int) bool {
-	m.used += int64(size)
-	if m.used > m.stats.HighWater {
-		m.stats.HighWater = m.used
-	}
-	return m.used <= m.cfg.Size
+	used := m.used.Add(int64(size))
+	m.noteHighWater(used)
+	return used <= m.cfg.Load().Size
 }
 
 // Release returns size bytes to the budget (chunk consumed by the
 // application, stream discarded, etc.).
+//
+//scap:hotpath
 func (m *Manager) Release(size int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.used -= int64(size)
-	if m.used < 0 {
-		panic(fmt.Sprintf("mem: released more than reserved (used=%d)", m.used))
+	used := m.used.Add(-int64(size))
+	if used < 0 {
+		//scaplint:ignore hotpathalloc panic path: only reached on an accounting bug, never in steady state
+		panic(fmt.Sprintf("mem: released more than reserved (used=%d)", used))
 	}
 }

@@ -92,7 +92,16 @@ type PcapReader struct {
 	nanos   bool
 	snaplen int
 	started bool
+	// arena amortizes per-record allocation: frames are carved from a
+	// block that is never recycled, so ownership of each returned slice
+	// still transfers to the caller (the capture path injects them
+	// without copying).
+	arena []byte
 }
+
+// arenaBlock is the allocation granularity for frame carving; records
+// larger than this get a dedicated allocation.
+const arenaBlock = 256 << 10
 
 // NewPcapReader wraps r.
 func NewPcapReader(r io.Reader) *PcapReader {
@@ -126,7 +135,9 @@ func (pr *PcapReader) readHeader() error {
 	return nil
 }
 
-// Next returns the next frame and timestamp; io.EOF at end of file.
+// Next returns the next frame and timestamp; io.EOF at end of file. The
+// returned slice is owned by the caller: it is carved from an arena block
+// the reader never writes again.
 func (pr *PcapReader) Next() ([]byte, int64, error) {
 	if !pr.started {
 		if err := pr.readHeader(); err != nil {
@@ -152,7 +163,15 @@ func (pr *PcapReader) Next() ([]byte, int64, error) {
 	if capLen < 0 || capLen > 256<<10 {
 		return nil, 0, fmt.Errorf("trace: implausible capture length %d", capLen)
 	}
-	frame := make([]byte, capLen)
+	if capLen > len(pr.arena) {
+		n := arenaBlock
+		if capLen > n {
+			n = capLen
+		}
+		pr.arena = make([]byte, n)
+	}
+	frame := pr.arena[:capLen:capLen]
+	pr.arena = pr.arena[capLen:]
 	if _, err := io.ReadFull(pr.r, frame); err != nil {
 		return nil, 0, fmt.Errorf("trace: truncated record: %w", err)
 	}

@@ -2,6 +2,12 @@ package trace
 
 // Source yields frames in emission order; nil means exhausted.
 // *Generator implements Source.
+//
+// Ownership: Next relinquishes the returned slice — the consumer (the
+// capture path) may hold it without copying until the frame has been
+// processed. The pipeline never mutates frame bytes, so a source may hand
+// out the same read-only backing repeatedly (SliceSource does); it must
+// not write into a slice after returning it.
 type Source interface {
 	Next() []byte
 }

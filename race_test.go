@@ -115,7 +115,8 @@ func TestConcurrentInjectors(t *testing.T) {
 					return
 				}
 				ts += int64(time.Microsecond)
-				// InjectFrame copies the frame and the socket clock bumps
+				// The generator yields a fresh frame each Next (InjectFrame
+				// takes ownership without copying) and the socket clock bumps
 				// non-increasing timestamps, so concurrent injectors are fine.
 				if err := h.InjectFrame(frame, ts); err != nil {
 					t.Errorf("InjectFrame: %v", err)
