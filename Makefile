@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint fmt-check bench-quick check
+.PHONY: build test test-short race vet lint fmt-check bench-quick serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ lint:
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# serve-smoke replays a small trace through a socket with the debug server
+# enabled, scrapes /metrics over HTTP, and asserts nonzero packets_total —
+# the end-to-end proof that the observability path works.
+serve-smoke:
+	$(GO) run ./cmd/scaptop -smoke
+
 fmt-check:
 	@out=$$(gofmt -l . | grep -v '^testdata/' || true); \
 	if [ -n "$$out" ]; then \
@@ -36,4 +42,4 @@ fmt-check:
 	fi
 
 # check is the full CI gate.
-check: build vet lint fmt-check race
+check: build vet lint fmt-check race serve-smoke

@@ -160,6 +160,7 @@ func (c *captureState) workerLoop(w int) {
 				continue
 			}
 			progressed = true
+			h.workerBatchH.Observe(w, uint64(n))
 			for j := range batch[:n] {
 				c.dispatch(engs[i], &batch[j], ws)
 			}

@@ -7,15 +7,24 @@
 //	scapbench -fig 6          # just Figure 6 (a,b,c)
 //	scapbench -quick          # smaller sweeps for a fast smoke run
 //	scapbench -flows 20000    # bigger synthetic trace
+//
+// Live mode replays the synthetic workload through a real socket in an
+// endless loop with the debug server enabled, so cmd/scaptop can watch an
+// (overloadable) capture:
+//
+//	scapbench -live -serve 127.0.0.1:6060 -mem 8 -rate 4e9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"scap"
 	"scap/internal/bench"
+	"scap/internal/trace"
 )
 
 func main() {
@@ -24,8 +33,25 @@ func main() {
 		quick = flag.Bool("quick", false, "smaller sweeps")
 		flows = flag.Int("flows", 0, "override synthetic trace flow count")
 		seed  = flag.Int64("seed", 0, "override workload seed")
+
+		live      = flag.Bool("live", false, "loop the workload through a served socket instead of running figures")
+		serveAddr = flag.String("serve", "127.0.0.1:6060", "debug server address in -live mode")
+		rate      = flag.Float64("rate", 4e9, "virtual replay rate in bits/s in -live mode")
+		memMB     = flag.Int("mem", 64, "stream-memory budget in MiB in -live mode (shrink it to force PPL overload)")
 	)
 	flag.Parse()
+
+	if *live {
+		n := *flows
+		if n <= 0 {
+			n = 2000
+		}
+		if err := runLive(*serveAddr, n, *seed, *rate, int64(*memMB)<<20); err != nil {
+			fmt.Fprintln(os.Stderr, "scapbench -live:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -63,4 +89,48 @@ func main() {
 		f.Print(os.Stdout)
 	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// runLive drives an endless replay loop through a real capture socket with
+// the debug server enabled — the workload generator reseeds each round, so
+// streams keep churning and the /metrics rates stay live until interrupted.
+// A small -mem budget pushes the socket into PPL pressure, making the
+// overload telemetry (ppl_enter/ppl_exit events, ppl-drop rates) visible in
+// scaptop.
+func runLive(addr string, flows int, seed int64, bitsPerSec float64, memBytes int64) error {
+	h, err := scap.Create(scap.Config{
+		MemorySize:     memBytes,
+		Queues:         runtime.GOMAXPROCS(0),
+		ReassemblyMode: scap.TCPFast,
+	})
+	if err != nil {
+		return err
+	}
+	// A do-nothing data callback keeps the workers consuming chunks, so
+	// memory pressure comes from the replay rate, not from an absent app.
+	h.DispatchData(func(sd *scap.Stream) {})
+	if err := h.StartCapture(); err != nil {
+		return err
+	}
+	defer h.Close()
+	srv, err := h.Serve(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("live replay: %d flows/round at %.2g bit/s, %d MiB stream memory\n",
+		flows, bitsPerSec, memBytes>>20)
+	fmt.Printf("metrics:     http://%s/metrics   (watch with: scaptop -addr %s)\n", srv.Addr(), srv.Addr())
+	for round := 1; ; round++ {
+		gen := trace.ConcurrentStreamsWorkload(seed+int64(round), flows, 256, 64, 1460)
+		if err := h.ReplaySource(gen, bitsPerSec); err != nil {
+			return err
+		}
+		st, err := h.GetStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d: packets=%d ppl-dropped=%d ring-dropped=%d mem=%d/%d\n",
+			round, st.Packets, st.PPLDroppedPkts, st.DroppedRing, st.MemoryUsed, st.MemorySize)
+	}
 }

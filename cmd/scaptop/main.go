@@ -1,0 +1,215 @@
+// Command scaptop is a terminal viewer for a running Scap socket's debug
+// server (Handle.Serve): it polls /metrics and renders totals, per-core
+// rates, memory pressure, and the recent overload events — top(1) for the
+// capture path.
+//
+// Usage:
+//
+//	scaptop -addr 127.0.0.1:6060             # watch a live capture
+//	scaptop -addr 127.0.0.1:6060 -plain -n 3 # three plain snapshots
+//	scaptop -smoke                           # self-contained end-to-end check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"scap"
+	"scap/internal/metrics"
+	"scap/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6060", "debug server address (Handle.Serve)")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		count    = flag.Int("n", 0, "number of polls (0 = until interrupted)")
+		plain    = flag.Bool("plain", false, "append snapshots instead of redrawing the screen")
+		smoke    = flag.Bool("smoke", false, "run an in-process capture, scrape it once, and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "scaptop -smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		p, err := fetch(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaptop:", err)
+			os.Exit(1)
+		}
+		if !*plain {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Print(render(p))
+	}
+}
+
+// fetch scrapes one /metrics payload.
+func fetch(addr string) (*metrics.Payload, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return metrics.ParsePayload(body)
+}
+
+// perCoreRows is the counter set shown per core, in display order.
+var perCoreRows = []struct{ name, label string }{
+	{"frames_total", "frames/s"},
+	{"packets_total", "pkts/s"},
+	{"stored_bytes_total", "stored B/s"},
+	{"ppl_dropped_pkts_total", "ppl-drop/s"},
+	{"cutoff_pkts_total", "cutoff/s"},
+	{"events_lost_total", "ev-lost/s"},
+}
+
+// render formats one payload as the full-screen view.
+func render(p *metrics.Payload) string {
+	var b strings.Builder
+	ts := time.Unix(0, p.TimeUnixNano).Format("15:04:05")
+	fmt.Fprintf(&b, "scaptop  %s  window %.1fs  cores %d\n\n", ts, p.WindowSeconds, p.Cores)
+
+	total := func(name string) uint64 {
+		if c := p.Counter(name); c != nil {
+			return c.Total
+		}
+		return 0
+	}
+	rate := func(name string) float64 {
+		if c := p.Counter(name); c != nil {
+			return c.Rate
+		}
+		return 0
+	}
+	fmt.Fprintf(&b, "frames   %12d  %10.0f/s    nic-ring-drop %10d  %8.0f/s\n",
+		total("nic_frames_total"), rate("nic_frames_total"),
+		total("nic_dropped_ring_total"), rate("nic_dropped_ring_total"))
+	fmt.Fprintf(&b, "packets  %12d  %10.0f/s    nic-fdir-drop %10d  %8.0f/s\n",
+		total("packets_total"), rate("packets_total"),
+		total("nic_dropped_filter_total"), rate("nic_dropped_filter_total"))
+	fmt.Fprintf(&b, "stored B %12d  %10.0f/s    ppl-drop      %10d  %8.0f/s\n",
+		total("stored_bytes_total"), rate("stored_bytes_total"),
+		total("ppl_dropped_pkts_total"), rate("ppl_dropped_pkts_total"))
+	fmt.Fprintf(&b, "streams  %12d created       cutoff-pkts   %10d  %8.0f/s\n",
+		total("streams_created_total"),
+		total("cutoff_pkts_total"), rate("cutoff_pkts_total"))
+
+	used, size := gaugeVal(p, "memory_used_bytes"), gaugeVal(p, "memory_size_bytes")
+	pct := 0.0
+	if size > 0 {
+		pct = 100 * float64(used) / float64(size)
+	}
+	fmt.Fprintf(&b, "memory   %12d / %d bytes (%.1f%%), highwater %d\n\n",
+		used, size, pct, gaugeVal(p, "memory_highwater_bytes"))
+
+	// Per-core rate table: one column per counter, one row per core.
+	fmt.Fprintf(&b, "core")
+	for _, r := range perCoreRows {
+		fmt.Fprintf(&b, "  %12s", r.label)
+	}
+	b.WriteByte('\n')
+	for core := 0; core < p.Cores; core++ {
+		fmt.Fprintf(&b, "%4d", core)
+		for _, r := range perCoreRows {
+			v := 0.0
+			if c := p.Counter(r.name); c != nil && core < len(c.PerCoreRate) {
+				v = c.PerCoreRate[core]
+			}
+			fmt.Fprintf(&b, "  %12.0f", v)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(p.Events) > 0 {
+		fmt.Fprintf(&b, "\nrecent overload events (%d):\n", len(p.Events))
+		evs := p.Events
+		if len(evs) > 10 {
+			evs = evs[len(evs)-10:]
+		}
+		// Newest last is natural for a log; keep payload (oldest-first)
+		// order but make it explicit for readers of this code.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TimeUnixNano < evs[j].TimeUnixNano })
+		for _, e := range evs {
+			fmt.Fprintf(&b, "  %s  %-20s core=%d", time.Unix(0, e.TimeUnixNano).Format("15:04:05.000"), e.KindName, e.Core)
+			if e.Value != 0 {
+				fmt.Fprintf(&b, " value=%d", e.Value)
+			}
+			if e.Dur != 0 {
+				fmt.Fprintf(&b, " dur=%s", time.Duration(e.Dur))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func gaugeVal(p *metrics.Payload, name string) int64 {
+	if g := p.Gauge(name); g != nil {
+		return g.Value
+	}
+	return 0
+}
+
+// runSmoke is the CI end-to-end check (make serve-smoke): replay a small
+// synthetic trace through a real socket with Serve enabled, scrape /metrics
+// over HTTP, and require nonzero packets_total.
+func runSmoke() error {
+	h, err := scap.Create(scap.Config{Queues: 2, MemorySize: 64 << 20})
+	if err != nil {
+		return err
+	}
+	h.DispatchData(func(sd *scap.Stream) {})
+	if err := h.StartCapture(); err != nil {
+		return err
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	gen := trace.ConcurrentStreamsWorkload(1, 200, 16, 40, 1460)
+	if err := h.ReplaySource(gen, 1e9); err != nil {
+		return err
+	}
+	p, err := fetch(srv.Addr())
+	if err != nil {
+		return err
+	}
+	pk := p.Counter("packets_total")
+	if pk == nil || pk.Total == 0 {
+		return fmt.Errorf("packets_total missing or zero in /metrics payload")
+	}
+	if len(pk.PerCore) != 2 {
+		return fmt.Errorf("packets_total per-core = %v, want 2 cores", pk.PerCore)
+	}
+	if err := h.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("serve-smoke OK: packets_total=%d per-core=%v frames=%d\n",
+		pk.Total, pk.PerCore, p.Counter("nic_frames_total").Total)
+	fmt.Print(render(p))
+	return nil
+}

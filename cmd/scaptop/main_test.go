@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"scap/internal/metrics"
+)
+
+// samplePayload is a captured /metrics response shape; the parse test pins
+// the wire contract between Handle.Serve and this viewer.
+const samplePayload = `{
+  "time_unix_nano": 1700000001000000000,
+  "window_seconds": 1,
+  "cores": 2,
+  "counters": [
+    {"name": "frames_total", "unit": "frames", "total": 1200, "per_core": [700, 500], "rate": 1200, "per_core_rate": [700, 500]},
+    {"name": "packets_total", "unit": "packets", "paper": "Fig. 7 processed packets", "total": 1000, "per_core": [600, 400], "rate": 1000, "per_core_rate": [600, 400]},
+    {"name": "ppl_dropped_pkts_total", "unit": "packets", "total": 50, "per_core": [30, 20], "rate": 50, "per_core_rate": [30, 20]},
+    {"name": "nic_frames_total", "unit": "frames", "total": 1300, "rate": 1300}
+  ],
+  "gauges": [
+    {"name": "memory_used_bytes", "unit": "bytes", "value": 1048576},
+    {"name": "memory_size_bytes", "unit": "bytes", "value": 67108864}
+  ],
+  "histograms": [
+    {"name": "chunk_bytes", "unit": "bytes", "count": 12, "sum": 196608,
+     "buckets": [{"le": 16384, "count": 10}, {"le": 0, "count": 2}]}
+  ],
+  "events": [
+    {"kind": "ppl_enter", "time_unix_nano": 1700000000500000000, "core": 1, "value": 910},
+    {"kind": "ring_full_end", "time_unix_nano": 1700000000800000000, "core": 0, "value": 42, "dur_ns": 250000000}
+  ]
+}`
+
+func TestParseEndpointPayload(t *testing.T) {
+	p, err := metrics.ParsePayload([]byte(samplePayload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores != 2 || p.WindowSeconds != 1 {
+		t.Fatalf("header = cores %d window %v", p.Cores, p.WindowSeconds)
+	}
+	pk := p.Counter("packets_total")
+	if pk == nil || pk.Total != 1000 || pk.Rate != 1000 {
+		t.Fatalf("packets_total = %+v", pk)
+	}
+	if len(pk.PerCoreRate) != 2 || pk.PerCoreRate[1] != 400 {
+		t.Fatalf("per-core rates = %v", pk.PerCoreRate)
+	}
+	if g := p.Gauge("memory_used_bytes"); g == nil || g.Value != 1<<20 {
+		t.Fatalf("memory gauge = %+v", g)
+	}
+	if len(p.Events) != 2 || p.Events[0].KindName != "ppl_enter" || p.Events[1].Dur != 250000000 {
+		t.Fatalf("events = %+v", p.Events)
+	}
+}
+
+func TestRender(t *testing.T) {
+	p, err := metrics.ParsePayload([]byte(samplePayload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(p)
+	for _, want := range []string{
+		"cores 2",
+		"packets",
+		"1000/s",
+		"ppl_enter",
+		"ring_full_end",
+		"dur=250ms",
+		"core=1 value=910",
+		"memory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// Two per-core rows.
+	if !strings.Contains(out, "\n   0  ") || !strings.Contains(out, "\n   1  ") {
+		t.Errorf("render output missing per-core rows:\n%s", out)
+	}
+}

@@ -18,6 +18,11 @@
 //   - lockdiscipline: struct fields annotated "guarded by <mu>" must only
 //     be touched by methods that acquire that mutex (or are *Locked
 //     helpers called with it held).
+//   - metricreg: functions marked //scap:hotpath may only use the
+//     internal/metrics atomic fast path (Add/Inc/Set/Observe/Record/Load);
+//     metric registration and snapshot assembly belong in setup code.
+//   - exporteddoc: packages carrying a //scap:publicapi file marker must
+//     document every exported symbol.
 //
 // Everything is built on the stdlib go/ast + go/types + go/parser stack;
 // the module stays dependency-free. Findings can be suppressed line-by-line
@@ -51,7 +56,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{StatsSnapshot, HotPathAlloc, HotPathLock, LockDiscipline}
+	return []*Analyzer{StatsSnapshot, HotPathAlloc, HotPathLock, LockDiscipline, MetricReg, ExportedDoc}
 }
 
 // RunAll applies the analyzers to every package, drops suppressed

@@ -12,6 +12,9 @@ const (
 	hotpathMarker = "scap:hotpath"
 	// sharedMarker marks a type as accessed by more than one goroutine.
 	sharedMarker = "scap:shared"
+	// publicapiMarker marks a package (via any file) as audited public
+	// API: every exported symbol must carry a doc comment.
+	publicapiMarker = "scap:publicapi"
 	// ignoreMarker suppresses diagnostics on its line or the line below.
 	ignoreMarker = "scaplint:ignore"
 )

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportedDocFixtures(t *testing.T) {
+	_, pkg := loadFixtures(t, "exporteddoc")
+	checkAnalyzer(t, ExportedDoc, pkg)
+}
+
+func TestExportedDocUnmarkedPackage(t *testing.T) {
+	// Without the //scap:publicapi marker the analyzer must stay silent,
+	// even on undocumented exported symbols.
+	_, pkg := loadFixtures(t, "exporteddocoff")
+	if diags := ExportedDoc.Run(pkg); len(diags) != 0 {
+		t.Fatalf("unmarked package produced diagnostics: %v", diags)
+	}
+}
+
+func TestExportedDocSuppression(t *testing.T) {
+	_, pkg := loadFixtures(t, "exporteddoc")
+	raw := ExportedDoc.Run(pkg)
+	found := false
+	for _, d := range raw {
+		if strings.Contains(d.Message, "function Audited") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("raw run should flag Audited before suppression filtering")
+	}
+	for _, d := range RunAll([]*Package{pkg}, []*Analyzer{ExportedDoc}) {
+		if strings.Contains(d.Message, "Audited") {
+			t.Errorf("suppressed diagnostic survived filtering: %s", d)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricRegFixtures(t *testing.T) {
+	_, pkg := loadFixtures(t, "metricreg")
+	diags := checkAnalyzer(t, MetricReg, pkg)
+
+	// The diagnostic anchors on the call expression.
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "atomic fast path") {
+			t.Errorf("diagnostic should name the allowed fast path: %s", d)
+		}
+	}
+}
+
+func TestMetricRegSuppression(t *testing.T) {
+	// Audited carries //scaplint:ignore metricreg; the raw run must find
+	// it, the filtered run must not.
+	_, pkg := loadFixtures(t, "metricreg")
+	raw := MetricReg.Run(pkg)
+	found := false
+	for _, d := range raw {
+		if strings.Contains(d.Message, "Audited: call to metrics.Snapshot") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("raw run should flag engine.Audited before suppression filtering")
+	}
+	for _, d := range RunAll([]*Package{pkg}, []*Analyzer{MetricReg}) {
+		if strings.Contains(d.Message, "Audited") {
+			t.Errorf("suppressed diagnostic survived filtering: %s", d)
+		}
+	}
+}
+
+// TestMetricRegOnRepo pins the invariant the analyzer exists to protect:
+// the real capture path (root package plus every internal package) must be
+// clean. A regression that registers metrics or assembles snapshots inside
+// a //scap:hotpath function fails here before it fails in CI lint.
+func TestMetricRegOnRepo(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Packages("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAll(pkgs, []*Analyzer{MetricReg}) {
+		t.Errorf("capture path violates the metrics fast-path invariant: %s", d)
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixtures exercises the exporteddoc analyzer: exported symbols
+// of //scap:publicapi packages must carry doc comments.
+package fixtures
+
+//scap:publicapi
+
+// Documented carries a doc comment: fine.
+type Documented struct{ n int }
+
+type Bare struct{ n int } // want exporteddoc "exported type Bare has no doc comment"
+
+// internal types are exempt regardless of docs.
+type hidden struct{ n int }
+
+// Get is documented: fine.
+func (d *Documented) Get() int { return d.n }
+
+func (d *Documented) Peek() int { return d.n } // want exporteddoc "exported method Documented.Peek has no doc comment"
+
+// Exported methods on unexported types are not godoc surface: exempt.
+func (h *hidden) Touch() {}
+
+// unexported functions are exempt.
+func helper() int { return 0 }
+
+func Orphan() int { return helper() } // want exporteddoc "exported function Orphan has no doc comment"
+
+// Grouped declarations are satisfied by the group doc.
+const (
+	ModeFast = iota
+	ModeSafe
+)
+
+var (
+	Limit   = 10 // want exporteddoc "exported var Limit has no doc comment"
+	padding = 0
+)
+
+// A spec-level doc inside an otherwise undocumented group also counts.
+
+var (
+	// MaxStreams bounds the tracked stream count.
+	MaxStreams = 1 << 20
+)
+
+const Cutoff = 4096 // want exporteddoc "exported const Cutoff has no doc comment"
+
+func Audited() {} //scaplint:ignore exporteddoc audited: exported test hook, doc intentionally omitted

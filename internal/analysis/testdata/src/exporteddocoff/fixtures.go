@@ -1,0 +1,9 @@
+// Package fixtures is the exporteddoc control: no //scap:publicapi marker,
+// so undocumented exported symbols are not flagged here.
+package fixtures
+
+type Undocumented struct{ n int }
+
+func Orphan() int { return 0 }
+
+var Limit = 10

@@ -3,11 +3,11 @@ package core
 import (
 	"container/heap"
 	"math/rand"
-	"sync/atomic"
 
 	"scap/internal/event"
 	"scap/internal/flowtab"
 	"scap/internal/mem"
+	"scap/internal/metrics"
 	"scap/internal/nic"
 	"scap/internal/pkt"
 	"scap/internal/reassembly"
@@ -49,43 +49,6 @@ type Stats struct {
 	FDIRRemoved   uint64
 }
 
-// counters is the engine's live statistics block. The owning kernel-path
-// goroutine is the only writer; Stats may be called from any goroutine
-// (scap_get_stats polls it while frames flow), so every counter is an
-// atomic: the writer pays one uncontended atomic add per event and readers
-// assemble a snapshot without stalling the hot path or tearing a value.
-type counters struct {
-	frames       atomic.Uint64
-	decodeErrors atomic.Uint64
-	fragsHeld    atomic.Uint64
-	fragsDropped atomic.Uint64
-	packets      atomic.Uint64
-	payloadBytes atomic.Uint64
-	storedBytes  atomic.Uint64
-
-	filterIgnoredPkts atomic.Uint64
-	cutoffPkts        atomic.Uint64
-	cutoffBytes       atomic.Uint64
-	pplDroppedPkts    atomic.Uint64
-	pplDroppedBytes   atomic.Uint64
-	eventsLost        atomic.Uint64
-	eventsLostBytes   atomic.Uint64
-
-	streamsCreated atomic.Uint64
-	streamsClosed  atomic.Uint64
-	streamsExpired atomic.Uint64
-	streamsEvicted atomic.Uint64
-
-	asmDuplicateBytes atomic.Uint64
-	asmDeliveredBytes atomic.Uint64
-	asmHolesSkipped   atomic.Uint64
-	asmOutOfOrder     atomic.Uint64
-	asmDroppedSegs    atomic.Uint64
-
-	fdirInstalled atomic.Uint64
-	fdirRemoved   atomic.Uint64
-}
-
 // Options wires an Engine to its shared resources.
 type Options struct {
 	Config Config
@@ -102,6 +65,10 @@ type Options struct {
 	// MaxStreams, when > 0, bounds tracked stream records; the oldest
 	// stream is evicted to admit a new one (Scap's newest-wins policy).
 	MaxStreams int
+	// Metrics is the socket-wide instrument bundle (shared across cores;
+	// its registry must cover CoreID). Nil gives the engine a private
+	// registry, so standalone engines keep working unchanged.
+	Metrics *Metrics
 }
 
 // filterEntry tracks one stream's FDIR deadline in the engine's heap
@@ -144,10 +111,14 @@ type Engine struct {
 	minInactivity int64
 
 	maxStreams int
-	stats      counters
-	scratch    pkt.Packet
-	ctrlBuf    []Ctrl
-	now        int64
+	// m is the socket-wide instrument bundle; c is this core's bound cells
+	// (the live statistics block — the owning kernel-path goroutine is the
+	// only writer, any goroutine may read through the registry or Stats).
+	m       *Metrics
+	c       cells
+	scratch pkt.Packet
+	ctrlBuf []Ctrl
+	now     int64
 
 	// evBuf stages events between flushes so a burst of chunks reaches the
 	// ring through one PushBatch — one tail publication and at most one
@@ -180,6 +151,11 @@ func NewEngine(opts Options) *Engine {
 	}
 	e.emitCb = e.emitToCur
 	e.flushCb = e.flushToCur
+	e.m = opts.Metrics
+	if e.m == nil {
+		e.m = NewMetrics(metrics.NewRegistry(opts.CoreID + 1))
+	}
+	e.c = e.m.bind(opts.CoreID)
 	if e.mm == nil {
 		e.mm = mem.New(mem.Config{Priorities: cfg.Priorities})
 	}
@@ -194,43 +170,49 @@ func NewEngine(opts Options) *Engine {
 	return e
 }
 
-// Stats returns a snapshot of the counters. It is safe to call from any
-// goroutine while the engine runs: each counter is loaded atomically, so
+// Stats returns a snapshot of this core's counters. It is safe to call from
+// any goroutine while the engine runs: each counter is loaded atomically, so
 // the snapshot is race-free (individual fields may lag each other by a
-// packet, like reading /proc counters).
+// packet, like reading /proc counters). The same numbers — plus totals,
+// per-core breakdowns, and rates — are available through the shared
+// metrics registry (Metrics.Registry).
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Frames:       e.stats.frames.Load(),
-		DecodeErrors: e.stats.decodeErrors.Load(),
-		FragsHeld:    e.stats.fragsHeld.Load(),
-		FragsDropped: e.stats.fragsDropped.Load(),
-		Packets:      e.stats.packets.Load(),
-		PayloadBytes: e.stats.payloadBytes.Load(),
-		StoredBytes:  e.stats.storedBytes.Load(),
+		Frames:       e.c.frames.Load(),
+		DecodeErrors: e.c.decodeErrors.Load(),
+		FragsHeld:    e.c.fragsHeld.Load(),
+		FragsDropped: e.c.fragsDropped.Load(),
+		Packets:      e.c.packets.Load(),
+		PayloadBytes: e.c.payloadBytes.Load(),
+		StoredBytes:  e.c.storedBytes.Load(),
 
-		FilterIgnoredPkts: e.stats.filterIgnoredPkts.Load(),
-		CutoffPkts:        e.stats.cutoffPkts.Load(),
-		CutoffBytes:       e.stats.cutoffBytes.Load(),
-		PPLDroppedPkts:    e.stats.pplDroppedPkts.Load(),
-		PPLDroppedBytes:   e.stats.pplDroppedBytes.Load(),
-		EventsLost:        e.stats.eventsLost.Load(),
-		EventsLostBytes:   e.stats.eventsLostBytes.Load(),
+		FilterIgnoredPkts: e.c.filterIgnoredPkts.Load(),
+		CutoffPkts:        e.c.cutoffPkts.Load(),
+		CutoffBytes:       e.c.cutoffBytes.Load(),
+		PPLDroppedPkts:    e.c.pplDroppedPkts.Load(),
+		PPLDroppedBytes:   e.c.pplDroppedBytes.Load(),
+		EventsLost:        e.c.eventsLost.Load(),
+		EventsLostBytes:   e.c.eventsLostBytes.Load(),
 
-		StreamsCreated: e.stats.streamsCreated.Load(),
-		StreamsClosed:  e.stats.streamsClosed.Load(),
-		StreamsExpired: e.stats.streamsExpired.Load(),
-		StreamsEvicted: e.stats.streamsEvicted.Load(),
+		StreamsCreated: e.c.streamsCreated.Load(),
+		StreamsClosed:  e.c.streamsClosed.Load(),
+		StreamsExpired: e.c.streamsExpired.Load(),
+		StreamsEvicted: e.c.streamsEvicted.Load(),
 
-		AsmDuplicateBytes: e.stats.asmDuplicateBytes.Load(),
-		AsmDeliveredBytes: e.stats.asmDeliveredBytes.Load(),
-		AsmHolesSkipped:   e.stats.asmHolesSkipped.Load(),
-		AsmOutOfOrder:     e.stats.asmOutOfOrder.Load(),
-		AsmDroppedSegs:    e.stats.asmDroppedSegs.Load(),
+		AsmDuplicateBytes: e.c.asmDuplicateBytes.Load(),
+		AsmDeliveredBytes: e.c.asmDeliveredBytes.Load(),
+		AsmHolesSkipped:   e.c.asmHolesSkipped.Load(),
+		AsmOutOfOrder:     e.c.asmOutOfOrder.Load(),
+		AsmDroppedSegs:    e.c.asmDroppedSegs.Load(),
 
-		FDIRInstalled: e.stats.fdirInstalled.Load(),
-		FDIRRemoved:   e.stats.fdirRemoved.Load(),
+		FDIRInstalled: e.c.fdirInstalled.Load(),
+		FDIRRemoved:   e.c.fdirRemoved.Load(),
 	}
 }
+
+// Metrics returns the engine's instrument bundle (the shared one from
+// Options, or the engine's private bundle when none was given).
+func (e *Engine) Metrics() *Metrics { return e.m }
 
 // Table exposes the flow table (tests and the simulator use it).
 func (e *Engine) Table() *flowtab.Table { return e.table }
@@ -266,13 +248,13 @@ func (e *Engine) HandleFrames(frames []nic.Frame) {
 
 //scap:hotpath
 func (e *Engine) handleFrame(data []byte, ts int64) {
-	e.stats.frames.Add(1)
+	e.c.frames.Add(1)
 	if ts > e.now {
 		e.now = ts
 	}
 	p := &e.scratch
 	if err := pkt.Decode(data, p); err != nil {
-		e.stats.decodeErrors.Add(1)
+		e.c.decodeErrors.Add(1)
 		return
 	}
 	p.Timestamp = ts
@@ -297,12 +279,12 @@ func (e *Engine) handlePacket(p *pkt.Packet) {
 		if e.defrag == nil {
 			// Fast mode does not spend memory on defragmentation; the
 			// fragmented datagram is counted against the stream as loss.
-			e.stats.fragsDropped.Add(1)
+			e.c.fragsDropped.Add(1)
 			return
 		}
 		whole := e.defrag.Add(p)
 		if whole == nil {
-			e.stats.fragsHeld.Add(1)
+			e.c.fragsHeld.Add(1)
 			return
 		}
 		// Reparse the transport header from the reassembled datagram.
@@ -310,12 +292,12 @@ func (e *Engine) handlePacket(p *pkt.Packet) {
 		np = *p
 		np.FragOffset, np.MoreFrags = 0, false
 		if err := pkt.DecodeTransport(whole, &np); err != nil {
-			e.stats.decodeErrors.Add(1)
+			e.c.decodeErrors.Add(1)
 			return
 		}
 		p = &np
 	}
-	e.stats.packets.Add(1)
+	e.c.packets.Add(1)
 	e.process(p)
 }
 
@@ -340,7 +322,7 @@ func (e *Engine) process(p *pkt.Packet) {
 	s.Stats.End = ts
 
 	if x.ignored {
-		e.stats.filterIgnoredPkts.Add(1)
+		e.c.filterIgnoredPkts.Add(1)
 		return
 	}
 
@@ -356,7 +338,7 @@ func (e *Engine) process(p *pkt.Packet) {
 // initStream resolves a new stream's configuration and fires its creation
 // event.
 func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
-	e.stats.streamsCreated.Add(1)
+	e.c.streamsCreated.Add(1)
 	if e.cfg.Filter != nil && !e.cfg.Filter.Match(p) {
 		// Neither direction matches ⇒ the stream is uninteresting. A
 		// directional filter (e.g. "src port 80") must still keep both
@@ -441,13 +423,13 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 		return
 	}
 	s.Stats.PayloadBytes += uint64(n)
-	e.stats.payloadBytes.Add(uint64(n))
+	e.c.payloadBytes.Add(uint64(n))
 
 	if x.discard || s.Status == flowtab.StatusCutoff {
 		s.Stats.DiscardedPkts++
 		s.Stats.DiscardedBytes += uint64(n)
-		e.stats.cutoffPkts.Add(1)
-		e.stats.cutoffBytes.Add(uint64(n))
+		e.c.cutoffPkts.Add(1)
+		e.c.cutoffBytes.Add(uint64(n))
 		// Data arriving for a cutoff stream means its NIC filter expired
 		// or was evicted: re-install with a doubled timeout (§5.5).
 		e.reinstallFDIR(s, x)
@@ -459,8 +441,8 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 		e.reachCutoff(s, x)
 		s.Stats.DiscardedPkts++
 		s.Stats.DiscardedBytes += uint64(n)
-		e.stats.cutoffPkts.Add(1)
-		e.stats.cutoffBytes.Add(uint64(n))
+		e.c.cutoffPkts.Add(1)
+		e.c.cutoffBytes.Add(uint64(n))
 		return
 	}
 
@@ -469,8 +451,8 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 	default:
 		s.Stats.DroppedPkts++
 		s.Stats.DroppedBytes += uint64(n)
-		e.stats.pplDroppedPkts.Add(1)
-		e.stats.pplDroppedBytes.Add(uint64(n))
+		e.c.pplDroppedPkts.Add(1)
+		e.c.pplDroppedBytes.Add(uint64(n))
 		return
 	}
 
@@ -540,7 +522,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 			if remain <= 0 {
 				e.reachCutoff(s, x)
 				s.Stats.DiscardedBytes += uint64(len(b))
-				e.stats.cutoffBytes.Add(uint64(len(b)))
+				e.c.cutoffBytes.Add(uint64(len(b)))
 				return
 			}
 			if int64(len(b)) > remain {
@@ -548,7 +530,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 				tail := b[remain:]
 				e.appendData(s, x, head, hole)
 				s.Stats.DiscardedBytes += uint64(len(tail))
-				e.stats.cutoffBytes.Add(uint64(len(tail)))
+				e.c.cutoffBytes.Add(uint64(len(tail)))
 				e.reachCutoff(s, x)
 				return
 			}
@@ -577,7 +559,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 		c.buf = append(c.buf, b[:take]...) //scaplint:ignore hotpathalloc chunk buffers grow geometrically toward the chunk bound (amortized O(1) per byte); take <= room keeps the fill inside it
 		b = b[take:]
 		s.Stats.CapturedBytes += uint64(take)
-		e.stats.storedBytes.Add(uint64(take))
+		e.c.storedBytes.Add(uint64(take))
 		e.mm.Reserve(take)
 		e.markDirty(s, x)
 		if c.room() == 0 {
@@ -598,6 +580,7 @@ func (e *Engine) deliverChunk(s *flowtab.Stream, x *streamExt, last bool) {
 		return
 	}
 	x.chunksDelivered++
+	e.m.chunkBytes.Observe(e.coreID, uint64(c.fill()))
 	ev := event.Event{
 		Type:       event.Data,
 		Stream:     s,
@@ -655,10 +638,18 @@ func (e *Engine) flushEvents() {
 		return
 	}
 	n := e.q.PushBatch(e.evBuf)
+	e.m.eventBatch.Observe(e.coreID, uint64(n))
+	if lost := len(e.evBuf) - n; lost > 0 {
+		e.m.events.Record(metrics.Event{
+			Kind:  metrics.EvEventRingOverflow,
+			Core:  e.coreID,
+			Value: int64(lost),
+		})
+	}
 	for i := n; i < len(e.evBuf); i++ {
 		ev := &e.evBuf[i]
-		e.stats.eventsLost.Add(1)
-		e.stats.eventsLostBytes.Add(uint64(len(ev.Data)))
+		e.c.eventsLost.Add(1)
+		e.c.eventsLostBytes.Add(uint64(len(ev.Data)))
 		if ev.Accounted > 0 {
 			e.mm.Release(ev.Accounted)
 		}
@@ -714,7 +705,8 @@ func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
 		}
 	}
 	s.HWFilter = true
-	e.stats.fdirInstalled.Add(1)
+	e.c.fdirInstalled.Add(1)
+	e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRInstall, Core: e.coreID, Value: int64(s.ID)})
 	heap.Push(&e.filters, filterEntry{deadline: deadline, key: s.Key, id: s.ID})
 }
 
@@ -741,7 +733,8 @@ func (e *Engine) removeFDIR(s *flowtab.Stream) {
 	if s.HWFilter && e.nicDev != nil {
 		e.nicDev.RemoveFilters(s.Key, false)
 		s.HWFilter = false
-		e.stats.fdirRemoved.Add(1)
+		e.c.fdirRemoved.Add(1)
+		e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRRemove, Core: e.coreID, Value: int64(s.ID)})
 	}
 }
 
@@ -776,19 +769,19 @@ func (e *Engine) finishStream(s *flowtab.Stream, status flowtab.Status) {
 	}()
 	switch status {
 	case flowtab.StatusClosed:
-		e.stats.streamsClosed.Add(1)
+		e.c.streamsClosed.Add(1)
 	case flowtab.StatusTimedOut:
-		e.stats.streamsExpired.Add(1)
+		e.c.streamsExpired.Add(1)
 	case flowtab.StatusEvicted:
-		e.stats.streamsEvicted.Add(1)
+		e.c.streamsEvicted.Add(1)
 	}
 	if s.Asm != nil {
 		as := s.Asm.Stats()
-		e.stats.asmDuplicateBytes.Add(as.DuplicateBytes)
-		e.stats.asmDeliveredBytes.Add(as.DeliveredBytes)
-		e.stats.asmHolesSkipped.Add(as.HolesSkipped)
-		e.stats.asmOutOfOrder.Add(as.OutOfOrderSegs)
-		e.stats.asmDroppedSegs.Add(as.DroppedSegments)
+		e.c.asmDuplicateBytes.Add(as.DuplicateBytes)
+		e.c.asmDeliveredBytes.Add(as.DeliveredBytes)
+		e.c.asmHolesSkipped.Add(as.HolesSkipped)
+		e.c.asmOutOfOrder.Add(as.OutOfOrderSegs)
+		e.c.asmDroppedSegs.Add(as.DroppedSegments)
 	}
 	e.removeFDIR(s)
 	if !x.ignored {
@@ -877,7 +870,8 @@ func (e *Engine) expireFilters(now int64) {
 		fe := heap.Pop(&e.filters).(filterEntry)
 		if e.nicDev != nil {
 			if removed := e.nicDev.RemoveFilters(fe.key, false); removed > 0 {
-				e.stats.fdirRemoved.Add(1)
+				e.c.fdirRemoved.Add(1)
+				e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRRemove, Core: e.coreID, Value: int64(fe.id)})
 			}
 		}
 		if s := e.table.Lookup(fe.key); s != nil && s.ID == fe.id {

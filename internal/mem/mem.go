@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"scap/internal/metrics"
 )
 
 // Decision is the PPL admission result for one packet.
@@ -93,6 +95,14 @@ type Manager struct {
 	droppedCutoff   atomic.Uint64
 	droppedNoMemory atomic.Uint64
 	highWater       atomic.Int64
+
+	// events (set once by PublishMetrics, before capture starts) receives
+	// the PPL pressure-episode edges; underPPL and pplSince detect them.
+	// Only the first drop of an episode and the release that ends it pay
+	// more than one atomic load.
+	events   atomic.Pointer[metrics.EventLog]
+	underPPL atomic.Bool
+	pplSince atomic.Int64
 }
 
 // New creates a Manager. Invalid configuration values are normalized.
@@ -242,6 +252,41 @@ func (m *Manager) countDrop(d Decision) {
 	case DropNoMemory:
 		m.droppedNoMemory.Add(1)
 	}
+	if !m.underPPL.Load() {
+		m.pplEnter()
+	}
+}
+
+// pplEnter opens a pressure episode on the first drop after calm. The CAS
+// makes the edge fire once even with every core dropping concurrently.
+func (m *Manager) pplEnter() {
+	l := m.events.Load()
+	if l == nil || !m.underPPL.CompareAndSwap(false, true) {
+		return
+	}
+	ts := l.Now()
+	m.pplSince.Store(ts)
+	cfg := m.cfg.Load()
+	l.Record(metrics.Event{
+		Kind:         metrics.EvPPLEnter,
+		TimeUnixNano: ts,
+		Value:        m.used.Load() * 1000 / cfg.Size,
+	})
+}
+
+// pplExitCheck closes the episode once usage falls back below the base
+// threshold, recording how long the pressure lasted.
+func (m *Manager) pplExitCheck(used int64) {
+	cfg := m.cfg.Load()
+	if float64(used) >= cfg.BaseThreshold*float64(cfg.Size) {
+		return
+	}
+	l := m.events.Load()
+	if l == nil || !m.underPPL.CompareAndSwap(true, false) {
+		return
+	}
+	ts := l.Now()
+	l.Record(metrics.Event{Kind: metrics.EvPPLExit, TimeUnixNano: ts, Dur: ts - m.pplSince.Load()})
 }
 
 // noteHighWater advances the high-water mark monotonically.
@@ -276,4 +321,24 @@ func (m *Manager) Release(size int) {
 		//scaplint:ignore hotpathalloc panic path: only reached on an accounting bug, never in steady state
 		panic(fmt.Sprintf("mem: released more than reserved (used=%d)", used))
 	}
+	// One atomic load in steady state; the episode-closing work only runs
+	// while a PPL pressure episode is open.
+	if m.underPPL.Load() {
+		m.pplExitCheck(used)
+	}
+}
+
+// PublishMetrics registers the manager's accounting in reg as func-backed
+// instruments reading the existing atomics (no double bookkeeping) and
+// routes PPL pressure-episode events to the registry's event log. Call once
+// per registry, before capture starts.
+func (m *Manager) PublishMetrics(reg *metrics.Registry) {
+	reg.NewCounterFunc(metrics.Desc{Name: "mem_admitted_total", Help: "packet admissions by PPL", Unit: "packets", Paper: "§2.2"}, m.admitted.Load)
+	reg.NewCounterFunc(metrics.Desc{Name: "mem_dropped_priority_total", Help: "admissions refused above a priority watermark", Unit: "packets", Paper: "Fig. 9 PPL drops"}, m.droppedPriority.Load)
+	reg.NewCounterFunc(metrics.Desc{Name: "mem_dropped_cutoff_total", Help: "admissions refused by the overload cutoff", Unit: "packets", Paper: "§2.2 overload cutoff"}, m.droppedCutoff.Load)
+	reg.NewCounterFunc(metrics.Desc{Name: "mem_dropped_nomem_total", Help: "admissions refused with the budget exhausted", Unit: "packets", Paper: "§2.2"}, m.droppedNoMemory.Load)
+	reg.NewGaugeFunc(metrics.Desc{Name: "memory_used_bytes", Help: "stream memory currently reserved", Unit: "bytes", Paper: "§2.2 stream memory"}, m.used.Load)
+	reg.NewGaugeFunc(metrics.Desc{Name: "memory_highwater_bytes", Help: "peak stream-memory usage", Unit: "bytes", Paper: "§2.2 stream memory"}, m.highWater.Load)
+	reg.NewGaugeFunc(metrics.Desc{Name: "memory_size_bytes", Help: "configured stream-memory budget", Unit: "bytes", Paper: "§2.2 memory_size"}, func() int64 { return m.cfg.Load().Size })
+	m.events.Store(reg.Events())
 }

@@ -1,0 +1,123 @@
+package metrics
+
+import "sync"
+
+// EventKind discriminates overload telemetry events.
+type EventKind uint8
+
+// Overload event kinds recorded by the capture path.
+const (
+	// EvPPLEnter: stream memory crossed above the PPL base threshold and
+	// admission control began shedding; Value is the usage in per-mille.
+	EvPPLEnter EventKind = iota
+	// EvPPLExit: memory fell back below the threshold; Dur is how long the
+	// pressure episode lasted (wall ns).
+	EvPPLExit
+	// EvRingFull: a NIC receive ring started dropping frames; Core is the
+	// queue.
+	EvRingFull
+	// EvRingFullEnd: the ring accepted frames again; Dur is the episode
+	// length in virtual ns, Value the frames dropped during it.
+	EvRingFullEnd
+	// EvEventRingOverflow: an engine's event ring refused part of a batch;
+	// Value is the number of events lost.
+	EvEventRingOverflow
+	// EvFDIRInstall: a cutoff stream's drop-filter pair was installed at
+	// the NIC.
+	EvFDIRInstall
+	// EvFDIRRemove: a stream's filters were removed (termination or
+	// deadline expiry).
+	EvFDIRRemove
+)
+
+var eventKindNames = [...]string{
+	EvPPLEnter:          "ppl_enter",
+	EvPPLExit:           "ppl_exit",
+	EvRingFull:          "ring_full",
+	EvRingFullEnd:       "ring_full_end",
+	EvEventRingOverflow: "event_ring_overflow",
+	EvFDIRInstall:       "fdir_install",
+	EvFDIRRemove:        "fdir_remove",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one typed overload occurrence. TimeUnixNano is stamped from the
+// registry clock at record time; Value and Dur are kind-specific (see the
+// kind constants).
+type Event struct {
+	Kind         EventKind `json:"-"`
+	KindName     string    `json:"kind"`
+	TimeUnixNano int64     `json:"time_unix_nano"`
+	Core         int       `json:"core"`
+	Value        int64     `json:"value,omitempty"`
+	Dur          int64     `json:"dur_ns,omitempty"`
+}
+
+// defaultEventCap is the event ring size: enough to hold a burst of overload
+// transitions between scrapes without unbounded growth.
+const defaultEventCap = 256
+
+// EventLog is a fixed-capacity ring of overload events. Recording takes a
+// mutex — overload events are edge-triggered (pressure transitions, episode
+// boundaries, filter churn), not per-packet, so the lock is off the fast
+// path by construction.
+type EventLog struct {
+	now *func() int64
+
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+func newEventLog(capacity int, now *func() int64) *EventLog {
+	return &EventLog{ring: make([]Event, 0, capacity), now: now}
+}
+
+// Now reads the log's clock (the registry clock) — for callers that need
+// the same timestamp in an event and their own episode bookkeeping.
+func (l *EventLog) Now() int64 { return (*l.now)() }
+
+// Record appends an event, stamping its time from the registry clock when
+// unset. The oldest event is overwritten once the ring is full.
+func (l *EventLog) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.TimeUnixNano == 0 {
+		e.TimeUnixNano = (*l.now)()
+	}
+	e.KindName = e.Kind.String()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+}
+
+// Total returns how many events have ever been recorded (including ones the
+// ring has since overwritten).
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		return append(out, l.ring...)
+	}
+	out = append(out, l.ring[l.next:]...)
+	return append(out, l.ring[:l.next]...)
+}

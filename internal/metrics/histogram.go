@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram counts observations in power-of-two buckets: bucket i counts
+// values v with v <= 2^i (the final bucket absorbs everything larger).
+// Like counters, buckets are kept per core — each core observes into its
+// own row (padded to whole cache lines), so concurrent engines never
+// contend on a bucket's cache line — and rows are summed at snapshot
+// time. An observation is two uncontended atomic adds (bucket + sum).
+type Histogram struct {
+	desc Desc
+	nb   int // bucket count: le 2^0 .. 2^maxPow, plus one overflow bucket
+	// rows holds one bucket row per core: slots [0..nb) are the buckets,
+	// slot nb is the value sum, and the row is padded to a multiple of
+	// eight slots (64 bytes) so rows do not share cache lines.
+	rows [][]atomic.Uint64
+}
+
+func newHistogram(d Desc, cores, maxPow int) *Histogram {
+	if maxPow < 0 {
+		maxPow = 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	nb := maxPow + 2
+	rowLen := (nb + 1 + 7) &^ 7
+	h := &Histogram{desc: d, nb: nb, rows: make([][]atomic.Uint64, cores)}
+	for i := range h.rows {
+		h.rows[i] = make([]atomic.Uint64, rowLen)
+	}
+	return h
+}
+
+// Desc returns the histogram's metadata.
+func (h *Histogram) Desc() Desc { return h.desc }
+
+// Observe records one observation of v on core's row. An out-of-range
+// core falls back to row 0.
+//
+//scap:hotpath
+func (h *Histogram) Observe(core int, v uint64) {
+	if core < 0 || core >= len(h.rows) {
+		core = 0
+	}
+	row := h.rows[core]
+	i := 0
+	if v > 1 {
+		i = bits.Len64(v - 1) // smallest i with 2^i >= v
+	}
+	if i >= h.nb {
+		i = h.nb - 1
+	}
+	row[i].Add(1)
+	row[h.nb].Add(v)
+}
+
+// BucketSnap is one histogram bucket: the count of observations with value
+// <= Le (Le 0 marks the overflow bucket).
+type BucketSnap struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnap is one histogram's snapshot.
+type HistogramSnap struct {
+	Desc
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnap {
+	s := HistogramSnap{Desc: h.desc}
+	for i := 0; i < h.nb; i++ {
+		var n uint64
+		for _, row := range h.rows {
+			n += row[i].Load()
+		}
+		s.Count += n
+		le := uint64(1) << uint(i)
+		if i == h.nb-1 {
+			le = 0 // overflow bucket
+		}
+		s.Buckets = append(s.Buckets, BucketSnap{Le: le, Count: n})
+	}
+	for _, row := range h.rows {
+		s.Sum += row[h.nb].Load()
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowRates drives a Window with a synthetic clock and checks the rate
+// arithmetic exactly.
+func TestWindowRates(t *testing.T) {
+	r := NewRegistry(2)
+	clock := int64(1_000_000_000)
+	r.SetClock(func() int64 { return clock })
+	c := r.NewCounter(Desc{Name: "packets_total"})
+	ext := uint64(0)
+	r.NewCounterFunc(Desc{Name: "ext_total"}, func() uint64 { return ext })
+
+	w := NewWindow(r)
+
+	// First collect: no predecessor, zero rates.
+	p := w.Collect()
+	if p.WindowSeconds != 0 {
+		t.Fatalf("first window seconds = %v, want 0", p.WindowSeconds)
+	}
+	if cp := p.Counter("packets_total"); cp == nil || cp.Rate != 0 {
+		t.Fatalf("first rate = %+v, want 0", cp)
+	}
+
+	// Advance 2s of synthetic time; core 0 gains 100, core 1 gains 50.
+	c.Cell(0).Add(100)
+	c.Cell(1).Add(50)
+	ext += 30
+	clock += 2_000_000_000
+	p = w.Collect()
+	if p.WindowSeconds != 2 {
+		t.Fatalf("window seconds = %v, want 2", p.WindowSeconds)
+	}
+	cp := p.Counter("packets_total")
+	if cp == nil {
+		t.Fatal("packets_total missing")
+	}
+	if cp.Rate != 75 {
+		t.Fatalf("rate = %v, want 75", cp.Rate)
+	}
+	if len(cp.PerCoreRate) != 2 || cp.PerCoreRate[0] != 50 || cp.PerCoreRate[1] != 25 {
+		t.Fatalf("per-core rates = %v, want [50 25]", cp.PerCoreRate)
+	}
+	if ep := p.Counter("ext_total"); ep.Rate != 15 {
+		t.Fatalf("func counter rate = %v, want 15", ep.Rate)
+	}
+
+	// Half-second window with a fractional rate.
+	c.Cell(0).Add(1)
+	clock += 500_000_000
+	p = w.Collect()
+	cp = p.Counter("packets_total")
+	if math.Abs(cp.Rate-2) > 1e-9 {
+		t.Fatalf("rate = %v, want 2", cp.Rate)
+	}
+
+	// Clock stall: no elapsed time means no rates, not a division by zero.
+	c.Cell(0).Add(10)
+	p = w.Collect()
+	if p.WindowSeconds != 0 || p.Counter("packets_total").Rate != 0 {
+		t.Fatalf("stalled clock: window=%v rate=%v, want zeros",
+			p.WindowSeconds, p.Counter("packets_total").Rate)
+	}
+}
+
+func TestRateClampsOnReset(t *testing.T) {
+	if got := rate(5, 10, 1); got != 0 {
+		t.Fatalf("rate after reset = %v, want 0", got)
+	}
+}

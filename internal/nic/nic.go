@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"scap/internal/metrics"
 	"scap/internal/pkt"
 	"scap/internal/reassembly"
 )
@@ -126,6 +127,13 @@ type NIC struct {
 	highwater []int
 	// scratch is guarded by mu.
 	scratch pkt.Packet
+
+	// events (nil until PublishMetrics) receives ring-full episodes;
+	// fullSince and fullDrops track each queue's open episode (virtual-time
+	// start and frames dropped so far). All guarded by mu.
+	events    *metrics.EventLog
+	fullSince []int64
+	fullDrops []uint64
 }
 
 // New creates a NIC with cfg.
@@ -136,6 +144,8 @@ func New(cfg Config) *NIC {
 		rings:     make([]ring, cfg.Queues),
 		filters:   newFilterTable(cfg.PerfectFilterCap, cfg.SignatureFilterCap),
 		highwater: make([]int, cfg.Queues),
+		fullSince: make([]int64, cfg.Queues),
+		fullDrops: make([]uint64, cfg.Queues),
 	}
 	for i := range n.rings {
 		n.rings[i].buf = make([]Frame, cfg.QueueDepth)
@@ -207,7 +217,25 @@ func (n *NIC) Receive(data []byte, ts int64) int {
 	}
 	if !n.rings[queue].push(Frame{Data: data, TS: ts}) {
 		n.stats.DroppedRing++
+		if n.events != nil {
+			if n.fullSince[queue] == 0 {
+				n.fullSince[queue] = ts
+				n.events.Record(metrics.Event{Kind: metrics.EvRingFull, Core: queue})
+			}
+			n.fullDrops[queue]++
+		}
 		return -1
+	}
+	if n.events != nil && n.fullSince[queue] != 0 {
+		// The ring accepted a frame again: close the drop episode, with its
+		// duration in virtual time and the frames lost during it.
+		n.events.Record(metrics.Event{
+			Kind:  metrics.EvRingFullEnd,
+			Core:  queue,
+			Dur:   ts - n.fullSince[queue],
+			Value: int64(n.fullDrops[queue]),
+		})
+		n.fullSince[queue], n.fullDrops[queue] = 0, 0
 	}
 	if n.rings[queue].n > n.highwater[queue] {
 		n.highwater[queue] = n.rings[queue].n
@@ -288,6 +316,33 @@ func (n *NIC) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// PublishMetrics registers the NIC counters in reg as func-backed
+// instruments (each read takes the NIC mutex briefly, like Stats) and
+// routes ring-full episodes to the registry's event log. Call once per
+// registry, before capture starts.
+func (n *NIC) PublishMetrics(reg *metrics.Registry) {
+	field := func(f func(*Stats) uint64) func() uint64 {
+		return func() uint64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return f(&n.stats)
+		}
+	}
+	reg.NewCounterFunc(metrics.Desc{Name: "nic_frames_total", Help: "frames offered to the NIC", Unit: "frames", Paper: "Fig. 7 offered load"},
+		field(func(s *Stats) uint64 { return s.Received }))
+	reg.NewCounterFunc(metrics.Desc{Name: "nic_dropped_filter_total", Help: "frames dropped by FDIR drop filters", Unit: "frames", Paper: "§5.5 subzero copy"},
+		field(func(s *Stats) uint64 { return s.DroppedFilter }))
+	reg.NewCounterFunc(metrics.Desc{Name: "nic_dropped_ring_total", Help: "frames lost to full receive rings", Unit: "frames", Paper: "Fig. 7 dropped at NIC"},
+		field(func(s *Stats) uint64 { return s.DroppedRing }))
+	reg.NewCounterFunc(metrics.Desc{Name: "nic_redirected_total", Help: "frames steered by load-balancing filters", Unit: "frames", Paper: "§2.4 dynamic balance"},
+		field(func(s *Stats) uint64 { return s.Redirected }))
+	reg.NewCounterFunc(metrics.Desc{Name: "nic_decode_failures_total", Help: "undecodable frames delivered nowhere", Unit: "frames", Paper: ""},
+		field(func(s *Stats) uint64 { return s.DecodeFailures }))
+	n.mu.Lock()
+	n.events = reg.Events()
+	n.mu.Unlock()
 }
 
 // Highwater returns the maximum occupancy queue q has reached.

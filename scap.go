@@ -40,6 +40,7 @@ import (
 	"scap/internal/core"
 	"scap/internal/event"
 	"scap/internal/mem"
+	"scap/internal/metrics"
 	"scap/internal/nic"
 	"scap/internal/reassembly"
 )
@@ -141,6 +142,15 @@ type Handle struct {
 	engines []*core.Engine
 	queues  []*event.Queue
 
+	// reg is the socket's metrics registry (created with the Handle); em is
+	// the engine instrument bundle registered in it, and workerBatchH
+	// tracks worker drain batch sizes. final freezes the last statistics
+	// snapshot at Close, so GetStats never races engine teardown.
+	reg          *metrics.Registry
+	em           *core.Metrics
+	workerBatchH *metrics.Histogram
+	final        *Stats
+
 	onCreate Handler
 	onData   Handler
 	onClose  Handler
@@ -171,6 +181,13 @@ func Create(cfg Config) (*Handle, error) {
 			UseFDIR:       cfg.UseFDIR,
 		},
 	}
+	h.reg = metrics.NewRegistry(cfg.Queues)
+	h.em = core.NewMetrics(h.reg)
+	h.workerBatchH = h.reg.NewHistogram(metrics.Desc{
+		Name: "worker_batch_size",
+		Help: "events a worker drained from a ring per wakeup",
+		Unit: "events",
+	}, 7)
 	return h, nil
 }
 
@@ -208,6 +225,7 @@ const (
 	DirServer Direction = 1
 )
 
+// String names the direction ("client" or "server") for logs and errors.
 func (d Direction) String() string {
 	if d == DirClient {
 		return "client"
@@ -368,17 +386,20 @@ func (h *Handle) StartCapture() error {
 		Defragment:     h.engCfg.Mode == reassembly.ModeStrict,
 		DynamicBalance: true,
 	})
+	h.mm.PublishMetrics(h.reg)
+	h.nicDev.PublishMetrics(h.reg)
 	rng := rand.New(rand.NewSource(rand.Int63()))
 	for q := 0; q < h.cfg.Queues; q++ {
 		eq := event.NewQueue(0)
 		h.queues = append(h.queues, eq)
 		h.engines = append(h.engines, core.NewEngine(core.Options{
-			Config: h.engCfg,
-			Mem:    h.mm,
-			NIC:    h.nicDev,
-			Queue:  eq,
-			CoreID: q,
-			Rand:   rng,
+			Config:  h.engCfg,
+			Mem:     h.mm,
+			NIC:     h.nicDev,
+			Queue:   eq,
+			CoreID:  q,
+			Rand:    rng,
+			Metrics: h.em,
 		}))
 	}
 	h.capture = newCaptureState(h)
@@ -388,7 +409,10 @@ func (h *Handle) StartCapture() error {
 }
 
 // Close flushes all streams, delivers final events, stops the workers, and
-// releases the socket (scap_close). It is safe to call once.
+// releases the socket (scap_close). It is safe to call once. The final
+// statistics are frozen just after the capture path stops, so GetStats
+// keeps returning them after Close (see GetStats for the post-Close
+// contract).
 func (h *Handle) Close() error {
 	if h.closed {
 		return ErrClosed
@@ -398,6 +422,8 @@ func (h *Handle) Close() error {
 		return nil
 	}
 	h.capture.stop()
+	st := h.statsFromRegistry()
+	h.final = &st
 	h.started = false
 	return nil
 }

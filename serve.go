@@ -1,0 +1,80 @@
+package scap
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"scap/internal/metrics"
+)
+
+// DebugServer is the optional observability endpoint of one socket, started
+// with Handle.Serve. It has no counterpart in the paper's API — it exposes
+// the same counters scap_get_stats reads, but live, with per-core
+// breakdowns, windowed rates, and the Go runtime's profiling endpoints.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts a debug HTTP server for the socket on addr (host:port; use
+// port 0 for an ephemeral port, then read Addr). It serves:
+//
+//   - /metrics — the metrics registry as JSON: every counter with its total
+//     and per-core values, per-second rates windowed between scrapes,
+//     gauges, histograms, and the recent overload events (PPL pressure
+//     episodes, ring-full episodes, FDIR churn).
+//   - /debug/pprof/ — the standard net/http/pprof profiling endpoints.
+//   - /debug/vars — expvar's process-wide variables.
+//
+// The rate window is shared by all scrapers of this server: each /metrics
+// request reports rates since the previous request. Run one poller (e.g.
+// cmd/scaptop) per server for meaningful rates. The server runs until
+// Close; it does not stop when the Handle is closed, so totals remain
+// scrapeable after capture ends.
+func (h *Handle) Serve(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := metrics.NewWindow(h.reg)
+	w.Collect() // prime: the first scrape then has a real window
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, req *http.Request) {
+		p := w.Collect()
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listen address (resolving port 0 to the bound
+// port).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately and waits for its goroutine.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,125 @@
+package scap
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"scap/internal/metrics"
+)
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	h, err := Create(Config{Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) {})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := h.ReplaySource(smallGen(11, 60), 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	body := getBody(t, "http://"+srv.Addr()+"/metrics")
+	p, err := metrics.ParsePayload(body)
+	if err != nil {
+		t.Fatalf("parse /metrics: %v\n%s", err, body)
+	}
+	if p.Cores != 2 {
+		t.Fatalf("cores = %d, want 2", p.Cores)
+	}
+	pk := p.Counter("packets_total")
+	if pk == nil || pk.Total == 0 {
+		t.Fatalf("packets_total missing or zero: %+v", pk)
+	}
+	if len(pk.PerCore) != 2 || pk.PerCore[0]+pk.PerCore[1] != pk.Total {
+		t.Fatalf("per-core %v does not sum to total %d", pk.PerCore, pk.Total)
+	}
+	if p.Counter("nic_frames_total") == nil || p.Counter("mem_admitted_total") == nil {
+		t.Fatal("NIC/mem func counters missing from payload")
+	}
+	if p.Gauge("memory_size_bytes") == nil {
+		t.Fatal("memory_size_bytes gauge missing")
+	}
+	var hasChunkHist bool
+	for _, hs := range p.Histograms {
+		if hs.Name == "chunk_bytes" && hs.Count > 0 {
+			hasChunkHist = true
+		}
+	}
+	if !hasChunkHist {
+		t.Fatal("chunk_bytes histogram missing or empty")
+	}
+
+	// The pprof and expvar endpoints are wired in.
+	if b := getBody(t, "http://"+srv.Addr()+"/debug/pprof/cmdline"); len(b) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+	if b := getBody(t, "http://"+srv.Addr()+"/debug/vars"); len(b) == 0 {
+		t.Fatal("expvar payload empty")
+	}
+
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Totals stay scrapeable after Close (the frozen-stats contract extends
+	// to the server).
+	p2, err := metrics.ParsePayload(getBody(t, "http://"+srv.Addr()+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Counter("packets_total"); got == nil || got.Total < pk.Total {
+		t.Fatalf("post-Close packets_total = %+v, want >= %d", got, pk.Total)
+	}
+}
+
+func TestGetStatsFrozenAfterClose(t *testing.T) {
+	h, err := Create(Config{Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchTermination(func(sd *Stream) {})
+	runSocket(t, h, smallGen(12, 40))
+
+	st1, err := h.GetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Packets == 0 || st1.StreamsCreated == 0 {
+		t.Fatalf("frozen stats empty: %+v", st1)
+	}
+	if st1.MemoryUsed != 0 {
+		t.Fatalf("memory not fully released at close: %d", st1.MemoryUsed)
+	}
+	st2, err := h.GetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("post-Close snapshots differ:\n%+v\n%+v", st1, st2)
+	}
+}

@@ -1,7 +1,16 @@
 package scap
 
+// The scap package is part of the audited public API surface: scaplint's
+// exporteddoc analyzer requires a doc comment on every exported symbol in
+// files of packages carrying this marker.
+//
+//scap:publicapi
+
 // Stats aggregates socket-wide counters across the NIC and every engine
-// core (scap_stats_t).
+// core (scap_stats_t). It is a plain-value view over the socket's metrics
+// registry; the registry itself (exposed at /metrics by Serve) additionally
+// carries per-core breakdowns, windowed rates, histograms, and overload
+// events.
 type Stats struct {
 	// NIC level.
 	FramesReceived  uint64 // frames offered to the NIC
@@ -40,40 +49,51 @@ type Stats struct {
 // the capture path; a snapshot taken mid-burst may be momentarily
 // inconsistent between fields, like reading /proc counters.
 //
-// Concurrency audit: h.engines, h.queues, h.nicDev, and h.mm are assigned
-// in StartCapture before any capture goroutine exists and are read-only
-// afterwards, so iterating them here is safe; the per-object snapshot
-// calls (Engine.Stats atomics, NIC.Stats and Manager mutexes) make each
-// read race-free against the running capture path.
+// Post-Close contract: once Close has returned, GetStats keeps returning
+// the final snapshot frozen at shutdown — after every stream was flushed
+// and every queue drained — rather than racing engine teardown. Callers may
+// therefore Close first and read totals afterwards.
 func (h *Handle) GetStats() (Stats, error) {
+	if h.final != nil {
+		return *h.final, nil
+	}
 	if !h.started && h.engines == nil {
 		return Stats{}, ErrNotStarted
 	}
-	var st Stats
-	ns := h.nicDev.Stats()
-	st.FramesReceived = ns.Received
-	st.DroppedAtNIC = ns.DroppedFilter
-	st.DroppedRing = ns.DroppedRing
-	st.RedirectedFlows = ns.Redirected
-	for _, eng := range h.engines {
-		es := eng.Stats()
-		st.Packets += es.Packets
-		st.PayloadBytes += es.PayloadBytes
-		st.StoredBytes += es.StoredBytes
-		st.CutoffPkts += es.CutoffPkts
-		st.CutoffBytes += es.CutoffBytes
-		st.PPLDroppedPkts += es.PPLDroppedPkts
-		st.EventsLost += es.EventsLost
-		st.DecodeErrors += es.DecodeErrors
-		st.StreamsCreated += es.StreamsCreated
-		st.StreamsClosed += es.StreamsClosed
-		st.StreamsExpired += es.StreamsExpired
-		st.StreamsEvicted += es.StreamsEvicted
-		st.FDIRInstalled += es.FDIRInstalled
-		st.FDIRRemoved += es.FDIRRemoved
+	return h.statsFromRegistry(), nil
+}
+
+// statsFromRegistry assembles the Stats view from one registry snapshot.
+// The NIC and memory instruments are func-backed (registered in
+// StartCapture), so the snapshot reads their live values; engine counters
+// are summed across cores.
+func (h *Handle) statsFromRegistry() Stats {
+	s := h.reg.Snapshot()
+	return Stats{
+		FramesReceived:  s.CounterTotal("nic_frames_total"),
+		DroppedAtNIC:    s.CounterTotal("nic_dropped_filter_total"),
+		DroppedRing:     s.CounterTotal("nic_dropped_ring_total"),
+		RedirectedFlows: s.CounterTotal("nic_redirected_total"),
+
+		Packets:        s.CounterTotal("packets_total"),
+		PayloadBytes:   s.CounterTotal("payload_bytes_total"),
+		StoredBytes:    s.CounterTotal("stored_bytes_total"),
+		CutoffPkts:     s.CounterTotal("cutoff_pkts_total"),
+		CutoffBytes:    s.CounterTotal("cutoff_bytes_total"),
+		PPLDroppedPkts: s.CounterTotal("ppl_dropped_pkts_total"),
+		EventsLost:     s.CounterTotal("events_lost_total"),
+		DecodeErrors:   s.CounterTotal("decode_errors_total"),
+
+		StreamsCreated: s.CounterTotal("streams_created_total"),
+		StreamsClosed:  s.CounterTotal("streams_closed_total"),
+		StreamsExpired: s.CounterTotal("streams_expired_total"),
+		StreamsEvicted: s.CounterTotal("streams_evicted_total"),
+
+		FDIRInstalled: s.CounterTotal("fdir_installed_total"),
+		FDIRRemoved:   s.CounterTotal("fdir_removed_total"),
+
+		MemoryUsed:      s.GaugeValue("memory_used_bytes"),
+		MemoryHighWater: s.GaugeValue("memory_highwater_bytes"),
+		MemorySize:      s.GaugeValue("memory_size_bytes"),
 	}
-	st.MemoryUsed = h.mm.Used()
-	st.MemoryHighWater = h.mm.Stats().HighWater
-	st.MemorySize = h.mm.Size()
-	return st, nil
 }
