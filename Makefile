@@ -27,7 +27,7 @@ lint:
 # a smoke test that the bench harnesses stay buildable and terminate, not
 # a measurement.
 bench-quick:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # serve-smoke replays a small trace through a socket with the debug server
 # enabled, scrapes /metrics over HTTP, and asserts nonzero packets_total —

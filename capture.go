@@ -11,6 +11,7 @@ import (
 
 	"scap/internal/core"
 	"scap/internal/event"
+	"scap/internal/mem"
 	"scap/internal/nic"
 	"scap/internal/trace"
 )
@@ -97,32 +98,78 @@ const workerBatch = 128
 
 // workerState is one worker's scratch: per-stream bookkeeping, the reused
 // Stream view handed to callbacks, and the batched memory-release
-// accumulator. The worker goroutine owns it exclusively.
+// accumulators. The worker goroutine owns it exclusively.
 type workerState struct {
 	procTime map[uint64]time.Duration
-	kept     map[uint64][]byte
-	view     Stream
+	// kept holds chunks the application asked to keep
+	// (scap_keep_stream_chunk), keyed by stream ID: the merged bytes so far,
+	// still charged to stream memory, backed by the retained arena block.
+	kept map[uint64]keptChunk
+	view Stream
 	// pendingRelease accumulates delivered chunks' Accounted bytes; they
 	// are returned to the memory manager in one Release per drained batch
 	// (and before parking), not one per event.
 	pendingRelease int
+	// blocks accumulates consumed chunks' arena blocks, all owed to
+	// blockCore's free pool; they ride the same batched flush. A worker
+	// drains each queue's events in order, so the batch naturally groups by
+	// core — switching queues flushes the previous core's batch.
+	blocks    []mem.Handle
+	blockCore int
 }
 
-func (ws *workerState) forget(id uint64) {
+// keptChunk is one kept chunk between deliveries: data is the merged bytes,
+// a prefix view of blk's storage (blk is NoBlock once the merge outgrew the
+// block and moved to the heap), acct the stream-memory charge the bytes
+// carry, and core the engine that owns both the block and the charge.
+type keptChunk struct {
+	data []byte
+	blk  mem.Handle
+	acct int
+	core int
+}
+
+// forget drops a terminated stream's worker-side bookkeeping, releasing any
+// kept chunk's charge and block.
+func (c *captureState) forget(ws *workerState, id uint64) {
+	if len(ws.kept) > 0 {
+		if k, ok := ws.kept[id]; ok {
+			delete(ws.kept, id)
+			ws.pendingRelease += k.acct
+			c.returnBlock(ws, k.core, k.blk)
+		}
+	}
 	if len(ws.procTime) > 0 {
 		delete(ws.procTime, id)
 	}
-	if len(ws.kept) > 0 {
-		delete(ws.kept, id)
-	}
 }
 
-// flushReleases returns the accumulated chunk bytes to the memory budget.
+// flushReleases returns the accumulated chunk bytes to the memory budget
+// and the accumulated blocks to their core's free pool.
 func (c *captureState) flushReleases(ws *workerState) {
 	if ws.pendingRelease > 0 {
 		c.h.mm.Release(ws.pendingRelease)
 		ws.pendingRelease = 0
 	}
+	if len(ws.blocks) > 0 {
+		c.h.mm.ReturnBlocks(ws.blockCore, ws.blocks)
+		ws.blocks = ws.blocks[:0]
+	}
+}
+
+// returnBlock queues one consumed block for the batched return. This worker
+// is the only goroutine draining core's event queue, so it is also the only
+// producer of that core's SPSC return ring.
+func (c *captureState) returnBlock(ws *workerState, core int, h mem.Handle) {
+	if h == mem.NoBlock {
+		return
+	}
+	if core != ws.blockCore && len(ws.blocks) > 0 {
+		c.h.mm.ReturnBlocks(ws.blockCore, ws.blocks)
+		ws.blocks = ws.blocks[:0]
+	}
+	ws.blockCore = core
+	ws.blocks = append(ws.blocks, h)
 }
 
 // workerLoop drains the worker's event queues a batch at a time,
@@ -132,11 +179,21 @@ func (c *captureState) workerLoop(w int) {
 	h := c.h
 	ws := &workerState{
 		procTime: make(map[uint64]time.Duration),
-		kept:     make(map[uint64][]byte),
+		kept:     make(map[uint64]keptChunk),
 	}
 	// The final flush covers events dispatched via Wait after the last
 	// batch, so accounting reaches zero once the queues are drained.
 	defer c.flushReleases(ws)
+	// Kept chunks normally die with their stream's termination event; if
+	// that event was lost to a full ring, settle the leftovers here so the
+	// charge and the block still return to the pools.
+	defer func() {
+		for _, k := range ws.kept {
+			ws.pendingRelease += k.acct
+			c.returnBlock(ws, k.core, k.blk)
+		}
+		clear(ws.kept)
+	}()
 	var qs []*event.Queue
 	var engs []*core.Engine
 	for q := w; q < len(h.queues); q += h.workers {
@@ -203,10 +260,11 @@ func firstOpen(closed []bool) int {
 // dispatch runs one event's callback with a Stream view. The view struct
 // is reused across events (callbacks must not retain it past their
 // return), and per-stream map work is skipped entirely when no callback is
-// registered for the event. Kept chunks are merged in the stub:
-// scap_keep_stream_chunk promises that the next invocation receives the
-// previous and the new chunk together, which the worker guarantees locally
-// since it sees each stream's events in order.
+// registered for the event. A kept chunk (scap_keep_stream_chunk) is
+// retained by the worker — block, bytes, and budget charge — and the next
+// data event is merged into the kept block's free room before the callback
+// sees it, so the invocation receives the previous and the new data
+// together without a fresh allocation.
 func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerState) {
 	h := c.h
 	var fn Handler
@@ -219,6 +277,20 @@ func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerSta
 	case event.Termination:
 		fn, kind = h.onClose, appEvTermination
 	}
+	// cur is the chunk this event presents and, afterwards, must dispose of:
+	// the event's own chunk, or the kept chunk with the event's bytes merged
+	// in.
+	var cur keptChunk
+	kept := false
+	if ev.Type == event.Data {
+		cur = keptChunk{data: ev.Data, blk: ev.Block, acct: ev.Accounted, core: eng.CoreID()}
+		if len(ws.kept) > 0 {
+			if prev, ok := ws.kept[ev.Info.ID]; ok {
+				delete(ws.kept, ev.Info.ID)
+				cur = c.mergeKept(ws, prev, ev)
+			}
+		}
+	}
 	if len(h.apps) > 0 || fn != nil {
 		sd := &ws.view
 		*sd = Stream{
@@ -229,13 +301,7 @@ func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerSta
 			procCum: ws.procTime[ev.Info.ID],
 		}
 		if ev.Type == event.Data {
-			sd.Data = ev.Data
-			if len(ws.kept) > 0 {
-				if prev, ok := ws.kept[ev.Info.ID]; ok {
-					sd.Data = append(prev, ev.Data...)
-					delete(ws.kept, ev.Info.ID)
-				}
-			}
+			sd.Data = cur.data
 			sd.HoleBefore = ev.HoleBefore
 			sd.Last = ev.Last
 			sd.pkts = ev.Pkts
@@ -247,26 +313,55 @@ func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerSta
 			fn(sd)
 		}
 		ws.procTime[ev.Info.ID] = sd.procCum + time.Since(start)
-		if ev.Type == event.Data && sd.keep && !ev.Last {
-			// Stash a copy for the next delivery; the chunk's budget
-			// reservation is released normally — the kept copy is the
-			// application's memory, not stream memory.
-			cp := make([]byte, len(sd.Data))
-			copy(cp, sd.Data)
-			ws.kept[ev.Info.ID] = cp
-		}
+		kept = ev.Type == event.Data && sd.keep && !ev.Last
 	}
 	switch ev.Type {
 	case event.Data:
-		if ev.Accounted > 0 {
-			ws.pendingRelease += ev.Accounted
-		}
-		if ev.Last {
-			ws.forget(ev.Info.ID)
+		if kept {
+			// The chunk stays charged to stream memory and its block stays
+			// out of the free pool until the merged delivery is consumed.
+			ws.kept[ev.Info.ID] = cur
+		} else {
+			if cur.acct > 0 {
+				ws.pendingRelease += cur.acct
+			}
+			c.returnBlock(ws, cur.core, cur.blk)
+			if ev.Last {
+				c.forget(ws, ev.Info.ID)
+			}
 		}
 	case event.Termination:
-		ws.forget(ev.Info.ID)
+		c.forget(ws, ev.Info.ID)
 	}
+}
+
+// mergeKept appends a data event's bytes onto the kept chunk in place: into
+// the kept block's free room when they fit (blocks are sized with headroom
+// above the chunk size for exactly this), spilling the merge onto the heap
+// only when it outgrows the block. The event's own block is returned once
+// its bytes are copied out; the combined charge rides the merged chunk.
+func (c *captureState) mergeKept(ws *workerState, k keptChunk, ev *event.Event) keptChunk {
+	if m := len(ev.Data); m > 0 {
+		n := len(k.data)
+		if k.blk != mem.NoBlock {
+			if store := c.h.mm.BlockBytes(k.blk); n+m <= len(store) {
+				k.data = store[:n+m]
+				copy(k.data[n:], ev.Data)
+			} else {
+				grown := make([]byte, n+m)
+				copy(grown, k.data)
+				copy(grown[n:], ev.Data)
+				c.returnBlock(ws, k.core, k.blk)
+				k.blk = mem.NoBlock
+				k.data = grown
+			}
+		} else {
+			k.data = append(k.data, ev.Data...)
+		}
+	}
+	k.acct += ev.Accounted
+	c.returnBlock(ws, k.core, ev.Block)
+	return k
 }
 
 func (c *captureState) currentTS() int64 {
@@ -358,6 +453,13 @@ func (c *captureState) stop() {
 		q.Close()
 	}
 	c.workerWG.Wait()
+	// Reap control messages the workers sent during the final drain
+	// (cutoffs, discards, keeps aimed at streams that are gone): the
+	// stale-message path releases anything they carried, so accounting and
+	// the block pool both settle at zero.
+	for _, eng := range c.h.engines {
+		eng.DrainControls()
+	}
 }
 
 // --- Frame input paths ---

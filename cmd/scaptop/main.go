@@ -122,8 +122,16 @@ func render(p *metrics.Payload) string {
 	if size > 0 {
 		pct = 100 * float64(used) / float64(size)
 	}
-	fmt.Fprintf(&b, "memory   %12d / %d bytes (%.1f%%), highwater %d\n\n",
+	fmt.Fprintf(&b, "memory   %12d / %d bytes (%.1f%%), highwater %d\n",
 		used, size, pct, gaugeVal(p, "memory_highwater_bytes"))
+	fmt.Fprintf(&b, "arena    %12d / %d blocks in use (%d B/block, %d segs committed), free: global %d",
+		gaugeVal(p, "arena_blocks_inuse"), gaugeVal(p, "arena_blocks_total"),
+		gaugeVal(p, "arena_block_size_bytes"), gaugeVal(p, "arena_segments_committed"),
+		gaugeVal(p, "arena_freelist_global"))
+	for core := 0; core < p.Cores; core++ {
+		fmt.Fprintf(&b, " c%d=%d", core, gaugeVal(p, fmt.Sprintf("arena_freelist_core%d", core)))
+	}
+	b.WriteString("\n\n")
 
 	// Per-core rate table: one column per counter, one row per core.
 	fmt.Fprintf(&b, "core")

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEngineHotPathAllocZeroExceptions loads the real scap/internal/core
+// package and runs hotpathalloc RAW — without the //scaplint:ignore
+// suppression filtering — so the arena-backed chunk path is held to the
+// strictest standard: the per-packet engine must need no allocations and
+// no audited exceptions at all.
+func TestEngineHotPathAllocZeroExceptions(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Packages("scap/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded for scap/internal/core")
+	}
+	for _, p := range pkgs {
+		for _, d := range HotPathAlloc.Run(p) {
+			t.Errorf("hot-path allocation in %s: %s", d.Pos, d.Message)
+		}
+	}
+	// The two audited pragmas the arena refactor deleted must not creep
+	// back in: a clean run above plus zero suppressions below means the
+	// claim "zero steady-state allocations" is enforced, not waived.
+	src, err := os.ReadFile(filepath.Join(root, "internal", "core", "engine.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "scaplint:ignore hotpathalloc") {
+		t.Error("internal/core/engine.go carries a hotpathalloc suppression; the arena path is supposed to need none")
+	}
+}

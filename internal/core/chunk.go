@@ -3,6 +3,7 @@ package core
 import (
 	"scap/internal/event"
 	"scap/internal/flowtab"
+	"scap/internal/mem"
 )
 
 // streamExt is the engine-private extension record hung off
@@ -25,12 +26,18 @@ type streamExt struct {
 	finalDelivered bool
 }
 
-// chunkState is one in-progress chunk of reassembled stream data.
+// chunkState is one in-progress chunk of reassembled stream data. Its bytes
+// live in one arena block (blk): buf is a length-limited view of the block's
+// storage, so filling the chunk is a copy into preallocated memory, never a
+// heap allocation. A nil buf with blk == NoBlock marks "no chunk yet" — the
+// state after delivery, and after a failed block grab under arena
+// exhaustion (the next packet retries the allocation).
 type chunkState struct {
-	buf        []byte // fill = len(buf); size bounds the chunk
-	size       int    // the chunk's byte bound (the stream's chunk size)
-	overlapLen int    // prefix carried from the previous chunk (not re-accounted)
-	extraAcct  int    // accounted bytes adopted back via KeepChunk
+	buf        []byte     // fill = len(buf); a view into blk's storage
+	blk        mem.Handle // the arena block backing buf
+	size       int        // the chunk's byte bound (stream chunk size, capped by the block)
+	overlapLen int        // prefix carried from the previous chunk (not re-accounted)
+	extraAcct  int        // accounted bytes adopted back via KeepChunk
 	holeBefore bool
 	firstTS    int64 // timestamp of the first byte (flush timeout anchor)
 	pkts       []event.PacketRecord
@@ -56,41 +63,57 @@ func ext(s *flowtab.Stream) *streamExt {
 	return e
 }
 
-// chunkInitCap caps a chunk buffer's initial allocation. Most streams in a
-// realistic mix never fill a whole chunk, so buffers start small and grow
-// geometrically toward the chunk bound on demand instead of committing the
-// full chunk size per stream up front (that preallocation dominated the
-// allocation profile — and hence GC scan time — on chunk-sparse workloads).
-const chunkInitCap = 2048
-
-// newChunkBuf starts a chunk buffer bounded by the stream's chunk size,
-// seeding it with the overlap tail of the previous chunk when configured.
+// newChunkBuf starts a chunk in a fresh arena block, bounded by the
+// stream's chunk size (capped by the block's capacity), seeding it with the
+// overlap tail of the previous chunk when configured. When the arena has no
+// free block — stream concurrency times block size exceeding the physical
+// pool — the chunk falls back to a transient heap buffer: the byte
+// accounting (PPL watermarks) stays the authoritative admission bound, the
+// arena is the zero-alloc fast path for it.
+//
+//scap:hotpath
 func (e *Engine) newChunkBuf(s *flowtab.Stream, prev []byte, ts int64) chunkState {
 	size := s.ChunkSize
 	if size <= 0 {
 		size = e.cfg.ChunkSize
 	}
-	initCap := size
-	if initCap > chunkInitCap {
-		initCap = chunkInitCap
+	h, store := e.mm.AllocBlock(e.coreID)
+	if h == mem.NoBlock {
+		store = e.heapChunkStore(size)
+	} else if size > len(store) {
+		size = len(store)
 	}
+	c := chunkState{firstTS: ts, size: size, blk: h}
 	overlap := s.OverlapSize
-	c := chunkState{firstTS: ts, size: size}
-	if overlap > 0 && len(prev) > 0 {
-		if overlap > len(prev) {
-			overlap = len(prev)
-		}
-		if overlap >= size {
-			overlap = size - 1
-		}
-		if initCap < overlap {
-			initCap = overlap
-		}
-		c.buf = make([]byte, overlap, initCap)
+	if overlap > len(prev) {
+		overlap = len(prev)
+	}
+	if overlap >= size {
+		overlap = size - 1
+	}
+	if overlap > 0 {
+		c.buf = store[:overlap]
 		copy(c.buf, prev[len(prev)-overlap:])
 		c.overlapLen = overlap
 	} else {
-		c.buf = make([]byte, 0, initCap)
+		c.buf = store[:0]
+	}
+	if e.cfg.NeedPkts && h != mem.NoBlock {
+		// Reuse the record slab that recycles with the block (see
+		// growPktRecords); first use of a block starts with none. Heap
+		// chunks grow their own slab lazily in growPktRecords.
+		if recs, ok := e.mm.BlockAttachment(h).([]event.PacketRecord); ok {
+			c.pkts = recs[:0]
+		}
 	}
 	return c
+}
+
+// heapChunkStore allocates the arena-exhaustion fallback buffer. Cold by
+// construction: it runs only when every block is pinned by a concurrent
+// stream, and the counter makes that visible so the operator can raise
+// MemorySize (or shrink chunks) instead.
+func (e *Engine) heapChunkStore(size int) []byte {
+	e.c.arenaExhausted.Add(1)
+	return make([]byte, size)
 }

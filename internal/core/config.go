@@ -97,6 +97,22 @@ type Config struct {
 	Priorities int
 }
 
+// blockHeadroom multiplies the chunk+overlap footprint when sizing arena
+// blocks, leaving room for KeepChunk merges to grow in place before they
+// spill. Two is the sweet spot: one full chunk of merge room, while keeping
+// the arena's committed footprint (which must be zeroed) proportional to
+// the chunks actually in flight — headroom 4 doubled the memclr bill for
+// merge room that mostly sat idle.
+const blockHeadroom = 2
+
+// ArenaBlockSize returns the arena block granularity implied by this
+// configuration: headroom times the default chunk-plus-overlap footprint,
+// so a chunk (and a few KeepChunk merges of it) fits one block.
+func (c Config) ArenaBlockSize() int {
+	n := c.withDefaults()
+	return blockHeadroom * (n.ChunkSize + n.OverlapSize)
+}
+
 // withDefaults returns a normalized copy.
 func (c Config) withDefaults() Config {
 	if c.ChunkSize <= 0 {

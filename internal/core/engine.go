@@ -148,6 +148,7 @@ func NewEngine(opts Options) *Engine {
 		dirty:         make(map[*flowtab.Stream]struct{}),
 		minInactivity: cfg.InactivityTimeout,
 		maxStreams:    opts.MaxStreams,
+		evBuf:         make([]event.Event, 0, evBatchMax),
 	}
 	e.emitCb = e.emitToCur
 	e.flushCb = e.flushToCur
@@ -157,7 +158,11 @@ func NewEngine(opts Options) *Engine {
 	}
 	e.c = e.m.bind(opts.CoreID)
 	if e.mm == nil {
-		e.mm = mem.New(mem.Config{Priorities: cfg.Priorities})
+		e.mm = mem.New(mem.Config{
+			Priorities: cfg.Priorities,
+			BlockSize:  cfg.ArenaBlockSize(),
+			Cores:      opts.CoreID + 1,
+		})
 	}
 	if e.q == nil {
 		e.q = event.NewQueue(0)
@@ -222,6 +227,18 @@ func (e *Engine) Queue() *event.Queue { return e.q }
 
 // Now returns the engine's current virtual time (last packet or timer).
 func (e *Engine) Now() int64 { return e.now }
+
+// CoreID returns the engine's core (queue) index.
+func (e *Engine) CoreID() int { return e.coreID }
+
+// DrainControls applies pending control messages and flushes any events
+// they produced. Drivers call it after their frame loop stops, so KeepChunk
+// hand-backs sent during the final worker drain are still reaped (and their
+// blocks freed) instead of lingering in the control queue.
+func (e *Engine) DrainControls() {
+	e.drainCtrl()
+	e.flushEvents()
+}
 
 // HandleFrame is the softirq entry point: decode and process one frame.
 // Staged events are flushed before it returns, so callers may poll the
@@ -505,7 +522,33 @@ func (e *Engine) recordPacket(s *flowtab.Stream, x *streamExt, p *pkt.Packet, n 
 		rec.Off = int32(x.chunk.fill())
 		rec.Len = int32(n)
 	}
-	x.chunk.pkts = append(x.chunk.pkts, rec) //scaplint:ignore hotpathalloc per-chunk record list, bounded by the chunk's packet count and released with the chunk
+	c := &x.chunk
+	if len(c.pkts) == cap(c.pkts) {
+		e.growPktRecords(c)
+	}
+	k := len(c.pkts)
+	c.pkts = c.pkts[:k+1]
+	c.pkts[k] = rec
+}
+
+// pktRecInitCap is the initial capacity of a block's packet-record slab.
+const pktRecInitCap = 16
+
+// growPktRecords doubles a chunk's record slab and re-parks it as the
+// block's attachment, so the grown capacity is reused by every later chunk
+// built in that block. Cold: each block pays the growth ramp once, then the
+// record path is a slot write for the rest of the block's life.
+func (e *Engine) growPktRecords(c *chunkState) {
+	newCap := 2 * cap(c.pkts)
+	if newCap < pktRecInitCap {
+		newCap = pktRecInitCap
+	}
+	recs := make([]event.PacketRecord, len(c.pkts), newCap)
+	copy(recs, c.pkts)
+	c.pkts = recs
+	if c.blk != mem.NoBlock {
+		e.mm.SetBlockAttachment(c.blk, recs)
+	}
 }
 
 // appendData copies reassembled bytes into the stream's chunk, enforcing
@@ -556,7 +599,11 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 		if c.fill() == c.overlapLen {
 			c.firstTS = e.now
 		}
-		c.buf = append(c.buf, b[:take]...) //scaplint:ignore hotpathalloc chunk buffers grow geometrically toward the chunk bound (amortized O(1) per byte); take <= room keeps the fill inside it
+		// take <= room keeps the fill inside the block's storage, so the
+		// reslice-and-copy never allocates.
+		n := len(c.buf)
+		c.buf = c.buf[:n+take]
+		copy(c.buf[n:], b[:take])
 		b = b[take:]
 		s.Stats.CapturedBytes += uint64(take)
 		e.c.storedBytes.Add(uint64(take))
@@ -590,6 +637,7 @@ func (e *Engine) deliverChunk(s *flowtab.Stream, x *streamExt, last bool) {
 		Last:       last,
 		Accounted:  c.accounted(),
 		Pkts:       c.pkts,
+		Block:      c.blk,
 	}
 	prev := c.buf
 	if last {
@@ -612,6 +660,9 @@ func (e *Engine) dropChunk(s *flowtab.Stream, x *streamExt) {
 	if acct := x.chunk.accounted(); acct > 0 {
 		e.mm.Release(acct)
 	}
+	if x.chunk.blk != mem.NoBlock {
+		e.mm.FreeBlock(e.coreID, x.chunk.blk)
+	}
 	x.chunk = chunkState{}
 	delete(e.dirty, s)
 }
@@ -624,8 +675,12 @@ const evBatchMax = 256
 //
 //scap:hotpath
 func (e *Engine) push(ev event.Event) {
-	e.evBuf = append(e.evBuf, ev) //scaplint:ignore hotpathalloc evBuf reaches evBatchMax capacity once and is then reused across flushes
-	if len(e.evBuf) >= evBatchMax {
+	// evBuf is preallocated at evBatchMax and flushed before it would
+	// overflow, so the reslice below stays inside its capacity.
+	n := len(e.evBuf)
+	e.evBuf = e.evBuf[:n+1]
+	e.evBuf[n] = ev
+	if n+1 >= evBatchMax {
 		e.flushEvents()
 	}
 }
@@ -652,6 +707,9 @@ func (e *Engine) flushEvents() {
 		e.c.eventsLostBytes.Add(uint64(len(ev.Data)))
 		if ev.Accounted > 0 {
 			e.mm.Release(ev.Accounted)
+		}
+		if ev.Block != mem.NoBlock {
+			e.mm.FreeBlock(e.coreID, ev.Block)
 		}
 	}
 	// Zero the staging area so chunk buffers are not pinned until the

@@ -115,11 +115,15 @@ func (h *harness) drain() {
 			return
 		}
 		if ev.Type == event.Data {
-			// Copy the data; the engine may reuse chunk storage.
+			// Copy the data and records, then hand the block back the way
+			// the user-level worker would after its callback.
 			ev.Data = append([]byte(nil), ev.Data...)
+			ev.Pkts = append([]event.PacketRecord(nil), ev.Pkts...)
 			if ev.Accounted > 0 {
 				h.mm.Release(ev.Accounted)
 			}
+			h.mm.ReturnBlock(h.e.CoreID(), ev.Block)
+			ev.Block = mem.NoBlock
 		}
 		h.events = append(h.events, ev)
 	}
@@ -549,13 +553,17 @@ func TestMaxStreamsEvictsOldest(t *testing.T) {
 }
 
 func TestPPLDropsUnderMemoryPressure(t *testing.T) {
-	mm := mem.New(mem.Config{Size: 4096, BaseThreshold: 0.5, Priorities: 2})
+	// Small blocks and a budget with a few blocks of slack: the byte-level
+	// watermarks drive the drops under test, while the low-priority stream's
+	// partially filled block must not starve the high-priority stream of a
+	// physical block.
+	mm := mem.New(mem.Config{Size: 8192, BaseThreshold: 0.5, Priorities: 2, BlockSize: 1024})
 	h := newHarnessOpts(Options{Config: Config{Cutoff: CutoffUnlimited, Priorities: 2, ChunkSize: 1 << 20}, Mem: mm})
-	// Low-priority stream fills memory past the low watermark; note the
-	// huge chunk size prevents delivery, so memory stays reserved.
+	// Low-priority stream fills memory past the low watermark; events are
+	// drained but never released, so memory stays reserved.
 	low := newSession(42000, 9999)
 	h.feedNoRelease(low.syn(), low.synack())
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 8; i++ {
 		h.feedNoRelease(low.data(bytes.Repeat([]byte("L"), 800)))
 	}
 	st := h.e.Stats()

@@ -25,6 +25,7 @@ type Metrics struct {
 	pplDroppedBytes   *metrics.Counter
 	eventsLost        *metrics.Counter
 	eventsLostBytes   *metrics.Counter
+	arenaExhausted    *metrics.Counter
 
 	streamsCreated *metrics.Counter
 	streamsClosed  *metrics.Counter
@@ -69,6 +70,7 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	m.pplDroppedBytes = reg.NewCounter(d("ppl_dropped_bytes_total", "bytes shed by prioritized packet loss", "bytes", "Fig. 9 PPL drops"))
 	m.eventsLost = reg.NewCounter(d("events_lost_total", "events lost to full event rings", "events", ""))
 	m.eventsLostBytes = reg.NewCounter(d("events_lost_bytes_total", "chunk bytes lost with dropped events", "bytes", ""))
+	m.arenaExhausted = reg.NewCounter(d("arena_exhausted_total", "chunks diverted to transient heap buffers because no arena block was free", "chunks", "§2.2 memory blocks"))
 	m.streamsCreated = reg.NewCounter(d("streams_created_total", "stream directions tracked", "streams", "Table 1 scap_dispatch_creation"))
 	m.streamsClosed = reg.NewCounter(d("streams_closed_total", "streams terminated by FIN/RST", "streams", ""))
 	m.streamsExpired = reg.NewCounter(d("streams_expired_total", "streams expired by inactivity", "streams", "§5.2 expiry sweep"))
@@ -108,6 +110,7 @@ type cells struct {
 	pplDroppedBytes   *metrics.Cell
 	eventsLost        *metrics.Cell
 	eventsLostBytes   *metrics.Cell
+	arenaExhausted    *metrics.Cell
 
 	streamsCreated *metrics.Cell
 	streamsClosed  *metrics.Cell
@@ -142,6 +145,7 @@ func (m *Metrics) bind(core int) cells {
 		pplDroppedBytes:   m.pplDroppedBytes.Cell(core),
 		eventsLost:        m.eventsLost.Cell(core),
 		eventsLostBytes:   m.eventsLostBytes.Cell(core),
+		arenaExhausted:    m.arenaExhausted.Cell(core),
 
 		streamsCreated: m.streamsCreated.Cell(core),
 		streamsClosed:  m.streamsClosed.Cell(core),

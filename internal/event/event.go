@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"scap/internal/flowtab"
+	"scap/internal/mem"
 )
 
 // Type discriminates events.
@@ -54,6 +55,12 @@ type Event struct {
 	// budget (overlap bytes carried from the previous chunk are not
 	// counted twice); the consumer releases them after the callback.
 	Accounted int
+	// Block is the arena block backing Data (and the Pkts slab). The
+	// consumer owns it for the callback's duration, then either returns it
+	// to the block pool (mem.ReturnBlocks) or hands it back to the engine
+	// via a KeepChunk control message. The zero value means no block (e.g.
+	// creation/termination events).
+	Block mem.Handle
 	// Pkts are the per-packet records for scap_next_stream_packet, present
 	// when the socket was created with packet delivery enabled.
 	Pkts []PacketRecord

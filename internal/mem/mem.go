@@ -59,6 +59,15 @@ type Config struct {
 	// OverloadCutoff, when > 0, drops bytes beyond this position in their
 	// stream while memory is inside the pressure region.
 	OverloadCutoff int64
+	// BlockSize is the arena's block granularity in bytes — every chunk
+	// lives in exactly one block, so it bounds chunk size (the engine sizes
+	// it from ParamChunkSize + overlap headroom). Zero selects
+	// DefaultBlockSize; values below the floor are clamped up.
+	BlockSize int
+	// Cores is the number of per-core block caches (one per capture queue).
+	// Zero selects 1; cores beyond this index fall back to the shared
+	// global free chain.
+	Cores int
 }
 
 // Stats counts admission outcomes.
@@ -103,6 +112,10 @@ type Manager struct {
 	events   atomic.Pointer[metrics.EventLog]
 	underPPL atomic.Bool
 	pplSince atomic.Int64
+
+	// arena is the physical block store behind the byte accounting
+	// (arena.go); built once by New, immutable afterwards.
+	arena *arena
 }
 
 // New creates a Manager. Invalid configuration values are normalized.
@@ -116,10 +129,26 @@ func New(cfg Config) *Manager {
 	if cfg.Priorities <= 0 {
 		cfg.Priorities = 1
 	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.BlockSize < minBlockSize {
+		cfg.BlockSize = minBlockSize
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
 	m := &Manager{}
 	m.cfg.Store(&cfg)
+	m.arena = newArena(cfg.Size, cfg.BlockSize, cfg.Cores)
 	return m
 }
+
+// Close stops the arena's background segment committer and waits for it to
+// exit. Idempotent. The Manager remains usable afterwards — segments still
+// materialize inline on first touch — so late releases and metric reads are
+// safe; Close only ends the proactive zeroing.
+func (m *Manager) Close() { m.arena.shutdown() }
 
 // Used returns the bytes currently reserved.
 func (m *Manager) Used() int64 { return m.used.Load() }
@@ -340,5 +369,19 @@ func (m *Manager) PublishMetrics(reg *metrics.Registry) {
 	reg.NewGaugeFunc(metrics.Desc{Name: "memory_used_bytes", Help: "stream memory currently reserved", Unit: "bytes", Paper: "§2.2 stream memory"}, m.used.Load)
 	reg.NewGaugeFunc(metrics.Desc{Name: "memory_highwater_bytes", Help: "peak stream-memory usage", Unit: "bytes", Paper: "§2.2 stream memory"}, m.highWater.Load)
 	reg.NewGaugeFunc(metrics.Desc{Name: "memory_size_bytes", Help: "configured stream-memory budget", Unit: "bytes", Paper: "§2.2 memory_size"}, func() int64 { return m.cfg.Load().Size })
+	a := m.arena
+	reg.NewGaugeFunc(metrics.Desc{Name: "arena_blocks_total", Help: "arena capacity in blocks", Unit: "blocks", Paper: "§2.2 memory blocks"}, func() int64 { return int64(a.nblocks) })
+	reg.NewGaugeFunc(metrics.Desc{Name: "arena_block_size_bytes", Help: "arena block granularity", Unit: "bytes", Paper: "§2.2 memory blocks"}, func() int64 { return int64(a.blockSize) })
+	reg.NewGaugeFunc(metrics.Desc{Name: "arena_blocks_inuse", Help: "arena blocks currently held by chunks", Unit: "blocks", Paper: "§2.2 memory blocks"}, a.inUse.Load)
+	reg.NewGaugeFunc(metrics.Desc{Name: "arena_segments_committed", Help: "arena segments materialized (zeroed) so far", Unit: "segments", Paper: "§2.2 memory blocks"}, func() int64 { return int64(a.committed.Load()) })
+	reg.NewGaugeFunc(metrics.Desc{Name: "arena_freelist_global", Help: "blocks on the shared global free chain", Unit: "blocks", Paper: "§2.2 memory blocks"}, a.gcount.Load)
+	for i := range a.cores {
+		c := &a.cores[i]
+		reg.NewGaugeFunc(metrics.Desc{
+			Name: fmt.Sprintf("arena_freelist_core%d", i),
+			Help: fmt.Sprintf("free blocks cached by core %d (local stack + return ring)", i),
+			Unit: "blocks", Paper: "§2.2 memory blocks",
+		}, func() int64 { return int64(c.depth.Load()) + c.ringDepth() })
+	}
 	m.events.Store(reg.Events())
 }

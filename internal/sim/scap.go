@@ -167,6 +167,8 @@ func NewScapSim(cfg ScapConfig) *ScapSim {
 		BaseThreshold:  cfg.BaseThresh,
 		Priorities:     cfg.Engine.Priorities,
 		OverloadCutoff: cfg.OverloadCutoff,
+		BlockSize:      cfg.Engine.ArenaBlockSize(),
+		Cores:          cfg.Queues,
 	})
 	rng := rand.New(rand.NewSource(12345))
 	for q := 0; q < cfg.Queues; q++ {
@@ -325,6 +327,9 @@ func (s *ScapSim) consumeEvent(w, q int, ev *event.Event) float64 {
 		if ev.Accounted > 0 {
 			s.mm.Release(ev.Accounted)
 		}
+		// The simulator runs in virtual time on one goroutine, so the
+		// engine-side free is safe here and keeps the block pool settled.
+		s.mm.FreeBlock(q, ev.Block)
 		if ev.Last {
 			delete(s.matchStates, ev.Info.ID)
 		}

@@ -97,7 +97,11 @@ const (
 
 // Config configures a capture socket at creation (scap_create).
 type Config struct {
-	// MemorySize is the stream-memory budget in bytes (default 1 GiB).
+	// MemorySize is the stream-memory budget in bytes (default 1 GiB). It
+	// is a physical bound: the budget is carved into one arena of
+	// fixed-size blocks (sized from the chunk size plus overlap headroom)
+	// that hold every chunk under construction and in flight; when no block
+	// is free, payload is shed like a DropNoMemory PPL decision.
 	MemorySize int64
 	// ReassemblyMode selects strict or fast TCP reassembly.
 	ReassemblyMode ReassemblyMode
@@ -377,6 +381,8 @@ func (h *Handle) StartCapture() error {
 		BaseThreshold:  base,
 		Priorities:     h.prios,
 		OverloadCutoff: h.overload,
+		BlockSize:      h.engCfg.ArenaBlockSize(),
+		Cores:          h.cfg.Queues,
 	})
 	// Strict mode normalizes IP fragmentation before RSS steering, so a
 	// flow's fragments and whole packets land on the same core; dynamic
@@ -422,6 +428,7 @@ func (h *Handle) Close() error {
 		return nil
 	}
 	h.capture.stop()
+	h.mm.Close()
 	st := h.statsFromRegistry()
 	h.final = &st
 	h.started = false

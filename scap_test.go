@@ -243,6 +243,29 @@ func TestKeepChunkMerging(t *testing.T) {
 	}
 }
 
+func TestMemoryAndBlocksSettleAfterClose(t *testing.T) {
+	// Keep-heavy workload over the arena: after Close every admitted byte
+	// must be released and every block back in the free pool — kept chunks,
+	// lost events, and final-drain deliveries included.
+	h, err := Create(Config{Queues: 2, NeedPkts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetParameter(ParamChunkSize, 512)
+	h.DispatchData(func(sd *Stream) {
+		if !sd.Last && len(sd.Data) < 4096 {
+			sd.KeepChunk()
+		}
+	})
+	runSocket(t, h, smallGen(7, 40))
+	if used := h.mm.Used(); used != 0 {
+		t.Errorf("%d bytes still charged to stream memory after Close", used)
+	}
+	if n := h.mm.BlocksInUse(); n != 0 {
+		t.Errorf("%d arena blocks still out of the free pool after Close", n)
+	}
+}
+
 func TestPacketDelivery(t *testing.T) {
 	h, _ := Create(Config{Queues: 1, NeedPkts: true})
 	var mu sync.Mutex

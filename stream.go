@@ -68,7 +68,11 @@ type Stream struct {
 	info flowtab.Info
 
 	// Data is the current chunk for data events (sd->data); nil for
-	// creation/termination events.
+	// creation/termination events. It is a zero-copy view into the chunk's
+	// arena block — the same memory the kernel path wrote the payload into —
+	// and the block is recycled after the callback returns, so callers must
+	// copy anything they need to retain (or use KeepChunk to have the block
+	// carried into the next delivery).
 	Data []byte
 	// HoleBefore reports that fast-mode reassembly skipped a sequence
 	// hole immediately before this chunk.
@@ -191,7 +195,11 @@ func (sd *Stream) SetInactivityTimeout(ns int64) {
 
 // KeepChunk keeps the current chunk in memory so the next data event
 // delivers it merged with the following data (scap_keep_stream_chunk).
-// Only meaningful inside a data callback.
+// Only meaningful inside a data callback. The chunk's arena block (and its
+// stream-memory charge) is retained by the worker instead of being
+// recycled: the next chunk's bytes are appended into the kept block's free
+// room — blocks carry headroom above the chunk size for exactly this — and
+// the merge moves to the heap only if it outgrows the block.
 func (sd *Stream) KeepChunk() { sd.keep = true }
 
 func (sd *Stream) control(c core.Ctrl) {
