@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint fmt-check bench-quick serve-smoke check
+.PHONY: build test test-short race vet lint fmt-check bench-quick serve-smoke flight-smoke check
 
 build:
 	$(GO) build ./...
@@ -25,15 +25,22 @@ lint:
 
 # bench-quick compiles and runs every benchmark for a single iteration —
 # a smoke test that the bench harnesses stay buildable and terminate, not
-# a measurement.
+# a measurement. Output is teed to bench-quick.txt so CI can upload it as
+# a workflow artifact.
 bench-quick:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | tee bench-quick.txt
 
 # serve-smoke replays a small trace through a socket with the debug server
 # enabled, scrapes /metrics over HTTP, and asserts nonzero packets_total —
 # the end-to-end proof that the observability path works.
 serve-smoke:
 	$(GO) run ./cmd/scaptop -smoke
+
+# flight-smoke replays a short trace with a low stream cutoff so the engines
+# emit flight-recorder records, then asserts /debug/flight returns at least
+# one record and a valid Chrome trace-event export.
+flight-smoke:
+	$(GO) run ./cmd/scaptop -flight-smoke
 
 fmt-check:
 	@out=$$(gofmt -l . | grep -v '^testdata/' || true); \
@@ -42,4 +49,4 @@ fmt-check:
 	fi
 
 # check is the full CI gate.
-check: build vet lint fmt-check race serve-smoke
+check: build vet lint fmt-check race serve-smoke flight-smoke

@@ -12,6 +12,7 @@ import (
 	"scap/internal/core"
 	"scap/internal/event"
 	"scap/internal/mem"
+	"scap/internal/metrics"
 	"scap/internal/nic"
 	"scap/internal/trace"
 )
@@ -218,8 +219,13 @@ func (c *captureState) workerLoop(w int) {
 			}
 			progressed = true
 			h.workerBatchH.Observe(w, uint64(n))
+			popNow := metrics.Nanotime()
 			for j := range batch[:n] {
-				c.dispatch(engs[i], &batch[j], ws)
+				ev := &batch[j]
+				if ev.EnqueueNS > 0 && popNow >= ev.EnqueueNS {
+					h.stageWorkerH.Observe(engs[i].CoreID(), uint64(popNow-ev.EnqueueNS))
+				}
+				c.dispatch(engs[i], ev, ws)
 			}
 			// Drop chunk references so delivered buffers are collectable,
 			// then return their memory in one release.
@@ -242,6 +248,11 @@ func (c *captureState) workerLoop(w int) {
 				closed[i] = true
 				live--
 				continue
+			}
+			if ev.EnqueueNS > 0 {
+				if popNow := metrics.Nanotime(); popNow >= ev.EnqueueNS {
+					h.stageWorkerH.Observe(engs[i].CoreID(), uint64(popNow-ev.EnqueueNS))
+				}
 			}
 			c.dispatch(engs[i], &ev, ws)
 		}
@@ -312,7 +323,9 @@ func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerSta
 		} else {
 			fn(sd)
 		}
-		ws.procTime[ev.Info.ID] = sd.procCum + time.Since(start)
+		dur := time.Since(start)
+		ws.procTime[ev.Info.ID] = sd.procCum + dur
+		h.callbackH.Observe(eng.CoreID(), uint64(dur))
 		kept = ev.Type == event.Data && sd.keep && !ev.Last
 	}
 	switch ev.Type {
@@ -382,7 +395,7 @@ func (c *captureState) inject(data []byte, ts int64) {
 	}
 	c.lastTS = ts
 	c.injectMu.Unlock()
-	q := c.h.nicDev.Receive(data, ts)
+	q := c.h.nicDev.ReceiveAt(data, ts, metrics.Nanotime())
 	if q < 0 {
 		return
 	}
@@ -412,8 +425,11 @@ func (c *captureState) injectBatch(frames []RawFrame) {
 	c.lastTS = last
 	c.injectMu.Unlock()
 	batches := make([][]nic.Frame, len(c.frameCh))
+	// One capture-clock read stamps the whole burst: the ingest→engine
+	// latency histogram needs batch granularity, not a syscall per frame.
+	ingest := metrics.Nanotime()
 	for i := range frames {
-		q := c.h.nicDev.Receive(frames[i].Data, frames[i].TS)
+		q := c.h.nicDev.ReceiveAt(frames[i].Data, frames[i].TS, ingest)
 		if q < 0 {
 			continue
 		}

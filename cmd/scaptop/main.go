@@ -7,10 +7,13 @@
 //
 //	scaptop -addr 127.0.0.1:6060             # watch a live capture
 //	scaptop -addr 127.0.0.1:6060 -plain -n 3 # three plain snapshots
+//	scaptop -addr 127.0.0.1:6060 -json       # one raw /metrics payload, then exit
 //	scaptop -smoke                           # self-contained end-to-end check
+//	scaptop -flight-smoke                    # end-to-end flight-recorder check
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,11 +30,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:6060", "debug server address (Handle.Serve)")
-		interval = flag.Duration("interval", time.Second, "poll interval")
-		count    = flag.Int("n", 0, "number of polls (0 = until interrupted)")
-		plain    = flag.Bool("plain", false, "append snapshots instead of redrawing the screen")
-		smoke    = flag.Bool("smoke", false, "run an in-process capture, scrape it once, and exit")
+		addr        = flag.String("addr", "127.0.0.1:6060", "debug server address (Handle.Serve)")
+		interval    = flag.Duration("interval", time.Second, "poll interval")
+		count       = flag.Int("n", 0, "number of polls (0 = until interrupted)")
+		plain       = flag.Bool("plain", false, "append snapshots instead of redrawing the screen")
+		jsonOnce    = flag.Bool("json", false, "print one raw /metrics payload as JSON and exit")
+		smoke       = flag.Bool("smoke", false, "run an in-process capture, scrape it once, and exit")
+		flightSmoke = flag.Bool("flight-smoke", false, "run an in-process capture and verify /debug/flight")
 	)
 	flag.Parse()
 
@@ -40,6 +45,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scaptop -smoke:", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *flightSmoke {
+		if err := runFlightSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "scaptop -flight-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOnce {
+		body, err := fetchBody(*addr, "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaptop:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(body)
 		return
 	}
 
@@ -59,9 +80,9 @@ func main() {
 	}
 }
 
-// fetch scrapes one /metrics payload.
-func fetch(addr string) (*metrics.Payload, error) {
-	resp, err := http.Get("http://" + addr + "/metrics")
+// fetchBody reads one debug-server endpoint's raw response body.
+func fetchBody(addr, path string) ([]byte, error) {
+	resp, err := http.Get("http://" + addr + path)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +92,16 @@ func fetch(addr string) (*metrics.Payload, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return body, nil
+}
+
+// fetch scrapes one /metrics payload.
+func fetch(addr string) (*metrics.Payload, error) {
+	body, err := fetchBody(addr, "/metrics")
+	if err != nil {
+		return nil, err
 	}
 	return metrics.ParsePayload(body)
 }
@@ -131,7 +161,9 @@ func render(p *metrics.Payload) string {
 	for core := 0; core < p.Cores; core++ {
 		fmt.Fprintf(&b, " c%d=%d", core, gaugeVal(p, fmt.Sprintf("arena_freelist_core%d", core)))
 	}
-	b.WriteString("\n\n")
+	b.WriteString("\n")
+	b.WriteString(renderLatency(p))
+	b.WriteString("\n")
 
 	// Per-core rate table: one column per counter, one row per core.
 	fmt.Fprintf(&b, "core")
@@ -150,6 +182,8 @@ func render(p *metrics.Payload) string {
 		}
 		b.WriteByte('\n')
 	}
+
+	b.WriteString(renderDrops(p))
 
 	if len(p.Events) > 0 {
 		fmt.Fprintf(&b, "\nrecent overload events (%d):\n", len(p.Events))
@@ -170,6 +204,57 @@ func render(p *metrics.Payload) string {
 			}
 			b.WriteByte('\n')
 		}
+	}
+	return b.String()
+}
+
+// latencyStages is the pipeline latency line's histogram set, in pipeline
+// order (names registered by StartCapture / Create).
+var latencyStages = []struct{ name, label string }{
+	{"stage_ingest_engine_ns", "ingest→engine"},
+	{"stage_engine_ring_ns", "engine→ring"},
+	{"stage_ring_worker_ns", "ring→worker"},
+	{"callback_ns", "callback"},
+}
+
+// renderLatency formats the per-stage p50/p99 latency line from the stage
+// histograms; stages with no observations are skipped.
+func renderLatency(p *metrics.Payload) string {
+	var b strings.Builder
+	for _, st := range latencyStages {
+		h := p.Histogram(st.name)
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		if b.Len() == 0 {
+			b.WriteString("latency ")
+		}
+		p50 := time.Duration(metrics.QuantileFromSnap(*h, 0.50))
+		p99 := time.Duration(metrics.QuantileFromSnap(*h, 0.99))
+		fmt.Fprintf(&b, " %s p50=%s p99=%s", st.label, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
+	if b.Len() > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderDrops formats the drop-attribution table: one row per cause, with
+// totals and windowed rates, plus per-core totals where available.
+func renderDrops(p *metrics.Payload) string {
+	if len(p.Drops) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\ndrops by cause:\n")
+	fmt.Fprintf(&b, "  %-16s %12s %10s  %s\n", "cause", "total", "rate/s", "per-core")
+	for i := range p.Drops {
+		d := &p.Drops[i]
+		cause := d.Cause
+		if cause == "" {
+			cause = d.Name
+		}
+		fmt.Fprintf(&b, "  %-16s %12d %10.0f  %v\n", cause, d.Total, d.Rate, d.PerCore)
 	}
 	return b.String()
 }
@@ -219,5 +304,69 @@ func runSmoke() error {
 	fmt.Printf("serve-smoke OK: packets_total=%d per-core=%v frames=%d\n",
 		pk.Total, pk.PerCore, p.Counter("nic_frames_total").Total)
 	fmt.Print(render(p))
+	return nil
+}
+
+// runFlightSmoke is the CI flight-recorder end-to-end check (make
+// flight-smoke): replay a short trace with a low cutoff so the engines emit
+// flight records, then require /debug/flight to return at least one record
+// and a valid Chrome trace-event export.
+func runFlightSmoke() error {
+	h, err := scap.Create(scap.Config{Queues: 2, MemorySize: 64 << 20})
+	if err != nil {
+		return err
+	}
+	// Most generated flows exceed this, so cutoff records are guaranteed.
+	if err := h.SetCutoff(512); err != nil {
+		return err
+	}
+	h.DispatchData(func(sd *scap.Stream) {})
+	if err := h.StartCapture(); err != nil {
+		return err
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	gen := trace.ConcurrentStreamsWorkload(2, 200, 16, 40, 1460)
+	if err := h.ReplaySource(gen, 1e9); err != nil {
+		return err
+	}
+
+	body, err := fetchBody(srv.Addr(), "/debug/flight")
+	if err != nil {
+		return err
+	}
+	var dump metrics.FlightDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return fmt.Errorf("parse /debug/flight: %v", err)
+	}
+	if len(dump.Records) == 0 || dump.Total == 0 {
+		return fmt.Errorf("no flight records after cutoff-heavy replay: total=%d", dump.Total)
+	}
+
+	body, err = fetchBody(srv.Addr(), "/debug/flight?format=chrome")
+	if err != nil {
+		return err
+	}
+	var tr metrics.ChromeTrace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return fmt.Errorf("parse chrome trace: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" || len(tr.TraceEvents) != len(dump.Records) {
+		return fmt.Errorf("chrome trace shape: unit=%q events=%d records=%d",
+			tr.DisplayTimeUnit, len(tr.TraceEvents), len(dump.Records))
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Name == "" || ev.Cat != "flight" || (ev.Ph != "i" && ev.Ph != "X") || ev.TS < 0 {
+			return fmt.Errorf("malformed trace event: %+v", ev)
+		}
+	}
+	if err := h.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("flight-smoke OK: records=%d (total %d), chrome events=%d\n",
+		len(dump.Records), dump.Total, len(tr.TraceEvents))
 	return nil
 }

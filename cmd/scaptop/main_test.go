@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -25,7 +28,14 @@ const samplePayload = `{
   ],
   "histograms": [
     {"name": "chunk_bytes", "unit": "bytes", "count": 12, "sum": 196608,
-     "buckets": [{"le": 16384, "count": 10}, {"le": 0, "count": 2}]}
+     "buckets": [{"le": 16384, "count": 10}, {"le": 0, "count": 2}]},
+    {"name": "stage_ring_worker_ns", "unit": "ns", "count": 100, "sum": 6400000,
+     "buckets": [{"le": 32768, "count": 40}, {"le": 65536, "count": 59}, {"le": 131072, "count": 1}, {"le": 0, "count": 0}]},
+    {"name": "callback_ns", "unit": "ns", "count": 0, "buckets": [{"le": 1024, "count": 0}, {"le": 0, "count": 0}]}
+  ],
+  "drops": [
+    {"name": "ppl_dropped_pkts_total", "unit": "packets", "family": "drops", "cause": "ppl", "total": 50, "per_core": [30, 20], "rate": 50, "per_core_rate": [30, 20]},
+    {"name": "cutoff_pkts_total", "unit": "packets", "family": "drops", "cause": "cutoff", "total": 7, "per_core": [7, 0], "rate": 7}
   ],
   "events": [
     {"kind": "ppl_enter", "time_unix_nano": 1700000000500000000, "core": 1, "value": 910},
@@ -54,6 +64,12 @@ func TestParseEndpointPayload(t *testing.T) {
 	if len(p.Events) != 2 || p.Events[0].KindName != "ppl_enter" || p.Events[1].Dur != 250000000 {
 		t.Fatalf("events = %+v", p.Events)
 	}
+	if len(p.Drops) != 2 || p.Drops[0].Cause != "ppl" || p.Drops[1].Total != 7 {
+		t.Fatalf("drops table = %+v", p.Drops)
+	}
+	if h := p.Histogram("stage_ring_worker_ns"); h == nil || h.Count != 100 {
+		t.Fatalf("stage histogram = %+v", h)
+	}
 }
 
 func TestRender(t *testing.T) {
@@ -71,6 +87,13 @@ func TestRender(t *testing.T) {
 		"dur=250ms",
 		"core=1 value=910",
 		"memory",
+		// Pipeline latency line: quantiles interpolated from the stage
+		// histogram; the zero-count callback histogram is skipped.
+		"ring→worker p50=37µs p99=66µs",
+		// Drop-attribution table.
+		"drops by cause:",
+		"ppl",
+		"cutoff                      7",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing %q:\n%s", want, out)
@@ -79,5 +102,43 @@ func TestRender(t *testing.T) {
 	// Two per-core rows.
 	if !strings.Contains(out, "\n   0  ") || !strings.Contains(out, "\n   1  ") {
 		t.Errorf("render output missing per-core rows:\n%s", out)
+	}
+	if strings.Contains(out, "callback p50") {
+		t.Errorf("zero-count callback histogram should be skipped:\n%s", out)
+	}
+}
+
+// TestJSONOneShot covers the -json path: the raw /metrics body is passed
+// through byte-for-byte (machine consumers get the server's exact payload,
+// not a re-marshal).
+func TestJSONOneShot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/metrics" {
+			http.NotFound(rw, req)
+			return
+		}
+		io.WriteString(rw, samplePayload)
+	}))
+	defer srv.Close()
+
+	body, err := fetchBody(strings.TrimPrefix(srv.URL, "http://"), "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != samplePayload {
+		t.Fatalf("-json must print the raw payload unmodified:\n%s", body)
+	}
+	// What -json prints still parses as the wire format.
+	if _, err := metrics.ParsePayload(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFetchBodyError pins the non-200 error path shared by every mode.
+func TestFetchBodyError(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	if _, err := fetchBody(strings.TrimPrefix(srv.URL, "http://"), "/metrics"); err == nil {
+		t.Fatal("want an error for a 404 response")
 	}
 }

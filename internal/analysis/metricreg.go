@@ -22,14 +22,17 @@ var MetricReg = &Analyzer{
 
 // metricsFastPath is the allowlist of metrics-package operations that are
 // a single atomic op (or an edge-triggered event append) and therefore
-// safe on the per-packet path.
+// safe on the per-packet path. Note is the flight recorder's fixed-size
+// no-alloc encoder; Nanotime is the alloc-free capture clock.
 var metricsFastPath = map[string]bool{
-	"Add":     true,
-	"Inc":     true,
-	"Set":     true,
-	"Observe": true,
-	"Record":  true,
-	"Load":    true,
+	"Add":      true,
+	"Inc":      true,
+	"Set":      true,
+	"Observe":  true,
+	"Record":   true,
+	"Load":     true,
+	"Note":     true,
+	"Nanotime": true,
 }
 
 func runMetricReg(p *Package) []Diagnostic {
@@ -49,16 +52,24 @@ func runMetricReg(p *Package) []Diagnostic {
 			if !ok {
 				return true
 			}
-			callee := metricsCallee(p, call)
+			callee, recv := metricsCallee(p, call)
 			if callee == "" || metricsFastPath[callee] {
 				return true
+			}
+			msg := fmt.Sprintf(
+				"%s: call to metrics.%s in a hot path (register metrics and take snapshots at setup; the per-packet path may only use the atomic fast path: Add/Inc/Set/Observe/Record/Load/Note/Nanotime)",
+				fname, callee)
+			if recv == "FlightRecorder" {
+				// Flight-record emission in hot-path code may only use the
+				// fixed-size no-alloc encoder; decoding belongs to readers.
+				msg = fmt.Sprintf(
+					"%s: call to metrics.FlightRecorder.%s in a hot path (flight records in //scap:hotpath code may only be emitted with the fixed-size no-alloc encoder FlightRecorder.Note; Snapshot/Dump/Total are cold read paths)",
+					fname, callee)
 			}
 			diags = append(diags, Diagnostic{
 				Pos:      p.Fset.Position(call.Pos()),
 				Analyzer: "metricreg",
-				Message: fmt.Sprintf(
-					"%s: call to metrics.%s in a hot path (register metrics and take snapshots at setup; the per-packet path may only use the atomic fast path: Add/Inc/Set/Observe/Record/Load)",
-					fname, callee),
+				Message:  msg,
 			})
 			return true
 		})
@@ -67,14 +78,15 @@ func runMetricReg(p *Package) []Diagnostic {
 }
 
 // metricsCallee returns the name of the metrics-package function or method
-// a call resolves to, or "" when the callee is not from internal/metrics.
-// Both method calls (via the selection) and package-qualified function
-// calls (via object uses) are resolved through the type checker, so local
-// types with coincidentally matching method names are not flagged.
-func metricsCallee(p *Package, call *ast.CallExpr) string {
+// a call resolves to (plus its receiver type name, "" for package-level
+// functions), or "" when the callee is not from internal/metrics. Both
+// method calls (via the selection) and package-qualified function calls
+// (via object uses) are resolved through the type checker, so local types
+// with coincidentally matching method names are not flagged.
+func metricsCallee(p *Package, call *ast.CallExpr) (name, recv string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return ""
+		return "", ""
 	}
 	var fn *types.Func
 	if s, ok := p.Info.Selections[sel]; ok {
@@ -83,9 +95,18 @@ func metricsCallee(p *Package, call *ast.CallExpr) string {
 		fn, _ = obj.(*types.Func)
 	}
 	if fn == nil || fn.Pkg() == nil || !isMetricsPkgPath(fn.Pkg().Path()) {
-		return ""
+		return "", ""
 	}
-	return fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	return fn.Name(), recv
 }
 
 // isMetricsPkgPath matches the metrics package by path suffix so the

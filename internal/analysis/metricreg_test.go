@@ -9,10 +9,15 @@ func TestMetricRegFixtures(t *testing.T) {
 	_, pkg := loadFixtures(t, "metricreg")
 	diags := checkAnalyzer(t, MetricReg, pkg)
 
-	// The diagnostic anchors on the call expression.
+	// The diagnostic anchors on the call expression and names the allowed
+	// fast path — the generic atomic allowlist, or the flight recorder's
+	// no-alloc encoder for FlightRecorder methods.
 	for _, d := range diags {
-		if !strings.Contains(d.Message, "atomic fast path") {
+		if !strings.Contains(d.Message, "atomic fast path") && !strings.Contains(d.Message, "no-alloc encoder") {
 			t.Errorf("diagnostic should name the allowed fast path: %s", d)
+		}
+		if strings.Contains(d.Message, "FlightRecorder") && !strings.Contains(d.Message, "FlightRecorder.Note") {
+			t.Errorf("flight diagnostic should point at the Note encoder: %s", d)
 		}
 	}
 }
@@ -57,5 +62,16 @@ func TestMetricRegOnRepo(t *testing.T) {
 	}
 	for _, d := range RunAll(pkgs, []*Analyzer{MetricReg}) {
 		t.Errorf("capture path violates the metrics fast-path invariant: %s", d)
+	}
+	// The engine package must also pass raw — zero suppressions: the flight
+	// recorder and stage-latency plumbing were designed to fit the fast path,
+	// not to be waived past it.
+	for _, p := range pkgs {
+		if !strings.HasSuffix(p.Path, "internal/core") {
+			continue
+		}
+		for _, d := range MetricReg.Run(p) {
+			t.Errorf("internal/core needs a metricreg suppression, which is not allowed: %s", d)
+		}
 	}
 }

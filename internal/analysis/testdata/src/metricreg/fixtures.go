@@ -13,6 +13,7 @@ type engine struct {
 	batch   *metrics.Histogram
 	events  *metrics.EventLog
 	counter *metrics.Counter
+	flight  *metrics.FlightRecorder
 }
 
 // setup registers metrics outside the hot path: never flagged.
@@ -26,6 +27,7 @@ func setup(cores int) *engine {
 		batch:   reg.NewHistogram(metrics.Desc{Name: "batch", Unit: "events"}, 8),
 		events:  reg.Events(),
 		counter: c,
+		flight:  reg.Flight(),
 	}
 }
 
@@ -39,6 +41,8 @@ func (e *engine) FastPath(n uint64) uint64 {
 	e.memUsed.Add(1)
 	e.batch.Observe(0, n)
 	e.events.Record(metrics.Event{Kind: metrics.EvPPLEnter, Value: int64(n)})
+	e.flight.Note(0, metrics.FlightCutoff, int64(n), 0)
+	e.batch.Observe(0, uint64(metrics.Nanotime()))
 	return e.packets.Load()
 }
 
@@ -80,6 +84,16 @@ func (e *engine) Cold() uint64 {
 //scap:hotpath
 func (e *engine) Audited() []metrics.Event {
 	return e.events.Snapshot() //scaplint:ignore metricreg audited: drained only on the shutdown edge
+}
+
+// FlightDumpHot decodes the flight-recorder rings on the packet path:
+// flagged with the flight-specific guidance (only the fixed-size no-alloc
+// encoder Note may run here).
+//
+//scap:hotpath
+func (e *engine) FlightDumpHot() []metrics.FlightRecord {
+	_ = e.flight.Total()       // want metricreg "FlightDumpHot: call to metrics.FlightRecorder.Total in a hot path"
+	return e.flight.Snapshot() // want metricreg "FlightDumpHot: call to metrics.FlightRecorder.Snapshot in a hot path"
 }
 
 // localMetrics is a non-metrics type whose method names collide with the

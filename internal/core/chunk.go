@@ -4,6 +4,7 @@ import (
 	"scap/internal/event"
 	"scap/internal/flowtab"
 	"scap/internal/mem"
+	"scap/internal/metrics"
 )
 
 // streamExt is the engine-private extension record hung off
@@ -115,5 +116,6 @@ func (e *Engine) newChunkBuf(s *flowtab.Stream, prev []byte, ts int64) chunkStat
 // MemorySize (or shrink chunks) instead.
 func (e *Engine) heapChunkStore(size int) []byte {
 	e.c.arenaExhausted.Add(1)
+	e.m.flight.Note(e.coreID, metrics.FlightArenaFallback, int64(size), 0)
 	return make([]byte, size)
 }

@@ -120,6 +120,12 @@ type Engine struct {
 	ctrlBuf []Ctrl
 	now     int64
 
+	// stageStart is the capture-clock stamp of the current HandleFrames
+	// batch entry; the first flushEvents of the batch observes
+	// engine→ring latency against it and zeroes it, so timer-driven
+	// flushes never measure against a stale batch.
+	stageStart int64
+
 	// evBuf stages events between flushes so a burst of chunks reaches the
 	// ring through one PushBatch — one tail publication and at most one
 	// consumer wakeup — instead of a push per event.
@@ -257,7 +263,12 @@ func (e *Engine) HandleFrame(data []byte, ts int64) {
 //scap:hotpath
 func (e *Engine) HandleFrames(frames []nic.Frame) {
 	e.drainCtrl()
+	now := metrics.Nanotime()
+	e.stageStart = now
 	for i := range frames {
+		if ing := frames[i].Ingest; ing > 0 && now >= ing {
+			e.m.stageIngest.Observe(e.coreID, uint64(now-ing))
+		}
 		e.handleFrame(frames[i].Data, frames[i].TS)
 	}
 	e.flushEvents()
@@ -356,6 +367,9 @@ func (e *Engine) process(p *pkt.Packet) {
 // event.
 func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 	e.c.streamsCreated.Add(1)
+	if e.mm.UnderPPL() {
+		e.m.flight.Note(e.coreID, metrics.FlightStreamCreate, int64(s.ID), int64(s.Priority))
+	}
 	if e.cfg.Filter != nil && !e.cfg.Filter.Match(p) {
 		// Neither direction matches ⇒ the stream is uninteresting. A
 		// directional filter (e.g. "src port 80") must still keep both
@@ -692,6 +706,14 @@ func (e *Engine) flushEvents() {
 	if len(e.evBuf) == 0 {
 		return
 	}
+	now := metrics.Nanotime()
+	if e.stageStart > 0 {
+		e.m.stageRing.Observe(e.coreID, uint64(now-e.stageStart))
+		e.stageStart = 0
+	}
+	for i := range e.evBuf {
+		e.evBuf[i].EnqueueNS = now
+	}
 	n := e.q.PushBatch(e.evBuf)
 	e.m.eventBatch.Observe(e.coreID, uint64(n))
 	if lost := len(e.evBuf) - n; lost > 0 {
@@ -700,6 +722,7 @@ func (e *Engine) flushEvents() {
 			Core:  e.coreID,
 			Value: int64(lost),
 		})
+		e.m.flight.Note(e.coreID, metrics.FlightRingOverflow, int64(lost), 0)
 	}
 	for i := n; i < len(e.evBuf); i++ {
 		ev := &e.evBuf[i]
@@ -732,6 +755,7 @@ func (e *Engine) reachCutoff(s *flowtab.Stream, x *streamExt) {
 		return
 	}
 	s.Status = flowtab.StatusCutoff
+	e.m.flight.Note(e.coreID, metrics.FlightCutoff, int64(s.ID), int64(s.Stats.Bytes))
 	e.deliverChunk(s, x, false)
 	e.installFDIR(s, x)
 }
@@ -765,6 +789,7 @@ func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
 	s.HWFilter = true
 	e.c.fdirInstalled.Add(1)
 	e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRInstall, Core: e.coreID, Value: int64(s.ID)})
+	e.m.flight.Note(e.coreID, metrics.FlightFDIRInstall, int64(s.ID), 0)
 	heap.Push(&e.filters, filterEntry{deadline: deadline, key: s.Key, id: s.ID})
 }
 
@@ -793,6 +818,7 @@ func (e *Engine) removeFDIR(s *flowtab.Stream) {
 		s.HWFilter = false
 		e.c.fdirRemoved.Add(1)
 		e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRRemove, Core: e.coreID, Value: int64(s.ID)})
+		e.m.flight.Note(e.coreID, metrics.FlightFDIRRemove, int64(s.ID), 0)
 	}
 }
 
@@ -832,6 +858,9 @@ func (e *Engine) finishStream(s *flowtab.Stream, status flowtab.Status) {
 		e.c.streamsExpired.Add(1)
 	case flowtab.StatusEvicted:
 		e.c.streamsEvicted.Add(1)
+	}
+	if (status == flowtab.StatusTimedOut || status == flowtab.StatusEvicted) && e.mm.UnderPPL() {
+		e.m.flight.Note(e.coreID, metrics.FlightStreamExpire, int64(s.ID), int64(status))
 	}
 	if s.Asm != nil {
 		as := s.Asm.Stats()

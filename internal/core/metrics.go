@@ -46,7 +46,14 @@ type Metrics struct {
 	eventBatch *metrics.Histogram
 	chunkBytes *metrics.Histogram
 
+	// stageIngest and stageRing are the kernel-side stage-latency
+	// histograms: capture-clock nanoseconds from NIC ingest stamp to engine
+	// pickup, and from engine batch entry to event-ring publish.
+	stageIngest *metrics.Histogram
+	stageRing   *metrics.Histogram
+
 	events *metrics.EventLog
+	flight *metrics.FlightRecorder
 }
 
 // NewMetrics registers the engine instrument set in reg. Call it once per
@@ -54,6 +61,10 @@ type Metrics struct {
 func NewMetrics(reg *metrics.Registry) *Metrics {
 	d := func(name, help, unit, paper string) metrics.Desc {
 		return metrics.Desc{Name: name, Help: help, Unit: unit, Paper: paper}
+	}
+	// drop tags a counter into the drops{cause} attribution family.
+	drop := func(name, help, unit, paper, cause string) metrics.Desc {
+		return metrics.Desc{Name: name, Help: help, Unit: unit, Paper: paper, Family: "drops", Cause: cause}
 	}
 	m := &Metrics{reg: reg}
 	m.frames = reg.NewCounter(d("frames_total", "frames handled by the kernel path", "frames", ""))
@@ -63,14 +74,14 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	m.packets = reg.NewCounter(d("packets_total", "packets processed by the engines", "packets", "Fig. 7 processed packets"))
 	m.payloadBytes = reg.NewCounter(d("payload_bytes_total", "transport payload seen", "bytes", ""))
 	m.storedBytes = reg.NewCounter(d("stored_bytes_total", "payload written into stream memory", "bytes", "§4 cost model stored bytes"))
-	m.filterIgnoredPkts = reg.NewCounter(d("filter_ignored_pkts_total", "packets of streams rejected by the BPF filter", "packets", "Table 1 scap_set_filter"))
-	m.cutoffPkts = reg.NewCounter(d("cutoff_pkts_total", "packets discarded beyond stream cutoffs", "packets", "Fig. 8 cutoff savings"))
+	m.filterIgnoredPkts = reg.NewCounter(drop("filter_ignored_pkts_total", "packets of streams rejected by the BPF filter", "packets", "Table 1 scap_set_filter", "filter"))
+	m.cutoffPkts = reg.NewCounter(drop("cutoff_pkts_total", "packets discarded beyond stream cutoffs", "packets", "Fig. 8 cutoff savings", "cutoff"))
 	m.cutoffBytes = reg.NewCounter(d("cutoff_bytes_total", "bytes discarded beyond stream cutoffs", "bytes", "Fig. 8 cutoff savings"))
-	m.pplDroppedPkts = reg.NewCounter(d("ppl_dropped_pkts_total", "packets shed by prioritized packet loss", "packets", "Fig. 9 PPL drops"))
+	m.pplDroppedPkts = reg.NewCounter(drop("ppl_dropped_pkts_total", "packets shed by prioritized packet loss", "packets", "Fig. 9 PPL drops", "ppl"))
 	m.pplDroppedBytes = reg.NewCounter(d("ppl_dropped_bytes_total", "bytes shed by prioritized packet loss", "bytes", "Fig. 9 PPL drops"))
-	m.eventsLost = reg.NewCounter(d("events_lost_total", "events lost to full event rings", "events", ""))
+	m.eventsLost = reg.NewCounter(drop("events_lost_total", "events lost to full event rings", "events", "", "event_ring"))
 	m.eventsLostBytes = reg.NewCounter(d("events_lost_bytes_total", "chunk bytes lost with dropped events", "bytes", ""))
-	m.arenaExhausted = reg.NewCounter(d("arena_exhausted_total", "chunks diverted to transient heap buffers because no arena block was free", "chunks", "§2.2 memory blocks"))
+	m.arenaExhausted = reg.NewCounter(drop("arena_exhausted_total", "chunks diverted to transient heap buffers because no arena block was free", "chunks", "§2.2 memory blocks", "arena_exhausted"))
 	m.streamsCreated = reg.NewCounter(d("streams_created_total", "stream directions tracked", "streams", "Table 1 scap_dispatch_creation"))
 	m.streamsClosed = reg.NewCounter(d("streams_closed_total", "streams terminated by FIN/RST", "streams", ""))
 	m.streamsExpired = reg.NewCounter(d("streams_expired_total", "streams expired by inactivity", "streams", "§5.2 expiry sweep"))
@@ -84,9 +95,17 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	m.fdirRemoved = reg.NewCounter(d("fdir_removed_total", "NIC drop-filter removals", "filters", "§5.5 subzero copy"))
 	m.eventBatch = reg.NewHistogram(d("event_batch_size", "events published to a ring per flush", "events", ""), 8)
 	m.chunkBytes = reg.NewHistogram(d("chunk_bytes", "delivered chunk sizes", "bytes", "Table 1 scap_set_chunk_size"), 20)
+	m.stageIngest = reg.NewHistogram(d("stage_ingest_engine_ns", "latency from NIC ingest stamp to kernel-goroutine pickup", "ns", ""), stageMaxPow)
+	m.stageRing = reg.NewHistogram(d("stage_engine_ring_ns", "latency from kernel-goroutine batch entry to event-ring publish", "ns", ""), stageMaxPow)
 	m.events = reg.Events()
+	m.flight = reg.Flight()
 	return m
 }
+
+// stageMaxPow bounds the stage-latency histograms: 2^38 ns ≈ 275 s, far past
+// any plausible pipeline latency, so the overflow bucket stays empty in
+// practice while the rows remain a few hundred bytes per core.
+const stageMaxPow = 38
 
 // Registry returns the registry the instruments live in.
 func (m *Metrics) Registry() *metrics.Registry { return m.reg }

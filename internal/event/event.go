@@ -64,6 +64,10 @@ type Event struct {
 	// Pkts are the per-packet records for scap_next_stream_packet, present
 	// when the socket was created with packet delivery enabled.
 	Pkts []PacketRecord
+	// EnqueueNS is the capture-clock (metrics.Nanotime) stamp taken when the
+	// engine published the event to the ring; the worker diffs it at pop time
+	// into the ring→worker stage-latency histogram. Zero means unstamped.
+	EnqueueNS int64
 }
 
 // PacketRecord describes one captured packet of a chunk for packet-based

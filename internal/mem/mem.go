@@ -110,6 +110,7 @@ type Manager struct {
 	// Only the first drop of an episode and the release that ends it pay
 	// more than one atomic load.
 	events   atomic.Pointer[metrics.EventLog]
+	flight   atomic.Pointer[metrics.FlightRecorder]
 	underPPL atomic.Bool
 	pplSince atomic.Int64
 
@@ -296,11 +297,15 @@ func (m *Manager) pplEnter() {
 	ts := l.Now()
 	m.pplSince.Store(ts)
 	cfg := m.cfg.Load()
+	perMille := m.used.Load() * 1000 / cfg.Size
 	l.Record(metrics.Event{
 		Kind:         metrics.EvPPLEnter,
 		TimeUnixNano: ts,
-		Value:        m.used.Load() * 1000 / cfg.Size,
+		Value:        perMille,
 	})
+	if f := m.flight.Load(); f != nil {
+		f.Note(0, metrics.FlightPPLEnter, perMille, 0)
+	}
 }
 
 // pplExitCheck closes the episode once usage falls back below the base
@@ -315,8 +320,18 @@ func (m *Manager) pplExitCheck(used int64) {
 		return
 	}
 	ts := l.Now()
-	l.Record(metrics.Event{Kind: metrics.EvPPLExit, TimeUnixNano: ts, Dur: ts - m.pplSince.Load()})
+	dur := ts - m.pplSince.Load()
+	l.Record(metrics.Event{Kind: metrics.EvPPLExit, TimeUnixNano: ts, Dur: dur})
+	if f := m.flight.Load(); f != nil {
+		f.Note(0, metrics.FlightPPLExit, dur, 0)
+	}
 }
+
+// UnderPPL reports whether a PPL pressure episode is currently open — one
+// atomic load, so hot-path callers can gate pressure-only bookkeeping on it.
+//
+//scap:hotpath
+func (m *Manager) UnderPPL() bool { return m.underPPL.Load() }
 
 // noteHighWater advances the high-water mark monotonically.
 func (m *Manager) noteHighWater(used int64) {
@@ -384,4 +399,5 @@ func (m *Manager) PublishMetrics(reg *metrics.Registry) {
 		}, func() int64 { return int64(c.depth.Load()) + c.ringDepth() })
 	}
 	m.events.Store(reg.Events())
+	m.flight.Store(reg.Flight())
 }

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testFlight builds a recorder with a deterministic clock: each Note stamps
+// the next nanosecond. The counter is atomic so concurrent-writer tests stay
+// race-free in the test harness itself.
+func testFlight(cores, capacity int) (*FlightRecorder, *atomic.Int64) {
+	t := new(atomic.Int64)
+	fn := func() int64 { return t.Add(1) }
+	return newFlightRecorder(cores, capacity, &fn), t
+}
+
+func TestFlightNoteAndSnapshot(t *testing.T) {
+	f, _ := testFlight(2, 8)
+	f.Note(0, FlightCutoff, 42, 7)
+	f.Note(1, FlightPPLEnter, 950, 0)
+	f.Note(1, FlightPPLExit, 123, 0)
+
+	recs := f.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("Snapshot returned %d records, want 3", len(recs))
+	}
+	if f.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", f.Total())
+	}
+	// Oldest first.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TimeUnixNano < recs[i-1].TimeUnixNano {
+			t.Fatalf("records out of order: %v", recs)
+		}
+	}
+	r := recs[0]
+	if r.Kind != FlightCutoff || r.KindName != "cutoff" || r.Core != 0 || r.Value != 42 || r.Aux != 7 {
+		t.Fatalf("first record = %+v, want cutoff core=0 value=42 aux=7", r)
+	}
+	if recs[1].Core != 1 || recs[1].Kind != FlightPPLEnter {
+		t.Fatalf("second record = %+v, want ppl_enter core=1", recs[1])
+	}
+}
+
+func TestFlightOutOfRangeCore(t *testing.T) {
+	f, _ := testFlight(2, 8)
+	f.Note(-1, FlightCutoff, 1, 0)
+	f.Note(99, FlightCutoff, 2, 0)
+	recs := f.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.Core != 0 {
+			t.Fatalf("out-of-range core should fall back to ring 0, got %d", r.Core)
+		}
+	}
+}
+
+// TestFlightWraparound is the wraparound/ordering property test: writing
+// many times the ring capacity must retain exactly the newest cap records,
+// with strictly increasing sequence numbers ending at the claim total.
+func TestFlightWraparound(t *testing.T) {
+	const capacity = 16
+	const writes = 3*capacity + 5
+	f, _ := testFlight(1, capacity)
+	for i := 0; i < writes; i++ {
+		f.Note(0, FlightKind(uint8(i)%uint8(len(flightKindNames))), int64(i), 0)
+	}
+	recs := f.Snapshot()
+	if len(recs) != capacity {
+		t.Fatalf("after wraparound Snapshot returned %d records, want %d", len(recs), capacity)
+	}
+	if f.Total() != writes {
+		t.Fatalf("Total = %d, want %d", f.Total(), writes)
+	}
+	for i, r := range recs {
+		wantSeq := uint64(writes - capacity + 1 + i)
+		if r.Seq != wantSeq {
+			t.Fatalf("record %d has seq %d, want %d (survivors must be the newest %d, in order)", i, r.Seq, wantSeq, capacity)
+		}
+		// Value tracked the write index, so it must agree with the sequence.
+		if r.Value != int64(wantSeq-1) {
+			t.Fatalf("record %d: value %d does not match seq %d", i, r.Value, r.Seq)
+		}
+		if int(r.Kind) >= len(flightKindNames) || r.KindName == "unknown" {
+			t.Fatalf("record %d has invalid kind %d", i, r.Kind)
+		}
+	}
+}
+
+// TestFlightConcurrent hammers the recorder from concurrent writers on every
+// ring — including two writers lapping the same small ring — while readers
+// snapshot continuously. Run under -race this is the data-race proof; the
+// assertions check that readers only ever see intact records.
+func TestFlightConcurrent(t *testing.T) {
+	const (
+		cores    = 4
+		capacity = 32
+		writers  = 8
+		perW     = 2000
+	)
+	f, _ := testFlight(cores, capacity)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				f.Note(w%cores, FlightCutoff, int64(w), int64(i))
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range f.Snapshot() {
+					if rec.Kind != FlightCutoff || rec.Value < 0 || rec.Value >= writers || rec.Aux < 0 || rec.Aux >= perW {
+						t.Errorf("torn record leaked to a reader: %+v", rec)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if f.Total() != writers*perW {
+		t.Fatalf("Total = %d, want %d", f.Total(), writers*perW)
+	}
+	recs := f.Snapshot()
+	if len(recs) == 0 || len(recs) > cores*capacity {
+		t.Fatalf("quiescent Snapshot returned %d records, want (0, %d]", len(recs), cores*capacity)
+	}
+}
+
+// TestFlightChromeTraceGolden pins the Chrome trace-event export shape: the
+// exact JSON for a fixed record set, so Perfetto compatibility regressions
+// show up as a diff here instead of a blank trace viewer.
+func TestFlightChromeTraceGolden(t *testing.T) {
+	recs := []FlightRecord{
+		{Seq: 1, TimeUnixNano: 1_000_000, Core: 0, Kind: FlightPPLEnter, KindName: "ppl_enter", Value: 950},
+		{Seq: 2, TimeUnixNano: 1_500_000, Core: 1, Kind: FlightCutoff, KindName: "cutoff", Value: 7, Aux: 4096},
+		{Seq: 3, TimeUnixNano: 3_000_000, Core: 0, Kind: FlightPPLExit, KindName: "ppl_exit", Value: 2_000_000},
+	}
+	got, err := json.Marshal(ChromeTraceFromRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"traceEvents":[` +
+		`{"name":"ppl_enter","cat":"flight","ph":"i","ts":0,"pid":0,"tid":0,"s":"t","args":{"aux":0,"seq":1,"value":950}},` +
+		`{"name":"cutoff","cat":"flight","ph":"i","ts":500,"pid":0,"tid":1,"s":"t","args":{"aux":4096,"seq":2,"value":7}},` +
+		`{"name":"ppl_exit","cat":"flight","ph":"X","ts":0,"dur":2000,"pid":0,"tid":0,"args":{"aux":0,"seq":3,"value":2000000}}` +
+		`],"displayTimeUnit":"ms"}`
+	if string(got) != golden {
+		t.Fatalf("Chrome trace drifted from the golden shape:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// The export must always be a valid trace-event JSON object, also when
+	// empty (Perfetto rejects a missing traceEvents array).
+	empty, err := json.Marshal(ChromeTraceFromRecords(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != `{"traceEvents":[],"displayTimeUnit":"ms"}` {
+		t.Fatalf("empty trace = %s", empty)
+	}
+}
+
+// TestFlightChromeTraceValid decodes a real recorder's export back through
+// encoding/json and checks the trace-event invariants Perfetto relies on.
+func TestFlightChromeTraceValid(t *testing.T) {
+	f, _ := testFlight(2, 16)
+	f.Note(0, FlightPPLEnter, 900, 0)
+	f.Note(1, FlightCutoff, 3, 128)
+	f.Note(0, FlightPPLExit, 5, 0)
+	raw, err := json.Marshal(ChromeTraceFromRecords(f.Snapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr ChromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("export does not round-trip: %v", err)
+	}
+	if len(tr.TraceEvents) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(tr.TraceEvents))
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "i" && ev.Ph != "X" {
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Ph == "i" && ev.Scope == "" {
+			t.Fatalf("instant event missing scope: %+v", ev)
+		}
+		if ev.Name == "" || ev.TS < 0 {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+	}
+}
+
+func TestRegistryFlightSharesClock(t *testing.T) {
+	r := NewRegistry(2)
+	var tick int64 = 41
+	r.SetClock(func() int64 { tick++; return tick })
+	r.Flight().Note(1, FlightArenaFallback, 9000, 0)
+	recs := r.Flight().Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if recs[0].TimeUnixNano != 42 {
+		t.Fatalf("record stamped %d, want the injected clock's 42", recs[0].TimeUnixNano)
+	}
+	d := r.Flight().Dump()
+	if d.Cores != 2 || d.Total != 1 || len(d.Records) != 1 || d.Capacity != defaultFlightCap {
+		t.Fatalf("Dump = %+v", d)
+	}
+}
+
+func TestNanotimeMonotonic(t *testing.T) {
+	a := Nanotime()
+	b := Nanotime()
+	if a < 0 || b < a {
+		t.Fatalf("Nanotime not monotonic: %d then %d", a, b)
+	}
+}

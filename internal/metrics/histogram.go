@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -72,6 +73,47 @@ type HistogramSnap struct {
 	Count   uint64       `json:"count"`
 	Sum     uint64       `json:"sum"`
 	Buckets []BucketSnap `json:"buckets"`
+}
+
+// QuantileFromSnap estimates the p-quantile (0 < p <= 1) of a histogram
+// snapshot. Within the matched power-of-two bucket (2^(i-1), 2^i] the
+// estimate interpolates log-linearly — v = lo · (hi/lo)^frac — matching the
+// buckets' geometric spacing, so the estimate is never off by more than the
+// bucket's 2x width and tracks the true quantile closely for smooth
+// distributions. The first bucket [0, 1] interpolates linearly. When the
+// quantile lands in the overflow bucket the largest finite bound is returned
+// (a lower bound on the true value). A zero-count snapshot yields 0.
+func QuantileFromSnap(s HistogramSnap, p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum, lo float64
+	for _, b := range s.Buckets {
+		if b.Le == 0 { // overflow bucket: range unknown
+			return lo
+		}
+		hi := float64(b.Le)
+		if b.Count > 0 && cum+float64(b.Count) >= target {
+			frac := (target - cum) / float64(b.Count)
+			if lo == 0 {
+				return hi * frac
+			}
+			return lo * math.Pow(hi/lo, frac)
+		}
+		cum += float64(b.Count)
+		lo = hi
+	}
+	return lo
 }
 
 func (h *Histogram) snapshot() HistogramSnap {

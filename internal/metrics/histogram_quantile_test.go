@@ -1,0 +1,129 @@
+package metrics
+
+import "testing"
+
+// quantileHist builds a maxPow-bucket histogram and observes every value of
+// vals on core 0.
+func quantileHist(maxPow int, vals []uint64) HistogramSnap {
+	h := newHistogram(Desc{Name: "q", Unit: "ns"}, 1, maxPow)
+	for _, v := range vals {
+		h.Observe(0, v)
+	}
+	return h.snapshot()
+}
+
+// within2x asserts the power-of-two bucket error bound: the estimate must lie
+// within a factor of two of the true quantile (the bucket width guarantee the
+// QuantileFromSnap doc promises).
+func within2x(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got > 1 {
+			t.Fatalf("%s: got %.1f, want ~0 (first bucket)", name, got)
+		}
+		return
+	}
+	if got < want/2 || got > want*2 {
+		t.Fatalf("%s: estimate %.1f outside the 2x bucket bound around true quantile %.1f", name, got, want)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if q := QuantileFromSnap(HistogramSnap{}, 0.5); q != 0 {
+		t.Fatalf("empty snapshot quantile = %v, want 0", q)
+	}
+}
+
+func TestQuantileConstant(t *testing.T) {
+	// All mass at one value: every quantile must land in its bucket.
+	vals := make([]uint64, 1000)
+	for i := range vals {
+		vals[i] = 1000
+	}
+	s := quantileHist(20, vals)
+	for _, p := range []float64{0.01, 0.5, 0.9, 0.99, 1} {
+		within2x(t, "constant", QuantileFromSnap(s, p), 1000)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// Uniform 1..65536. True p-quantile is ~p*65536; the log-linear
+	// interpolation must stay within the 2x bucket bound at p50 and p99.
+	var vals []uint64
+	for v := uint64(1); v <= 65536; v++ {
+		vals = append(vals, v)
+	}
+	s := quantileHist(20, vals)
+	within2x(t, "uniform p50", QuantileFromSnap(s, 0.50), 32768)
+	within2x(t, "uniform p99", QuantileFromSnap(s, 0.99), 64880)
+	within2x(t, "uniform p01", QuantileFromSnap(s, 0.01), 655)
+}
+
+func TestQuantileExponential(t *testing.T) {
+	// Geometric mass: half the observations at 16, a quarter at 256, an
+	// eighth at 4096, the rest at 65536 — a heavy-tail shape like latency.
+	var vals []uint64
+	add := func(v uint64, n int) {
+		for i := 0; i < n; i++ {
+			vals = append(vals, v)
+		}
+	}
+	add(16, 800)
+	add(256, 400)
+	add(4096, 200)
+	add(65536, 200)
+	s := quantileHist(20, vals)
+	// Order statistics: ranks 1..800 are 16, ..1200 are 256, ..1400 are
+	// 4096, ..1600 are 65536 — so p50=16, p85=4096, p99=65536.
+	within2x(t, "exp p50", QuantileFromSnap(s, 0.50), 16)
+	within2x(t, "exp p85", QuantileFromSnap(s, 0.85), 4096)
+	within2x(t, "exp p99", QuantileFromSnap(s, 0.99), 65536)
+}
+
+func TestQuantileExactPowersOfTwo(t *testing.T) {
+	// A value exactly on a bucket boundary fills bucket (2^(k-1), 2^k]; the
+	// p=1 estimate is the bucket's upper bound — exact for boundary values.
+	for _, v := range []uint64{2, 8, 1024, 1 << 19} {
+		s := quantileHist(20, []uint64{v})
+		if q := QuantileFromSnap(s, 1); q != float64(v) {
+			t.Fatalf("p100 of single boundary value %d = %v, want exact", v, q)
+		}
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	var vals []uint64
+	for v := uint64(1); v <= 10000; v += 7 {
+		vals = append(vals, v)
+	}
+	s := quantileHist(20, vals)
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := QuantileFromSnap(s, p)
+		if q < prev {
+			t.Fatalf("quantile not monotone: q(%.2f)=%v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Observations beyond 2^maxPow land in the overflow bucket; the estimate
+	// degrades to the largest finite bound — a documented lower bound.
+	s := quantileHist(4, []uint64{1 << 30, 1 << 30, 1 << 30})
+	if q := QuantileFromSnap(s, 0.5); q != 16 {
+		t.Fatalf("overflow quantile = %v, want last finite bound 16", q)
+	}
+}
+
+func TestQuantileClampsP(t *testing.T) {
+	s := quantileHist(10, []uint64{4, 4, 4, 4})
+	lo := QuantileFromSnap(s, -1)
+	hi := QuantileFromSnap(s, 2)
+	if lo <= 0 || hi <= 0 || lo > hi {
+		t.Fatalf("clamped quantiles lo=%v hi=%v", lo, hi)
+	}
+	if hi != QuantileFromSnap(s, 1) {
+		t.Fatalf("p>1 should clamp to p=1")
+	}
+}

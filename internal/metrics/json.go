@@ -13,6 +13,10 @@ type Payload struct {
 	Gauges        []GaugeSnap      `json:"gauges"`
 	Histograms    []HistogramSnap  `json:"histograms"`
 	Events        []Event          `json:"events"`
+	// Drops is the drop-attribution table: every counter registered with
+	// Family "drops", one row per cause, duplicated out of Counters so
+	// consumers can render the table without knowing the cause set.
+	Drops []CounterPayload `json:"drops,omitempty"`
 }
 
 // CounterPayload is one counter's snapshot plus its windowed per-second rate
@@ -29,6 +33,16 @@ func (p *Payload) Counter(name string) *CounterPayload {
 	for i := range p.Counters {
 		if p.Counters[i].Name == name {
 			return &p.Counters[i]
+		}
+	}
+	return nil
+}
+
+// Histogram returns the named histogram in the payload, or nil when absent.
+func (p *Payload) Histogram(name string) *HistogramSnap {
+	for i := range p.Histograms {
+		if p.Histograms[i].Name == name {
+			return &p.Histograms[i]
 		}
 	}
 	return nil

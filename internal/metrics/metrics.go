@@ -34,13 +34,30 @@ import (
 // Desc names and documents one metric. Name is the wire identifier
 // (snake_case, e.g. "packets_total"); Unit is the measured unit ("packets",
 // "bytes", "ns"); Paper optionally names the paper counterpart the metric
-// reproduces (e.g. "Fig. 9 dropped packets per priority").
+// reproduces (e.g. "Fig. 9 dropped packets per priority"). Family groups
+// related metrics into one logical table ("drops"), with Cause naming the
+// member within it ("ppl", "cutoff", "ring_full", ...), so consumers can
+// render attribution tables without hard-coding every metric name.
 type Desc struct {
-	Name  string `json:"name"`
-	Help  string `json:"help,omitempty"`
-	Unit  string `json:"unit,omitempty"`
-	Paper string `json:"paper,omitempty"`
+	Name   string `json:"name"`
+	Help   string `json:"help,omitempty"`
+	Unit   string `json:"unit,omitempty"`
+	Paper  string `json:"paper,omitempty"`
+	Family string `json:"family,omitempty"`
+	Cause  string `json:"cause,omitempty"`
 }
+
+// nanotimeBase anchors the capture clock: Nanotime reads are monotonic
+// offsets from process start, consistent across goroutines.
+var nanotimeBase = time.Now()
+
+// Nanotime returns monotonic nanoseconds since process start. It is the
+// capture clock for stage-latency stamps: alloc-free, lock-free, and safe in
+// //scap:hotpath code (unlike time.Now, whose wall-clock reading the
+// hotpathalloc analyzer bans there).
+//
+//scap:hotpath
+func Nanotime() int64 { return int64(time.Since(nanotimeBase)) }
 
 // slabSlots bounds how many per-core counters one registry can hold. The
 // slabs are pre-allocated at this capacity so Cell pointers handed to the
@@ -132,10 +149,12 @@ type funcGauge struct {
 	fn   func() int64
 }
 
-// funcCounter is funcGauge for monotone counters kept elsewhere.
+// funcCounter is funcGauge for monotone counters kept elsewhere. perCore,
+// when set, appends the per-core breakdown at snapshot time.
 type funcCounter struct {
-	desc Desc
-	fn   func() uint64
+	desc    Desc
+	fn      func() uint64
+	perCore func(dst []uint64) []uint64
 }
 
 // Registry is the central metric index of one capture socket. Registration
@@ -155,6 +174,7 @@ type Registry struct {
 	fgs      []*funcGauge
 	hists    []*Histogram
 	events   *EventLog
+	flight   *FlightRecorder
 }
 
 // NewRegistry creates a registry for the given number of cores (per-core
@@ -173,6 +193,7 @@ func NewRegistry(cores int) *Registry {
 		r.slabs[i] = make([]Cell, slabSlots)
 	}
 	r.events = newEventLog(defaultEventCap, &r.now)
+	r.flight = newFlightRecorder(cores, defaultFlightCap, &r.now)
 	return r
 }
 
@@ -220,6 +241,16 @@ func (r *Registry) NewCounterFunc(d Desc, fn func() uint64) {
 	r.fcs = append(r.fcs, &funcCounter{desc: d, fn: fn})
 }
 
+// NewCounterFuncPerCore registers a func-backed counter that also exposes a
+// per-core breakdown: perCore appends one value per core to dst. Both
+// callbacks must be safe to call from any goroutine.
+func (r *Registry) NewCounterFuncPerCore(d Desc, fn func() uint64, perCore func(dst []uint64) []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(d)
+	r.fcs = append(r.fcs, &funcCounter{desc: d, fn: fn, perCore: perCore})
+}
+
 // NewGauge registers a gauge.
 func (r *Registry) NewGauge(d Desc) *Gauge {
 	r.mu.Lock()
@@ -252,6 +283,10 @@ func (r *Registry) NewHistogram(d Desc, maxPow int) *Histogram {
 
 // Events returns the registry's overload event log.
 func (r *Registry) Events() *EventLog { return r.events }
+
+// Flight returns the registry's flight recorder. Bind it once at setup; the
+// only method safe on the per-packet path is FlightRecorder.Note.
+func (r *Registry) Flight() *FlightRecorder { return r.flight }
 
 // CounterSnap is one counter's snapshot: the summed total plus the per-core
 // breakdown (nil for func-backed counters).
@@ -293,7 +328,11 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = append(s.Counters, CounterSnap{Desc: c.desc, Total: t, PerCore: pc})
 	}
 	for _, fc := range r.fcs {
-		s.Counters = append(s.Counters, CounterSnap{Desc: fc.desc, Total: fc.fn()})
+		cs := CounterSnap{Desc: fc.desc, Total: fc.fn()}
+		if fc.perCore != nil {
+			cs.PerCore = fc.perCore(make([]uint64, 0, r.cores))
+		}
+		s.Counters = append(s.Counters, cs)
 	}
 	for _, g := range r.gauges {
 		s.Gauges = append(s.Gauges, GaugeSnap{Desc: g.desc, Value: g.Load()})

@@ -58,6 +58,11 @@ func (w *Window) Collect() Payload {
 		}
 		p.Counters = append(p.Counters, c)
 	}
+	for i := range p.Counters {
+		if p.Counters[i].Family == "drops" {
+			p.Drops = append(p.Drops, p.Counters[i])
+		}
+	}
 	w.prev = cur
 	w.ok = true
 	return p

@@ -59,10 +59,14 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Frame is one received frame with its capture timestamp.
+// Frame is one received frame with its capture timestamp. TS is the virtual
+// packet timestamp used by the protocol machinery; Ingest, when nonzero, is
+// the capture-clock (metrics.Nanotime) stamp taken at NIC ingest, carried to
+// the engine so the ingest→engine stage latency can be measured.
 type Frame struct {
-	Data []byte
-	TS   int64
+	Data   []byte
+	TS     int64
+	Ingest int64
 }
 
 // ring is a fixed-capacity FIFO of frames.
@@ -134,6 +138,11 @@ type NIC struct {
 	events    *metrics.EventLog
 	fullSince []int64
 	fullDrops []uint64
+	// flight (nil until PublishMetrics) records ring-full edges and balancer
+	// redirects; guarded by mu.
+	flight *metrics.FlightRecorder
+	// ringDrops attributes ring-full losses per queue; guarded by mu.
+	ringDrops []uint64
 }
 
 // New creates a NIC with cfg.
@@ -146,6 +155,7 @@ func New(cfg Config) *NIC {
 		highwater: make([]int, cfg.Queues),
 		fullSince: make([]int64, cfg.Queues),
 		fullDrops: make([]uint64, cfg.Queues),
+		ringDrops: make([]uint64, cfg.Queues),
 	}
 	for i := range n.rings {
 		n.rings[i].buf = make([]Frame, cfg.QueueDepth)
@@ -166,6 +176,13 @@ func (n *NIC) Queues() int { return n.cfg.Queues }
 // queue the frame was enqueued on, or -1 if the frame was dropped (by a
 // filter, a full ring, or a decode failure).
 func (n *NIC) Receive(data []byte, ts int64) int {
+	return n.ReceiveAt(data, ts, 0)
+}
+
+// ReceiveAt is Receive with a capture-clock ingest stamp (metrics.Nanotime)
+// carried on the enqueued frame; zero means unstamped and disables the
+// ingest→engine latency observation for the frame.
+func (n *NIC) ReceiveAt(data []byte, ts, ingest int64) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats.Received++
@@ -212,15 +229,23 @@ func (n *NIC) Receive(data []byte, ts int64) int {
 		case p.TCPFlags&pkt.FlagFIN != 0:
 			n.lb.close(n, p.Key, false)
 		case p.TCPFlags&pkt.FlagSYN != 0 && p.TCPFlags&pkt.FlagACK == 0:
-			queue = n.lb.admit(n, p.Key, queue, ts)
+			rssQ := queue
+			queue = n.lb.admit(n, p.Key, rssQ, ts)
+			if queue != rssQ && n.flight != nil {
+				n.flight.Note(rssQ, metrics.FlightFDIRRebalance, int64(rssQ), int64(queue))
+			}
 		}
 	}
-	if !n.rings[queue].push(Frame{Data: data, TS: ts}) {
+	if !n.rings[queue].push(Frame{Data: data, TS: ts, Ingest: ingest}) {
 		n.stats.DroppedRing++
+		n.ringDrops[queue]++
 		if n.events != nil {
 			if n.fullSince[queue] == 0 {
 				n.fullSince[queue] = ts
 				n.events.Record(metrics.Event{Kind: metrics.EvRingFull, Core: queue})
+				if n.flight != nil {
+					n.flight.Note(queue, metrics.FlightNICRingFull, int64(len(n.rings[queue].buf)), 0)
+				}
 			}
 			n.fullDrops[queue]++
 		}
@@ -235,6 +260,9 @@ func (n *NIC) Receive(data []byte, ts int64) int {
 			Dur:   ts - n.fullSince[queue],
 			Value: int64(n.fullDrops[queue]),
 		})
+		if n.flight != nil {
+			n.flight.Note(queue, metrics.FlightNICRingRecover, int64(n.fullDrops[queue]), ts-n.fullSince[queue])
+		}
 		n.fullSince[queue], n.fullDrops[queue] = 0, 0
 	}
 	if n.rings[queue].n > n.highwater[queue] {
@@ -332,16 +360,22 @@ func (n *NIC) PublishMetrics(reg *metrics.Registry) {
 	}
 	reg.NewCounterFunc(metrics.Desc{Name: "nic_frames_total", Help: "frames offered to the NIC", Unit: "frames", Paper: "Fig. 7 offered load"},
 		field(func(s *Stats) uint64 { return s.Received }))
-	reg.NewCounterFunc(metrics.Desc{Name: "nic_dropped_filter_total", Help: "frames dropped by FDIR drop filters", Unit: "frames", Paper: "§5.5 subzero copy"},
+	reg.NewCounterFunc(metrics.Desc{Name: "nic_dropped_filter_total", Help: "frames dropped by FDIR drop filters", Unit: "frames", Paper: "§5.5 subzero copy", Family: "drops", Cause: "fdir"},
 		field(func(s *Stats) uint64 { return s.DroppedFilter }))
-	reg.NewCounterFunc(metrics.Desc{Name: "nic_dropped_ring_total", Help: "frames lost to full receive rings", Unit: "frames", Paper: "Fig. 7 dropped at NIC"},
-		field(func(s *Stats) uint64 { return s.DroppedRing }))
+	reg.NewCounterFuncPerCore(metrics.Desc{Name: "nic_dropped_ring_total", Help: "frames lost to full receive rings", Unit: "frames", Paper: "Fig. 7 dropped at NIC", Family: "drops", Cause: "ring_full"},
+		field(func(s *Stats) uint64 { return s.DroppedRing }),
+		func(dst []uint64) []uint64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return append(dst, n.ringDrops...)
+		})
 	reg.NewCounterFunc(metrics.Desc{Name: "nic_redirected_total", Help: "frames steered by load-balancing filters", Unit: "frames", Paper: "§2.4 dynamic balance"},
 		field(func(s *Stats) uint64 { return s.Redirected }))
 	reg.NewCounterFunc(metrics.Desc{Name: "nic_decode_failures_total", Help: "undecodable frames delivered nowhere", Unit: "frames", Paper: ""},
 		field(func(s *Stats) uint64 { return s.DecodeFailures }))
 	n.mu.Lock()
 	n.events = reg.Events()
+	n.flight = reg.Flight()
 	n.mu.Unlock()
 }
 

@@ -148,11 +148,15 @@ type Handle struct {
 
 	// reg is the socket's metrics registry (created with the Handle); em is
 	// the engine instrument bundle registered in it, and workerBatchH
-	// tracks worker drain batch sizes. final freezes the last statistics
-	// snapshot at Close, so GetStats never races engine teardown.
+	// tracks worker drain batch sizes. stageWorkerH and callbackH are the
+	// worker-side stage-latency histograms (event-ring publish to worker
+	// pop, and application callback duration). final freezes the last
+	// statistics snapshot at Close, so GetStats never races engine teardown.
 	reg          *metrics.Registry
 	em           *core.Metrics
 	workerBatchH *metrics.Histogram
+	stageWorkerH *metrics.Histogram
+	callbackH    *metrics.Histogram
 	final        *Stats
 
 	onCreate Handler
@@ -192,6 +196,16 @@ func Create(cfg Config) (*Handle, error) {
 		Help: "events a worker drained from a ring per wakeup",
 		Unit: "events",
 	}, 7)
+	h.stageWorkerH = h.reg.NewHistogram(metrics.Desc{
+		Name: "stage_ring_worker_ns",
+		Help: "latency from event-ring publish to worker dispatch",
+		Unit: "ns",
+	}, 38)
+	h.callbackH = h.reg.NewHistogram(metrics.Desc{
+		Name: "callback_ns",
+		Help: "application callback duration",
+		Unit: "ns",
+	}, 38)
 	return h, nil
 }
 

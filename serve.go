@@ -1,11 +1,13 @@
 package scap
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"scap/internal/metrics"
 )
@@ -27,6 +29,10 @@ type DebugServer struct {
 //     and per-core values, per-second rates windowed between scrapes,
 //     gauges, histograms, and the recent overload events (PPL pressure
 //     episodes, ring-full episodes, FDIR churn).
+//   - /debug/flight — the flight recorder's per-core decision records as
+//     JSON (oldest first); /debug/flight?format=chrome returns the same
+//     records as Chrome trace-event JSON, loadable in chrome://tracing or
+//     Perfetto (ui.perfetto.dev).
 //   - /debug/pprof/ — the standard net/http/pprof profiling endpoints.
 //   - /debug/vars — expvar's process-wide variables.
 //
@@ -50,6 +56,16 @@ func (h *Handle) Serve(addr string) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(p)
 	})
+	mux.HandleFunc("/debug/flight", func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		if req.URL.Query().Get("format") == "chrome" {
+			_ = enc.Encode(metrics.ChromeTraceFromRecords(h.reg.Flight().Snapshot()))
+			return
+		}
+		_ = enc.Encode(h.reg.Flight().Dump())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -72,9 +88,25 @@ func (h *Handle) Serve(addr string) (*DebugServer, error) {
 // port).
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately and waits for its goroutine.
+// closeGrace bounds how long Close waits for in-flight requests to finish
+// before severing their connections.
+const closeGrace = 2 * time.Second
+
+// Close shuts the server down and waits for its goroutine. It first attempts
+// a graceful Shutdown with a short deadline, so an in-flight /metrics scrape
+// or flight dump completes its response body instead of being truncated
+// mid-write; only if requests are still running at the deadline are their
+// connections closed.
 func (s *DebugServer) Close() error {
-	err := s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with requests still in flight: sever them.
+		if cerr := s.srv.Close(); cerr != nil && err == context.DeadlineExceeded {
+			err = cerr
+		}
+	}
 	<-s.done
 	return err
 }

@@ -1,6 +1,7 @@
 package scap
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"testing"
@@ -94,6 +95,137 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	}
 	if got := p2.Counter("packets_total"); got == nil || got.Total < pk.Total {
 		t.Fatalf("post-Close packets_total = %+v, want >= %d", got, pk.Total)
+	}
+}
+
+func TestServeFlightEndpoint(t *testing.T) {
+	h, err := Create(Config{Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A low cutoff makes most generated flows hit their cutoff, which emits
+	// FlightCutoff (and FDIR install) records deterministically.
+	if err := h.SetCutoff(512); err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) {})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer h.Close()
+
+	if err := h.ReplaySource(smallGen(13, 50), 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	var dump metrics.FlightDump
+	if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/flight"), &dump); err != nil {
+		t.Fatalf("parse /debug/flight: %v", err)
+	}
+	if dump.Cores != 2 || dump.Capacity == 0 {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	if len(dump.Records) == 0 || dump.Total == 0 {
+		t.Fatalf("no flight records after cutoff-heavy replay: %+v", dump)
+	}
+	var sawCutoff bool
+	for i, r := range dump.Records {
+		if r.KindName == "cutoff" {
+			sawCutoff = true
+		}
+		if i > 0 && r.TimeUnixNano < dump.Records[i-1].TimeUnixNano {
+			t.Fatal("records not ordered oldest first")
+		}
+	}
+	if !sawCutoff {
+		t.Fatalf("expected cutoff records, got %+v", dump.Records)
+	}
+
+	var tr metrics.ChromeTrace
+	if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/flight?format=chrome"), &tr); err != nil {
+		t.Fatalf("parse chrome trace: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 || tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("chrome trace = %+v", tr)
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat != "flight" || (ev.Ph != "i" && ev.Ph != "X") || ev.TS < 0 {
+			t.Fatalf("malformed trace event: %+v", ev)
+		}
+	}
+
+	// The drop-attribution table is present in /metrics and includes the
+	// cutoff cause with a nonzero count.
+	p, err := metrics.ParsePayload(getBody(t, "http://"+srv.Addr()+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cutoffDrops *metrics.CounterPayload
+	for i := range p.Drops {
+		if p.Drops[i].Cause == "cutoff" {
+			cutoffDrops = &p.Drops[i]
+		}
+	}
+	if cutoffDrops == nil || cutoffDrops.Total == 0 {
+		t.Fatalf("drops table missing a nonzero cutoff row: %+v", p.Drops)
+	}
+}
+
+// TestDebugServerGracefulClose verifies Close drains in-flight requests
+// instead of severing them: a /debug/pprof/trace request that streams for a
+// full second must complete its body while Close is underway.
+func TestDebugServerGracefulClose(t *testing.T) {
+	h, err := Create(Config{Queues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		n   int
+		err error
+	}
+	got := make(chan result, 1)
+	started := make(chan struct{})
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			close(started)
+			got <- result{0, err}
+			return
+		}
+		close(started) // headers received: the request is in flight
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{len(b), err}
+	}()
+	<-started
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful Close failed: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request was severed by Close: %v", r.err)
+	}
+	if r.n == 0 {
+		t.Fatal("trace body empty")
+	}
+	// The listener is really gone.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still accepting requests after Close")
 	}
 }
 

@@ -19,14 +19,16 @@ type Stats struct {
 	RedirectedFlows uint64 // steered by load-balancing filters
 
 	// Kernel path.
-	Packets        uint64 // packets processed by the engines
-	PayloadBytes   uint64 // transport payload seen
-	StoredBytes    uint64 // payload written to stream memory
-	CutoffPkts     uint64 // discarded beyond stream cutoffs
-	CutoffBytes    uint64
-	PPLDroppedPkts uint64 // shed by prioritized packet loss
-	EventsLost     uint64 // chunks lost to full event queues
-	DecodeErrors   uint64
+	Packets           uint64 // packets processed by the engines
+	PayloadBytes      uint64 // transport payload seen
+	StoredBytes       uint64 // payload written to stream memory
+	CutoffPkts        uint64 // discarded beyond stream cutoffs
+	CutoffBytes       uint64
+	PPLDroppedPkts    uint64 // shed by prioritized packet loss
+	EventsLost        uint64 // chunks lost to full event queues
+	FilterIgnoredPkts uint64 // packets of streams rejected by the BPF filter
+	ArenaExhausted    uint64 // chunks diverted to heap buffers with no arena block free
+	DecodeErrors      uint64
 
 	// Streams.
 	StreamsCreated uint64 // stream directions tracked
@@ -75,14 +77,16 @@ func (h *Handle) statsFromRegistry() Stats {
 		DroppedRing:     s.CounterTotal("nic_dropped_ring_total"),
 		RedirectedFlows: s.CounterTotal("nic_redirected_total"),
 
-		Packets:        s.CounterTotal("packets_total"),
-		PayloadBytes:   s.CounterTotal("payload_bytes_total"),
-		StoredBytes:    s.CounterTotal("stored_bytes_total"),
-		CutoffPkts:     s.CounterTotal("cutoff_pkts_total"),
-		CutoffBytes:    s.CounterTotal("cutoff_bytes_total"),
-		PPLDroppedPkts: s.CounterTotal("ppl_dropped_pkts_total"),
-		EventsLost:     s.CounterTotal("events_lost_total"),
-		DecodeErrors:   s.CounterTotal("decode_errors_total"),
+		Packets:           s.CounterTotal("packets_total"),
+		PayloadBytes:      s.CounterTotal("payload_bytes_total"),
+		StoredBytes:       s.CounterTotal("stored_bytes_total"),
+		CutoffPkts:        s.CounterTotal("cutoff_pkts_total"),
+		CutoffBytes:       s.CounterTotal("cutoff_bytes_total"),
+		PPLDroppedPkts:    s.CounterTotal("ppl_dropped_pkts_total"),
+		EventsLost:        s.CounterTotal("events_lost_total"),
+		FilterIgnoredPkts: s.CounterTotal("filter_ignored_pkts_total"),
+		ArenaExhausted:    s.CounterTotal("arena_exhausted_total"),
+		DecodeErrors:      s.CounterTotal("decode_errors_total"),
 
 		StreamsCreated: s.CounterTotal("streams_created_total"),
 		StreamsClosed:  s.CounterTotal("streams_closed_total"),
