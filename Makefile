@@ -17,11 +17,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs scaplint, the repo's own static-analysis suite (hot-path
-# allocation, hot-path locking, snapshot-getter, and lock-discipline
-# invariants).
+# lint runs scaplint, the repo's own static-analysis suite: the
+# per-package checks (hot-path allocation and locking, snapshot-getter,
+# lock-discipline, metrics-registration, exported-doc invariants) plus
+# the whole-program concurrency-contract analyzers (goroutine ownership,
+# atomic-field discipline, hot-path blocking). -unusedignores also fails
+# on stale or unjustified //scaplint:ignore directives.
 lint:
-	$(GO) run ./cmd/scaplint ./...
+	$(GO) run ./cmd/scaplint -unusedignores ./...
 
 # bench-quick compiles and runs every benchmark for a single iteration —
 # a smoke test that the bench harnesses stay buildable and terminate, not

@@ -75,7 +75,12 @@ func (c *captureState) start() {
 }
 
 // kernelLoop is one core's softirq-equivalent: it pulls frame batches for
-// its queue and drives the engine, running timer work between batches.
+// its queue and drives the engine, running timer work between batches. One
+// runs per NIC queue, and it is the sole goroutine driving that queue's
+// Engine — the producer side of the engine's event ring and the consumer
+// side of its arena free pool.
+//
+//scap:goroutine engine
 func (c *captureState) kernelLoop(q int) {
 	defer c.kernelWG.Done()
 	eng := c.h.engines[q]
@@ -174,7 +179,11 @@ func (c *captureState) returnBlock(ws *workerState, core int, h mem.Handle) {
 }
 
 // workerLoop drains the worker's event queues a batch at a time,
-// dispatching callbacks (the Scap stub's event-dispatch loop, §5.8).
+// dispatching callbacks (the Scap stub's event-dispatch loop, §5.8). It is
+// the consumer side of its queues' event rings and the producer side of
+// the corresponding cores' arena return rings.
+//
+//scap:goroutine worker
 func (c *captureState) workerLoop(w int) {
 	defer c.workerWG.Done()
 	h := c.h
@@ -403,6 +412,7 @@ func (c *captureState) inject(data []byte, ts int64) {
 	if !ok {
 		return
 	}
+	//scaplint:ignore hotpathblock intentional backpressure: when a kernel goroutine falls behind, the frame-channel send parks the injector instead of growing an unbounded backlog
 	c.frameCh[q] <- []nic.Frame{f} //scaplint:ignore hotpathalloc single-frame fallback; the replay paths batch through injectBatch instead
 }
 

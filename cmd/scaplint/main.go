@@ -1,22 +1,36 @@
 // Command scaplint runs the repo's custom static analyzers over the
-// module: statssnapshot (racy snapshot getters on shared types),
-// hotpathalloc (allocations on the //scap:hotpath per-packet path),
-// hotpathlock (sync.Mutex/RWMutex acquisition on that same path), and
-// lockdiscipline ("guarded by mu" field access outside the mutex).
+// module. The per-package suite checks racy snapshot getters
+// (statssnapshot), allocation, locking, and blocking on the
+// //scap:hotpath per-packet path (hotpathalloc, hotpathlock), "guarded
+// by mu" field access outside the mutex (lockdiscipline), metrics
+// registration discipline (metricreg), and doc comments on the public
+// API (exporteddoc). The whole-program suite builds a module-wide call
+// graph and verifies concurrency contracts: goroutine ownership of
+// single-writer state and SPSC ring ends (ownership), mixed
+// atomic/plain field access and 64-bit atomic alignment (atomicfield),
+// and blocking operations reachable from the hot path (hotpathblock).
 //
 // Usage:
 //
 //	go run ./cmd/scaplint ./...          # whole module (the default)
 //	go run ./cmd/scaplint ./internal/core ./internal/event
 //	go run ./cmd/scaplint -list          # print the analyzer suite
+//	go run ./cmd/scaplint -json ./...    # findings as a JSON array
+//	go run ./cmd/scaplint -unusedignores ./...  # also flag stale/bare ignores
 //
 // scaplint exits 1 when it reports findings and 2 on usage or load errors.
 // Suppress an individual finding with a justification:
 //
 //	x = append(x, y) //scaplint:ignore hotpathalloc appends into preallocated capacity
+//
+// With -unusedignores, a //scaplint:ignore that no longer suppresses
+// anything, names an unknown analyzer, is missing its reason, or is bare
+// (no analyzer name) becomes a finding itself, so suppressions cannot
+// silently outlive the code they excused.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +38,21 @@ import (
 	"scap/internal/analysis"
 )
 
+// jsonFinding is the -json wire shape of one diagnostic, one object per
+// finding, matching the text output's file:line:col: analyzer: message.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	verbose := flag.Bool("v", false, "print progress and type-load warnings")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	unusedIgnores := flag.Bool("unusedignores", false, "flag stale, bare, unknown-analyzer, and unjustified //scaplint:ignore directives")
 	flag.Parse()
 
 	if *list {
@@ -65,9 +91,32 @@ func main() {
 			}
 		}
 	}
-	diags := analysis.RunAll(pkgs, analysis.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	suite := analysis.All()
+	res := analysis.Run(pkgs, suite)
+	diags := res.Diags
+	if *unusedIgnores {
+		diags = append(diags, analysis.UnusedIgnoreDiagnostics(res, suite)...)
+	}
+	if *jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "scaplint: %d finding(s)\n", len(diags))

@@ -76,6 +76,14 @@ func wantsOf(t *testing.T, p *Package) []expectation {
 func checkAnalyzer(t *testing.T, a *Analyzer, p *Package) []Diagnostic {
 	t.Helper()
 	diags := RunAll([]*Package{p}, []*Analyzer{a})
+	matchWants(t, p, diags)
+	return diags
+}
+
+// matchWants requires an exact 1:1 match between diags and the fixture's
+// want comments: same file, same line, matching analyzer name and message.
+func matchWants(t *testing.T, p *Package, diags []Diagnostic) {
+	t.Helper()
 	wants := wantsOf(t, p)
 	matched := make([]bool, len(wants))
 outer:
@@ -105,7 +113,6 @@ outer:
 			t.Errorf("diagnostic without a full position: %s", d)
 		}
 	}
-	return diags
 }
 
 // positionOf returns file:line:col for the diagnostic whose message

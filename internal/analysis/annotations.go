@@ -17,6 +17,30 @@ const (
 	publicapiMarker = "scap:publicapi"
 	// ignoreMarker suppresses diagnostics on its line or the line below.
 	ignoreMarker = "scaplint:ignore"
+
+	// goroutineMarker marks a function as a goroutine entry point running
+	// under the named role: "//scap:goroutine <role> [prose]".
+	goroutineMarker = "scap:goroutine"
+	// ownerMarker marks a struct whose methods may only be reached from
+	// the named role's goroutines: "//scap:owner <role>".
+	ownerMarker = "scap:owner"
+	// spscMarker marks a single-producer/single-consumer type:
+	// "//scap:spsc producer=<role> consumer=<role>".
+	spscMarker = "scap:spsc"
+	// produceMarker marks a producer-side method of an spsc type:
+	// "//scap:produce [TypeName]" (TypeName defaults to the receiver).
+	produceMarker = "scap:produce"
+	// consumeMarker marks a consumer-side method of an spsc type.
+	consumeMarker = "scap:consume"
+	// anyroleMarker exempts one method of an owned struct from the owner
+	// constraint: "//scap:anyrole <why it is safe from any goroutine>".
+	anyroleMarker = "scap:anyrole"
+	// onlyroleMarker constrains a single function to the listed roles:
+	// "//scap:onlyrole <role> [role...]".
+	onlyroleMarker = "scap:onlyrole"
+	// atomicsMarker marks a struct whose every field must be a sync/atomic
+	// type (or padding, or a nested //scap:atomics struct).
+	atomicsMarker = "scap:atomics"
 )
 
 // hasMarker reports whether any comment line of cg is "//<marker>" with
@@ -32,6 +56,29 @@ func hasMarker(cg *ast.CommentGroup, marker string) bool {
 		}
 	}
 	return false
+}
+
+// markerArgs returns the whitespace-separated tokens following marker on
+// the first comment line of cg that carries it, and whether the marker was
+// present at all. "//scap:goroutine engine one per queue" yields
+// ["engine", "one", "per", "queue"]; callers decide how many leading
+// tokens are arguments and treat the rest as prose.
+func markerArgs(cg *ast.CommentGroup, marker string) ([]string, bool) {
+	if cg == nil {
+		return nil, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(text, marker)
+		if !ok {
+			continue
+		}
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			continue // e.g. scap:hotpathx
+		}
+		return strings.Fields(rest), true
+	}
+	return nil, false
 }
 
 // hotpathFuncs returns the functions of p marked //scap:hotpath.
@@ -170,14 +217,29 @@ func receiverName(fd *ast.FuncDecl) string {
 
 // --- suppressions ---
 
-type suppressionSet struct {
-	// byLine maps filename -> line -> analyzer names (or "all").
-	byLine map[string]map[int]map[string]bool
+// ignoreDirective is one parsed //scaplint:ignore comment. Analyzer is ""
+// for a bare directive (which suppresses every analyzer); Reason is the
+// free text after the analyzer name. used is set when the directive
+// suppresses at least one diagnostic during a run.
+type ignoreDirective struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	used     bool
 }
 
-// suppressions collects every //scaplint:ignore comment in the package.
-func (p *Package) suppressions() suppressionSet {
-	s := suppressionSet{byLine: make(map[string]map[int]map[string]bool)}
+type suppressionSet struct {
+	directives []*ignoreDirective
+	// byLine maps filename -> line -> directives on that line.
+	byLine map[string]map[int][]*ignoreDirective
+}
+
+func newSuppressionSet() *suppressionSet {
+	return &suppressionSet{byLine: make(map[string]map[int][]*ignoreDirective)}
+}
+
+// collect adds every //scaplint:ignore comment of p to the set.
+func (s *suppressionSet) collect(p *Package) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -186,42 +248,52 @@ func (p *Package) suppressions() suppressionSet {
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				pos := p.Fset.Position(c.Pos())
-				lines := s.byLine[pos.Filename]
+				// A later "//" starts a new comment on the same line (the
+				// fixture files pair directives with // want comments);
+				// only the text before it belongs to the directive.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				dir := &ignoreDirective{Pos: p.Fset.Position(c.Pos())}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					dir.Analyzer = fields[0]
+					dir.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				s.directives = append(s.directives, dir)
+				lines := s.byLine[dir.Pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					s.byLine[pos.Filename] = lines
+					lines = make(map[int][]*ignoreDirective)
+					s.byLine[dir.Pos.Filename] = lines
 				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
-				if len(fields) == 0 {
-					names["all"] = true
-				} else {
-					names[fields[0]] = true
-				}
+				lines[dir.Pos.Line] = append(lines[dir.Pos.Line], dir)
 			}
 		}
 	}
+}
+
+// suppressions collects every //scaplint:ignore comment in the package.
+func (p *Package) suppressions() *suppressionSet {
+	s := newSuppressionSet()
+	s.collect(p)
 	return s
 }
 
 // matches reports whether d is suppressed by an ignore comment on its own
-// line or on the line directly above it.
-func (s suppressionSet) matches(d Diagnostic) bool {
+// line or on the line directly above it, and marks every matching
+// directive as used.
+func (s *suppressionSet) matches(d Diagnostic) bool {
 	lines := s.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if names := lines[line]; names != nil {
-			if names["all"] || names[d.Analyzer] {
-				return true
+		for _, dir := range lines[line] {
+			if dir.Analyzer == "" || dir.Analyzer == d.Analyzer {
+				dir.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }

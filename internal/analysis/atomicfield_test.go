@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicField(t *testing.T) {
+	_, pkg := loadFixtures(t, "atomicfield")
+	diags := checkAnalyzer(t, AtomicField, pkg)
+
+	// The pre-PR-1 Engine.Stats shape: plain counter increment on the
+	// packet path, atomic load in the stats getter.
+	if got := positionOf(t, diags, "plain write to field frames"); got != "fixtures.go:19:2" {
+		t.Errorf("plain write at %s, want fixtures.go:19:2", got)
+	}
+	// Each finding cross-references where the atomic access lives.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "plain write to field frames") &&
+			!strings.Contains(d.Message, "LoadUint64 at fixtures.go:") {
+			t.Errorf("finding lacks the atomic-site cross-reference: %s", d.Message)
+		}
+	}
+	// Alignment findings land on the field declaration and name the fix.
+	if got := positionOf(t, diags, "not 8-byte aligned"); got != "fixtures.go:15:2" {
+		t.Errorf("alignment finding at %s, want fixtures.go:15:2", got)
+	}
+	if msg := messageOf(t, diags, "not 8-byte aligned"); !strings.Contains(msg, "offset 20 in engine") {
+		t.Errorf("alignment finding lacks the 32-bit offset: %s", msg)
+	}
+}
+
+// messageOf returns the message of the diagnostic containing substr.
+func messageOf(t *testing.T, diags []Diagnostic, substr string) string {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return d.Message
+		}
+	}
+	t.Fatalf("no diagnostic containing %q", substr)
+	return ""
+}

@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the whole-program call graph the cross-function
+// analyzers (ownership, hotpathblock) walk. It works because the loader
+// type-checks every module package against the same *types.Package
+// objects: a method of internal/event seen from internal/core resolves to
+// the identical *types.Func, so the graph can key nodes on object
+// identity across package boundaries.
+//
+// The graph is intentionally conservative where Go is dynamic:
+//
+//   - Interface method calls and calls through stored function values
+//     resolve to no declaration and produce no edge.
+//   - "go f(...)" produces an edgeGo, which role propagation and the
+//     hot-path walk do not follow: the spawned goroutine runs under its
+//     own role (it needs its own //scap:goroutine marker) and its
+//     blocking does not block the spawner.
+//   - Taking a function's value without calling it ("mux.HandleFunc(s.h)")
+//     produces an edgeRef, also not followed: the eventual caller is
+//     unknown, so contracts on the referenced function are checked at its
+//     own entry markers instead.
+//   - A function literal's body is attributed to its enclosing declared
+//     function, except literals launched directly with "go", whose bodies
+//     belong to the new goroutine and are skipped.
+
+type edgeKind int
+
+const (
+	edgeCall edgeKind = iota // plain or deferred call
+	edgeGo                   // go statement: new goroutine
+	edgeRef                  // function value referenced, not called
+)
+
+// callEdge is one resolved caller->callee relationship.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+	kind   edgeKind
+}
+
+// funcNode is one declared function or method of the program.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	out  []callEdge
+}
+
+// Program is a set of packages analyzed together by the whole-program
+// analyzers, with a lazily built call graph over their declared functions.
+type Program struct {
+	Pkgs []*Package
+
+	nodes map[*types.Func]*funcNode
+	order []*funcNode // declaration order: packages, then files, then decls
+}
+
+// NewProgram groups pkgs for whole-program analysis.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{Pkgs: pkgs}
+}
+
+// node returns the graph node for fn, or nil if fn is not declared in the
+// program (stdlib, interface methods).
+func (prog *Program) node(fn *types.Func) *funcNode {
+	prog.buildGraph()
+	return prog.nodes[fn]
+}
+
+// funcs returns every declared function in deterministic order.
+func (prog *Program) funcs() []*funcNode {
+	prog.buildGraph()
+	return prog.order
+}
+
+func (prog *Program) buildGraph() {
+	if prog.nodes != nil {
+		return
+	}
+	prog.nodes = make(map[*types.Func]*funcNode)
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok || fn == nil {
+					continue // type error; degrade gracefully
+				}
+				n := &funcNode{fn: fn, decl: fd, pkg: p}
+				prog.nodes[fn] = n
+				prog.order = append(prog.order, n)
+			}
+		}
+	}
+	for _, n := range prog.order {
+		n.out = edgesOf(n)
+	}
+}
+
+// edgesOf collects n's outgoing edges in source order.
+func edgesOf(n *funcNode) []callEdge {
+	if n.decl.Body == nil {
+		return nil
+	}
+	info := n.pkg.Info
+
+	// Pre-pass: idents consumed as call targets (so the main pass does not
+	// double-count them as references), calls that are go statements, and
+	// function literals launched directly with go.
+	calleeIdent := make(map[*ast.Ident]bool)
+	goCall := make(map[*ast.CallExpr]bool)
+	goLit := make(map[*ast.FuncLit]bool)
+	ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.GoStmt:
+			goCall[x.Call] = true
+			if fl, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				goLit[fl] = true
+			}
+		case *ast.CallExpr:
+			switch f := unparen(x.Fun).(type) {
+			case *ast.Ident:
+				calleeIdent[f] = true
+			case *ast.SelectorExpr:
+				calleeIdent[f.Sel] = true
+			}
+		}
+		return true
+	})
+
+	var out []callEdge
+	ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			if goLit[x] {
+				return false // body runs on the spawned goroutine
+			}
+		case *ast.CallExpr:
+			if callee := calleeOf(info, x.Fun); callee != nil {
+				kind := edgeCall
+				if goCall[x] {
+					kind = edgeGo
+				}
+				out = append(out, callEdge{callee: callee, pos: x.Lparen, kind: kind})
+			}
+		case *ast.Ident:
+			if calleeIdent[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				out = append(out, callEdge{callee: fn, pos: x.Pos(), kind: edgeRef})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeOf resolves a call's target to the declared function it names, or
+// nil for dynamic calls (interface methods, function values, conversions).
+func calleeOf(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := unparen(fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// shortFuncName renders fn for diagnostics: "Type.Method" for methods,
+// "Name" for plain functions.
+func shortFuncName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// --- goroutine roles ---
+
+// roleEntry is one //scap:goroutine-marked function.
+type roleEntry struct {
+	role string
+	node *funcNode
+}
+
+// roleSet maps a role name to the predecessor function through which the
+// role first reached this node (nil predecessor for the entry itself).
+type roleSet map[string]*types.Func
+
+// roleGraph is the result of propagating goroutine roles over call edges.
+type roleGraph struct {
+	entries []roleEntry
+	roles   map[string]bool
+	reach   map[*types.Func]roleSet
+}
+
+// propagateRoles finds every //scap:goroutine entry point and walks call
+// edges (not go statements, not references) breadth-first from each,
+// recording which roles reach which functions and through whom. Entry
+// points missing a role name are reported via the returned diagnostics.
+func (prog *Program) propagateRoles() (*roleGraph, []Diagnostic) {
+	g := &roleGraph{
+		roles: make(map[string]bool),
+		reach: make(map[*types.Func]roleSet),
+	}
+	var diags []Diagnostic
+	for _, n := range prog.funcs() {
+		args, ok := markerArgs(n.decl.Doc, goroutineMarker)
+		if !ok {
+			continue
+		}
+		if len(args) == 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      n.pkg.Fset.Position(n.decl.Pos()),
+				Analyzer: "ownership",
+				Message:  "//scap:goroutine is missing its role name",
+			})
+			continue
+		}
+		g.entries = append(g.entries, roleEntry{role: args[0], node: n})
+		g.roles[args[0]] = true
+	}
+	// prog.funcs() is already deterministic; BFS per entry in that order.
+	for _, e := range g.entries {
+		g.bfs(prog, e)
+	}
+	return g, diags
+}
+
+func (g *roleGraph) bfs(prog *Program, e roleEntry) {
+	start := e.node.fn
+	if rs := g.reach[start]; rs != nil {
+		if _, ok := rs[e.role]; ok {
+			// Another entry of the same role already covered this
+			// function and, transitively, everything below it.
+			return
+		}
+	}
+	g.mark(start, e.role, nil)
+	queue := []*funcNode{e.node}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, edge := range n.out {
+			if edge.kind != edgeCall {
+				continue
+			}
+			next := prog.node(edge.callee)
+			if next == nil {
+				continue
+			}
+			if rs := g.reach[next.fn]; rs != nil {
+				if _, ok := rs[e.role]; ok {
+					continue
+				}
+			}
+			g.mark(next.fn, e.role, n.fn)
+			queue = append(queue, next)
+		}
+	}
+}
+
+func (g *roleGraph) mark(fn *types.Func, role string, pred *types.Func) {
+	rs := g.reach[fn]
+	if rs == nil {
+		rs = make(roleSet)
+		g.reach[fn] = rs
+	}
+	rs[role] = pred
+}
+
+// chain reconstructs the call path "entry → ... → fn" by which role
+// reached fn, for diagnostics. Long chains keep both ends.
+func (g *roleGraph) chain(fn *types.Func, role string) string {
+	var names []string
+	for cur := fn; cur != nil; {
+		names = append(names, shortFuncName(cur))
+		rs := g.reach[cur]
+		if rs == nil {
+			break
+		}
+		pred, ok := rs[role]
+		if !ok || pred == nil {
+			break
+		}
+		cur = pred
+		if len(names) > 32 {
+			break // cycle guard; the graph has recursion
+		}
+	}
+	// names is fn-first; reverse to entry-first.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) > 8 {
+		names = append(append([]string{}, names[:4]...), append([]string{"…"}, names[len(names)-3:]...)...)
+	}
+	return strings.Join(names, " → ")
+}
+
+// sortedRoles returns the roles of rs in stable order.
+func (rs roleSet) sorted() []string {
+	out := make([]string, 0, len(rs))
+	for r := range rs {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

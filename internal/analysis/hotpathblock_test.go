@@ -1,0 +1,25 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPathBlock(t *testing.T) {
+	_, pkg := loadFixtures(t, "hotpathblock")
+	diags := checkAnalyzer(t, HotPathBlock, pkg)
+
+	// A blocking site inside a marked function reports the function
+	// itself; a transitive site reports the witness chain from the root.
+	if got := positionOf(t, diags, "channel send"); got != "fixtures.go:19:7" {
+		t.Errorf("send finding at %s, want fixtures.go:19:7", got)
+	}
+	sleep := messageOf(t, diags, "time.Sleep")
+	if !strings.Contains(sleep, "reached from //scap:hotpath q.poll → q.parkUntil") {
+		t.Errorf("transitive finding lacks the witness chain: %s", sleep)
+	}
+	direct := messageOf(t, diags, "channel receive")
+	if !strings.Contains(direct, "in //scap:hotpath q.drainOne") {
+		t.Errorf("direct finding misattributed: %s", direct)
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestEveryAnalyzerHasFixtures asserts the suite stays testable: every
+// analyzer registered in All() (what cmd/scaplint runs) must have a
+// testdata/src/<name> fixture directory containing at least one
+// "// want <name>" expectation, so a new analyzer cannot land without an
+// exact-position fixture test.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range All() {
+		if a.Name == "" {
+			t.Fatal("analyzer with empty name registered")
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunProgram", a.Name)
+		}
+		dir := filepath.Join("testdata", "src", a.Name)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %s has no fixture directory %s: %v", a.Name, dir, err)
+			continue
+		}
+		wantRe := regexp.MustCompile(`//\s*want\s+` + regexp.QuoteMeta(a.Name) + `\s+"`)
+		found := false
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantRe.Match(data) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("analyzer %s has no \"// want %s\" expectation under %s", a.Name, a.Name, dir)
+		}
+	}
+}

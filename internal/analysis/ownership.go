@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Ownership verifies goroutine-ownership contracts over the whole-program
+// call graph. //scap:goroutine <role> marks goroutine entry points; the
+// analyzer propagates each role over static call edges and checks that
+// constrained functions are only reached from their allowed roles:
+//
+//   - methods of a //scap:owner <role> struct may only be reached from
+//     that role (//scap:anyrole exempts individually audited methods);
+//   - //scap:produce methods of a //scap:spsc type only from its producer
+//     role, //scap:consume methods only from its consumer role;
+//   - //scap:onlyrole <roles> functions only from the listed roles.
+//
+// Code not reachable from any marked entry point (setup paths, public
+// API, cmd tools, the single-threaded simulator) carries no role and is
+// never a violation: the contract restricts which *marked* goroutines may
+// reach a function, and only whole-module runs see every entry point.
+var Ownership = &Analyzer{
+	Name:       "ownership",
+	Doc:        "goroutine-ownership contracts: //scap:goroutine roles vs //scap:owner, //scap:spsc produce/consume, and //scap:onlyrole constraints",
+	RunProgram: runOwnership,
+}
+
+// spscContract is one //scap:spsc-annotated type.
+type spscContract struct {
+	producer string
+	consumer string
+	pos      token.Position
+}
+
+// roleConstraint restricts one function to a set of roles.
+type roleConstraint struct {
+	allowed map[string]bool
+	label   string // human form of the constraint for diagnostics
+}
+
+func runOwnership(prog *Program) []Diagnostic {
+	roleg, diags := prog.propagateRoles()
+
+	// Per-package spsc declarations, keyed by package then type name:
+	// produce/consume markers resolve against the declaring package.
+	spscByPkg := make(map[*Package]map[string]spscContract)
+	for _, p := range prog.Pkgs {
+		for _, ns := range structTypes(p) {
+			args, ok := structMarkerArgs(p, ns, spscMarker)
+			if !ok {
+				continue
+			}
+			c := spscContract{pos: p.Fset.Position(ns.Spec.Pos())}
+			for _, a := range args {
+				switch {
+				case cutValue(a, "producer=", &c.producer):
+				case cutValue(a, "consumer=", &c.consumer):
+				default:
+					// First non key=value token starts trailing prose.
+				}
+			}
+			if c.producer == "" || c.consumer == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      c.pos,
+					Analyzer: "ownership",
+					Message:  fmt.Sprintf("//scap:spsc on %s needs producer=<role> and consumer=<role>", ns.Name),
+				})
+				continue
+			}
+			m := spscByPkg[p]
+			if m == nil {
+				m = make(map[string]spscContract)
+				spscByPkg[p] = m
+			}
+			m[ns.Name] = c
+		}
+	}
+
+	// Owner structs: every method is constrained unless //scap:anyrole.
+	constraints := make(map[*types.Func]roleConstraint)
+	addConstraint := func(fn *types.Func, roles []string, label string) {
+		c, ok := constraints[fn]
+		if !ok {
+			c = roleConstraint{allowed: make(map[string]bool), label: label}
+		}
+		for _, r := range roles {
+			c.allowed[r] = true
+		}
+		constraints[fn] = c
+	}
+	for _, p := range prog.Pkgs {
+		for _, ns := range structTypes(p) {
+			args, ok := structMarkerArgs(p, ns, ownerMarker)
+			if !ok {
+				continue
+			}
+			if len(args) == 0 {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(ns.Spec.Pos()),
+					Analyzer: "ownership",
+					Message:  fmt.Sprintf("//scap:owner on %s is missing role name", ns.Name),
+				})
+				continue
+			}
+			role := args[0]
+			for _, fd := range methodsOf(p, ns.Name) {
+				if _, any := markerArgs(fd.Doc, anyroleMarker); any {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+					addConstraint(fn, []string{role},
+						fmt.Sprintf("a method of %s (owned by role %s)", ns.Name, role))
+				}
+			}
+		}
+	}
+
+	// produce/consume and onlyrole markers on individual functions.
+	for _, n := range prog.funcs() {
+		fd, p := n.decl, n.pkg
+		for _, m := range []struct {
+			marker string
+			side   string
+		}{{produceMarker, "producer"}, {consumeMarker, "consumer"}} {
+			args, ok := markerArgs(fd.Doc, m.marker)
+			if !ok {
+				continue
+			}
+			typeName := receiverTypeNameOf(fd)
+			if len(args) > 0 {
+				typeName = args[0]
+			}
+			contract, ok := spscByPkg[p][typeName]
+			if !ok {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(fd.Pos()),
+					Analyzer: "ownership",
+					Message: fmt.Sprintf("//%s on %s references unknown //scap:spsc type %q",
+						m.marker, fd.Name.Name, typeName),
+				})
+				continue
+			}
+			role := contract.producer
+			if m.side == "consumer" {
+				role = contract.consumer
+			}
+			addConstraint(n.fn, []string{role},
+				fmt.Sprintf("%s-side of SPSC %s (role %s)", m.side, typeName, role))
+		}
+		if args, ok := markerArgs(fd.Doc, onlyroleMarker); ok {
+			if len(args) == 0 {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(fd.Pos()),
+					Analyzer: "ownership",
+					Message:  fmt.Sprintf("//scap:onlyrole on %s lists no roles", fd.Name.Name),
+				})
+				continue
+			}
+			addConstraint(n.fn, args, fmt.Sprintf("restricted to role(s) %v by //scap:onlyrole", args))
+		}
+	}
+
+	// Every role a constraint names must have at least one entry point,
+	// or the contract is unverifiable (and likely a typo).
+	reported := make(map[string]bool)
+	for _, n := range prog.funcs() {
+		c, ok := constraints[n.fn]
+		if !ok {
+			continue
+		}
+		for _, role := range sortedKeys(c.allowed) {
+			if roleg.roles[role] || reported[role] {
+				continue
+			}
+			reported[role] = true
+			diags = append(diags, Diagnostic{
+				Pos:      n.pkg.Fset.Position(n.decl.Pos()),
+				Analyzer: "ownership",
+				Message:  fmt.Sprintf("role %q has no //scap:goroutine entry point in the analyzed packages (typo, or run scaplint on the whole module)", role),
+			})
+		}
+	}
+
+	// The check: every call edge that carries a disallowed role into a
+	// constrained function is a violation, reported at the call site so
+	// the offending call — not the contract — gets the finding.
+	for _, n := range prog.funcs() {
+		callerRoles := roleg.reach[n.fn]
+		if len(callerRoles) == 0 {
+			continue
+		}
+		for _, e := range n.out {
+			if e.kind != edgeCall {
+				continue
+			}
+			c, ok := constraints[e.callee]
+			if !ok {
+				continue
+			}
+			for _, role := range callerRoles.sorted() {
+				if c.allowed[role] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      n.pkg.Fset.Position(e.pos),
+					Analyzer: "ownership",
+					Message: fmt.Sprintf("%s is %s, but goroutine role %s calls it here: %s → %s",
+						shortFuncName(e.callee), c.label, role,
+						roleg.chain(n.fn, role), shortFuncName(e.callee)),
+				})
+			}
+		}
+	}
+	// An entry point that is itself constrained to a different role.
+	for _, e := range roleg.entries {
+		c, ok := constraints[e.node.fn]
+		if !ok || c.allowed[e.role] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      e.node.pkg.Fset.Position(e.node.decl.Pos()),
+			Analyzer: "ownership",
+			Message: fmt.Sprintf("%s is %s, but is itself a //scap:goroutine %s entry point",
+				shortFuncName(e.node.fn), c.label, e.role),
+		})
+	}
+	return diags
+}
+
+// structMarkerArgs honors a marker on the TypeSpec doc or, for a
+// single-spec GenDecl, the GenDecl doc (mirroring structTypes' handling
+// of //scap:shared).
+func structMarkerArgs(p *Package, ns namedStruct, marker string) ([]string, bool) {
+	if args, ok := markerArgs(ns.Spec.Doc, marker); ok {
+		return args, true
+	}
+	if gd := enclosingGenDecl(p, ns.Spec); gd != nil && len(gd.Specs) == 1 {
+		if args, ok := markerArgs(gd.Doc, marker); ok {
+			return args, true
+		}
+	}
+	return nil, false
+}
+
+func enclosingGenDecl(p *Package, ts *ast.TypeSpec) *ast.GenDecl {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+				for _, spec := range gd.Specs {
+					if spec == ts {
+						return gd
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverTypeNameOf is receiverTypeName tolerant of plain functions.
+func receiverTypeNameOf(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	return receiverTypeName(fd)
+}
+
+func cutValue(tok, prefix string, dst *string) bool {
+	if v, ok := strings.CutPrefix(tok, prefix); ok {
+		*dst = v
+		return true
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOwnership(t *testing.T) {
+	_, pkg := loadFixtures(t, "ownership")
+	diags := checkAnalyzer(t, Ownership, pkg)
+
+	// Exact positions: the wrong-role push inside consumeLoop (line 57)
+	// and the transitive one inside helperPush.
+	if got := positionOf(t, diags, "consumeLoop → ring.push"); got != "fixtures.go:57:8" {
+		t.Errorf("direct violation at %s, want fixtures.go:57:8", got)
+	}
+	if got := positionOf(t, diags, "helperPush → ring.push"); got != "fixtures.go:65:8" {
+		t.Errorf("transitive violation at %s, want fixtures.go:65:8", got)
+	}
+
+	// The transitive chain names every hop from the entry point.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "consumeLoop → helperPush → ring.push") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic carries the transitive chain consumeLoop → helperPush → ring.push:\n%v", diags)
+	}
+}
+
+// TestOwnershipRolePropagation pins the graph semantics the contracts
+// rely on: go statements and plain references do not leak roles.
+func TestOwnershipRolePropagation(t *testing.T) {
+	_, pkg := loadFixtures(t, "ownership")
+	diags := RunAll([]*Package{pkg}, []*Analyzer{Ownership})
+	for _, d := range diags {
+		// produceLoop launches consumeLoop with go; if go edges leaked
+		// the producer role, pop would be flagged producer-side.
+		if strings.Contains(d.Message, "ring.pop") {
+			t.Errorf("role leaked across a go statement or reference: %s", d)
+		}
+		// setup touches everything but is unrooted: never a violation.
+		if strings.Contains(d.Message, "setup") {
+			t.Errorf("unrooted setup code was flagged: %s", d)
+		}
+	}
+}

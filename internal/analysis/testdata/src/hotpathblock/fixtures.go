@@ -1,0 +1,82 @@
+// Package hotpathblock exercises the blocking-call analyzer: functions
+// marked //scap:hotpath, and everything they transitively call, must not
+// block.
+package hotpathblock
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type q struct {
+	ch   chan int
+	wake chan struct{}
+}
+
+//scap:hotpath
+func (s *q) push(v int) {
+	s.ch <- v // want hotpathblock "channel send"
+	s.wakeup()
+}
+
+// wakeup is the sanctioned non-blocking notify idiom: a select with a
+// default case never parks, so neither the select nor its case send is
+// flagged.
+func (s *q) wakeup() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+//scap:hotpath
+func (s *q) drainOne() int {
+	return <-s.ch // want hotpathblock "channel receive"
+}
+
+// parkUntil is cold code that blocks; it becomes a finding only because
+// poll below pulls it onto the hot path.
+func (s *q) parkUntil() {
+	time.Sleep(time.Millisecond) // want hotpathblock "time.Sleep"
+	select { // want hotpathblock "blocking select"
+	case <-s.ch:
+	case <-s.wake:
+	}
+}
+
+//scap:hotpath
+func (s *q) poll() {
+	if len(s.ch) == 0 {
+		s.parkUntil()
+	}
+	s.persist()
+}
+
+func (s *q) persist() {
+	_ = os.WriteFile("spill", nil, 0o644) // want hotpathblock "call into os"
+}
+
+//scap:hotpath
+func (s *q) flushAll() {
+	for v := range s.ch { // want hotpathblock "range over channel"
+		_ = v
+	}
+}
+
+//scap:hotpath
+func barrier(wg *sync.WaitGroup) {
+	wg.Wait() // want hotpathblock "sync.WaitGroup.Wait"
+}
+
+// cold is not reachable from any //scap:hotpath function, so its blocking
+// receive is fine; spawn launching it with go does not pull it in.
+func (s *q) cold() { <-s.wake }
+
+//scap:hotpath
+func (s *q) spawn() {
+	go s.cold()
+	go func() {
+		<-s.wake // the goroutine body runs elsewhere: not a finding
+	}()
+}

@@ -77,7 +77,9 @@ func (q *ctrlQueue) push(c Ctrl) {
 }
 
 // drain swaps out the pending messages; the caller processes them outside
-// the lock.
+// the lock. Only the owning engine drains.
+//
+//scap:onlyrole engine
 func (q *ctrlQueue) drain(buf []Ctrl) []Ctrl {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -90,6 +92,8 @@ func (q *ctrlQueue) drain(buf []Ctrl) []Ctrl {
 }
 
 // Control enqueues a control message for this engine.
+//
+//scap:anyrole the control queue is mutex-guarded MPSC
 func (e *Engine) Control(c Ctrl) { e.ctrl.push(c) }
 
 // applyCtrl executes one validated control message.

@@ -91,7 +91,12 @@ func (h *filterHeap) Pop() any          { old := *h; n := len(old); e := old[n-1
 // that may call HandleFrame, HandlePacket, CheckTimers, and Shutdown;
 // Stats and Control are safe from any goroutine.
 //
+// The ownership analyzer enforces the single-writer rule statically:
+// every method is restricted to the engine role except the //scap:anyrole
+// accessors, which are individually audited for cross-goroutine safety.
+//
 //scap:shared
+//scap:owner engine
 type Engine struct {
 	cfg    Config
 	mm     *mem.Manager
@@ -187,6 +192,8 @@ func NewEngine(opts Options) *Engine {
 // packet, like reading /proc counters). The same numbers — plus totals,
 // per-core breakdowns, and rates — are available through the shared
 // metrics registry (Metrics.Registry).
+//
+//scap:anyrole every counter is read through sync/atomic
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Frames:       e.c.frames.Load(),
@@ -223,18 +230,26 @@ func (e *Engine) Stats() Stats {
 
 // Metrics returns the engine's instrument bundle (the shared one from
 // Options, or the engine's private bundle when none was given).
+//
+//scap:anyrole immutable after construction
 func (e *Engine) Metrics() *Metrics { return e.m }
 
 // Table exposes the flow table (tests and the simulator use it).
+//
+//scap:anyrole immutable after construction
 func (e *Engine) Table() *flowtab.Table { return e.table }
 
 // Queue returns the engine's event queue.
+//
+//scap:anyrole immutable after construction
 func (e *Engine) Queue() *event.Queue { return e.q }
 
 // Now returns the engine's current virtual time (last packet or timer).
 func (e *Engine) Now() int64 { return e.now }
 
 // CoreID returns the engine's core (queue) index.
+//
+//scap:anyrole immutable after construction
 func (e *Engine) CoreID() int { return e.coreID }
 
 // DrainControls applies pending control messages and flushes any events

@@ -112,6 +112,7 @@ type PacketRecord struct {
 // itself) merely cause one extra loop iteration.
 //
 //scap:shared
+//scap:spsc producer=engine consumer=worker
 type Queue struct {
 	buf  []Event
 	mask uint64
@@ -173,6 +174,7 @@ func (q *Queue) wakeConsumer() {
 // drop) or closed. Producer side only.
 //
 //scap:hotpath
+//scap:produce
 func (q *Queue) Push(e Event) bool {
 	if q.closed.Load() {
 		return false
@@ -198,6 +200,7 @@ func (q *Queue) Push(e Event) bool {
 // only.
 //
 //scap:hotpath
+//scap:produce
 func (q *Queue) PushBatch(evs []Event) int {
 	if len(evs) == 0 || q.closed.Load() {
 		return 0
@@ -224,6 +227,8 @@ func (q *Queue) PushBatch(evs []Event) int {
 }
 
 // Poll removes the next event without blocking. Consumer side only.
+//
+//scap:consume
 func (q *Queue) Poll() (Event, bool) {
 	h := q.head.Load()
 	if h == q.tailCache {
@@ -241,6 +246,8 @@ func (q *Queue) Poll() (Event, bool) {
 
 // PopBatch drains up to len(dst) events into dst and returns the count —
 // the worker's drain-a-batch-per-wakeup path. Consumer side only.
+//
+//scap:consume
 func (q *Queue) PopBatch(dst []Event) int {
 	if len(dst) == 0 {
 		return 0
@@ -272,6 +279,8 @@ func (q *Queue) PopBatch(dst []Event) int {
 // Wait blocks until an event is available or the queue is closed; it
 // returns false only when closed and drained — the worker's poll() loop.
 // Consumer side only.
+//
+//scap:consume
 func (q *Queue) Wait() (Event, bool) {
 	for {
 		if e, ok := q.Poll(); ok {

@@ -86,6 +86,8 @@ type segment struct {
 // coreCache is one core's block cache: the engine-owned local stack and the
 // worker-fed SPSC return ring. Padding keeps the two sides' cursors on
 // separate cache lines.
+//
+//scap:spsc producer=worker consumer=engine
 type coreCache struct {
 	// local is the engine-private free-stack (single goroutine, no atomics);
 	// depth mirrors len(local) for metrics readers.
@@ -161,6 +163,8 @@ func newArena(size int64, blockSize, cores int) *arena {
 // parks until takeFrontier kicks it (or the arena shuts down). The capture
 // path only commits inline (seg → growSeg) if allocation outruns this
 // goroutine.
+//
+//scap:goroutine committer
 func (a *arena) committer() {
 	defer close(a.done)
 	si := 0
@@ -323,6 +327,8 @@ func (a *arena) takeFrontier(want int32) (int32, int32) {
 
 // drainRing moves returned blocks from the core's SPSC ring into its local
 // stack. Consumer side: only the engine owning core calls this.
+//
+//scap:consume coreCache
 func (a *arena) drainRing(c *coreCache) {
 	h := c.rhead.Load()
 	t := c.rtail.Load()
@@ -352,6 +358,7 @@ func (c *coreCache) ringDepth() int64 {
 // chain.
 //
 //scap:hotpath
+//scap:consume coreCache
 func (m *Manager) AllocBlock(core int) (Handle, []byte) {
 	a := m.arena
 	c := a.cache(core)
@@ -413,6 +420,7 @@ func (m *Manager) allocSlow(c *coreCache) (Handle, []byte) {
 // same single-writer rule as AllocBlock); the worker path uses ReturnBlocks.
 //
 //scap:hotpath
+//scap:consume coreCache
 func (m *Manager) FreeBlock(core int, h Handle) {
 	if h == NoBlock {
 		return
@@ -449,6 +457,8 @@ func (m *Manager) freeSlow(c *coreCache, h Handle) {
 }
 
 // ReturnBlock hands one delivered block back from the worker side.
+//
+//scap:produce coreCache
 func (m *Manager) ReturnBlock(core int, h Handle) {
 	hs := [1]Handle{h}
 	m.ReturnBlocks(core, hs[:])
@@ -458,6 +468,8 @@ func (m *Manager) ReturnBlock(core int, h Handle) {
 // worker side. The caller must be the single worker draining core's event
 // queue (the ring is SPSC); a full ring spills to the global chain. One
 // cursor publication covers the whole batch.
+//
+//scap:produce coreCache
 func (m *Manager) ReturnBlocks(core int, hs []Handle) {
 	a := m.arena
 	c := a.cache(core)

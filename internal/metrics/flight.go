@@ -69,6 +69,8 @@ const defaultFlightCap = 1024
 
 // flightSlot is one record's storage. Every field is atomic so concurrent
 // writer/reader access is race-free; seq doubles as the publication flag.
+//
+//scap:atomics
 type flightSlot struct {
 	seq  atomic.Uint64 // per-core record sequence (1-based); 0 = empty or being written
 	ts   atomic.Int64  // capture-clock timestamp (unix ns)
@@ -79,6 +81,8 @@ type flightSlot struct {
 
 // flightRing is one core's ring. The cursor sits alone on its cache line so
 // writer claims never contend with neighbouring cores' cursors.
+//
+//scap:atomics
 type flightRing struct {
 	_     [64]byte
 	next  atomic.Uint64 // records ever claimed on this ring

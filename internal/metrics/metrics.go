@@ -66,6 +66,8 @@ const slabSlots = 256
 
 // Cell is one core's slot of a per-core Counter. The owning core updates it
 // with single atomic adds; any goroutine may Load it.
+//
+//scap:atomics
 type Cell struct {
 	n atomic.Uint64
 }

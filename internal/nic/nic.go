@@ -305,7 +305,11 @@ func (n *NIC) QueueLen(q int) int {
 // filter set with the earliest deadline is evicted first (the paper's
 // policy: a filter with a small timeout does not correspond to a long-lived
 // stream); the evicted key is returned so the caller can reconcile its
-// bookkeeping.
+// bookkeeping. Filter churn is driven by the engine's cutoff/priority
+// decisions, and only the owning engine goroutine reconciles evictions
+// against its stream table, so installation is engine-only.
+//
+//scap:onlyrole engine
 func (n *NIC) AddFilter(spec FilterSpec) (evicted pkt.FlowKey, didEvict bool, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -325,7 +329,10 @@ func (n *NIC) AddFilter(spec FilterSpec) (evicted pkt.FlowKey, didEvict bool, er
 }
 
 // RemoveFilters removes all filters for key and reports how many were
-// removed.
+// removed. Engine-only, like AddFilter: removal mirrors the engine's
+// stream-table bookkeeping.
+//
+//scap:onlyrole engine
 func (n *NIC) RemoveFilters(key pkt.FlowKey, signature bool) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -20,6 +20,38 @@ type DebugServer struct {
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
+	// win and reg back the handler methods; net/http invokes those from its
+	// per-connection goroutines, so they carry the debugserver role and may
+	// touch capture state only through the any-goroutine-safe read paths.
+	win *metrics.Window
+	reg *metrics.Registry
+}
+
+// handleMetrics serves /metrics: the registry as JSON with rates windowed
+// since the previous scrape.
+//
+//scap:goroutine debugserver per-request handler on net/http's connection goroutines
+func (s *DebugServer) handleMetrics(rw http.ResponseWriter, req *http.Request) {
+	p := s.win.Collect()
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p)
+}
+
+// handleFlight serves /debug/flight: the flight recorder's records as plain
+// or Chrome trace-event JSON.
+//
+//scap:goroutine debugserver per-request handler on net/http's connection goroutines
+func (s *DebugServer) handleFlight(rw http.ResponseWriter, req *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if req.URL.Query().Get("format") == "chrome" {
+		_ = enc.Encode(metrics.ChromeTraceFromRecords(s.reg.Flight().Snapshot()))
+		return
+	}
+	_ = enc.Encode(s.reg.Flight().Dump())
 }
 
 // Serve starts a debug HTTP server for the socket on addr (host:port; use
@@ -48,35 +80,22 @@ func (h *Handle) Serve(addr string) (*DebugServer, error) {
 	}
 	w := metrics.NewWindow(h.reg)
 	w.Collect() // prime: the first scrape then has a real window
+	s := &DebugServer{
+		ln:   ln,
+		done: make(chan struct{}),
+		win:  w,
+		reg:  h.reg,
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, req *http.Request) {
-		p := w.Collect()
-		rw.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(rw)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(p)
-	})
-	mux.HandleFunc("/debug/flight", func(rw http.ResponseWriter, req *http.Request) {
-		rw.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(rw)
-		enc.SetIndent("", "  ")
-		if req.URL.Query().Get("format") == "chrome" {
-			_ = enc.Encode(metrics.ChromeTraceFromRecords(h.reg.Flight().Snapshot()))
-			return
-		}
-		_ = enc.Encode(h.reg.Flight().Dump())
-	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	s := &DebugServer{
-		ln:   ln,
-		srv:  &http.Server{Handler: mux},
-		done: make(chan struct{}),
-	}
+	s.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(s.done)
 		_ = s.srv.Serve(ln)
