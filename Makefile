@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint fmt-check bench-quick serve-smoke flight-smoke check
+.PHONY: build test test-short race vet lint fmt-check bench-quick bench-flowtab serve-smoke flight-smoke check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,16 @@ lint:
 # a workflow artifact.
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | tee bench-quick.txt
+
+# bench-flowtab runs the flow-table scaling suite quickly — the per-size
+# lookup/miss curves (allocs/op must stay 0) and the million-concurrent-
+# flow end-to-end replay — so the flat-curve claim (DESIGN.md §11,
+# bench_results.txt) is tracked per-PR. 100x is a smoke iteration count:
+# enough to exercise every table size including the 2^20 case, not a
+# stable measurement. Output joins the bench-quick CI artifact.
+bench-flowtab:
+	$(GO) test -run '^$$' -bench 'BenchmarkLookup1M|BenchmarkLookupMiss' -benchtime 100x -benchmem ./internal/flowtab | tee bench-flowtab.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkInject1MFlows' -benchtime 100x -benchmem . | tee -a bench-flowtab.txt
 
 # serve-smoke replays a small trace through a socket with the debug server
 # enabled, scrapes /metrics over HTTP, and asserts nonzero packets_total —

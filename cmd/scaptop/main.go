@@ -162,6 +162,29 @@ func render(p *metrics.Payload) string {
 		fmt.Fprintf(&b, " c%d=%d", core, gaugeVal(p, fmt.Sprintf("arena_freelist_core%d", core)))
 	}
 	b.WriteString("\n")
+
+	// Flow-table health: average slot groups touched per lookup (the
+	// cache-line cost of a probe) and per-core occupancy/capacity.
+	if lk := total("flowtab_lookups_total"); lk > 0 {
+		perLookup := float64(total("flowtab_probe_groups_total")) / float64(lk)
+		fmt.Fprintf(&b, "flowtab  %12d lookups (%.2f groups/lookup), swept %d groups, %d rehashes, occ:",
+			lk, perLookup, total("flowtab_swept_groups_total"), total("flowtab_grows_total"))
+		for core := 0; core < p.Cores; core++ {
+			fmt.Fprintf(&b, " c%d=%d/%d", core,
+				gaugeVal(p, fmt.Sprintf("flowtab_occupancy_core%d", core)),
+				gaugeVal(p, fmt.Sprintf("flowtab_capacity_core%d", core)))
+		}
+		b.WriteString("\n")
+	}
+	// Sketch front-end: record-suppression volume and heavy-hitter counts.
+	if obs := total("sketch_observed_pkts_total"); obs > 0 {
+		fmt.Fprintf(&b, "sketch   %12d pkts observed, %d suppressed  %8.0f/s, heavies:",
+			obs, total("sketch_suppressed_pkts_total"), rate("sketch_suppressed_pkts_total"))
+		for core := 0; core < p.Cores; core++ {
+			fmt.Fprintf(&b, " c%d=%d", core, gaugeVal(p, fmt.Sprintf("sketch_heavies_core%d", core)))
+		}
+		b.WriteString("\n")
+	}
 	b.WriteString(renderLatency(p))
 	b.WriteString("\n")
 

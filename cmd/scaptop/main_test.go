@@ -20,11 +20,18 @@ const samplePayload = `{
     {"name": "frames_total", "unit": "frames", "total": 1200, "per_core": [700, 500], "rate": 1200, "per_core_rate": [700, 500]},
     {"name": "packets_total", "unit": "packets", "paper": "Fig. 7 processed packets", "total": 1000, "per_core": [600, 400], "rate": 1000, "per_core_rate": [600, 400]},
     {"name": "ppl_dropped_pkts_total", "unit": "packets", "total": 50, "per_core": [30, 20], "rate": 50, "per_core_rate": [30, 20]},
-    {"name": "nic_frames_total", "unit": "frames", "total": 1300, "rate": 1300}
+    {"name": "nic_frames_total", "unit": "frames", "total": 1300, "rate": 1300},
+    {"name": "flowtab_lookups_total", "unit": "lookups", "total": 2000, "per_core": [1200, 800], "rate": 2000},
+    {"name": "flowtab_probe_groups_total", "unit": "groups", "total": 2100, "per_core": [1260, 840], "rate": 2100},
+    {"name": "sketch_observed_pkts_total", "unit": "packets", "total": 900, "per_core": [500, 400], "rate": 900},
+    {"name": "sketch_suppressed_pkts_total", "unit": "packets", "family": "drops", "cause": "sketch", "total": 333, "per_core": [200, 133], "rate": 333}
   ],
   "gauges": [
     {"name": "memory_used_bytes", "unit": "bytes", "value": 1048576},
-    {"name": "memory_size_bytes", "unit": "bytes", "value": 67108864}
+    {"name": "memory_size_bytes", "unit": "bytes", "value": 67108864},
+    {"name": "flowtab_occupancy_core0", "unit": "streams", "value": 150},
+    {"name": "flowtab_capacity_core0", "unit": "slots", "value": 1024},
+    {"name": "sketch_heavies_core0", "unit": "flows", "value": 5}
   ],
   "histograms": [
     {"name": "chunk_bytes", "unit": "bytes", "count": 12, "sum": 196608,
@@ -94,6 +101,12 @@ func TestRender(t *testing.T) {
 		"drops by cause:",
 		"ppl",
 		"cutoff                      7",
+		// Flow-table probe-cost line: 2100/2000 groups per lookup.
+		"(1.05 groups/lookup)",
+		"c0=150/1024",
+		// Sketch front-end line.
+		"333 suppressed",
+		"heavies: c0=5",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing %q:\n%s", want, out)

@@ -21,6 +21,10 @@ var (
 	injectOnce   sync.Once
 	injectFrames [][]byte
 	injectBytes  int64
+
+	millionOnce   sync.Once
+	millionFrames [][]byte
+	millionBytes  int64
 )
 
 func injectWorkload() [][]byte {
@@ -32,6 +36,30 @@ func injectWorkload() [][]byte {
 		}
 	})
 	return injectFrames
+}
+
+// millionFlowWorkload synthesizes a capture slice with ~2^20 flows live at
+// once: the generator interleaves Concurrency flows, so the first ~1M frames
+// open ~1M distinct streams before any of them completes. Flows are kept
+// tiny (64–512 bytes) so the workload stresses flow-table scale — per-packet
+// lookup, insert, and expiry cost at a million concurrent entries — rather
+// than payload storage. The slice is built once and reused across
+// benchmarks; it only materializes under -bench.
+func millionFlowWorkload() [][]byte {
+	millionOnce.Do(func() {
+		g := trace.NewGenerator(trace.GenConfig{
+			Seed:         17,
+			Flows:        1 << 22,
+			Concurrency:  1 << 20,
+			MinFlowBytes: 64,
+			MaxFlowBytes: 512,
+		})
+		millionFrames = trace.Collect(g, 1<<21)
+		for _, f := range millionFrames {
+			millionBytes += int64(len(f))
+		}
+	})
+	return millionFrames
 }
 
 // BenchmarkInjectThroughput replays a synthetic workload through a running
@@ -55,6 +83,48 @@ func BenchmarkInjectThroughput(b *testing.B) {
 			for done < b.N {
 				src.Reset()
 				if err := h.ReplaySource(src, 40e9); err != nil {
+					b.Fatal(err)
+				}
+				done += len(frames)
+			}
+			b.StopTimer()
+			if err := h.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkInject1MFlows replays the million-concurrent-flow workload end to
+// end. Unlike BenchmarkInjectThroughput (128 live flows — table fits in L2),
+// here ~2^20 streams are simultaneously resident, so the run is dominated by
+// flow-table behavior at scale: probe length, record locality, and the
+// incremental expiry sweep. One b.N unit is one frame; a single pass over
+// the slice is ~2M frames, so quick runs (-benchtime=100x) do one pass.
+func BenchmarkInject1MFlows(b *testing.B) {
+	frames := millionFlowWorkload()
+	for _, queues := range []int{1, 4} {
+		b.Run(fmt.Sprintf("queues=%d", queues), func(b *testing.B) {
+			h, err := Create(Config{Queues: queues, MemorySize: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Flows carry ≤ 512 payload bytes; the 16 KiB default chunk
+			// would make per-flow buffer zeroing, not table work, the cost.
+			if err := h.SetParameter(ParamChunkSize, 2048); err != nil {
+				b.Fatal(err)
+			}
+			h.DispatchData(func(sd *Stream) {})
+			if err := h.StartCapture(); err != nil {
+				b.Fatal(err)
+			}
+			src := &trace.SliceSource{Frames: frames}
+			b.SetBytes(millionBytes / int64(len(frames)))
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				src.Reset()
+				if err := h.ReplaySource(src, 400e9); err != nil {
 					b.Fatal(err)
 				}
 				done += len(frames)

@@ -95,6 +95,27 @@ type Config struct {
 	// Priorities is the number of PPL priority levels the application
 	// uses.
 	Priorities int
+
+	// Sketch configures the per-core priority-aware sketch front-end that
+	// answers cutoff decisions for flows that no longer need a stream
+	// record (§5.5 subzero copy extended below the record level).
+	Sketch SketchConfig
+}
+
+// SketchConfig enables and sizes the sketch front-end.
+type SketchConfig struct {
+	// Enabled turns the front-end on. With it off, the engine behaves
+	// exactly as before (every flow gets a record).
+	Enabled bool
+	// Width/Depth/TopK size the count-min sketch and heavy-flow tracker;
+	// zero takes the sketch package defaults.
+	Width int
+	Depth int
+	TopK  int
+	// SuppressMaxPriority bounds which priorities may be record-suppressed:
+	// only flows with priority <= this value are answered from the sketch
+	// once past their cutoff. High-priority flows always keep records.
+	SuppressMaxPriority int
 }
 
 // blockHeadroom multiplies the chunk+overlap footprint when sizing arena
@@ -150,6 +171,30 @@ func (c *Config) resolveCutoff(p *pkt.Packet, dir pkt.Direction) int64 {
 		return c.CutoffServer
 	}
 	return c.Cutoff
+}
+
+// minCutoff returns the smallest non-negative cutoff configured anywhere
+// (default, per-direction, or cutoff classes), or -1 when every path is
+// unlimited. It is the sketch's heavy-flow threshold: any flow that could
+// ever be suppressed must cross this volume first.
+func (c *Config) minCutoff() int64 {
+	min := int64(-1)
+	take := func(v int64) {
+		if v >= 0 && (min < 0 || v < min) {
+			min = v
+		}
+	}
+	take(c.Cutoff)
+	if c.CutoffClientSet {
+		take(c.CutoffClient)
+	}
+	if c.CutoffServerSet {
+		take(c.CutoffServer)
+	}
+	for _, cls := range c.CutoffClasses {
+		take(cls.Cutoff)
+	}
+	return min
 }
 
 // resolvePolicy picks the reassembly policy for a stream whose receiver is

@@ -142,12 +142,17 @@ func (e *Engine) applyCtrl(c Ctrl) {
 			}
 		case ParamFlushTimeout:
 			s.FlushTimeout = c.Value
+			// The flush scan only visits enrolled streams; enabling a
+			// timeout after data buffered must enroll retroactively, and
+			// disabling one drops the stream from the scan.
+			if c.Value > 0 {
+				e.markDirty(s, x)
+			} else {
+				delete(e.dirty, s)
+			}
 		case ParamInactivityTimeout:
 			if c.Value > 0 {
 				s.InactivityTimeout = c.Value
-				if c.Value < e.minInactivity {
-					e.minInactivity = c.Value
-				}
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"scap/internal/nic"
 	"scap/internal/pkt"
 	"scap/internal/reassembly"
+	"scap/internal/sketch"
 )
 
 // Stats are the per-engine counters (roughly scap_stats_t plus internals).
@@ -47,6 +48,14 @@ type Stats struct {
 
 	FDIRInstalled uint64
 	FDIRRemoved   uint64
+
+	// Sketch front-end counters. Observed totals are published from the
+	// timer path, so they trail the live sketch by up to one timer tick;
+	// suppression is counted per packet.
+	SketchObservedPkts    uint64
+	SketchObservedBytes   uint64
+	SketchSuppressedPkts  uint64
+	SketchSuppressedBytes uint64
 }
 
 // Options wires an Engine to its shared resources.
@@ -111,9 +120,26 @@ type Engine struct {
 	dirty map[*flowtab.Stream]struct{}
 	// filters orders installed FDIR filters by deadline.
 	filters filterHeap
-	// minInactivity is the smallest inactivity timeout in force, bounding
-	// how far the expiry sweep must look.
-	minInactivity int64
+
+	// sketch is the optional priority-aware front-end: it accounts every
+	// packet and answers cutoff decisions for flows that no longer need a
+	// stream record. Nil when Config.Sketch.Enabled is false.
+	sketch *sketch.Sketch
+	// retire is a cutoff stream scheduled for record retirement at the end
+	// of the current packet (deferred so the retirement doesn't pull state
+	// out from under the payload path that triggered it).
+	retire *flowtab.Stream
+	// victims is the expiry sweep's reusable collection buffer.
+	victims []*flowtab.Stream
+
+	// prev* remember the flow table's plain counters at the last timer
+	// publication, so the timer path adds deltas to the metric cells.
+	prevLookups uint64
+	prevProbes  uint64
+	prevSwept   uint64
+	prevGrows   uint64
+	prevSkPkts  uint64
+	prevSkBytes uint64
 
 	maxStreams int
 	// m is the socket-wide instrument bundle; c is this core's bound cells
@@ -150,16 +176,26 @@ type Engine struct {
 func NewEngine(opts Options) *Engine {
 	cfg := opts.Config.withDefaults()
 	e := &Engine{
-		cfg:           cfg,
-		mm:            opts.Mem,
-		nicDev:        opts.NIC,
-		q:             opts.Queue,
-		table:         flowtab.NewTable(opts.Rand),
-		coreID:        opts.CoreID,
-		dirty:         make(map[*flowtab.Stream]struct{}),
-		minInactivity: cfg.InactivityTimeout,
-		maxStreams:    opts.MaxStreams,
-		evBuf:         make([]event.Event, 0, evBatchMax),
+		cfg:        cfg,
+		mm:         opts.Mem,
+		nicDev:     opts.NIC,
+		q:          opts.Queue,
+		table:      flowtab.NewTable(opts.Rand),
+		coreID:     opts.CoreID,
+		dirty:      make(map[*flowtab.Stream]struct{}),
+		maxStreams: opts.MaxStreams,
+		evBuf:      make([]event.Event, 0, evBatchMax),
+	}
+	if cfg.Sketch.Enabled {
+		e.sketch = sketch.New(sketch.Config{
+			Width:      cfg.Sketch.Width,
+			Depth:      cfg.Sketch.Depth,
+			TopK:       cfg.Sketch.TopK,
+			Priorities: cfg.Priorities,
+		})
+		if min := cfg.minCutoff(); min >= 0 {
+			e.sketch.SetHeavyMin(uint64(min))
+		}
 	}
 	e.emitCb = e.emitToCur
 	e.flushCb = e.flushToCur
@@ -225,6 +261,11 @@ func (e *Engine) Stats() Stats {
 
 		FDIRInstalled: e.c.fdirInstalled.Load(),
 		FDIRRemoved:   e.c.fdirRemoved.Load(),
+
+		SketchObservedPkts:    e.c.sketchObservedPkts.Load(),
+		SketchObservedBytes:   e.c.sketchObservedBytes.Load(),
+		SketchSuppressedPkts:  e.c.sketchSuppressedPkts.Load(),
+		SketchSuppressedBytes: e.c.sketchSuppressedBytes.Load(),
 	}
 }
 
@@ -238,6 +279,12 @@ func (e *Engine) Metrics() *Metrics { return e.m }
 //
 //scap:anyrole immutable after construction
 func (e *Engine) Table() *flowtab.Table { return e.table }
+
+// Sketch returns the sketch front-end, or nil when disabled. Cross-
+// goroutine readers use its Snapshot method.
+//
+//scap:anyrole immutable after construction; snapshots are atomic
+func (e *Engine) Sketch() *sketch.Sketch { return e.sketch }
 
 // Queue returns the engine's event queue.
 //
@@ -344,21 +391,30 @@ func (e *Engine) handlePacket(p *pkt.Packet) {
 	e.process(p)
 }
 
-// process runs the per-packet stream logic for one decoded packet.
+// process runs the per-packet stream logic for one decoded packet. The flow
+// key is hashed exactly once; the same 64-bit hash drives the table probe,
+// the miss-path insert, and the sketch front-end.
 //
 //scap:hotpath
 func (e *Engine) process(p *pkt.Packet) {
 	ts := p.Timestamp
-	if e.maxStreams > 0 && e.table.Len() >= e.maxStreams && e.table.Lookup(p.Key) == nil {
-		if victim := e.table.Oldest(); victim != nil {
-			e.finishStream(victim, flowtab.StatusEvicted)
+	h := e.table.Hash(p.Key)
+	s := e.table.LookupH(h, p.Key)
+	if e.sketch != nil && e.sketchObserve(p, h, s) {
+		return
+	}
+	if s == nil {
+		if e.maxStreams > 0 && e.table.Len() >= e.maxStreams {
+			if victim := e.table.Oldest(); victim != nil {
+				e.finishStream(victim, flowtab.StatusEvicted)
+			}
 		}
+		s = e.table.CreateH(h, p.Key, ts)
+		e.initStream(s, ext(s), p)
+	} else {
+		e.table.Touch(s, ts)
 	}
-	s, created := e.table.GetOrCreate(p.Key, ts)
 	x := ext(s)
-	if created {
-		e.initStream(s, x, p)
-	}
 
 	s.Stats.Pkts++
 	s.Stats.Bytes += uint64(p.WireLen)
@@ -371,11 +427,103 @@ func (e *Engine) process(p *pkt.Packet) {
 
 	if p.Key.Proto == pkt.ProtoTCP {
 		e.processTCP(s, x, p)
+	} else {
+		// UDP and other protocols: concatenate payloads in arrival order
+		// (paper §2.3).
+		e.processPayloadBytes(s, x, p, p.Payload, false)
+	}
+	e.finishRetired()
+}
+
+// sketchObserve accounts one packet in the sketch and reports whether the
+// sketch fully answered it — true means the engine skips record lookup,
+// creation, and all per-stream work for this packet. Tracked flows (s !=
+// nil) are only accounted, never suppressed. Untracked flows are suppressed
+// when (a) neither direction passes the BPF filter, or (b) the flow's byte
+// estimate had already crossed its cutoff before this packet and its
+// priority is at or below Sketch.SuppressMaxPriority. TCP SYN/FIN/RST always
+// pass through so connection lifecycle (handshake stats, termination) still
+// reaches the record path. Estimates are one-sided per flow but can be
+// inflated by counter collisions, so suppression is probabilistic in exactly
+// the way count-min front-ends are — sized by Sketch.Width/Depth.
+//
+//scap:hotpath
+func (e *Engine) sketchObserve(p *pkt.Packet, h uint64, s *flowtab.Stream) bool {
+	n := len(p.Payload)
+	var prio int
+	if s != nil {
+		prio = s.Priority
+	} else {
+		prio = e.packetPriority(p)
+	}
+	est := e.sketch.Observe(h, p.Key, prio, n)
+	if s != nil {
+		return false
+	}
+	if e.cfg.Filter != nil && !e.cfg.Filter.Match(p) {
+		rev := *p
+		rev.Key = p.Key.Reverse()
+		if !e.cfg.Filter.Match(&rev) {
+			// Filter-rejected flow: with the sketch in front there is no
+			// reason to burn a record on it just to remember the rejection.
+			e.c.filterIgnoredPkts.Add(1)
+			return true
+		}
+	}
+	if p.Key.Proto == pkt.ProtoTCP && p.TCPFlags&(pkt.FlagSYN|pkt.FlagFIN|pkt.FlagRST) != 0 {
+		return false
+	}
+	if prio > e.cfg.Sketch.SuppressMaxPriority {
+		return false
+	}
+	// Direction is unknown without a record; resolve the cutoff as the
+	// client side (directional cutoffs are approximated for suppressed
+	// flows).
+	cut := e.cfg.resolveCutoff(p, pkt.DirClient)
+	if cut < 0 || est-uint64(n) < uint64(cut) {
+		return false
+	}
+	e.c.sketchSuppressedPkts.Add(1)
+	e.c.sketchSuppressedBytes.Add(uint64(n))
+	return true
+}
+
+// packetPriority resolves the PPL priority a packet's flow would be
+// assigned at stream creation (first matching priority class).
+//
+//scap:hotpath
+func (e *Engine) packetPriority(p *pkt.Packet) int {
+	for _, pc := range e.cfg.PriorityClasses {
+		if pc.Filter.Match(p) {
+			return pc.Priority
+		}
+	}
+	return 0
+}
+
+// finishRetired retires a stream whose cutoff fired this packet and whose
+// further handling the sketch can take over: the record is finished (final
+// chunk + termination event) and any installed NIC filters are handed to
+// the sketch's heavy entry so they stay in force without the record. From
+// here on the flow's packets are answered by sketchObserve.
+func (e *Engine) finishRetired() {
+	s := e.retire
+	if s == nil {
 		return
 	}
-	// UDP and other protocols: concatenate payloads in arrival order
-	// (paper §2.3).
-	e.processPayloadBytes(s, x, p, p.Payload, false)
+	e.retire = nil
+	if !s.InTable() || s.Status != flowtab.StatusCutoff {
+		return
+	}
+	if s.HWFilter {
+		// The filters stay installed under the sketch's FDIR mark; clearing
+		// HWFilter keeps finishStream's removeFDIR from tearing them down.
+		// The deadline heap still expires them (expireFilters clears the
+		// sketch mark when no record claims the key).
+		e.sketch.MarkFDIR(e.table.Hash(s.Key))
+		s.HWFilter = false
+	}
+	e.finishStream(s, flowtab.StatusCutoff)
 }
 
 // initStream resolves a new stream's configuration and fires its creation
@@ -404,12 +552,7 @@ func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 	if s.Opposite != nil {
 		s.Priority = s.Opposite.Priority
 	} else {
-		for _, pc := range e.cfg.PriorityClasses {
-			if pc.Filter.Match(p) {
-				s.Priority = pc.Priority
-				break
-			}
-		}
+		s.Priority = e.packetPriority(p)
 	}
 	if p.Key.Proto == pkt.ProtoTCP {
 		s.Asm = reassembly.New(reassembly.Config{
@@ -756,7 +899,15 @@ func (e *Engine) flushEvents() {
 	e.evBuf = e.evBuf[:0]
 }
 
+// markDirty enrolls a stream for the flush-timeout scan. Streams with no
+// flush timeout are kept out of the set entirely: at a million concurrent
+// flows, enrolling every buffered stream would make each CheckTimers tick
+// walk the whole table for a timeout that can never fire (the ctrl path
+// re-enrolls a stream when a timeout is set later).
 func (e *Engine) markDirty(s *flowtab.Stream, x *streamExt) {
+	if s.FlushTimeout <= 0 {
+		return
+	}
 	if x.chunk.fill() > x.chunk.overlapLen || x.chunk.extraAcct > 0 {
 		e.dirty[s] = struct{}{}
 	}
@@ -773,6 +924,12 @@ func (e *Engine) reachCutoff(s *flowtab.Stream, x *streamExt) {
 	e.m.flight.Note(e.coreID, metrics.FlightCutoff, int64(s.ID), int64(s.Stats.Bytes))
 	e.deliverChunk(s, x, false)
 	e.installFDIR(s, x)
+	// With the sketch front-end on, a cutoff stream of suppressible
+	// priority no longer needs its record: schedule retirement for the end
+	// of the packet (finishRetired).
+	if e.sketch != nil && s.Priority <= e.cfg.Sketch.SuppressMaxPriority {
+		e.retire = s
+	}
 }
 
 // installFDIR installs the per-stream drop-filter pair: ACK-only and
@@ -906,6 +1063,10 @@ func (e *Engine) CheckTimers(now int64) {
 	e.flushStaleChunks(now)
 	e.expireIdle(now)
 	e.expireFilters(now)
+	if e.sketch != nil {
+		e.installSketchFDIR(now)
+	}
+	e.publishTableMetrics()
 	if e.defrag != nil {
 		e.defrag.Expire(now)
 	}
@@ -917,6 +1078,8 @@ func (e *Engine) drainCtrl() {
 	for i := range e.ctrlBuf {
 		e.applyCtrl(e.ctrlBuf[i])
 	}
+	// Control-driven cutoffs (OpSetCutoff) schedule retirement too.
+	e.finishRetired()
 }
 
 // flushStaleChunks delivers partial chunks older than their stream's flush
@@ -934,34 +1097,39 @@ func (e *Engine) flushStaleChunks(now int64) {
 	}
 }
 
-// expireIdle removes streams idle past their inactivity timeout, walking
-// from the oldest end of the access list (§5.2).
+// sweepGroupsPerTimer bounds the expiry sweep's work per CheckTimers call:
+// 4096 slot groups (32768 slots), so tables up to that size are still fully
+// scanned in one call — the historical per-timer behavior — while
+// million-flow tables amortize the scan across successive calls, keeping
+// each timer tick O(1) instead of O(table).
+const sweepGroupsPerTimer = 4096
+
+// expireIdle removes streams idle past their inactivity timeout using the
+// table's incremental generation sweep (§5.2). Victims are collected during
+// the sweep and finished after it, since finishing mutates the table.
 func (e *Engine) expireIdle(now int64) {
-	var victims []*flowtab.Stream
-	e.table.TailWalk(func(s *flowtab.Stream) bool {
-		if s.LastAccess()+e.minInactivity > now {
-			return false // everything newer is fresher still
-		}
+	e.victims = e.victims[:0]
+	e.table.Sweep(now, sweepGroupsPerTimer, func(s *flowtab.Stream) {
 		if s.HWFilter {
 			// The NIC is dropping this stream's packets on our behalf;
 			// silence is expected, not inactivity. The filter's own
 			// deadline (expireFilters) restores visibility first.
-			return true
+			return
 		}
 		tmo := s.InactivityTimeout
 		if tmo <= 0 {
 			tmo = e.cfg.InactivityTimeout
 		}
 		if s.LastAccess()+tmo <= now {
-			victims = append(victims, s)
+			e.victims = append(e.victims, s)
 		}
-		return true
 	})
-	for _, s := range victims {
+	for _, s := range e.victims {
 		if s.InTable() {
 			e.finishStream(s, flowtab.StatusTimedOut)
 		}
 	}
+	clear(e.victims)
 }
 
 // expireFilters removes FDIR filters whose deadline passed; the stream (if
@@ -978,7 +1146,81 @@ func (e *Engine) expireFilters(now int64) {
 		}
 		if s := e.table.Lookup(fe.key); s != nil && s.ID == fe.id {
 			s.HWFilter = false
+		} else if s == nil && e.sketch != nil {
+			// No record claims this key: the filters belonged to a retired
+			// (sketch-handled) flow. Clear the heavy entry's mark so a
+			// still-heavy flow is re-nominated by installSketchFDIR.
+			e.sketch.ClearFDIR(e.table.Hash(fe.key))
 		}
+	}
+}
+
+// installSketchFDIR nominates sketch heavy hitters for NIC drop-filter
+// pairs: flows big enough to have passed a cutoff, with no record left to
+// drive the per-stream install path — §5.5 subzero copy driven from the
+// sketch, so record-suppressed elephants stop costing even the sketch
+// update. Runs from the timer path at heavy-table granularity.
+func (e *Engine) installSketchFDIR(now int64) {
+	if !e.cfg.UseFDIR || e.nicDev == nil {
+		return
+	}
+	e.sketch.ForEachHeavy(func(hf *sketch.Heavy) {
+		if hf.FDIR || hf.Key.Proto != pkt.ProtoTCP || hf.Priority > e.cfg.Sketch.SuppressMaxPriority {
+			return
+		}
+		if e.table.Lookup(hf.Key) != nil {
+			return // tracked: the record's own cutoff path owns its filters
+		}
+		deadline := now + e.cfg.InactivityTimeout
+		for _, flags := range []uint8{pkt.FlagACK, pkt.FlagACK | pkt.FlagPSH} {
+			evicted, did, err := e.nicDev.AddFilter(nic.FilterSpec{
+				Key:      hf.Key,
+				Flex:     nic.FlexOnlyFlags(flags),
+				Action:   nic.ActionDrop,
+				Deadline: deadline,
+			})
+			if err != nil {
+				return
+			}
+			if did {
+				if other := e.table.Lookup(evicted); other != nil {
+					other.HWFilter = false
+				}
+				e.sketch.ClearFDIR(e.table.Hash(evicted))
+			}
+		}
+		hf.FDIR = true
+		e.c.fdirInstalled.Add(1)
+		e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRInstall, Core: e.coreID, Value: 0})
+		// id 0 never matches a stream ID, marking the entry sketch-owned.
+		heap.Push(&e.filters, filterEntry{deadline: deadline, key: hf.Key, id: 0})
+	})
+}
+
+// publishTableMetrics copies the flow table's plain counters (as deltas)
+// and occupancy gauges into the registry, and publishes a fresh sketch
+// snapshot. Timer-path only, so the hot path never touches the registry for
+// table bookkeeping.
+func (e *Engine) publishTableMetrics() {
+	t := e.table
+	e.c.flowtabLookups.Add(t.Lookups - e.prevLookups)
+	e.prevLookups = t.Lookups
+	e.c.flowtabProbes.Add(t.Probes - e.prevProbes)
+	e.prevProbes = t.Probes
+	e.c.flowtabSwept.Add(t.SweptGroups - e.prevSwept)
+	e.prevSwept = t.SweptGroups
+	e.c.flowtabGrows.Add(t.Grows - e.prevGrows)
+	e.prevGrows = t.Grows
+	e.c.flowtabOccupancy.Set(int64(t.Len()))
+	e.c.flowtabCapacity.Set(int64(t.Cap()))
+	e.c.flowtabTombstones.Set(int64(t.Tombstones()))
+	if e.sketch != nil {
+		e.c.sketchObservedPkts.Add(e.sketch.ObservedPkts() - e.prevSkPkts)
+		e.prevSkPkts = e.sketch.ObservedPkts()
+		e.c.sketchObservedBytes.Add(e.sketch.ObservedBytes() - e.prevSkBytes)
+		e.prevSkBytes = e.sketch.ObservedBytes()
+		e.c.sketchHeavies.Set(int64(e.sketch.HeavyCount()))
+		e.sketch.Publish()
 	}
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "scap/internal/metrics"
+import (
+	"fmt"
+
+	"scap/internal/metrics"
+)
 
 // Metrics bundles the engine-side instruments of one capture socket. A
 // single Metrics is shared by every engine; each engine binds its own core's
@@ -40,6 +44,26 @@ type Metrics struct {
 
 	fdirInstalled *metrics.Counter
 	fdirRemoved   *metrics.Counter
+
+	// Flow-table cost counters (probe work, sweep work) and sketch
+	// front-end counters; the owning engine copies the table's plain
+	// counters into these cells from its timer path, never per packet.
+	flowtabLookups *metrics.Counter
+	flowtabProbes  *metrics.Counter
+	flowtabSwept   *metrics.Counter
+	flowtabGrows   *metrics.Counter
+
+	sketchObservedPkts    *metrics.Counter
+	sketchObservedBytes   *metrics.Counter
+	sketchSuppressedPkts  *metrics.Counter
+	sketchSuppressedBytes *metrics.Counter
+
+	// Per-core occupancy gauges, Set by each owning engine from its timer
+	// path (index = core).
+	flowtabOccupancy  []*metrics.Gauge
+	flowtabCapacity   []*metrics.Gauge
+	flowtabTombstones []*metrics.Gauge
+	sketchHeavies     []*metrics.Gauge
 
 	// eventBatch and chunkBytes are observed at flush/delivery time (per
 	// burst and per chunk, never per packet).
@@ -93,6 +117,20 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	m.asmDroppedSegs = reg.NewCounter(d("asm_dropped_segs_total", "segments the assembler dropped", "segments", ""))
 	m.fdirInstalled = reg.NewCounter(d("fdir_installed_total", "NIC drop-filter installs for cutoff streams", "filters", "§5.5 subzero copy"))
 	m.fdirRemoved = reg.NewCounter(d("fdir_removed_total", "NIC drop-filter removals", "filters", "§5.5 subzero copy"))
+	m.flowtabLookups = reg.NewCounter(d("flowtab_lookups_total", "flow-table lookups (incl. create fast path)", "lookups", "§5.2 flow table"))
+	m.flowtabProbes = reg.NewCounter(d("flowtab_probe_groups_total", "slot groups examined by lookups", "groups", "§5.2 flow table"))
+	m.flowtabSwept = reg.NewCounter(d("flowtab_swept_groups_total", "slot groups visited by expiry sweeps", "groups", "§5.2 expiry sweep"))
+	m.flowtabGrows = reg.NewCounter(d("flowtab_grows_total", "flow-table rehashes (growth or tombstone purge)", "rehashes", ""))
+	m.sketchObservedPkts = reg.NewCounter(d("sketch_observed_pkts_total", "packets accounted by the sketch front-end", "packets", "§5.5 + PSketch"))
+	m.sketchObservedBytes = reg.NewCounter(d("sketch_observed_bytes_total", "payload bytes accounted by the sketch front-end", "bytes", "§5.5 + PSketch"))
+	m.sketchSuppressedPkts = reg.NewCounter(drop("sketch_suppressed_pkts_total", "packets answered by the sketch without a stream record", "packets", "§5.5 + PSketch", "sketch"))
+	m.sketchSuppressedBytes = reg.NewCounter(d("sketch_suppressed_bytes_total", "payload bytes suppressed via the sketch", "bytes", "§5.5 + PSketch"))
+	for core := 0; core < reg.Cores(); core++ {
+		m.flowtabOccupancy = append(m.flowtabOccupancy, reg.NewGauge(d(fmt.Sprintf("flowtab_occupancy_core%d", core), "tracked streams in this core's flow table", "streams", "")))
+		m.flowtabCapacity = append(m.flowtabCapacity, reg.NewGauge(d(fmt.Sprintf("flowtab_capacity_core%d", core), "slot capacity of this core's flow table", "slots", "")))
+		m.flowtabTombstones = append(m.flowtabTombstones, reg.NewGauge(d(fmt.Sprintf("flowtab_tombstones_core%d", core), "tombstoned slots awaiting rehash", "slots", "")))
+		m.sketchHeavies = append(m.sketchHeavies, reg.NewGauge(d(fmt.Sprintf("sketch_heavies_core%d", core), "live heavy-flow entries in this core's sketch", "flows", "")))
+	}
 	m.eventBatch = reg.NewHistogram(d("event_batch_size", "events published to a ring per flush", "events", ""), 8)
 	m.chunkBytes = reg.NewHistogram(d("chunk_bytes", "delivered chunk sizes", "bytes", "Table 1 scap_set_chunk_size"), 20)
 	m.stageIngest = reg.NewHistogram(d("stage_ingest_engine_ns", "latency from NIC ingest stamp to kernel-goroutine pickup", "ns", ""), stageMaxPow)
@@ -144,6 +182,22 @@ type cells struct {
 
 	fdirInstalled *metrics.Cell
 	fdirRemoved   *metrics.Cell
+
+	flowtabLookups *metrics.Cell
+	flowtabProbes  *metrics.Cell
+	flowtabSwept   *metrics.Cell
+	flowtabGrows   *metrics.Cell
+
+	sketchObservedPkts    *metrics.Cell
+	sketchObservedBytes   *metrics.Cell
+	sketchSuppressedPkts  *metrics.Cell
+	sketchSuppressedBytes *metrics.Cell
+
+	// This core's occupancy gauges (indexed from the Metrics slices).
+	flowtabOccupancy  *metrics.Gauge
+	flowtabCapacity   *metrics.Gauge
+	flowtabTombstones *metrics.Gauge
+	sketchHeavies     *metrics.Gauge
 }
 
 // bind resolves the engine's cells for one core. Registration-time only.
@@ -179,5 +233,20 @@ func (m *Metrics) bind(core int) cells {
 
 		fdirInstalled: m.fdirInstalled.Cell(core),
 		fdirRemoved:   m.fdirRemoved.Cell(core),
+
+		flowtabLookups: m.flowtabLookups.Cell(core),
+		flowtabProbes:  m.flowtabProbes.Cell(core),
+		flowtabSwept:   m.flowtabSwept.Cell(core),
+		flowtabGrows:   m.flowtabGrows.Cell(core),
+
+		sketchObservedPkts:    m.sketchObservedPkts.Cell(core),
+		sketchObservedBytes:   m.sketchObservedBytes.Cell(core),
+		sketchSuppressedPkts:  m.sketchSuppressedPkts.Cell(core),
+		sketchSuppressedBytes: m.sketchSuppressedBytes.Cell(core),
+
+		flowtabOccupancy:  m.flowtabOccupancy[core],
+		flowtabCapacity:   m.flowtabCapacity[core],
+		flowtabTombstones: m.flowtabTombstones[core],
+		sketchHeavies:     m.sketchHeavies[core],
 	}
 }

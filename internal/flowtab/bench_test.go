@@ -1,6 +1,7 @@
 package flowtab
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"testing"
@@ -52,6 +53,55 @@ func BenchmarkGetOrCreateChurn(b *testing.B) {
 			}
 		}
 		_ = s
+	}
+}
+
+// BenchmarkLookup1M measures the hit path as the table scales from 2^12 to
+// 2^20 resident flows — the ROADMAP's million-flow flat-curve target. The
+// access pattern cycles through every key, so at large sizes the working
+// set is far beyond cache and the per-lookup cost is dominated by how many
+// cache lines a probe touches.
+func BenchmarkLookup1M(b *testing.B) {
+	for _, pow := range []int{12, 14, 16, 18, 20} {
+		n := 1 << pow
+		b.Run(fmt.Sprintf("flows=2^%d", pow), func(b *testing.B) {
+			tab := NewTable(rand.New(rand.NewSource(1)))
+			keys := benchKeys(n)
+			for i, k := range keys {
+				tab.GetOrCreate(k, int64(i))
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tab.Lookup(keys[i&(n-1)]) == nil {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLookupMiss measures the negative path — the per-packet cost of
+// asking "is this flow tracked?" for untracked traffic (exactly what the
+// sketch front-end pays on every suppressed flow's packet).
+func BenchmarkLookupMiss(b *testing.B) {
+	for _, pow := range []int{12, 16, 20} {
+		n := 1 << pow
+		b.Run(fmt.Sprintf("flows=2^%d", pow), func(b *testing.B) {
+			tab := NewTable(rand.New(rand.NewSource(1)))
+			keys := benchKeys(2 * n)
+			for i := 0; i < n; i++ {
+				tab.GetOrCreate(keys[i], int64(i))
+			}
+			misses := keys[n:]
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tab.Lookup(misses[i&(n-1)]) != nil {
+					b.Fatal("unexpected hit")
+				}
+			}
+		})
 	}
 }
 

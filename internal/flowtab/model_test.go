@@ -1,0 +1,224 @@
+package flowtab
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scap/internal/pkt"
+)
+
+// model_test drives the open-addressing table and a trivially-correct
+// map-based reference model with the same random operation sequence and
+// asserts identical visible behavior: membership, stream IDs, direction
+// assignment, opposite-direction cross-links, expiry sets, and eviction
+// eligibility by age class.
+
+type modelStream struct {
+	id         uint64
+	dir        pkt.Direction
+	lastAccess int64
+}
+
+type model struct {
+	live   map[pkt.FlowKey]*modelStream
+	nextID uint64
+}
+
+func (m *model) getOrCreate(k pkt.FlowKey, now int64) (*modelStream, bool) {
+	if s, ok := m.live[k]; ok {
+		s.lastAccess = now
+		return s, false
+	}
+	m.nextID++
+	s := &modelStream{id: m.nextID, lastAccess: now, dir: pkt.DirClient}
+	if opp, ok := m.live[k.Reverse()]; ok {
+		s.dir = opp.dir.Reverse()
+	}
+	m.live[k] = s
+	return s, true
+}
+
+// minClass returns the oldest populated age class (lastAccess >> genShift).
+// The op generator keeps the driven time span well under the 255-generation
+// alias horizon, so no clamping is involved.
+func (m *model) minClass() uint64 {
+	first := true
+	var min uint64
+	for _, s := range m.live {
+		if c := uint64(s.lastAccess) >> genShift; first || c < min {
+			min, first = c, false
+		}
+	}
+	return min
+}
+
+// modelOps decodes one op per word: low 3 bits select the operation, the
+// next 7 bits a key, the rest a time increment.
+const (
+	opCreate = iota
+	opCreateReverse
+	opTouch
+	opExpire
+	opEvict
+	opRemove
+	opSweep
+	opModulo
+)
+
+func runModelSequence(t *testing.T, ops []uint64) bool {
+	tab := newT()
+	m := &model{live: map[pkt.FlowKey]*modelStream{}}
+	now := int64(1)
+
+	key := func(w uint64) pkt.FlowKey {
+		k := tk(uint16(1000+(w>>3)&0x3f), 80)
+		if w>>3&0x40 != 0 {
+			k = k.Reverse()
+		}
+		return k
+	}
+
+	for _, w := range ops {
+		// Advance time by < 1/16 generation per op, so a sequence stays
+		// far inside the alias horizon and age classes are exact.
+		now += int64(w>>10) % (1 << (genShift - 4))
+		switch w % opModulo {
+		case opCreate, opCreateReverse:
+			k := key(w)
+			if w%opModulo == opCreateReverse {
+				k = k.Reverse()
+			}
+			wantS, wantNew := m.getOrCreate(k, now)
+			s, created := tab.GetOrCreate(k, now)
+			if created != wantNew {
+				t.Errorf("GetOrCreate(%v) created=%v, model says %v", k, created, wantNew)
+				return false
+			}
+			if s.ID != wantS.id {
+				t.Errorf("GetOrCreate(%v) ID=%d, model says %d", k, s.ID, wantS.id)
+				return false
+			}
+			if s.Dir != wantS.dir {
+				t.Errorf("GetOrCreate(%v) dir=%v, model says %v", k, s.Dir, wantS.dir)
+				return false
+			}
+		case opTouch:
+			k := key(w)
+			s := tab.Lookup(k)
+			ms := m.live[k]
+			if (s != nil) != (ms != nil) {
+				t.Errorf("Lookup(%v)=%v, model membership %v", k, s != nil, ms != nil)
+				return false
+			}
+			if s != nil {
+				tab.Touch(s, now)
+				ms.lastAccess = now
+			}
+		case opExpire:
+			deadline := now - int64(w>>10)%(1<<genShift)
+			want := map[pkt.FlowKey]bool{}
+			for k, ms := range m.live {
+				if ms.lastAccess < deadline {
+					want[k] = true
+				}
+			}
+			n := tab.ExpireBefore(deadline, func(s *Stream) {
+				if !want[s.Key] {
+					t.Errorf("expired %v, not stale in model", s.Key)
+				}
+			})
+			if n != len(want) {
+				t.Errorf("ExpireBefore removed %d, model says %d", n, len(want))
+				return false
+			}
+			for k := range want {
+				delete(m.live, k)
+			}
+		case opEvict:
+			ev := tab.EvictOldest(nil)
+			if ev == nil {
+				if len(m.live) != 0 {
+					t.Errorf("EvictOldest=nil with %d live streams", len(m.live))
+					return false
+				}
+				continue
+			}
+			ms := m.live[ev.Key]
+			if ms == nil {
+				t.Errorf("evicted %v, unknown to model", ev.Key)
+				return false
+			}
+			if c := uint64(ms.lastAccess) >> genShift; c != m.minClass() {
+				t.Errorf("evicted %v from class %d, oldest class is %d", ev.Key, c, m.minClass())
+				return false
+			}
+			delete(m.live, ev.Key)
+		case opRemove:
+			k := key(w)
+			if s := tab.Lookup(k); s != nil {
+				tab.Remove(s)
+				tab.Recycle(s)
+			}
+			delete(m.live, k)
+		case opSweep:
+			tab.Sweep(now, int(w>>10)%64, nil)
+		}
+		if tab.Len() != len(m.live) {
+			t.Errorf("Len=%d, model has %d", tab.Len(), len(m.live))
+			return false
+		}
+	}
+
+	// Full final audit: membership, IDs, access times, cross-links.
+	for k, ms := range m.live {
+		s := tab.Lookup(k)
+		if s == nil {
+			t.Errorf("model stream %v missing from table", k)
+			return false
+		}
+		if s.ID != ms.id || s.LastAccess() != ms.lastAccess {
+			t.Errorf("stream %v: id/access %d/%d, model %d/%d",
+				k, s.ID, s.LastAccess(), ms.id, ms.lastAccess)
+			return false
+		}
+		if _, revLive := m.live[k.Reverse()]; revLive {
+			opp := tab.Lookup(k.Reverse())
+			if opp == nil || s.Opposite != opp || opp.Opposite != s {
+				t.Errorf("stream %v not cross-linked with live reverse", k)
+				return false
+			}
+		} else if s.Opposite != nil {
+			t.Errorf("stream %v linked to a dead reverse", k)
+			return false
+		}
+	}
+	count := 0
+	tab.Walk(func(*Stream) bool { count++; return true })
+	if count != len(m.live) {
+		t.Errorf("walk count %d, model %d", count, len(m.live))
+		return false
+	}
+	return true
+}
+
+func TestModelEquivalence(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(7)),
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 200 + r.Intn(1800)
+			ops := make([]uint64, n)
+			for i := range ops {
+				ops[i] = r.Uint64()
+			}
+			args[0] = reflect.ValueOf(ops)
+		},
+	}
+	if err := quick.Check(func(ops []uint64) bool {
+		return runModelSequence(t, ops)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

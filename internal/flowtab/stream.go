@@ -1,10 +1,14 @@
-// Package flowtab implements the Scap kernel module's flow table: a
-// seed-randomized hash table of stream_t records (one per flow direction,
-// cross-linked with the opposite direction), an access list kept sorted by
-// last packet time for O(1) inactivity expiry (paper §5.2), dynamic growth
-// so the number of tracked streams is never artificially limited (the
-// property behind Figure 5), and oldest-first eviction under memory
-// pressure.
+// Package flowtab implements the Scap kernel module's flow table as a
+// cache-line-conscious open-addressing table: a flat array of slot groups
+// (one cache line each: eight control bytes, eight generation stamps, eight
+// record indices) probed with SWAR fingerprint scans, stream_t records in
+// paged never-moving slabs (pointers stay valid across growth), seed
+// randomization against algorithmic-complexity attacks, dynamic growth so
+// the number of tracked streams is never artificially limited (the property
+// behind Figure 5), and generation-based age classes replacing the paper's
+// exact LRU list: incremental sweeps from the idle path expire stale
+// streams (§5.2) and eviction under memory pressure picks a victim from the
+// oldest populated age class ("always stores newer streams").
 package flowtab
 
 import (
@@ -98,10 +102,14 @@ type Stream struct {
 	// User cookie (sd->user).
 	User any
 
-	// hash chain + LRU links, owned by Table.
-	hnext      *Stream
-	lruPrev    *Stream
-	lruNext    *Stream
+	// Table-owned placement state. ref is the record's index in the
+	// table's paged record store, assigned once at page allocation and
+	// preserved across Recycle; hash is the mixed 64-bit key hash and slot
+	// the record's current slot index (group*slotsPerGroup+lane), both
+	// valid only while inTable.
+	ref        uint32
+	slot       uint64
+	hash       uint64
 	lastAccess int64
 	inTable    bool
 }

@@ -1,47 +1,121 @@
 package flowtab
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"scap/internal/pkt"
 )
 
+const (
+	// slotsPerGroup is the probe granularity: one control word's worth of
+	// slots, scanned with a single SWAR fingerprint match.
+	slotsPerGroup = 8
+	// initialGroups gives the empty table 1024 slots, matching the old
+	// chained table's initial bucket count.
+	initialGroups = 128
+
+	// Control byte values. Occupied slots hold fingerprint|0x80 (see
+	// pkt.HashSplit), so they can never collide with these markers.
+	ctrlEmpty     = 0x00
+	ctrlTombstone = 0x01
+
+	loBits = 0x0101010101010101
+	hiBits = 0x8080808080808080
+
+	// Record pages hold pageSize stream records each and never move, so
+	// *Stream pointers stay valid across table growth.
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+
+	// genShift derives a stream's coarse age class from its last-access
+	// time: one generation per 2^28 ns ≈ 268 ms, so the uint8 generation
+	// space spans ~68 s. Expiry never depends on generations (it reads the
+	// exact lastAccess); they only rank eviction victims, and Sweep
+	// re-derives drifted stamps, so aliasing past the span degrades the
+	// oldest-first approximation without affecting correctness.
+	genShift = 28
+	// maxAge is the oldest representable age class; sweeps clamp streams
+	// idle past maxAge generations to it.
+	maxAge = 255
+)
+
+// group is one probe unit: eight control bytes packed into a word (0x00
+// empty, 0x01 tombstone, fingerprint|0x80 occupied), eight generation
+// stamps, and eight record indices — 48 bytes of metadata, so a negative
+// lookup touches one or two cache lines of the group array and no records;
+// record cache lines are touched only on a fingerprint match.
+type group struct {
+	ctrl uint64
+	gen  [slotsPerGroup]uint8
+	ref  [slotsPerGroup]uint32
+}
+
+// matchByte returns a mask with bit 7 set in every lane whose byte in w
+// equals b. The SWAR zero-scan can set a false-positive lane directly above
+// a true match (callers re-check candidates against the full key), but it
+// never misses a true match, and as a boolean ("any lane equals b") it is
+// exact.
+func matchByte(w uint64, b uint8) uint64 {
+	x := w ^ (loBits * uint64(b))
+	return (x - loBits) &^ x & hiBits
+}
+
+func ctrlGet(w uint64, lane uint) uint8 { return uint8(w >> (lane * 8)) }
+
+func ctrlSet(w uint64, lane uint, b uint8) uint64 {
+	sh := lane * 8
+	return w&^(0xff<<sh) | uint64(b)<<sh
+}
+
+// recordPage is one fixed slab of stream records.
+type recordPage [pageSize]Stream
+
 // Table is the per-core flow table. It is not safe for concurrent use: in
 // Scap every stream belongs to exactly one core, whose kernel thread owns
 // that core's table.
+//
+//scap:owner engine
 type Table struct {
-	seed    uint64
-	buckets []*Stream
-	count   int
-	nextID  uint64
+	seed   uint64
+	groups []group
+	mask   uint64
+	count  int
+	tombs  int
+	nextID uint64
 
-	// LRU access list: head is most recently touched (paper §5.2 keeps
-	// the list sorted by moving streams to the front on each packet).
-	lruHead *Stream
-	lruTail *Stream
+	// pages is the record store; nextRec indexes the next never-used slot.
+	// free holds recycled records, mirroring Scap's pre-allocated stream_t
+	// pools.
+	pages   []*recordPage
+	nextRec uint32
+	free    []*Stream
 
-	// free is a pool of recycled records, mirroring Scap's pre-allocated
-	// stream_t pools.
-	free *Stream
+	// now is the latest timestamp the table has seen; genCounts tracks
+	// live records per generation stamp so eviction can locate the oldest
+	// populated age class without scanning.
+	now       int64
+	genCounts [256]uint32
 
-	// Counters.
-	Created uint64
-	Expired uint64
-	Evicted uint64
+	// sweepCursor and evictCursor rove so incremental sweeps and repeated
+	// evictions cover the group array fairly.
+	sweepCursor uint64
+	evictCursor uint64
+
+	// Counters, read by the owning engine (copied into metrics off the
+	// hot path).
+	Created     uint64
+	Expired     uint64
+	Evicted     uint64
+	Lookups     uint64 // LookupH calls (including the GetOrCreate fast path)
+	Probes      uint64 // groups examined by those lookups
+	SweptGroups uint64
+	Grows       uint64
 }
 
-const (
-	initialBuckets = 1024
-	maxLoadFactor  = 0.75
-)
-
-// SetIDBase offsets the stream ID counter so that several tables (one per
-// core) allocate from disjoint ID spaces; stream IDs are then unique
-// socket-wide. Call before the first stream is created.
-func (t *Table) SetIDBase(base uint64) { t.nextID = base }
-
 // NewTable creates a table with a randomly seeded hash function, like the
-// kernel module, to resist algorithmic-complexity attacks on the buckets.
+// kernel module, to resist algorithmic-complexity attacks on the groups.
 func NewTable(rng *rand.Rand) *Table {
 	var seed uint64
 	if rng != nil {
@@ -50,37 +124,107 @@ func NewTable(rng *rand.Rand) *Table {
 		seed = rand.Uint64()
 	}
 	return &Table{
-		seed:    seed,
-		buckets: make([]*Stream, initialBuckets),
+		seed:   seed,
+		groups: make([]group, initialGroups),
+		mask:   initialGroups - 1,
 	}
+}
+
+// SetIDBase offsets the stream ID counter so that several tables (one per
+// core) allocate from disjoint ID spaces; stream IDs are then unique
+// socket-wide. It panics if a stream was already created: rebasing then
+// would re-issue IDs that identify live or in-flight records.
+func (t *Table) SetIDBase(base uint64) {
+	if t.Created > 0 {
+		panic("flowtab: SetIDBase called after streams were created")
+	}
+	t.nextID = base
 }
 
 // Len returns the number of tracked streams (directions).
 func (t *Table) Len() int { return t.count }
 
+// Cap returns the table's current slot capacity.
+func (t *Table) Cap() int { return len(t.groups) * slotsPerGroup }
+
+// Tombstones returns the number of slots pinned by deleted entries (they
+// are reclaimed by the next rehash).
+func (t *Table) Tombstones() int { return t.tombs }
+
+// Hash returns the table's mixed 64-bit hash of key. Compute it once per
+// packet and share it between LookupH/GetOrCreateH and the sketch
+// front-end; the low bits index the group array and the high bits form the
+// control fingerprint (pkt.HashSplit).
+//
+//scap:hotpath
+func (t *Table) Hash(key pkt.FlowKey) uint64 { return pkt.Mix64(key.Hash(t.seed)) }
+
+func (t *Table) record(ref uint32) *Stream {
+	return &t.pages[ref>>pageBits][ref&pageMask]
+}
+
 // Lookup finds the stream for the exact (directional) key.
 //
 //scap:hotpath
 func (t *Table) Lookup(key pkt.FlowKey) *Stream {
-	idx := key.Hash(t.seed) & uint64(len(t.buckets)-1)
-	for s := t.buckets[idx]; s != nil; s = s.hnext {
-		if s.Key == key {
-			return s
+	return t.LookupH(t.Hash(key), key)
+}
+
+// LookupH is Lookup with the hash already computed.
+//
+//scap:hotpath
+func (t *Table) LookupH(h uint64, key pkt.FlowKey) *Stream {
+	_, fp := pkt.HashSplit(h)
+	gi := h & t.mask
+	t.Lookups++
+	for step := uint64(0); ; step++ {
+		t.Probes++
+		g := &t.groups[gi]
+		for m := matchByte(g.ctrl, fp); m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m)) / 8
+			s := t.record(g.ref[lane])
+			if s.hash == h && s.Key == key {
+				return s
+			}
 		}
+		// A never-used slot terminates every probe chain: an insert would
+		// have taken it.
+		if matchByte(g.ctrl, ctrlEmpty) != 0 {
+			return nil
+		}
+		gi = (gi + step + 1) & t.mask
 	}
-	return nil
 }
 
 // GetOrCreate returns the stream for key, creating (and cross-linking with
 // the opposite direction, if tracked) on miss. created reports whether a
-// new record was made. now updates the access list position. Allocation on
-// a pool miss lives in alloc, off this function's fast path.
+// new record was made; now stamps the record's access time and age class.
 //
 //scap:hotpath
 func (t *Table) GetOrCreate(key pkt.FlowKey, now int64) (s *Stream, created bool) {
-	if s = t.Lookup(key); s != nil {
+	return t.GetOrCreateH(t.Hash(key), key, now)
+}
+
+// GetOrCreateH is GetOrCreate with the hash already computed. Record
+// allocation on a pool miss lives in alloc, off this function's fast path.
+//
+//scap:hotpath
+func (t *Table) GetOrCreateH(h uint64, key pkt.FlowKey, now int64) (s *Stream, created bool) {
+	if s = t.LookupH(h, key); s != nil {
 		t.Touch(s, now)
 		return s, false
+	}
+	return t.CreateH(h, key, now), true
+}
+
+// CreateH inserts a new stream for key without probing for an existing one.
+// It is the engine's miss path: LookupH already ran on the shared per-packet
+// hash, so re-probing would double the lookup work. The key must be absent.
+//
+//scap:hotpath
+func (t *Table) CreateH(h uint64, key pkt.FlowKey, now int64) (s *Stream) {
+	if now > t.now {
+		t.now = now
 	}
 	s = t.alloc()
 	t.nextID++
@@ -100,41 +244,55 @@ func (t *Table) GetOrCreate(key pkt.FlowKey, now int64) (s *Stream, created bool
 		s.Dir = pkt.DirClient
 	}
 
-	t.insert(s)
-	t.lruPushFront(s)
+	t.insert(s, h)
 	t.Created++
-	return s, true
+	return s
 }
 
-// Touch moves s to the front of the access list and stamps its access time.
+// Touch stamps the stream's access time and refreshes its age class. Unlike
+// the old LRU list there is nothing to re-link: the common case (same
+// 268 ms generation) writes one record field and compares one byte in the
+// group the stream already occupies.
 //
 //scap:hotpath
 func (t *Table) Touch(s *Stream, now int64) {
 	s.lastAccess = now
-	if t.lruHead == s {
+	if !s.inTable {
 		return
 	}
-	t.lruUnlink(s)
-	t.lruPushFront(s)
+	if now > t.now {
+		t.now = now
+	}
+	gen := uint8(uint64(now) >> genShift)
+	g := &t.groups[s.slot/slotsPerGroup]
+	lane := s.slot % slotsPerGroup
+	if old := g.gen[lane]; old != gen {
+		t.genCounts[old]--
+		t.genCounts[gen]++
+		g.gen[lane] = gen
+	}
 }
 
-// Remove detaches s from the table and access list. The record stays valid
-// (events may still reference it) until Recycle is called.
+// Remove detaches s from the table. The record stays valid (events may
+// still reference it) until Recycle is called.
 func (t *Table) Remove(s *Stream) {
 	if !s.inTable {
 		return
 	}
-	idx := s.Key.Hash(t.seed) & uint64(len(t.buckets)-1)
-	pp := &t.buckets[idx]
-	for *pp != nil {
-		if *pp == s {
-			*pp = s.hnext
-			break
-		}
-		pp = &(*pp).hnext
+	gi := s.slot / slotsPerGroup
+	lane := uint(s.slot % slotsPerGroup)
+	g := &t.groups[gi]
+	t.genCounts[g.gen[lane]]--
+	// A group holding a never-used slot terminates probe chains already,
+	// so no chain can be relying on this slot to keep going: reopen it as
+	// empty. A full group's slot must become a tombstone instead, keeping
+	// lookups probing past it.
+	if matchByte(g.ctrl, ctrlEmpty) != 0 {
+		g.ctrl = ctrlSet(g.ctrl, lane, ctrlEmpty)
+	} else {
+		g.ctrl = ctrlSet(g.ctrl, lane, ctrlTombstone)
+		t.tombs++
 	}
-	s.hnext = nil
-	t.lruUnlink(s)
 	s.inTable = false
 	t.count--
 	if s.Opposite != nil {
@@ -149,34 +307,115 @@ func (t *Table) Recycle(s *Stream) {
 	if s.inTable {
 		t.Remove(s)
 	}
+	ref := s.ref
 	*s = Stream{}
-	s.hnext = t.free
-	t.free = s
+	s.ref = ref
+	t.free = append(t.free, s)
 }
 
 // ExpireBefore removes every stream whose last access is older than
-// deadline, invoking fn for each before removal. It walks from the tail of
-// the access list, so the scan stops at the first fresh stream — the
-// paper's "periodically, starting from the end of the list" sweep.
+// deadline, invoking fn for each before removal — the paper's periodic
+// full-table sweep. fn must not add or remove streams; incremental callers
+// use Sweep and collect victims instead.
 func (t *Table) ExpireBefore(deadline int64, fn func(*Stream)) int {
 	n := 0
-	for t.lruTail != nil && t.lruTail.lastAccess < deadline {
-		s := t.lruTail
-		s.Status = StatusTimedOut
-		if fn != nil {
-			fn(s)
+	for gi := range t.groups {
+		g := &t.groups[gi]
+		for m := g.ctrl & hiBits; m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m)) / 8
+			s := t.record(g.ref[lane])
+			if s.lastAccess < deadline {
+				s.Status = StatusTimedOut
+				if fn != nil {
+					fn(s)
+				}
+				t.Remove(s)
+				t.Expired++
+				n++
+			}
 		}
-		t.Remove(s)
-		t.Expired++
-		n++
 	}
 	return n
 }
 
-// EvictOldest removes the least recently touched stream to make room for a
-// newer one (Scap "always stores newer streams" under memory exhaustion).
+// Sweep visits the streams of up to maxGroups slot groups, resuming from a
+// roving cursor, and returns the number of groups examined (fewer when the
+// table is smaller). fn must not add or remove streams — expiry collects
+// victims during the sweep and finishes them after the call. Sweeping also
+// repairs generation stamps whose coarse age drifted from the record's
+// exact last access (stamps alias after ~68 s idle; the sweep re-derives
+// them and clamps ancient streams to the oldest representable class), so
+// regular sweeps keep eviction's oldest-first approximation honest.
+func (t *Table) Sweep(now int64, maxGroups int, fn func(*Stream)) int {
+	if now > t.now {
+		t.now = now
+	}
+	if n := len(t.groups); maxGroups > n {
+		maxGroups = n
+	}
+	cur := uint8(uint64(t.now) >> genShift)
+	for i := 0; i < maxGroups; i++ {
+		gi := t.sweepCursor & t.mask
+		t.sweepCursor++
+		g := &t.groups[gi]
+		for m := g.ctrl & hiBits; m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m)) / 8
+			s := t.record(g.ref[lane])
+			want := cur - maxAge
+			if age := uint64(t.now-s.lastAccess) >> genShift; age < maxAge {
+				want = uint8(uint64(s.lastAccess) >> genShift)
+			}
+			if old := g.gen[lane]; old != want {
+				t.genCounts[old]--
+				t.genCounts[want]++
+				g.gen[lane] = want
+			}
+			if fn != nil {
+				fn(s)
+			}
+		}
+	}
+	t.SweptGroups += uint64(maxGroups)
+	return maxGroups
+}
+
+// findOldest locates a stream in the oldest populated age class: first the
+// class via the generation counts, then a lane of that class via the roving
+// eviction cursor. The scan is amortized by the cursor — successive
+// evictions drain a class group by group instead of restarting.
+func (t *Table) findOldest() *Stream {
+	if t.count == 0 {
+		return nil
+	}
+	cur := uint8(uint64(t.now) >> genShift)
+	target := cur
+	for age := maxAge; age >= 0; age-- {
+		if g := cur - uint8(age); t.genCounts[g] > 0 {
+			target = g
+			break
+		}
+	}
+	n := uint64(len(t.groups))
+	gi := t.evictCursor & t.mask
+	for scanned := uint64(0); scanned < n; scanned++ {
+		g := &t.groups[gi]
+		for m := g.ctrl & hiBits; m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m)) / 8
+			if g.gen[lane] == target {
+				t.evictCursor = gi
+				return t.record(g.ref[lane])
+			}
+		}
+		gi = (gi + 1) & t.mask
+	}
+	return nil
+}
+
+// EvictOldest removes a stream from the oldest populated age class to make
+// room for a newer one (Scap "always stores newer streams" under memory
+// exhaustion, approximated by ~268 ms age classes instead of an exact LRU).
 func (t *Table) EvictOldest(fn func(*Stream)) *Stream {
-	s := t.lruTail
+	s := t.findOldest()
 	if s == nil {
 		return nil
 	}
@@ -189,86 +428,109 @@ func (t *Table) EvictOldest(fn func(*Stream)) *Stream {
 	return s
 }
 
-// Oldest returns the tail of the access list without removing it.
-func (t *Table) Oldest() *Stream { return t.lruTail }
+// Oldest returns a stream from the oldest populated age class without
+// removing it.
+func (t *Table) Oldest() *Stream { return t.findOldest() }
 
 // Walk calls fn for every tracked stream until fn returns false. Iteration
-// order is most- to least-recently accessed.
+// order is unspecified. fn must not add or remove streams; shutdown paths
+// collect first and finish afterwards.
 func (t *Table) Walk(fn func(*Stream) bool) {
-	for s := t.lruHead; s != nil; s = s.lruNext {
-		if !fn(s) {
-			return
-		}
-	}
-}
-
-// TailWalk iterates from least- to most-recently accessed until fn returns
-// false. Callers must not add or remove streams during the walk; expiry
-// sweeps collect victims first and remove them afterwards.
-func (t *Table) TailWalk(fn func(*Stream) bool) {
-	for s := t.lruTail; s != nil; s = s.lruPrev {
-		if !fn(s) {
-			return
+	for gi := range t.groups {
+		g := &t.groups[gi]
+		for m := g.ctrl & hiBits; m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m)) / 8
+			if !fn(t.record(g.ref[lane])) {
+				return
+			}
 		}
 	}
 }
 
 func (t *Table) alloc() *Stream {
-	if s := t.free; s != nil {
-		t.free = s.hnext
-		*s = Stream{}
+	if n := len(t.free); n > 0 {
+		s := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
 		return s
 	}
-	return &Stream{}
+	return t.newRecord()
 }
 
-func (t *Table) insert(s *Stream) {
-	if float64(t.count+1) > maxLoadFactor*float64(len(t.buckets)) {
-		t.grow()
+// newRecord extends the paged record store. Pages never move or free, so
+// every *Stream handed out stays valid for the table's lifetime — the
+// invariant events, control messages, and engine maps rely on.
+func (t *Table) newRecord() *Stream {
+	idx := t.nextRec
+	if int(idx>>pageBits) == len(t.pages) {
+		t.pages = append(t.pages, new(recordPage))
 	}
-	idx := s.Key.Hash(t.seed) & uint64(len(t.buckets)-1)
-	s.hnext = t.buckets[idx]
-	t.buckets[idx] = s
-	s.inTable = true
+	t.nextRec++
+	s := &t.pages[idx>>pageBits][idx&pageMask]
+	s.ref = idx
+	return s
+}
+
+// insert places a new record, growing or purging tombstones first when the
+// load bound (7/8 of slots, counting tombstones) would be exceeded.
+func (t *Table) insert(s *Stream, h uint64) {
+	if (t.count+t.tombs+1)*8 > len(t.groups)*slotsPerGroup*7 {
+		t.rehash()
+	}
+	gen := uint8(uint64(s.lastAccess) >> genShift)
+	t.place(s, h, gen)
+	t.genCounts[gen]++
 	t.count++
 }
 
-func (t *Table) grow() {
-	old := t.buckets
-	t.buckets = make([]*Stream, len(old)*2)
-	for _, head := range old {
-		for s := head; s != nil; {
-			next := s.hnext
-			idx := s.Key.Hash(t.seed) & uint64(len(t.buckets)-1)
-			s.hnext = t.buckets[idx]
-			t.buckets[idx] = s
-			s = next
+// place probes for the first free lane along h's group chain and writes the
+// slot. It maintains slot metadata only; callers own the live-count and
+// generation-count bookkeeping.
+func (t *Table) place(s *Stream, h uint64, gen uint8) {
+	_, fp := pkt.HashSplit(h)
+	gi := h & t.mask
+	for step := uint64(0); ; step++ {
+		g := &t.groups[gi]
+		// Free lanes (empty or tombstone) are exactly those without the
+		// occupied bit.
+		if free := ^g.ctrl & hiBits; free != 0 {
+			lane := uint(bits.TrailingZeros64(free)) / 8
+			if ctrlGet(g.ctrl, lane) == ctrlTombstone {
+				t.tombs--
+			}
+			g.ctrl = ctrlSet(g.ctrl, lane, fp)
+			g.gen[lane] = gen
+			g.ref[lane] = s.ref
+			s.slot = gi*slotsPerGroup + uint64(lane)
+			s.hash = h
+			s.inTable = true
+			return
+		}
+		gi = (gi + step + 1) & t.mask
+	}
+}
+
+// rehash rebuilds the group array: doubled when live entries approach the
+// load bound, same-sized when tombstones are what crowded it out. Only the
+// 48-byte groups are rewritten — records never move, so held *Stream
+// pointers survive every growth (the property behind Figure 5's "dynamic
+// growth" with live references outstanding).
+func (t *Table) rehash() {
+	newLen := len(t.groups)
+	if (t.count+1)*16 > newLen*slotsPerGroup*7 {
+		newLen *= 2
+	}
+	old := t.groups
+	t.groups = make([]group, newLen)
+	t.mask = uint64(newLen - 1)
+	t.tombs = 0
+	t.Grows++
+	for gi := range old {
+		g := &old[gi]
+		for m := g.ctrl & hiBits; m != 0; m &= m - 1 {
+			lane := uint(bits.TrailingZeros64(m)) / 8
+			s := t.record(g.ref[lane])
+			t.place(s, s.hash, g.gen[lane])
 		}
 	}
-}
-
-func (t *Table) lruPushFront(s *Stream) {
-	s.lruPrev = nil
-	s.lruNext = t.lruHead
-	if t.lruHead != nil {
-		t.lruHead.lruPrev = s
-	}
-	t.lruHead = s
-	if t.lruTail == nil {
-		t.lruTail = s
-	}
-}
-
-func (t *Table) lruUnlink(s *Stream) {
-	if s.lruPrev != nil {
-		s.lruPrev.lruNext = s.lruNext
-	} else if t.lruHead == s {
-		t.lruHead = s.lruNext
-	}
-	if s.lruNext != nil {
-		s.lruNext.lruPrev = s.lruPrev
-	} else if t.lruTail == s {
-		t.lruTail = s.lruPrev
-	}
-	s.lruPrev, s.lruNext = nil, nil
 }

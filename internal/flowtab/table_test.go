@@ -137,8 +137,10 @@ func TestExpiryNeverKillsFresh(t *testing.T) {
 
 func TestEvictOldest(t *testing.T) {
 	tab := newT()
+	// One generation (~268 ms) apart, so every stream sits in its own age
+	// class and oldest-first eviction is exact.
 	for i := 0; i < 5; i++ {
-		tab.GetOrCreate(tk(uint16(2000+i), 80), int64(i))
+		tab.GetOrCreate(tk(uint16(2000+i), 80), int64(i)<<genShift)
 	}
 	ev := tab.EvictOldest(nil)
 	if ev == nil || ev.Key != tk(2000, 80) {
@@ -149,6 +151,40 @@ func TestEvictOldest(t *testing.T) {
 	}
 	if tab.Evicted != 1 || tab.Len() != 4 {
 		t.Errorf("Evicted=%d Len=%d", tab.Evicted, tab.Len())
+	}
+	// Draining the table keeps yielding the oldest remaining class.
+	for want := 2001; want <= 2004; want++ {
+		ev = tab.EvictOldest(nil)
+		if ev == nil || ev.Key.SrcPort != uint16(want) {
+			t.Fatalf("evicted %v, want port %d", ev, want)
+		}
+	}
+	if tab.EvictOldest(nil) != nil {
+		t.Error("eviction from empty table returned a stream")
+	}
+}
+
+// TestEvictOldestWithinClass: streams created inside the same generation are
+// all eviction-eligible regardless of creation order — the age classes are
+// coarse by design.
+func TestEvictOldestWithinClass(t *testing.T) {
+	tab := newT()
+	old := map[uint16]bool{}
+	for i := 0; i < 3; i++ { // same generation: all age-equivalent
+		tab.GetOrCreate(tk(uint16(3000+i), 80), int64(i))
+		old[uint16(3000+i)] = true
+	}
+	// A later class that must survive while the old class drains.
+	tab.GetOrCreate(tk(4000, 80), 10<<genShift)
+	for i := 0; i < 3; i++ {
+		ev := tab.EvictOldest(nil)
+		if ev == nil || !old[ev.Key.SrcPort] {
+			t.Fatalf("evicted %v, want a member of the oldest class", ev)
+		}
+		delete(old, ev.Key.SrcPort)
+	}
+	if s := tab.Lookup(tk(4000, 80)); s == nil {
+		t.Error("fresh stream evicted before the oldest class drained")
 	}
 }
 
@@ -195,21 +231,143 @@ func TestRecycleReuse(t *testing.T) {
 	}
 }
 
-func TestWalkOrder(t *testing.T) {
+func TestWalkCoversEveryStream(t *testing.T) {
 	tab := newT()
 	for i := 0; i < 5; i++ {
 		tab.GetOrCreate(tk(uint16(100+i), 80), int64(i))
 	}
-	var ports []uint16
+	seen := map[uint16]bool{}
 	tab.Walk(func(s *Stream) bool {
-		ports = append(ports, s.Key.SrcPort)
+		if seen[s.Key.SrcPort] {
+			t.Fatalf("stream %v visited twice", s.Key)
+		}
+		seen[s.Key.SrcPort] = true
 		return true
 	})
-	// Most recent first.
-	for i := 0; i < 5; i++ {
-		if ports[i] != uint16(104-i) {
-			t.Fatalf("walk order = %v", ports)
+	if len(seen) != 5 {
+		t.Fatalf("walk visited %d streams, want 5", len(seen))
+	}
+	// Early termination is honored.
+	n := 0
+	tab.Walk(func(*Stream) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("walk after false continued: %d visits", n)
+	}
+}
+
+func TestSweepVisitsWholeTableIncrementally(t *testing.T) {
+	tab := newT()
+	const streams = 100
+	for i := 0; i < streams; i++ {
+		tab.GetOrCreate(tk(uint16(i), 80), int64(i))
+	}
+	groups := tab.Cap() / slotsPerGroup
+	seen := map[uint16]int{}
+	visited := 0
+	// Quarter-table budget per call: four calls must cover every group
+	// exactly once.
+	for visited < groups {
+		visited += tab.Sweep(100, groups/4, func(s *Stream) { seen[s.Key.SrcPort]++ })
+	}
+	if len(seen) != streams {
+		t.Fatalf("sweeps visited %d distinct streams, want %d", len(seen), streams)
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("stream %d visited %d times in one full cycle", p, n)
 		}
+	}
+	if tab.SweptGroups != uint64(groups) {
+		t.Errorf("SweptGroups = %d, want %d", tab.SweptGroups, groups)
+	}
+}
+
+// TestSweepRepairsAliasedGenerations: a stream idle past the uint8
+// generation span aliases to a young class; one full sweep cycle re-stamps
+// it into the oldest representable class so eviction targets it again.
+func TestSweepRepairsAliasedGenerations(t *testing.T) {
+	tab := newT()
+	idle, _ := tab.GetOrCreate(tk(1, 80), 0)
+	// 300 generations later: uint8(300)=44, so without repair the idle
+	// stream's stamp (0) looks newer than a gen-44-created fresh stream
+	// would... create fresh streams now.
+	now := int64(300) << genShift
+	fresh, _ := tab.GetOrCreate(tk(2, 80), now)
+	groups := tab.Cap() / slotsPerGroup
+	tab.Sweep(now, groups, nil)
+	ev := tab.EvictOldest(nil)
+	if ev != idle {
+		t.Fatalf("evicted %v, want the ancient idle stream", ev.Key)
+	}
+	if !fresh.InTable() {
+		t.Error("fresh stream evicted")
+	}
+}
+
+func TestSetIDBaseGuard(t *testing.T) {
+	tab := newT()
+	tab.SetIDBase(1 << 48) // before first stream: fine
+	s, _ := tab.GetOrCreate(tk(1, 2), 0)
+	if s.ID != 1<<48+1 {
+		t.Fatalf("ID = %#x, want base+1", s.ID)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetIDBase after stream creation did not panic")
+		}
+	}()
+	tab.SetIDBase(2 << 48)
+}
+
+func TestTombstoneReuseAndRehash(t *testing.T) {
+	tab := newT()
+	// Fill well past several growths with interleaved removals so slots
+	// cycle through tombstone and empty states, then verify membership.
+	live := map[uint16]*Stream{}
+	for i := 0; i < 20000; i++ {
+		p := uint16(i)
+		s, created := tab.GetOrCreate(tk(p, 80), int64(i))
+		if !created {
+			t.Fatalf("key %d collided", i)
+		}
+		live[p] = s
+		if i%3 == 0 {
+			victim := uint16(i / 2)
+			if v, ok := live[victim]; ok {
+				tab.Remove(v)
+				tab.Recycle(v)
+				delete(live, victim)
+			}
+		}
+	}
+	if tab.Len() != len(live) {
+		t.Fatalf("len = %d, want %d", tab.Len(), len(live))
+	}
+	for p, want := range live {
+		if got := tab.Lookup(tk(p, 80)); got != want {
+			t.Fatalf("key %d resolved to %v, want its record", p, got)
+		}
+	}
+	// Removed keys stay gone.
+	if tab.Lookup(tk(3, 80)) != nil && live[3] == nil {
+		t.Error("removed key still resolves")
+	}
+}
+
+// TestPointerStabilityAcrossGrowth pins the slab contract: records handed
+// out before growth remain the same *Stream (and findable) after the table
+// rehashes many times.
+func TestPointerStabilityAcrossGrowth(t *testing.T) {
+	tab := newT()
+	first, _ := tab.GetOrCreate(tk(9999, 80), 0)
+	for i := 0; i < 100000; i++ {
+		tab.GetOrCreate(tk(uint16(i), uint16(8000+i>>16)), int64(i))
+	}
+	if got := tab.Lookup(tk(9999, 80)); got != first {
+		t.Fatalf("record moved across growth: %p != %p", got, first)
+	}
+	if first.Key != tk(9999, 80) || !first.InTable() {
+		t.Error("record corrupted across growth")
 	}
 }
 

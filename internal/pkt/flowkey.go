@@ -73,6 +73,30 @@ const (
 	fnvPrime  = 0x100000001b3
 )
 
+// Mix64 finalizes a 64-bit hash with a splitmix64-style avalanche so that
+// every output bit depends on every input bit. FNV-1a mixes low bits well
+// but leaves the high bits weak; open-addressing tables consume the low
+// bits as a group index and the *high* bits as a control fingerprint, so
+// both ends must be uniformly distributed.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashSplit splits a mixed 64-bit hash into the two parts an open-addressing
+// flow table consumes: the full index word (the table masks off the group
+// bits it needs) and a 7-bit control fingerprint. The fingerprint comes from
+// the top bits, so it stays independent of the low index bits any
+// power-of-two table uses, and 0x80 is OR-ed in so an occupied control byte
+// can never collide with the empty (0x00) or tombstone (0x01) markers.
+func HashSplit(h uint64) (idx uint64, fp uint8) {
+	return h, uint8(h>>57) | 0x80
+}
+
 func hashByte(h uint64, b byte) uint64 {
 	return (h ^ uint64(b)) * fnvPrime
 }

@@ -1,0 +1,306 @@
+// Package sketch implements the per-core priority-aware traffic summary
+// that fronts the flow table: a count-min sketch of per-flow byte volume,
+// per-priority byte/packet accumulators, and a top-k heavy-flow tracker.
+// Together they let the engine answer "how big is this flow and does it
+// still deserve a stream_t record?" in O(1) memory for flows the cutoff has
+// already disqualified — beyond-cutoff and filter-rejected flows are
+// handled entirely from the sketch (PSketch's priority-aware sketching
+// argument applied to Scap's §5.5 subzero-copy pipeline: the sketch both
+// suppresses software state and nominates FDIR drop-filter candidates).
+//
+// A Sketch is owned by one engine goroutine; the owner publishes immutable
+// snapshots for cross-goroutine readers (debug endpoints, gauges).
+package sketch
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"scap/internal/pkt"
+)
+
+// Defaults sized for ~1M-flow workloads: 4 rows × 32Ki counters × 8 B =
+// 1 MiB per core, collision probability per row ~ flows/width.
+const (
+	DefaultWidth = 1 << 15
+	DefaultDepth = 4
+	DefaultTopK  = 64
+)
+
+// Config sizes a Sketch.
+type Config struct {
+	// Width is the number of counters per row (rounded up to a power of
+	// two). Depth is the number of independent rows; estimates take the
+	// minimum across rows, so error is one-sided (never underestimates).
+	Width int
+	Depth int
+	// TopK bounds the heavy-flow tracker.
+	TopK int
+	// Priorities is the number of PPL priority levels accounted.
+	Priorities int
+}
+
+// Heavy is one tracked heavy flow. Entries are engine-owned; FDIR marks
+// that a NIC drop-filter pair has been installed for this flow (so the
+// install path doesn't repeat it).
+type Heavy struct {
+	Hash     uint64
+	Key      pkt.FlowKey
+	Bytes    uint64
+	Priority int
+	FDIR     bool
+}
+
+// Snapshot is an immutable copy of the sketch's aggregates, published by
+// the owning engine and safe to read from any goroutine.
+type Snapshot struct {
+	ObservedPkts  uint64   `json:"observed_pkts"`
+	ObservedBytes uint64   `json:"observed_bytes"`
+	PrioBytes     []uint64 `json:"prio_bytes"`
+	PrioPkts      []uint64 `json:"prio_pkts"`
+	Heavies       []Heavy  `json:"heavies"`
+}
+
+// Sketch is one core's traffic summary. Only the owning engine goroutine
+// may call Observe/Estimate/heavy accessors; any goroutine may call
+// Snapshot.
+//
+//scap:owner engine
+type Sketch struct {
+	mask  uint64
+	depth int
+	rows  [][]uint64
+
+	prioBytes []uint64
+	prioPkts  []uint64
+
+	observedPkts  uint64
+	observedBytes uint64
+
+	// heavy is a small open-addressed table (2×TopK slots) keyed by flow
+	// hash; topK bounds the live entries. heavyMin gates insertion so the
+	// tracker only sees flows already past the smallest configured cutoff.
+	heavy     []Heavy
+	heavyMask uint64
+	heavyLive int
+	topK      int
+	heavyMin  uint64
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// New creates a sketch. heavyMin starts disabled (nothing is heavy) until
+// the engine calls SetHeavyMin with its resolved cutoff floor.
+func New(cfg Config) *Sketch {
+	if cfg.Width <= 0 {
+		cfg.Width = DefaultWidth
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultDepth
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	if cfg.Priorities <= 0 {
+		cfg.Priorities = 1
+	}
+	width := 1 << bits.Len(uint(cfg.Width-1)) // round up to a power of two
+	sk := &Sketch{
+		mask:      uint64(width - 1),
+		depth:     cfg.Depth,
+		rows:      make([][]uint64, cfg.Depth),
+		prioBytes: make([]uint64, cfg.Priorities),
+		prioPkts:  make([]uint64, cfg.Priorities),
+		heavy:     make([]Heavy, 2*nextPow2(cfg.TopK)),
+		topK:      cfg.TopK,
+		heavyMin:  ^uint64(0),
+	}
+	sk.heavyMask = uint64(len(sk.heavy) - 1)
+	for i := range sk.rows {
+		sk.rows[i] = make([]uint64, width)
+	}
+	sk.snap.Store(&Snapshot{
+		PrioBytes: make([]uint64, cfg.Priorities),
+		PrioPkts:  make([]uint64, cfg.Priorities),
+	})
+	return sk
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// SetHeavyMin sets the byte volume at which a flow becomes a heavy-flow
+// candidate — the engine's smallest configured cutoff, so every flow that
+// could possibly be suppressed is tracked once it crosses the line.
+func (sk *Sketch) SetHeavyMin(min uint64) { sk.heavyMin = min }
+
+// rowIdx derives the depth row indices from one 64-bit hash
+// (Kirsch-Mitzenmacher: idx_i = h1 + i*h2 over independent halves).
+//
+//scap:hotpath
+func (sk *Sketch) rowIdx(h uint64, i int) uint64 {
+	h1 := h & 0xffffffff
+	h2 := (h >> 32) | 1
+	return (h1 + uint64(i)*h2) & sk.mask
+}
+
+// Observe accounts one packet of n payload bytes for the flow hashed to h
+// and returns the flow's updated byte estimate. The estimate is one-sided:
+// it never undercounts the flow's observed payload (hash collisions only
+// inflate it), which is exactly the safe direction for cutoff suppression —
+// a flow is only suppressed when the engine previously saw (someone reach)
+// the cutoff on those counters.
+//
+//scap:hotpath
+func (sk *Sketch) Observe(h uint64, key pkt.FlowKey, prio, n int) uint64 {
+	sk.observedPkts++
+	sk.observedBytes += uint64(n)
+	if prio >= 0 && prio < len(sk.prioBytes) {
+		sk.prioBytes[prio] += uint64(n)
+		sk.prioPkts[prio]++
+	}
+	est := ^uint64(0)
+	for i := 0; i < sk.depth; i++ {
+		c := &sk.rows[i][sk.rowIdx(h, i)]
+		*c += uint64(n)
+		if *c < est {
+			est = *c
+		}
+	}
+	if est >= sk.heavyMin {
+		sk.noteHeavy(h, key, prio, est)
+	}
+	return est
+}
+
+// Estimate returns the flow's current byte estimate without updating it.
+//
+//scap:hotpath
+func (sk *Sketch) Estimate(h uint64) uint64 {
+	est := ^uint64(0)
+	for i := 0; i < sk.depth; i++ {
+		if c := sk.rows[i][sk.rowIdx(h, i)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// noteHeavy upserts a heavy-flow entry. The table is probed linearly from
+// the hash position; when full past topK, the smallest entry along the
+// probe window is displaced if the candidate is larger — a bounded-effort
+// top-k that favors exactly the flows big enough to matter for FDIR.
+func (sk *Sketch) noteHeavy(h uint64, key pkt.FlowKey, prio int, est uint64) {
+	i := h & sk.heavyMask
+	var minIdx uint64
+	minBytes := ^uint64(0)
+	for probe := 0; probe < 8; probe++ {
+		e := &sk.heavy[i]
+		if e.Bytes == 0 {
+			if sk.heavyLive >= sk.topK {
+				break // at capacity: fall through to displacement
+			}
+			*e = Heavy{Hash: h, Key: key, Bytes: est, Priority: prio}
+			sk.heavyLive++
+			return
+		}
+		if e.Hash == h && e.Key == key {
+			e.Bytes = est
+			e.Priority = prio
+			return
+		}
+		if e.Bytes < minBytes {
+			minBytes = e.Bytes
+			minIdx = i
+		}
+		i = (i + 1) & sk.heavyMask
+	}
+	if est > minBytes {
+		sk.heavy[minIdx] = Heavy{Hash: h, Key: key, Bytes: est, Priority: prio}
+	}
+}
+
+// ForEachHeavy calls fn for every live heavy entry. fn may mutate the entry
+// (the FDIR install path marks entries it has handled). Engine-only.
+func (sk *Sketch) ForEachHeavy(fn func(*Heavy)) {
+	for i := range sk.heavy {
+		if sk.heavy[i].Bytes != 0 {
+			fn(&sk.heavy[i])
+		}
+	}
+}
+
+// MarkFDIR marks the heavy entry for h as having NIC filters installed and
+// reports whether an entry was found (the install path uses the flag to
+// avoid repeating the install).
+func (sk *Sketch) MarkFDIR(h uint64) bool {
+	i := h & sk.heavyMask
+	for probe := 0; probe < 8; probe++ {
+		e := &sk.heavy[i]
+		if e.Bytes != 0 && e.Hash == h {
+			e.FDIR = true
+			return true
+		}
+		i = (i + 1) & sk.heavyMask
+	}
+	return false
+}
+
+// ClearFDIR unmarks the heavy entry for h (called when the NIC filter pair
+// installed for it expires, so a still-heavy flow can be re-nominated).
+func (sk *Sketch) ClearFDIR(h uint64) {
+	i := h & sk.heavyMask
+	for probe := 0; probe < 8; probe++ {
+		e := &sk.heavy[i]
+		if e.Bytes != 0 && e.Hash == h {
+			e.FDIR = false
+			return
+		}
+		i = (i + 1) & sk.heavyMask
+	}
+}
+
+// HeavyCount returns the number of live heavy entries. Engine-only.
+func (sk *Sketch) HeavyCount() int {
+	n := 0
+	for i := range sk.heavy {
+		if sk.heavy[i].Bytes != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ObservedPkts and ObservedBytes return the totals seen. Engine-only;
+// cross-goroutine readers use Snapshot.
+func (sk *Sketch) ObservedPkts() uint64 { return sk.observedPkts }
+
+// ObservedBytes returns total payload bytes observed. Engine-only.
+func (sk *Sketch) ObservedBytes() uint64 { return sk.observedBytes }
+
+// Publish stores a fresh immutable snapshot for cross-goroutine readers.
+// The owning engine calls it from its timer path, so readers see aggregates
+// at timer granularity without touching hot-path state.
+func (sk *Sketch) Publish() {
+	s := &Snapshot{
+		ObservedPkts:  sk.observedPkts,
+		ObservedBytes: sk.observedBytes,
+		PrioBytes:     append([]uint64(nil), sk.prioBytes...),
+		PrioPkts:      append([]uint64(nil), sk.prioPkts...),
+	}
+	for i := range sk.heavy {
+		if sk.heavy[i].Bytes != 0 {
+			s.Heavies = append(s.Heavies, sk.heavy[i])
+		}
+	}
+	sk.snap.Store(s)
+}
+
+// Snapshot returns the most recently published snapshot.
+//
+//scap:anyrole immutable snapshot behind an atomic pointer
+func (sk *Sketch) Snapshot() *Snapshot { return sk.snap.Load() }

@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"scap/internal/pkt"
+)
+
+func skKey(i int) pkt.FlowKey {
+	return pkt.FlowKey{
+		SrcIP: pkt.MustAddr("10.0.0.1"), DstIP: pkt.MustAddr("10.0.0.2"),
+		SrcPort: uint16(i), DstPort: uint16(i >> 16), Proto: pkt.ProtoTCP,
+	}
+}
+
+func hash(i int) uint64 { return pkt.Mix64(uint64(i)*0x9e3779b97f4a7c15 + 1) }
+
+func TestEstimateNeverUndercounts(t *testing.T) {
+	sk := New(Config{Width: 1 << 10, Depth: 4})
+	r := rand.New(rand.NewSource(1))
+	truth := map[int]uint64{}
+	for op := 0; op < 50000; op++ {
+		f := r.Intn(4000)
+		n := r.Intn(1460)
+		sk.Observe(hash(f), skKey(f), 0, n)
+		truth[f] += uint64(n)
+	}
+	for f, want := range truth {
+		if got := sk.Estimate(hash(f)); got < want {
+			t.Fatalf("flow %d estimated %d < true %d (count-min must be one-sided)", f, got, want)
+		}
+	}
+}
+
+func TestEstimateErrorBounded(t *testing.T) {
+	// With load well under width, most flows should estimate exactly.
+	sk := New(Config{Width: 1 << 12, Depth: 4})
+	const flows = 256
+	for f := 0; f < flows; f++ {
+		sk.Observe(hash(f), skKey(f), 0, 1000+f)
+	}
+	exact := 0
+	for f := 0; f < flows; f++ {
+		if sk.Estimate(hash(f)) == uint64(1000+f) {
+			exact++
+		}
+	}
+	if exact < flows*9/10 {
+		t.Errorf("only %d/%d flows estimated exactly at low load", exact, flows)
+	}
+}
+
+func TestPerPriorityAccounting(t *testing.T) {
+	sk := New(Config{Priorities: 3})
+	sk.Observe(hash(1), skKey(1), 0, 100)
+	sk.Observe(hash(2), skKey(2), 2, 50)
+	sk.Observe(hash(2), skKey(2), 2, 50)
+	sk.Observe(hash(3), skKey(3), 9, 1) // out of range: total only
+	sk.Publish()
+	s := sk.Snapshot()
+	if s.ObservedPkts != 4 || s.ObservedBytes != 201 {
+		t.Errorf("observed = %d pkts / %d bytes", s.ObservedPkts, s.ObservedBytes)
+	}
+	if s.PrioBytes[0] != 100 || s.PrioBytes[2] != 100 || s.PrioPkts[2] != 2 {
+		t.Errorf("prio accounting = %+v / %+v", s.PrioBytes, s.PrioPkts)
+	}
+}
+
+func TestHeavyHitterTracking(t *testing.T) {
+	sk := New(Config{Width: 1 << 12, Depth: 4, TopK: 8})
+	sk.SetHeavyMin(10000)
+	// 100 mice, 5 elephants.
+	for f := 0; f < 100; f++ {
+		sk.Observe(hash(f), skKey(f), 0, 100)
+	}
+	for f := 100; f < 105; f++ {
+		for i := 0; i < 20; i++ {
+			sk.Observe(hash(f), skKey(f), 1, 1000)
+		}
+	}
+	heavies := map[uint16]uint64{}
+	sk.ForEachHeavy(func(h *Heavy) { heavies[h.Key.SrcPort] = h.Bytes })
+	for f := 100; f < 105; f++ {
+		if b := heavies[uint16(f)]; b < 10000 {
+			t.Errorf("elephant %d not tracked (bytes=%d)", f, b)
+		}
+	}
+	for p, b := range heavies {
+		if p < 100 {
+			t.Errorf("mouse %d tracked as heavy with %d bytes", p, b)
+		}
+	}
+}
+
+func TestHeavyDisplacementKeepsBigger(t *testing.T) {
+	sk := New(Config{Width: 1 << 12, Depth: 4, TopK: 2})
+	sk.SetHeavyMin(1)
+	// Fill beyond capacity with ascending sizes; the biggest must survive.
+	for f := 0; f < 32; f++ {
+		for i := 0; i <= f; i++ {
+			sk.Observe(hash(f), skKey(f), 0, 1000)
+		}
+	}
+	var maxSeen uint64
+	sk.ForEachHeavy(func(h *Heavy) {
+		if h.Bytes > maxSeen {
+			maxSeen = h.Bytes
+		}
+	})
+	if maxSeen < 16000 {
+		t.Errorf("largest surviving heavy entry only %d bytes", maxSeen)
+	}
+}
+
+func TestFDIRMarkAndClear(t *testing.T) {
+	sk := New(Config{TopK: 4})
+	sk.SetHeavyMin(1)
+	sk.Observe(hash(7), skKey(7), 0, 500)
+	sk.ForEachHeavy(func(h *Heavy) { h.FDIR = true })
+	marked := false
+	sk.ForEachHeavy(func(h *Heavy) { marked = h.FDIR })
+	if !marked {
+		t.Fatal("FDIR mark lost")
+	}
+	sk.ClearFDIR(hash(7))
+	sk.ForEachHeavy(func(h *Heavy) {
+		if h.FDIR {
+			t.Error("ClearFDIR did not unmark the entry")
+		}
+	})
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	sk := New(Config{})
+	sk.Observe(hash(1), skKey(1), 0, 10)
+	sk.Publish()
+	s1 := sk.Snapshot()
+	sk.Observe(hash(1), skKey(1), 0, 10)
+	sk.Publish()
+	s2 := sk.Snapshot()
+	if s1.ObservedPkts != 1 || s2.ObservedPkts != 2 {
+		t.Errorf("snapshots not isolated: %d then %d", s1.ObservedPkts, s2.ObservedPkts)
+	}
+}

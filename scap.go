@@ -114,7 +114,15 @@ type Config struct {
 	UseFDIR bool
 	// DefaultPolicy is the overlap policy when no PolicyRule matches.
 	DefaultPolicy OverlapPolicy
+	// Sketch enables the per-core priority-aware sketch front-end: flows
+	// past their cutoff (and flows the socket filter rejects) are answered
+	// from a count-min summary instead of holding a stream record, so the
+	// flow table tracks only the flows that still need per-stream state.
+	Sketch SketchConfig
 }
+
+// SketchConfig configures the sketch front-end (see core.SketchConfig).
+type SketchConfig = core.SketchConfig
 
 // Handler is a stream event callback. The *Stream argument is only valid
 // for the duration of the call.
@@ -187,6 +195,7 @@ func Create(cfg Config) (*Handle, error) {
 			DefaultPolicy: cfg.DefaultPolicy,
 			NeedPkts:      cfg.NeedPkts,
 			UseFDIR:       cfg.UseFDIR,
+			Sketch:        cfg.Sketch,
 		},
 	}
 	h.reg = metrics.NewRegistry(cfg.Queues)

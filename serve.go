@@ -9,7 +9,9 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"scap/internal/core"
 	"scap/internal/metrics"
+	"scap/internal/sketch"
 )
 
 // DebugServer is the optional observability endpoint of one socket, started
@@ -25,6 +27,9 @@ type DebugServer struct {
 	// touch capture state only through the any-goroutine-safe read paths.
 	win *metrics.Window
 	reg *metrics.Registry
+	// engines is the per-core engine list captured at Serve time; the
+	// sketch handler reads only their atomic snapshot pointers.
+	engines []*core.Engine
 }
 
 // handleMetrics serves /metrics: the registry as JSON with rates windowed
@@ -54,6 +59,25 @@ func (s *DebugServer) handleFlight(rw http.ResponseWriter, req *http.Request) {
 	_ = enc.Encode(s.reg.Flight().Dump())
 }
 
+// handleSketch serves /debug/sketch: each engine's most recently published
+// sketch snapshot — observed totals, per-priority byte/packet breakdowns,
+// and the tracked heavy-hitter flows with their FDIR state. Entries are null
+// for cores without a sketch (front-end disabled).
+//
+//scap:goroutine debugserver per-request handler on net/http's connection goroutines
+func (s *DebugServer) handleSketch(rw http.ResponseWriter, req *http.Request) {
+	out := make([]*sketch.Snapshot, len(s.engines))
+	for i, e := range s.engines {
+		if sk := e.Sketch(); sk != nil {
+			out[i] = sk.Snapshot()
+		}
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
 // Serve starts a debug HTTP server for the socket on addr (host:port; use
 // port 0 for an ephemeral port, then read Addr). It serves:
 //
@@ -65,6 +89,10 @@ func (s *DebugServer) handleFlight(rw http.ResponseWriter, req *http.Request) {
 //     JSON (oldest first); /debug/flight?format=chrome returns the same
 //     records as Chrome trace-event JSON, loadable in chrome://tracing or
 //     Perfetto (ui.perfetto.dev).
+//   - /debug/sketch — each core's sketch front-end snapshot (observed
+//     totals, per-priority breakdowns, heavy-hitter flows). Call Serve
+//     after StartCapture so the engines exist; entries are null when the
+//     sketch is disabled.
 //   - /debug/pprof/ — the standard net/http/pprof profiling endpoints.
 //   - /debug/vars — expvar's process-wide variables.
 //
@@ -81,14 +109,16 @@ func (h *Handle) Serve(addr string) (*DebugServer, error) {
 	w := metrics.NewWindow(h.reg)
 	w.Collect() // prime: the first scrape then has a real window
 	s := &DebugServer{
-		ln:   ln,
-		done: make(chan struct{}),
-		win:  w,
-		reg:  h.reg,
+		ln:      ln,
+		done:    make(chan struct{}),
+		win:     w,
+		reg:     h.reg,
+		engines: append([]*core.Engine(nil), h.engines...),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/sketch", s.handleSketch)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

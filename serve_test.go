@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"testing"
+	"time"
 
 	"scap/internal/metrics"
 )
@@ -95,6 +96,58 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	}
 	if got := p2.Counter("packets_total"); got == nil || got.Total < pk.Total {
 		t.Fatalf("post-Close packets_total = %+v, want >= %d", got, pk.Total)
+	}
+}
+
+// TestServeSketchEndpoint: /debug/sketch returns one published snapshot per
+// core once the sketch front-end has seen traffic (snapshots publish from
+// the engines' timer path, so the scrape polls briefly).
+func TestServeSketchEndpoint(t *testing.T) {
+	h, err := Create(Config{Queues: 2, Sketch: SketchConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetCutoff(1000); err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) {})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := h.ReplaySource(smallGen(13, 80), 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	type snap struct {
+		ObservedPkts uint64 `json:"observed_pkts"`
+	}
+	var snaps []*snap
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/sketch"), &snaps); err != nil {
+			t.Fatalf("parse /debug/sketch: %v", err)
+		}
+		total := uint64(0)
+		for _, s := range snaps {
+			if s != nil {
+				total += s.ObservedPkts
+			}
+		}
+		if len(snaps) == 2 && snaps[0] != nil && snaps[1] != nil && total > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sketch snapshots never published: %+v", snaps)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
