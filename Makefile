@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint fmt-check bench-quick bench-flowtab serve-smoke flight-smoke check
+.PHONY: build test test-short race vet lint fmt-check bench-quick bench-flowtab bench-ctlplane serve-smoke flight-smoke ctlplane-smoke check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,22 @@ serve-smoke:
 flight-smoke:
 	$(GO) run ./cmd/scaptop -flight-smoke
 
+# ctlplane-smoke overloads a deliberately tiny socket (2 MiB memory budget,
+# slow consumer callbacks) with the adaptive controller enabled, then asserts
+# /debug/ctlplane shows tighten decisions and /debug/flight carries the
+# matching ctl_* records — the end-to-end proof of the telemetry→decision→
+# actuation loop.
+ctlplane-smoke:
+	$(GO) run ./cmd/scaptop -ctlplane-smoke
+
+# bench-ctlplane runs the adaptive-vs-fixed-cutoff overload replay
+# (EXPERIMENTS.md §ctlplane) with the strict comparative assertions on: the
+# adaptive run must beat every fixed cutoff on p99 ring→worker latency while
+# delivering at least as many useful priority-0 bytes as the best fixed
+# cutoff. Results are teed to bench-ctlplane.txt.
+bench-ctlplane:
+	SCAP_CTLPLANE_STRICT=1 $(GO) test -run TestAdaptiveVsFixedCutoff -v . | tee bench-ctlplane.txt
+
 fmt-check:
 	@out=$$(gofmt -l . | grep -v '^testdata/' || true); \
 	if [ -n "$$out" ]; then \
@@ -62,4 +78,4 @@ fmt-check:
 	fi
 
 # check is the full CI gate.
-check: build vet lint fmt-check race serve-smoke flight-smoke
+check: build vet lint fmt-check race serve-smoke flight-smoke ctlplane-smoke

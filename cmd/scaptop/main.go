@@ -10,6 +10,7 @@
 //	scaptop -addr 127.0.0.1:6060 -json       # one raw /metrics payload, then exit
 //	scaptop -smoke                           # self-contained end-to-end check
 //	scaptop -flight-smoke                    # end-to-end flight-recorder check
+//	scaptop -ctlplane-smoke                  # end-to-end adaptive-controller check
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"scap"
+	"scap/internal/ctlplane"
 	"scap/internal/metrics"
 	"scap/internal/trace"
 )
@@ -37,6 +39,7 @@ func main() {
 		jsonOnce    = flag.Bool("json", false, "print one raw /metrics payload as JSON and exit")
 		smoke       = flag.Bool("smoke", false, "run an in-process capture, scrape it once, and exit")
 		flightSmoke = flag.Bool("flight-smoke", false, "run an in-process capture and verify /debug/flight")
+		ctlSmoke    = flag.Bool("ctlplane-smoke", false, "run an in-process overloaded capture and verify /debug/ctlplane")
 	)
 	flag.Parse()
 
@@ -50,6 +53,13 @@ func main() {
 	if *flightSmoke {
 		if err := runFlightSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "scaptop -flight-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ctlSmoke {
+		if err := runCtlplaneSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "scaptop -ctlplane-smoke:", err)
 			os.Exit(1)
 		}
 		return
@@ -77,7 +87,67 @@ func main() {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 		}
 		fmt.Print(render(p))
+		// The controller line comes from its own endpoint; a server without
+		// one (older binary) just renders nothing extra.
+		if cs, err := fetchCtl(*addr); err == nil {
+			fmt.Print(renderCtlplane(cs))
+		}
 	}
+}
+
+// fetchCtl scrapes one /debug/ctlplane snapshot.
+func fetchCtl(addr string) (*ctlplane.Snapshot, error) {
+	body, err := fetchBody(addr, "/debug/ctlplane")
+	if err != nil {
+		return nil, err
+	}
+	var s ctlplane.Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// renderCtlplane formats the adaptive controller's one-line status: mode,
+// live pressure, the active knob positions, and the last decision taken.
+// Disabled controllers render nothing.
+func renderCtlplane(s *ctlplane.Snapshot) string {
+	if s == nil || !s.Enabled {
+		return ""
+	}
+	var b strings.Builder
+	cutoff := "none"
+	if s.DynCutoff >= 0 {
+		cutoff = fmt.Sprintf("%d", s.DynCutoff)
+	}
+	budget := fmt.Sprintf("%d", s.FDIRBudget)
+	if s.FDIRBudget < 0 {
+		budget = "unlimited"
+	}
+	ppl := "no"
+	if s.UnderPPL {
+		ppl = "yes"
+	}
+	fmt.Fprintf(&b, "ctlplane mode=%s mem=%.1f%% arena=%.1f%% ppl=%s clamp=%s fdir-budget=%s p99(ring→worker)=%s",
+		s.Mode, 100*s.MemFraction, 100*s.ArenaFraction, ppl, cutoff, budget,
+		time.Duration(s.P99RingWorkerNs).Round(time.Microsecond))
+	if len(s.Watermarks) > 0 {
+		b.WriteString(" wm=[")
+		for i, w := range s.Watermarks {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.2f", w)
+		}
+		b.WriteByte(']')
+	}
+	if n := len(s.Decisions); n > 0 {
+		d := s.Decisions[n-1]
+		fmt.Fprintf(&b, "  last=%s(%d)@%s", d.Action, d.Value,
+			time.Unix(0, d.TimeUnixNano).Format("15:04:05.000"))
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 // fetchBody reads one debug-server endpoint's raw response body.
@@ -391,5 +461,106 @@ func runFlightSmoke() error {
 	}
 	fmt.Printf("flight-smoke OK: records=%d (total %d), chrome events=%d\n",
 		len(dump.Records), dump.Total, len(tr.TraceEvents))
+	return nil
+}
+
+// runCtlplaneSmoke is the CI control-plane end-to-end check (make
+// ctlplane-smoke): run a capture with a deliberately tiny memory budget, a
+// fast controller, and slow application callbacks so memory pressure builds
+// for real, then require /debug/ctlplane to show the controller reacted (a
+// recorded decision and a control-plane flight record).
+func runCtlplaneSmoke() error {
+	h, err := scap.Create(scap.Config{
+		Queues:     2,
+		MemorySize: 2 << 20, // tiny: ~2 MiB so the replay overloads it
+		Sketch:     scap.SketchConfig{Enabled: true},
+		Control: scap.ControlConfig{
+			Enabled:       true,
+			Interval:      2 * time.Millisecond,
+			EnterFraction: 0.5,
+			ExitFraction:  0.3,
+			Cooldown:      10 * time.Millisecond,
+			HoldTicks:     2,
+			CutoffStart:   64 << 10,
+			CutoffFloor:   16 << 10,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// Slow consumers: each data callback holds its chunk (and arena block)
+	// for a while, so in-flight memory accumulates ahead of the replay.
+	h.DispatchData(func(sd *scap.Stream) { time.Sleep(200 * time.Microsecond) })
+	if err := h.StartCapture(); err != nil {
+		return err
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	gen := trace.ConcurrentStreamsWorkload(3, 400, 64, 60, 1460)
+	if err := h.ReplaySource(gen, 1e9); err != nil {
+		return err
+	}
+
+	// The controller runs on the wall clock; give it a few intervals to
+	// observe the tail of the episode before scraping.
+	var cs *ctlplane.Snapshot
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cs, err = fetchCtl(srv.Addr())
+		if err != nil {
+			return err
+		}
+		if len(cs.Decisions) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !cs.Enabled {
+		return fmt.Errorf("/debug/ctlplane reports controller disabled")
+	}
+	if cs.Ticks == 0 {
+		return fmt.Errorf("controller never ticked")
+	}
+	if len(cs.Decisions) == 0 {
+		return fmt.Errorf("no control decisions after overload replay (mode=%s mem=%.2f arena=%.2f)",
+			cs.Mode, cs.MemFraction, cs.ArenaFraction)
+	}
+	var tightened bool
+	for _, d := range cs.Decisions {
+		if d.Action == "tighten" {
+			tightened = true
+		}
+	}
+	if !tightened {
+		return fmt.Errorf("controller decided %d times but never tightened: %+v", len(cs.Decisions), cs.Decisions)
+	}
+
+	// The same decisions must be visible in the flight recorder.
+	body, err := fetchBody(srv.Addr(), "/debug/flight")
+	if err != nil {
+		return err
+	}
+	var dump metrics.FlightDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return fmt.Errorf("parse /debug/flight: %v", err)
+	}
+	var ctlRecords int
+	for _, r := range dump.Records {
+		if strings.HasPrefix(r.KindName, "ctl_") {
+			ctlRecords++
+		}
+	}
+	if ctlRecords == 0 {
+		return fmt.Errorf("no ctl_* flight records among %d records", len(dump.Records))
+	}
+	fmt.Print(renderCtlplane(cs))
+	if err := h.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("ctlplane-smoke OK: decisions=%d ctl flight records=%d mode=%s\n",
+		len(cs.Decisions), ctlRecords, cs.Mode)
 	return nil
 }

@@ -1,0 +1,125 @@
+package scap
+
+import (
+	"scap/internal/core"
+	"scap/internal/ctlplane"
+	"scap/internal/metrics"
+)
+
+// ControlConfig configures the adaptive overload control plane
+// (internal/ctlplane). Set Enabled to turn the controller on; zero-valued
+// fields take the package defaults — see the ctlplane.Config field docs for
+// defaults, units, and safe ranges.
+type ControlConfig = ctlplane.Config
+
+// ControlSnapshot is the controller's published state, served at
+// /debug/ctlplane.
+type ControlSnapshot = ctlplane.Snapshot
+
+// ControlState returns the control plane's last published snapshot, or nil
+// when the controller is disabled or capture has not started. Safe from any
+// goroutine.
+func (h *Handle) ControlState() *ControlSnapshot {
+	if h.ctl == nil {
+		return nil
+	}
+	return h.ctl.Snapshot()
+}
+
+// startControl builds and launches the feedback controller once the memory
+// manager, engines, and registry exist. Called from StartCapture.
+func (h *Handle) startControl() {
+	if !h.cfg.Control.Enabled {
+		return
+	}
+	h.ctl = ctlplane.New(h.cfg.Control, h.controlSignals(), h.controlActuators())
+	h.ctl.Start()
+}
+
+// controlSignals binds the controller's inputs to the live socket: memory
+// and arena occupancy plus PPL state from the memory manager, ring→worker
+// p99 latency from the stage histogram, per-priority byte totals and heavy
+// counts from the engines' sketches, and the drops-by-cause counters from
+// the registry.
+func (h *Handle) controlSignals() ctlplane.Signals {
+	return ctlplane.Signals{
+		MemFraction:   h.mm.UsedFraction,
+		ArenaFraction: h.mm.ArenaUsedFraction,
+		UnderPPL:      h.mm.UnderPPL,
+		BaseThreshold: h.mm.BaseThreshold,
+		RingWorkerP99: func() float64 {
+			return metrics.QuantileFromSnap(h.stageWorkerH.Snap(), 0.99)
+		},
+		PrioBytes: func() []uint64 {
+			var sum []uint64
+			for _, e := range h.engines {
+				sk := e.Sketch()
+				if sk == nil {
+					continue
+				}
+				pb := sk.Snapshot().PrioBytes
+				if sum == nil {
+					sum = make([]uint64, len(pb))
+				}
+				for p := range pb {
+					if p < len(sum) {
+						sum[p] += pb[p]
+					}
+				}
+			}
+			return sum
+		},
+		HeavyCount: func() int {
+			n := 0
+			for _, e := range h.engines {
+				if sk := e.Sketch(); sk != nil {
+					n += len(sk.Snapshot().Heavies)
+				}
+			}
+			return n
+		},
+		CutoffBytes: func() uint64 {
+			var n uint64
+			for _, e := range h.engines {
+				n += e.Stats().CutoffBytes
+			}
+			return n
+		},
+		DropsByCause: func() map[string]uint64 {
+			snap := h.reg.Snapshot()
+			drops := make(map[string]uint64)
+			for i := range snap.Counters {
+				c := &snap.Counters[i]
+				if c.Family == "drops" && c.Cause != "" {
+					drops[c.Cause] += c.Total
+				}
+			}
+			return drops
+		},
+	}
+}
+
+// controlActuators binds the controller's outputs to the socket's existing
+// control paths: cutoff and FDIR-budget ops fan out to every engine through
+// the mutex-guarded control queues (drained at the top of each engine's
+// packet path, preserving the single-writer rule on engine state), the
+// watermark ladder installs copy-on-write in the memory manager, and every
+// decision lands in the flight recorder.
+func (h *Handle) controlActuators() ctlplane.Actuators {
+	return ctlplane.Actuators{
+		SetCutoff: func(v int64) {
+			for _, e := range h.engines {
+				e.Control(core.Ctrl{Op: core.OpSetDynCutoff, Value: v})
+			}
+		},
+		SetFDIRBudget: func(v int) {
+			for _, e := range h.engines {
+				e.Control(core.Ctrl{Op: core.OpSetSketchFDIRBudget, Value: int64(v)})
+			}
+		},
+		SetWatermarks: h.mm.SetWatermarks,
+		Note: func(kind metrics.FlightKind, value, aux int64) {
+			h.reg.Flight().Note(0, kind, value, aux)
+		},
+	}
+}

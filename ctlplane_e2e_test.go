@@ -1,0 +1,188 @@
+package scap
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scap/internal/metrics"
+	"scap/internal/trace"
+)
+
+// ctlTestConfig is an aggressive controller tuning for tests: millisecond
+// ticks, a low entry threshold, and a short cooldown so a sub-second replay
+// produces a full episode (tighten → floor → relax → restore).
+func ctlTestConfig() ControlConfig {
+	return ControlConfig{
+		Enabled:        true,
+		Interval:       250 * time.Microsecond,
+		EnterFraction:  0.5,
+		ExitFraction:   0.3,
+		SevereFraction: 0.6,
+		Cooldown:       25 * time.Millisecond,
+		HoldTicks:      250,
+		CutoffStart:    64 << 10,
+		CutoffFloor:    12 << 10,
+		TightenFactor:  0.25,
+	}
+}
+
+// TestCtlplaneOverloadEpisode is the end-to-end control-plane check, run
+// under -race in CI: a socket with a deliberately tiny memory budget and
+// slow consumers is overloaded by a burst replay, and the adaptive
+// controller must tighten the cutoff during the burst and relax it back to
+// unlimited once the backlog drains — with matching ctl_tighten/ctl_relax
+// records in the flight recorder.
+func TestCtlplaneOverloadEpisode(t *testing.T) {
+	h, err := Create(Config{
+		Queues:     2,
+		MemorySize: 2 << 20,
+		Sketch:     SketchConfig{Enabled: true},
+		Control:    ctlTestConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow consumers hold arena blocks so in-flight memory builds up ahead
+	// of the replay.
+	h.DispatchData(func(sd *Stream) { time.Sleep(200 * time.Microsecond) })
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := h.ControlState(); cs == nil || !cs.Enabled {
+		t.Fatal("controller not running after StartCapture")
+	}
+
+	gen := trace.ConcurrentStreamsWorkload(11, 300, 64, 60, 1460)
+	if err := h.ReplaySource(gen, 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replay has ended, so pressure can only fall from here; wait for
+	// the controller to walk the clamp back to unlimited.
+	var tightens, relaxes, restores int
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cs := h.ControlState()
+		if cs == nil {
+			t.Fatal("ControlState returned nil with controller enabled")
+		}
+		tightens, relaxes, restores = 0, 0, 0
+		for _, d := range cs.Decisions {
+			switch d.Action {
+			case "tighten":
+				tightens++
+			case "relax":
+				relaxes++
+			case "restore":
+				restores++
+			}
+		}
+		if tightens > 0 && restores > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no full episode after replay: mode=%s tightens=%d relaxes=%d restores=%d mem=%.2f decisions=%+v",
+				cs.Mode, tightens, relaxes, restores, cs.MemFraction, cs.Decisions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tightens >= 2 && relaxes < 1 {
+		// A multi-step tighten staircase must be walked back step by step.
+		t.Fatalf("restore without relax decisions after %d tightens", tightens)
+	}
+
+	// Final state: clamp fully removed, NIC drop filters gated again.
+	cs := h.ControlState()
+	if cs.DynCutoff != -1 {
+		t.Errorf("clamp not restored: DynCutoff=%d", cs.DynCutoff)
+	}
+	if cs.FDIRBudget != 0 {
+		t.Errorf("FDIR budget not re-gated after episode: %d", cs.FDIRBudget)
+	}
+
+	// The same episode must be reconstructible from the flight recorder.
+	var flightTighten, flightRelax bool
+	for _, r := range h.reg.Flight().Snapshot() {
+		switch r.Kind {
+		case metrics.FlightCtlTighten:
+			flightTighten = true
+		case metrics.FlightCtlRelax:
+			flightRelax = true
+		}
+	}
+	if !flightTighten || !flightRelax {
+		t.Errorf("flight recorder missing episode: tighten=%v relax=%v", flightTighten, flightRelax)
+	}
+
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot stays readable after Stop.
+	if cs := h.ControlState(); cs == nil || cs.Ticks == 0 {
+		t.Error("snapshot unreadable after Close")
+	}
+}
+
+// TestCtlplaneSnapshotDuringReplay hammers ControlState and Serve's
+// /debug/ctlplane path from separate goroutines while the controller is
+// actuating — the atomic snapshot pointer and the ctrl-queue fan-out are on
+// the line under -race.
+func TestCtlplaneSnapshotDuringReplay(t *testing.T) {
+	h, err := Create(Config{
+		Queues:     2,
+		MemorySize: 2 << 20,
+		Sketch:     SketchConfig{Enabled: true},
+		Control:    ctlTestConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) { time.Sleep(100 * time.Microsecond) })
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				cs := h.ControlState()
+				if cs == nil {
+					t.Error("nil snapshot while enabled")
+					return
+				}
+				if m := cs.Mode; m != "calm" && m != "pressure" && m != "recovery" {
+					t.Errorf("bad mode %q", m)
+					return
+				}
+				for _, d := range cs.Decisions {
+					if d.Action == "" || !strings.Contains("tighten relax restore fdir_budget watermarks", d.Action) {
+						t.Errorf("bad decision action %q", d.Action)
+						return
+					}
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+	}
+
+	gen := trace.ConcurrentStreamsWorkload(12, 200, 48, 60, 1460)
+	if err := h.ReplaySource(gen, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

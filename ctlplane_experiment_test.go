@@ -1,0 +1,279 @@
+package scap
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"scap/internal/metrics"
+	"scap/internal/trace"
+)
+
+// The adaptive-vs-fixed-cutoff overload replay (EXPERIMENTS.md, "Adaptive
+// overload control"). Every variant runs the same three-phase workload —
+// calm, burst overload, calm — through a socket with the same tiny memory
+// budget and the same deliberately slow consumers. Fixed variants pin the
+// stream cutoff for the whole run; the adaptive variant starts unlimited and
+// lets the controller clamp and release it.
+//
+// Two scores per run:
+//
+//   - p99 ring→worker latency (stage_ring_worker_ns): how far the pipeline
+//     fell behind at the tail.
+//   - useful bytes: per stream, the intact delivered prefix — bytes
+//     delivered before the first reassembly hole, capped at usefulWindow.
+//     An analysis application needs a contiguous prefix (protocol headers,
+//     handshakes, first request); once overload drops punch a hole, the
+//     bytes dribbling in behind it are worthless. A tight fixed cutoff
+//     forfeits prefix bytes in the calm phases too; a loose one lets
+//     overload shred the prefixes of everything in flight.
+//
+// Structural assertions always run. The comparative claims — adaptive beats
+// every fixed cutoff on p99 latency and delivers at least the useful bytes
+// of the best fixed cutoff — are asserted when SCAP_CTLPLANE_STRICT=1
+// (set by `make bench-ctlplane`), so ordinary `go test ./...` stays immune
+// to scheduler noise on loaded CI machines.
+
+// usefulWindow is the per-stream analysis prefix scored by the experiment.
+// It matches the controller's CutoffStart in ctlTestConfig: under calm load
+// the adaptive run captures the full window.
+const usefulWindow = 64 << 10
+
+// spinFor burns d of CPU in a busy loop. Go's async preemption keeps other
+// goroutines scheduled even on a single-core runner.
+func spinFor(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+type ctlExpResult struct {
+	name        string
+	p99Ns       float64
+	usefulBytes int64
+	streams     int
+	tightens    int
+	restores    int
+}
+
+// runCtlExperiment replays the phased workload through one variant and
+// scores it. cutoff < 0 with adaptive=false is the unlimited baseline.
+func runCtlExperiment(t *testing.T, name string, cutoff int64, adaptive bool) ctlExpResult {
+	t.Helper()
+	cfg := Config{
+		Queues:     2,
+		MemorySize: 2 << 20,
+		Sketch:     SketchConfig{Enabled: true},
+	}
+	if adaptive {
+		cfg.Control = ctlTestConfig()
+	}
+	h, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetCutoff(cutoff); err != nil {
+		t.Fatal(err)
+	}
+
+	type streamScore struct {
+		intact int64
+		holed  bool
+	}
+	var mu sync.Mutex
+	delivered := map[uint64]*streamScore{}
+	// The consumer models a DPI application: a fixed per-record overhead
+	// (flow lookup, dispatch, logging — 20µs) plus a per-byte inspection
+	// cost (10ns/B; one full 16K chunk adds ~164µs). The cost is burned as
+	// a busy-wait, not time.Sleep: sleep has a scheduler granularity floor
+	// that makes a 100-byte fragment as expensive as a 16K chunk, which
+	// would erase exactly the byte-shedding effect the cutoff exists for.
+	h.DispatchData(func(sd *Stream) {
+		n := len(sd.Data)
+		mu.Lock()
+		sc := delivered[sd.ID()]
+		if sc == nil {
+			sc = &streamScore{}
+			delivered[sd.ID()] = sc
+		}
+		if sd.HoleBefore {
+			sc.holed = true
+		}
+		if !sc.holed {
+			sc.intact += int64(n)
+		}
+		mu.Unlock()
+		spinFor(20*time.Microsecond + time.Duration(n)*10)
+	})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phases are injected at a wall-clock byte rate: frames batch up and a
+	// short sleep per batch holds the target rate, so overload is sustained
+	// rather than a single instantaneous enqueue.
+	phase := func(seed int64, total, concurrent int, bytesPerSec float64) {
+		// 70 full-MSS segments ≈ 100K per stream: well past the 64K analysis
+		// window, so loose cutoffs spend capture budget on bytes the scoring
+		// never credits.
+		gen := trace.ConcurrentStreamsWorkload(seed, total, concurrent, 70, 1460)
+		batch := make([]RawFrame, 0, 64)
+		batchBytes := 0
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if err := h.InjectBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Duration(float64(batchBytes) / bytesPerSec * 1e9))
+			batch = batch[:0]
+			batchBytes = 0
+		}
+		trace.Replay(gen, 1e9, func(frame []byte, ts int64) bool {
+			batch = append(batch, RawFrame{Data: frame, TS: ts})
+			batchBytes += len(frame)
+			if len(batch) == cap(batch) {
+				flush()
+			}
+			return true
+		})
+		flush()
+	}
+	score := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		var sum int64
+		for _, sc := range delivered {
+			n := sc.intact
+			if n > usefulWindow {
+				n = usefulWindow
+			}
+			sum += n
+		}
+		return sum
+	}
+	// Phase 1 — calm: light concurrency at a rate every variant sustains.
+	phase(21, 24, 4, 50e6)
+	time.Sleep(150 * time.Millisecond) // drain; adaptive controller sees calm
+	u1 := score()
+	// Phase 2 — burst: a sustained line-rate flood far beyond what the
+	// memory budget and the consumers sustain.
+	phase(22, 384, 128, 400e6)
+	time.Sleep(300 * time.Millisecond) // recovery window
+	u2 := score()
+	// Phase 3 — calm again: the clamp must be gone to capture full windows.
+	phase(23, 24, 4, 50e6)
+	time.Sleep(150 * time.Millisecond)
+	t.Logf("  %s useful by phase: calm1=%d burst=%d calm2=%d", name, u1, u2-u1, score()-u2)
+
+	res := ctlExpResult{name: name}
+	if adaptive {
+		cs := h.ControlState()
+		if cs == nil {
+			t.Fatal("adaptive run has no control state")
+		}
+		var t0 int64
+		for _, d := range cs.Decisions {
+			if t0 == 0 {
+				t0 = d.TimeUnixNano
+			}
+			t.Logf("  ctl +%6.1fms %-12s v=%-8d mem=%d‰ %s",
+				float64(d.TimeUnixNano-t0)/1e6, d.Action, d.Value, d.MemPerMille, d.Evidence)
+			switch d.Action {
+			case "tighten":
+				res.tightens++
+			case "restore":
+				res.restores++
+			}
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res.p99Ns = metrics.QuantileFromSnap(h.stageWorkerH.Snap(), 0.99)
+	mu.Lock()
+	for _, sc := range delivered {
+		n := sc.intact
+		if n > usefulWindow {
+			n = usefulWindow
+		}
+		res.usefulBytes += n
+	}
+	res.streams = len(delivered)
+	mu.Unlock()
+	return res
+}
+
+func TestAdaptiveVsFixedCutoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload replay experiment; run via make bench-ctlplane")
+	}
+	strict := os.Getenv("SCAP_CTLPLANE_STRICT") == "1"
+
+	fixed := []struct {
+		name   string
+		cutoff int64
+	}{
+		{"fixed-unlimited", -1},
+		{"fixed-256K", 256 << 10},
+		{"fixed-64K", 64 << 10},
+		{"fixed-16K", 16 << 10},
+	}
+	var results []ctlExpResult
+	for _, f := range fixed {
+		results = append(results, runCtlExperiment(t, f.name, f.cutoff, false))
+	}
+	adaptiveRes := runCtlExperiment(t, "adaptive", -1, true)
+	results = append(results, adaptiveRes)
+
+	t.Logf("%-16s %14s %14s %8s", "variant", "p99 ring→worker", "useful bytes", "streams")
+	for _, r := range results {
+		t.Logf("%-16s %13.3fms %14d %8d", r.name, r.p99Ns/1e6, r.usefulBytes, r.streams)
+	}
+	t.Logf("adaptive decisions: tightens=%d restores=%d", adaptiveRes.tightens, adaptiveRes.restores)
+
+	// Structural: every variant processed the workload.
+	for _, r := range results {
+		if r.streams == 0 || r.usefulBytes == 0 {
+			t.Errorf("%s: no delivered data (streams=%d useful=%d)", r.name, r.streams, r.usefulBytes)
+		}
+		if r.p99Ns <= 0 {
+			t.Errorf("%s: no latency samples", r.name)
+		}
+	}
+
+	if !strict {
+		// Episode shape and the comparative claims depend on the box's CPU
+		// budget (the overload point moves with worker throughput), so they
+		// are asserted only under SCAP_CTLPLANE_STRICT=1 — the mode
+		// `make bench-ctlplane` runs in. TestCtlplaneOverloadEpisode covers
+		// the episode invariants machine-independently.
+		t.Log("SCAP_CTLPLANE_STRICT unset: skipping comparative assertions")
+		return
+	}
+	// The adaptive controller must have run one full episode: clamped during
+	// the burst, restored after it.
+	if adaptiveRes.tightens == 0 {
+		t.Error("adaptive run never tightened during the burst")
+	}
+	if adaptiveRes.restores == 0 {
+		t.Error("adaptive run never restored the cutoff after the burst")
+	}
+	var bestFixedUseful int64
+	for _, r := range results[:len(results)-1] {
+		if adaptiveRes.p99Ns >= r.p99Ns {
+			t.Errorf("adaptive p99 %.3fms not better than %s p99 %.3fms",
+				adaptiveRes.p99Ns/1e6, r.name, r.p99Ns/1e6)
+		}
+		if r.usefulBytes > bestFixedUseful {
+			bestFixedUseful = r.usefulBytes
+		}
+	}
+	if adaptiveRes.usefulBytes < bestFixedUseful {
+		t.Errorf("adaptive useful bytes %d below best fixed %d",
+			adaptiveRes.usefulBytes, bestFixedUseful)
+	}
+}

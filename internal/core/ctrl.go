@@ -29,6 +29,16 @@ const (
 	// OpSetParam updates one per-stream parameter
 	// (scap_set_stream_parameter).
 	OpSetParam
+	// OpSetDynCutoff sets the engine-wide dynamic cutoff clamp (Stream is
+	// nil: the message targets the engine, not a record). Value >= 0 caps
+	// every stream's effective cutoff at Value bytes; Value < 0 removes the
+	// clamp. The adaptive control plane is the intended sender.
+	OpSetDynCutoff
+	// OpSetSketchFDIRBudget bounds how many sketch-nominated heavy flows may
+	// hold NIC drop-filter pairs at once (Stream is nil). Value < 0 means
+	// unlimited (the historical behavior); 0 stops new nominations while
+	// installed filters age out on their own deadlines.
+	OpSetSketchFDIRBudget
 )
 
 // StreamParam identifies per-stream parameters for OpSetParam.
@@ -98,6 +108,23 @@ func (e *Engine) Control(c Ctrl) { e.ctrl.push(c) }
 
 // applyCtrl executes one validated control message.
 func (e *Engine) applyCtrl(c Ctrl) {
+	// Global ops target the engine itself, not a stream record.
+	switch c.Op {
+	case OpSetDynCutoff:
+		v := c.Value
+		if v < 0 {
+			v = -1
+		}
+		e.dynCutoff = v
+		return
+	case OpSetSketchFDIRBudget:
+		v := int(c.Value)
+		if v < 0 {
+			v = -1
+		}
+		e.sketchFDIRBudget = v
+		return
+	}
 	s := c.Stream
 	if s == nil || s.ID != c.ID || !s.InTable() {
 		// Stream terminated before the message arrived: the kept chunk's

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"scap/internal/event"
+	"scap/internal/nic"
+	"scap/internal/pkt"
+)
+
+// setDyn delivers an OpSetDynCutoff through the control queue the way the
+// control plane does, then runs a timer tick so the engine drains it.
+func (h *harness) setDyn(v int64) {
+	h.e.Control(Ctrl{Op: OpSetDynCutoff, Value: v})
+	h.ts += 1000
+	h.e.CheckTimers(h.ts)
+	h.drain()
+}
+
+func TestDynCutoffClampsNewStreams(t *testing.T) {
+	h := newHarness(Config{Cutoff: CutoffUnlimited, ChunkSize: 64})
+	h.setDyn(100)
+	ss := newSession(45001, 80)
+	h.feed(ss.syn(), ss.synack())
+	h.feed(ss.data(bytes.Repeat([]byte("a"), 80)))
+	h.feed(ss.data(bytes.Repeat([]byte("b"), 80))) // crosses the clamp at 100
+	h.feed(ss.fin(), ss.srvFin())
+
+	var clientID uint64
+	for _, ev := range h.byType(event.Creation) {
+		if ev.Info.Dir == pkt.DirClient {
+			clientID = ev.Info.ID
+		}
+	}
+	if got := h.dataFor(clientID); len(got) != 100 {
+		t.Errorf("captured %d bytes, want clamp=100", len(got))
+	}
+}
+
+func TestDynCutoffCatchesExistingStreams(t *testing.T) {
+	h := newHarness(Config{Cutoff: CutoffUnlimited, ChunkSize: 64})
+	ss := newSession(45002, 80)
+	h.feed(ss.syn(), ss.synack())
+	h.feed(ss.data(bytes.Repeat([]byte("a"), 80))) // unlimited: all captured
+
+	// Tighten below what the stream already captured: its next payload
+	// packet must retire it without capturing more.
+	h.setDyn(50)
+	h.feed(ss.data(bytes.Repeat([]byte("b"), 80)))
+	h.feed(ss.fin(), ss.srvFin())
+
+	var clientID uint64
+	for _, ev := range h.byType(event.Creation) {
+		if ev.Info.Dir == pkt.DirClient {
+			clientID = ev.Info.ID
+		}
+	}
+	if got := h.dataFor(clientID); len(got) != 80 {
+		t.Errorf("captured %d bytes, want the pre-clamp 80", len(got))
+	}
+	if st := h.e.Stats(); st.CutoffBytes != 80 {
+		t.Errorf("cutoff bytes = %d, want 80", st.CutoffBytes)
+	}
+}
+
+func TestDynCutoffRelaxRestoresConfigured(t *testing.T) {
+	h := newHarness(Config{Cutoff: CutoffUnlimited, ChunkSize: 64})
+	h.setDyn(100)
+	h.setDyn(-1) // clamp removed: back to the configured unlimited cutoff
+	ss := newSession(45003, 80)
+	h.feed(ss.syn(), ss.synack())
+	h.feed(ss.data(bytes.Repeat([]byte("a"), 200)))
+	h.feed(ss.fin(), ss.srvFin())
+
+	var clientID uint64
+	for _, ev := range h.byType(event.Creation) {
+		if ev.Info.Dir == pkt.DirClient {
+			clientID = ev.Info.ID
+		}
+	}
+	if got := h.dataFor(clientID); len(got) != 200 {
+		t.Errorf("captured %d bytes, want all 200", len(got))
+	}
+}
+
+func TestDynCutoffTighterStaticWins(t *testing.T) {
+	// A static cutoff below the clamp stays in force: the clamp only ever
+	// tightens, never loosens.
+	h := newHarness(Config{Cutoff: 60, ChunkSize: 64})
+	h.setDyn(1 << 20)
+	ss := newSession(45004, 80)
+	h.feed(ss.syn(), ss.synack())
+	h.feed(ss.data(bytes.Repeat([]byte("a"), 200)))
+	h.feed(ss.fin(), ss.srvFin())
+
+	var clientID uint64
+	for _, ev := range h.byType(event.Creation) {
+		if ev.Info.Dir == pkt.DirClient {
+			clientID = ev.Info.ID
+		}
+	}
+	if got := h.dataFor(clientID); len(got) != 60 {
+		t.Errorf("captured %d bytes, want static cutoff=60", len(got))
+	}
+}
+
+// TestSketchFDIRBudgetBoundsNominations: the budget gates how many
+// sketch-owned drop-filter pairs installSketchFDIR may keep live at once;
+// raising it admits more, -1 restores the unconditional historical behavior.
+func TestSketchFDIRBudgetBoundsNominations(t *testing.T) {
+	dev := nic.New(nic.Config{Queues: 1})
+	h := newHarnessOpts(Options{
+		Config: Config{
+			Cutoff:            20,
+			UseFDIR:           true,
+			InactivityTimeout: 1e9,
+			Sketch:            SketchConfig{Enabled: true},
+		},
+		NIC: dev,
+	})
+	h.e.Control(Ctrl{Op: OpSetSketchFDIRBudget, Value: 0})
+	h.e.CheckTimers(h.ts)
+
+	// Three flows cross the cutoff, retire, and hand their record-installed
+	// filter pairs to the sketch.
+	for i := 0; i < 3; i++ {
+		ss := newSession(uint16(45100+i), 80)
+		h.feed(ss.syn(), ss.synack(), ss.data(bytes.Repeat([]byte("z"), 50)))
+	}
+	if p, _ := dev.FilterCount(); p != 6 {
+		t.Fatalf("filters after retirement = %d, want 6", p)
+	}
+
+	// All record-installed pairs expire; with a zero budget the sketch
+	// re-nominates none of the still-heavy flows.
+	h.ts += 2e9
+	h.e.CheckTimers(h.ts)
+	h.drain()
+	if p, _ := dev.FilterCount(); p != 0 {
+		t.Fatalf("filters with budget 0 = %d, want 0", p)
+	}
+
+	// Budget 1: exactly one flow gets its pair back.
+	h.e.Control(Ctrl{Op: OpSetSketchFDIRBudget, Value: 1})
+	h.ts += 1000
+	h.e.CheckTimers(h.ts)
+	if p, _ := dev.FilterCount(); p != 2 {
+		t.Fatalf("filters with budget 1 = %d, want 2", p)
+	}
+
+	// Unlimited: the remaining heavies are nominated too.
+	h.e.Control(Ctrl{Op: OpSetSketchFDIRBudget, Value: -1})
+	h.ts += 1000
+	h.e.CheckTimers(h.ts)
+	if p, _ := dev.FilterCount(); p != 6 {
+		t.Fatalf("filters with unlimited budget = %d, want 6", p)
+	}
+}

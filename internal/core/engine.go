@@ -129,6 +129,17 @@ type Engine struct {
 	// of the current packet (deferred so the retirement doesn't pull state
 	// out from under the payload path that triggered it).
 	retire *flowtab.Stream
+
+	// dynCutoff is the engine-wide dynamic cutoff clamp set by the adaptive
+	// control plane (OpSetDynCutoff); -1 means no clamp. It caps every
+	// stream's effective cutoff without rewriting per-stream state, so
+	// relaxing it instantly restores configured behavior. Engine-owned plain
+	// field: writes arrive only through the ctrl queue drain.
+	dynCutoff int64
+	// sketchFDIRBudget bounds how many sketch-nominated flows may hold NIC
+	// drop filters at once (-1 = unlimited); sketchFDIRLive counts them.
+	sketchFDIRBudget int
+	sketchFDIRLive   int
 	// victims is the expiry sweep's reusable collection buffer.
 	victims []*flowtab.Stream
 
@@ -176,15 +187,17 @@ type Engine struct {
 func NewEngine(opts Options) *Engine {
 	cfg := opts.Config.withDefaults()
 	e := &Engine{
-		cfg:        cfg,
-		mm:         opts.Mem,
-		nicDev:     opts.NIC,
-		q:          opts.Queue,
-		table:      flowtab.NewTable(opts.Rand),
-		coreID:     opts.CoreID,
-		dirty:      make(map[*flowtab.Stream]struct{}),
-		maxStreams: opts.MaxStreams,
-		evBuf:      make([]event.Event, 0, evBatchMax),
+		cfg:              cfg,
+		mm:               opts.Mem,
+		nicDev:           opts.NIC,
+		q:                opts.Queue,
+		table:            flowtab.NewTable(opts.Rand),
+		coreID:           opts.CoreID,
+		dirty:            make(map[*flowtab.Stream]struct{}),
+		maxStreams:       opts.MaxStreams,
+		evBuf:            make([]event.Event, 0, evBatchMax),
+		dynCutoff:        -1,
+		sketchFDIRBudget: -1,
 	}
 	if cfg.Sketch.Enabled {
 		e.sketch = sketch.New(sketch.Config{
@@ -479,13 +492,26 @@ func (e *Engine) sketchObserve(p *pkt.Packet, h uint64, s *flowtab.Stream) bool 
 	// Direction is unknown without a record; resolve the cutoff as the
 	// client side (directional cutoffs are approximated for suppressed
 	// flows).
-	cut := e.cfg.resolveCutoff(p, pkt.DirClient)
+	cut := e.effCutoff(e.cfg.resolveCutoff(p, pkt.DirClient))
 	if cut < 0 || est-uint64(n) < uint64(cut) {
 		return false
 	}
 	e.c.sketchSuppressedPkts.Add(1)
 	e.c.sketchSuppressedBytes.Add(uint64(n))
 	return true
+}
+
+// effCutoff clamps a stream's configured cutoff with the engine-wide
+// dynamic cutoff: the tighter of the two wins, and -1 (unlimited) on both
+// sides means no cutoff. Evaluated at use time so tightening catches
+// existing streams on their next payload and relaxing needs no table walk.
+//
+//scap:hotpath
+func (e *Engine) effCutoff(cut int64) int64 {
+	if e.dynCutoff >= 0 && (cut < 0 || cut > e.dynCutoff) {
+		return e.dynCutoff
+	}
+	return cut
 }
 
 // packetPriority resolves the PPL priority a packet's flow would be
@@ -626,7 +652,7 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 	}
 
 	pos := int64(s.Stats.CapturedBytes)
-	if s.Cutoff >= 0 && pos >= s.Cutoff {
+	if cut := e.effCutoff(s.Cutoff); cut >= 0 && pos >= cut {
 		e.reachCutoff(s, x)
 		s.Stats.DiscardedPkts++
 		s.Stats.DiscardedBytes += uint64(n)
@@ -732,8 +758,8 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 		s.Error |= reassembly.FlagHole
 	}
 	for len(b) > 0 {
-		if s.Cutoff >= 0 {
-			remain := s.Cutoff - int64(s.Stats.CapturedBytes)
+		if cut := e.effCutoff(s.Cutoff); cut >= 0 {
+			remain := cut - int64(s.Stats.CapturedBytes)
 			if remain <= 0 {
 				e.reachCutoff(s, x)
 				s.Stats.DiscardedBytes += uint64(len(b))
@@ -1152,6 +1178,10 @@ func (e *Engine) expireFilters(now int64) {
 			// still-heavy flow is re-nominated by installSketchFDIR.
 			e.sketch.ClearFDIR(e.table.Hash(fe.key))
 		}
+		if fe.id == 0 && e.sketchFDIRLive > 0 {
+			// id 0 marks sketch-owned entries; its expiry frees budget.
+			e.sketchFDIRLive--
+		}
 	}
 }
 
@@ -1165,6 +1195,9 @@ func (e *Engine) installSketchFDIR(now int64) {
 		return
 	}
 	e.sketch.ForEachHeavy(func(hf *sketch.Heavy) {
+		if e.sketchFDIRBudget >= 0 && e.sketchFDIRLive >= e.sketchFDIRBudget {
+			return // budget exhausted: wait for installed filters to expire
+		}
 		if hf.FDIR || hf.Key.Proto != pkt.ProtoTCP || hf.Priority > e.cfg.Sketch.SuppressMaxPriority {
 			return
 		}
@@ -1194,6 +1227,7 @@ func (e *Engine) installSketchFDIR(now int64) {
 		e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRInstall, Core: e.coreID, Value: 0})
 		// id 0 never matches a stream ID, marking the entry sketch-owned.
 		heap.Push(&e.filters, filterEntry{deadline: deadline, key: hf.Key, id: 0})
+		e.sketchFDIRLive++
 	})
 }
 

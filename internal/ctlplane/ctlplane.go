@@ -1,0 +1,744 @@
+// Package ctlplane closes Scap's overload loop: a feedback controller that
+// watches the live signals the pipeline already exports — memory and arena
+// occupancy plus PPL state from internal/mem, the ring→worker latency
+// histogram and drops-by-cause table from internal/metrics, per-priority
+// byte shares and heavy hitters from internal/sketch — and drives the
+// degradation knobs the paper leaves static: the effective stream cutoff,
+// the sketch→NIC drop-filter budget, and the PPL watermark ladder.
+//
+// The controller is deliberately boring: a three-mode state machine (calm →
+// pressure → recovery) with hysteresis on entry/exit and a cooldown between
+// actuations, multiplicative tighten and relax on the cutoff, and every
+// decision written to the flight recorder with the evidence that triggered
+// it. All inputs and outputs are injected as function fields, so unit tests
+// script signal sequences against a fake clock and observe exact actuation
+// sequences; production wiring lives in the scap package.
+//
+// The ctlplane package is part of the audited public API surface: scaplint's
+// exporteddoc analyzer requires a doc comment on every exported symbol.
+//
+//scap:publicapi
+package ctlplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scap/internal/metrics"
+)
+
+// Config tunes the controller. The zero value of every numeric field means
+// "use the default"; Enabled is the master switch (a disabled controller is
+// never constructed by the scap package).
+type Config struct {
+	// Enabled turns the controller on. Default false: all knobs stay at
+	// their configured static values.
+	Enabled bool
+	// Interval is the control loop period. Default 50ms — matching the
+	// engines' timer tick, so a decision lands at most one tick behind the
+	// signal that justified it.
+	Interval time.Duration
+	// EnterFraction is the memory-usage fraction (of the larger of byte
+	// budget and arena occupancy) at or above which the controller enters
+	// pressure mode and starts tightening. Default 0.85. Must exceed
+	// ExitFraction; the gap is the hysteresis band.
+	EnterFraction float64
+	// ExitFraction is the fraction at or below which pressure is considered
+	// released. Default 0.70.
+	ExitFraction float64
+	// SevereFraction is the usage fraction at or above which a tighten skips
+	// the multiplicative staircase and clamps straight to CutoffFloor — by
+	// the time usage is this high, walking down one step per cooldown loses
+	// the race against a line-rate burst. Default 0.95.
+	SevereFraction float64
+	// Cooldown is the minimum time between successive cutoff actuations
+	// (tighten or relax), so one episode produces a staircase, not a flap.
+	// Default 500ms.
+	Cooldown time.Duration
+	// HoldTicks is how many consecutive ticks the usage must sit at or
+	// below ExitFraction before recovery begins. Default 3.
+	HoldTicks int
+	// CutoffStart is the dynamic cutoff installed by the first tighten of
+	// an episode when no clamp is active, in bytes. Default 256 KiB.
+	CutoffStart int64
+	// CutoffFloor is the lowest cutoff the controller will ever impose, in
+	// bytes. Default 16 KiB (one default chunk): every stream still
+	// delivers its first chunk, so analysis never goes fully blind.
+	CutoffFloor int64
+	// TightenFactor multiplies the cutoff on each tighten (0 < f < 1).
+	// Default 0.5.
+	TightenFactor float64
+	// RelaxDischargeBps gates recovery on the clamp's own effect: an active
+	// clamp suppresses the memory signal that raised it, so low usage alone
+	// does not mean the overload is over. While the engines are discarding
+	// cutoff bytes faster than this rate (bytes/sec), the controller treats
+	// the episode as still live and will not count toward exit or relax.
+	// Default 1 MiB/s; negative disables the gate. Ignored when the
+	// CutoffBytes signal is not wired.
+	RelaxDischargeBps int64
+	// RelaxFactor multiplies the cutoff on each relax (> 1). Default 2.
+	RelaxFactor float64
+	// FDIRBudget is the per-core cap on sketch-nominated NIC drop filters
+	// while under pressure. Outside an episode the controller holds the
+	// budget at zero — hardware drops blind the host to the flow entirely,
+	// so they are reserved for overload. Zero means the default (32);
+	// negative means unlimited during episodes.
+	FDIRBudget int
+	// FixedWatermarks, when true, leaves the PPL watermark ladder alone.
+	// Default false: under pressure the controller respaces the ladder from
+	// the sketch's per-priority byte shares (see retargetWatermarks) and
+	// restores the default spacing when the episode ends.
+	FixedWatermarks bool
+	// Now is the controller's clock, unix nanoseconds. Nil uses the wall
+	// clock; tests inject a scripted clock.
+	Now func() int64
+}
+
+// Default controller parameters; see the corresponding Config fields.
+const (
+	DefaultInterval          = 50 * time.Millisecond
+	DefaultEnterFraction     = 0.85
+	DefaultExitFraction      = 0.70
+	DefaultSevereFraction    = 0.95
+	DefaultCooldown          = 500 * time.Millisecond
+	DefaultHoldTicks         = 3
+	DefaultCutoffStart       = 256 << 10
+	DefaultCutoffFloor       = 16 << 10
+	DefaultTightenFactor     = 0.5
+	DefaultRelaxFactor       = 2.0
+	DefaultFDIRBudget        = 32
+	DefaultRelaxDischargeBps = 1 << 20
+)
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.EnterFraction <= 0 || c.EnterFraction > 1 {
+		c.EnterFraction = DefaultEnterFraction
+	}
+	if c.ExitFraction <= 0 || c.ExitFraction >= c.EnterFraction {
+		c.ExitFraction = DefaultExitFraction
+		if c.ExitFraction >= c.EnterFraction {
+			c.ExitFraction = c.EnterFraction * 0.8
+		}
+	}
+	if c.SevereFraction <= 0 || c.SevereFraction > 1 {
+		c.SevereFraction = DefaultSevereFraction
+	}
+	if c.SevereFraction < c.EnterFraction {
+		c.SevereFraction = c.EnterFraction
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	if c.HoldTicks <= 0 {
+		c.HoldTicks = DefaultHoldTicks
+	}
+	if c.CutoffStart <= 0 {
+		c.CutoffStart = DefaultCutoffStart
+	}
+	if c.CutoffFloor <= 0 {
+		c.CutoffFloor = DefaultCutoffFloor
+	}
+	if c.CutoffFloor > c.CutoffStart {
+		c.CutoffFloor = c.CutoffStart
+	}
+	if c.TightenFactor <= 0 || c.TightenFactor >= 1 {
+		c.TightenFactor = DefaultTightenFactor
+	}
+	if c.RelaxFactor <= 1 {
+		c.RelaxFactor = DefaultRelaxFactor
+	}
+	if c.RelaxDischargeBps == 0 {
+		c.RelaxDischargeBps = DefaultRelaxDischargeBps
+	}
+	if c.FDIRBudget == 0 {
+		c.FDIRBudget = DefaultFDIRBudget
+	}
+	if c.FDIRBudget < 0 {
+		c.FDIRBudget = -1
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return c
+}
+
+// Signals are the controller's inputs, injected as functions so the
+// controller never imports the packages it observes (and tests script
+// arbitrary sequences). Every field must be non-nil except DropsByCause,
+// PrioBytes, HeavyCount, and BaseThreshold, which may be nil when the
+// corresponding subsystem is absent.
+type Signals struct {
+	// MemFraction returns stream-memory usage as a fraction of the byte
+	// budget (mem.Manager.UsedFraction).
+	MemFraction func() float64
+	// ArenaFraction returns arena block occupancy (blocks in use over
+	// total). Block-granular pinning can exhaust the arena before the byte
+	// budget fills, so the controller reacts to the larger of the two.
+	ArenaFraction func() float64
+	// UnderPPL reports whether the memory manager is inside a PPL episode.
+	UnderPPL func() bool
+	// RingWorkerP99 returns the p99 ring→worker latency in nanoseconds,
+	// from the stage histogram — the "how far behind are the workers"
+	// evidence attached to every decision.
+	RingWorkerP99 func() float64
+	// PrioBytes returns per-priority payload byte totals summed across
+	// every engine's sketch (cumulative counters; the controller diffs
+	// successive reads). Nil or empty when the sketch is disabled.
+	PrioBytes func() []uint64
+	// HeavyCount returns how many heavy-hitter flows the sketches track,
+	// recorded as evidence with budget decisions. Nil reads as zero.
+	HeavyCount func() int
+	// BaseThreshold returns the PPL base threshold the watermark ladder
+	// starts from. Nil disables watermark retargeting.
+	BaseThreshold func() float64
+	// DropsByCause returns cumulative drop counters by cause (the /metrics
+	// drops table); attached to decisions as evidence. May be nil.
+	DropsByCause func() map[string]uint64
+	// CutoffBytes returns the cumulative bytes discarded by the cutoff
+	// across every engine. The controller diffs successive reads into a
+	// discharge rate: while the clamp is shedding faster than
+	// RelaxDischargeBps, the overload is still live no matter how calm the
+	// memory signal looks (the clamp itself keeps usage low). Nil disables
+	// the recovery gate.
+	CutoffBytes func() uint64
+}
+
+// Actuators are the controller's outputs. SetCutoff and SetFDIRBudget fan
+// out to every engine through the control queue; SetWatermarks installs a
+// PPL ladder (nil restores the default); Note writes a flight record.
+// Nil fields are skipped, so partial wiring is safe in tests.
+type Actuators struct {
+	// SetCutoff installs the engine-wide dynamic cutoff clamp in bytes;
+	// a negative value removes the clamp.
+	SetCutoff func(v int64)
+	// SetFDIRBudget bounds sketch-nominated NIC drop filters per core;
+	// negative means unlimited.
+	SetFDIRBudget func(v int)
+	// SetWatermarks installs an explicit PPL watermark table; nil restores
+	// the default equal spacing.
+	SetWatermarks func(w []float64)
+	// Note records one flight-recorder entry for a control decision.
+	Note func(kind metrics.FlightKind, value, aux int64)
+}
+
+// Mode is the controller's operating mode.
+type Mode uint8
+
+// Controller modes. Calm: no clamp, watching. Pressure: usage crossed
+// EnterFraction; the cutoff staircase descends. Recovery: usage held below
+// ExitFraction for HoldTicks; the staircase ascends until the clamp is gone.
+const (
+	ModeCalm Mode = iota
+	ModePressure
+	ModeRecovery
+)
+
+// String returns the mode's wire name.
+func (m Mode) String() string {
+	switch m {
+	case ModeCalm:
+		return "calm"
+	case ModePressure:
+		return "pressure"
+	case ModeRecovery:
+		return "recovery"
+	}
+	return "unknown"
+}
+
+// Decision is one recorded control action, kept in the snapshot's recent
+// ring (newest last) and mirrored into the flight recorder.
+type Decision struct {
+	// TimeUnixNano is when the decision was taken (controller clock).
+	TimeUnixNano int64 `json:"time_unix_nano"`
+	// Action names the knob movement: claim_budget, tighten, relax,
+	// restore, watermarks.
+	Action string `json:"action"`
+	// Value is the knob's new setting (cutoff bytes, budget, or the lowest
+	// watermark in per-mille).
+	Value int64 `json:"value"`
+	// MemPerMille is memory pressure at decision time, in thousandths.
+	MemPerMille int64 `json:"mem_per_mille"`
+	// P99RingWorkerNs is the ring→worker p99 latency at decision time.
+	P99RingWorkerNs int64 `json:"p99_ring_worker_ns"`
+	// Evidence is a short human-readable justification.
+	Evidence string `json:"evidence"`
+}
+
+// maxDecisions bounds the snapshot's decision ring.
+const maxDecisions = 32
+
+// Snapshot is the controller's externally visible state, served at
+// /debug/ctlplane and rendered by scaptop. Published atomically once per
+// tick; readers get a consistent point-in-time view.
+type Snapshot struct {
+	// Enabled mirrors Config.Enabled (always true on a live controller).
+	Enabled bool `json:"enabled"`
+	// Mode is the current operating mode ("calm", "pressure", "recovery").
+	Mode string `json:"mode"`
+	// Ticks counts control-loop iterations since start.
+	Ticks uint64 `json:"ticks"`
+	// MemFraction and ArenaFraction are the last observed usage fractions.
+	MemFraction   float64 `json:"mem_fraction"`
+	ArenaFraction float64 `json:"arena_fraction"`
+	// UnderPPL is the memory manager's PPL state at the last tick.
+	UnderPPL bool `json:"under_ppl"`
+	// P99RingWorkerNs is the last observed ring→worker p99 latency.
+	P99RingWorkerNs int64 `json:"p99_ring_worker_ns"`
+	// DynCutoff is the active dynamic cutoff clamp in bytes (-1 = none).
+	DynCutoff int64 `json:"dyn_cutoff"`
+	// DischargeBps is the rate at which the clamp is currently discarding
+	// cutoff bytes, in bytes/sec. Above Config.RelaxDischargeBps it blocks
+	// recovery: low memory usage with a hot clamp means the flood is still
+	// arriving, not that it ended.
+	DischargeBps int64 `json:"discharge_bps"`
+	// FDIRBudget is the active sketch-FDIR budget (-1 = unlimited, the
+	// pre-controller default; the controller holds 0 outside episodes).
+	FDIRBudget int `json:"fdir_budget"`
+	// Watermarks is the last ladder the controller installed; nil when the
+	// default spacing is in force.
+	Watermarks []float64 `json:"watermarks,omitempty"`
+	// DropsByCause mirrors the /metrics drops table at the last tick —
+	// the "what is actually being shed" evidence next to the knobs.
+	DropsByCause map[string]uint64 `json:"drops_by_cause,omitempty"`
+	// Decisions are the most recent control actions, oldest first.
+	Decisions []Decision `json:"decisions"`
+}
+
+// Controller is the feedback loop. Construct with New, then either Start a
+// background goroutine or drive Step directly from tests. All mutable state
+// is owned by whichever goroutine calls Step (Start's loop in production);
+// Snapshot is safe from any goroutine.
+//
+//scap:owner controller
+type Controller struct {
+	cfg Config
+	sig Signals
+	act Actuators
+
+	mode       Mode
+	dynCutoff  int64
+	budget     int
+	calmTicks  int
+	lastAction int64
+	ticks      uint64
+	decisions  []Decision
+	watermarks []float64
+	prevPrio   []uint64
+	claimed    bool
+
+	// Clamp discharge tracking: previous CutoffBytes reading and its clock,
+	// diffed into dischargeBps each tick.
+	prevCutoffBytes uint64
+	prevCutoffTime  int64
+	dischargeBps    int64
+
+	// snap is the published state; any goroutine may load it.
+	//
+	//scap:atomics
+	snap atomic.Pointer[Snapshot]
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a controller from a config (defaults applied), signals, and
+// actuators. The controller takes no actions until Step runs.
+func New(cfg Config, sig Signals, act Actuators) *Controller {
+	c := &Controller{
+		cfg:       cfg.withDefaults(),
+		sig:       sig,
+		act:       act,
+		mode:      ModeCalm,
+		dynCutoff: -1,
+		budget:    -1,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	c.snap.Store(&Snapshot{Enabled: cfg.Enabled, Mode: ModeCalm.String(), DynCutoff: -1, FDIRBudget: -1, Decisions: []Decision{}})
+	return c
+}
+
+// Start launches the control loop goroutine. Stop terminates it.
+func (c *Controller) Start() {
+	go c.loop()
+}
+
+// Stop terminates the control loop and waits for it to exit. Safe to call
+// more than once; a controller that was never started must not be stopped.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// loop is the controller goroutine: one Step per Interval until stopped.
+//
+//scap:goroutine controller
+func (c *Controller) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Step(c.cfg.Now())
+		}
+	}
+}
+
+// Step runs one control iteration against the clock reading now. Exported
+// so tests drive scripted signal sequences deterministically; production
+// code lets the Start loop call it.
+//
+//scap:onlyrole controller
+func (c *Controller) Step(now int64) {
+	c.ticks++
+	if !c.claimed {
+		// First tick: take ownership of the FDIR budget. Hardware drop
+		// filters are reserved for overload episodes from here on.
+		c.claimed = true
+		c.setBudget(now, 0, "controller start: gate NIC drops to overload")
+	}
+	mf, af := c.fractions()
+	frac := mf
+	if af > frac {
+		frac = af
+	}
+	p99 := int64(c.readP99())
+	discharging := c.updateDischarge(now)
+
+	switch c.mode {
+	case ModeCalm:
+		if frac >= c.cfg.EnterFraction {
+			c.mode = ModePressure
+			c.calmTicks = 0
+			c.tighten(now, frac, p99)
+			if !c.cfg.FixedWatermarks {
+				// Seed (or act on) the per-priority byte baseline right at
+				// episode entry so the ladder retargets on the next tick.
+				c.retargetWatermarks(now, frac, p99)
+			}
+		}
+	case ModePressure:
+		switch {
+		case frac >= c.cfg.EnterFraction:
+			c.calmTicks = 0
+			// Cooldown paces the staircase, not the panic button: at or
+			// above SevereFraction the clamp-to-floor lands immediately —
+			// waiting a cooldown at severe pressure loses the race against
+			// the fill rate that got usage there.
+			if c.dynCutoff > c.cfg.CutoffFloor &&
+				(now-c.lastAction >= int64(c.cfg.Cooldown) || frac >= c.cfg.SevereFraction) {
+				c.tighten(now, frac, p99)
+			}
+		case frac <= c.cfg.ExitFraction && !discharging:
+			c.calmTicks++
+			if c.calmTicks >= c.cfg.HoldTicks {
+				c.mode = ModeRecovery
+				c.calmTicks = 0
+			}
+		default:
+			// Hysteresis band — or usage is low only because the clamp is
+			// actively shedding the flood (discharging): hold the clamp and
+			// reset the exit count.
+			c.calmTicks = 0
+		}
+		if !c.cfg.FixedWatermarks {
+			c.retargetWatermarks(now, frac, p99)
+		}
+	case ModeRecovery:
+		if frac >= c.cfg.EnterFraction || discharging {
+			// Pressure returned before the clamp was gone — either in the
+			// memory signal or as a resumed flood against the clamp: straight
+			// back to pressure mode; the cooldown pacing still applies.
+			c.mode = ModePressure
+			c.calmTicks = 0
+			if now-c.lastAction >= int64(c.cfg.Cooldown) && c.dynCutoff > c.cfg.CutoffFloor {
+				c.tighten(now, frac, p99)
+			}
+		} else if now-c.lastAction >= int64(c.cfg.Cooldown) {
+			c.relax(now, frac, p99)
+		}
+	}
+	c.publish(mf, af, p99)
+}
+
+// updateDischarge diffs the cumulative cutoff-discard counter into a
+// bytes/sec rate and reports whether the clamp is still shedding above
+// RelaxDischargeBps. A working clamp keeps memory usage low while the flood
+// it absorbs is still arriving; this is the signal that distinguishes "the
+// burst ended" from "the clamp is winning" — relaxing on the latter refills
+// memory instantly and flaps.
+func (c *Controller) updateDischarge(now int64) bool {
+	if c.sig.CutoffBytes == nil || c.cfg.RelaxDischargeBps < 0 {
+		c.dischargeBps = 0
+		return false
+	}
+	cur := c.sig.CutoffBytes()
+	if c.prevCutoffTime == 0 || now <= c.prevCutoffTime {
+		c.prevCutoffBytes = cur
+		c.prevCutoffTime = now
+		return false
+	}
+	elapsed := now - c.prevCutoffTime
+	c.dischargeBps = int64(float64(cur-c.prevCutoffBytes) / (float64(elapsed) / 1e9))
+	c.prevCutoffBytes = cur
+	c.prevCutoffTime = now
+	return c.dynCutoff >= 0 && c.dischargeBps > c.cfg.RelaxDischargeBps
+}
+
+// fractions reads the two memory signals. The controlled variable is their
+// max: either the byte budget or the arena filling up degrades capture.
+func (c *Controller) fractions() (mf, af float64) {
+	if c.sig.MemFraction != nil {
+		mf = c.sig.MemFraction()
+	}
+	if c.sig.ArenaFraction != nil {
+		af = c.sig.ArenaFraction()
+	}
+	return mf, af
+}
+
+func (c *Controller) readP99() float64 {
+	if c.sig.RingWorkerP99 == nil {
+		return 0
+	}
+	return c.sig.RingWorkerP99()
+}
+
+// tighten lowers the dynamic cutoff one multiplicative step (or installs
+// CutoffStart when no clamp is active) and opens the episode's FDIR budget.
+// At or above SevereFraction the staircase is skipped: the clamp goes
+// straight to CutoffFloor, because one step per cooldown cannot outrun a
+// burst that has already nearly filled memory.
+func (c *Controller) tighten(now int64, frac float64, p99 int64) {
+	v := c.cfg.CutoffStart
+	evidence := "usage >= enter threshold"
+	if c.dynCutoff >= 0 {
+		v = int64(float64(c.dynCutoff) * c.cfg.TightenFactor)
+	}
+	if frac >= c.cfg.SevereFraction {
+		v = c.cfg.CutoffFloor
+		evidence = "usage >= severe threshold: clamp to floor"
+	}
+	if v < c.cfg.CutoffFloor {
+		v = c.cfg.CutoffFloor
+	}
+	if c.budget != c.cfg.FDIRBudget {
+		c.setBudget(now, c.cfg.FDIRBudget, "pressure episode: open NIC drop budget")
+	}
+	if v == c.dynCutoff {
+		return
+	}
+	c.dynCutoff = v
+	if c.act.SetCutoff != nil {
+		c.act.SetCutoff(v)
+	}
+	c.note(metrics.FlightCtlTighten, v, perMille(frac))
+	c.record(now, "tighten", v, frac, p99, evidence)
+	c.lastAction = now
+}
+
+// relax raises the cutoff one multiplicative step; reaching CutoffStart
+// removes the clamp entirely, ends the episode, and restores the default
+// watermark ladder and a zero FDIR budget.
+func (c *Controller) relax(now int64, frac float64, p99 int64) {
+	if c.dynCutoff < 0 {
+		c.finishEpisode(now, frac, p99)
+		return
+	}
+	v := int64(float64(c.dynCutoff) * c.cfg.RelaxFactor)
+	action := "relax"
+	if v >= c.cfg.CutoffStart {
+		v = -1
+		action = "restore"
+	}
+	c.dynCutoff = v
+	if c.act.SetCutoff != nil {
+		c.act.SetCutoff(v)
+	}
+	c.note(metrics.FlightCtlRelax, v, perMille(frac))
+	c.record(now, action, v, frac, p99, "usage held <= exit threshold")
+	c.lastAction = now
+	if v < 0 {
+		c.finishEpisode(now, frac, p99)
+	}
+}
+
+// finishEpisode returns the controller to calm and hands back the episode
+// knobs: budget to zero, watermarks to the default ladder.
+func (c *Controller) finishEpisode(now int64, frac float64, p99 int64) {
+	c.mode = ModeCalm
+	c.calmTicks = 0
+	if c.budget != 0 {
+		c.setBudget(now, 0, "episode over: close NIC drop budget")
+	}
+	if c.watermarks != nil {
+		c.watermarks = nil
+		if c.act.SetWatermarks != nil {
+			c.act.SetWatermarks(nil)
+		}
+		c.note(metrics.FlightCtlWatermarks, -1, 0)
+		c.record(now, "watermarks", -1, frac, p99, "episode over: restore default ladder")
+	}
+}
+
+// setBudget actuates the sketch-FDIR budget and records the decision.
+func (c *Controller) setBudget(now int64, v int, why string) {
+	c.budget = v
+	if c.act.SetFDIRBudget != nil {
+		c.act.SetFDIRBudget(v)
+	}
+	heavies := 0
+	if c.sig.HeavyCount != nil {
+		heavies = c.sig.HeavyCount()
+	}
+	c.note(metrics.FlightCtlFDIRBudget, int64(v), int64(heavies))
+	c.record(now, "fdir_budget", int64(v), c.lastFrac(), 0, why)
+}
+
+// retargetWatermarks respaces the PPL ladder from the sketches' observed
+// per-priority byte mix: watermark_p = base + (1-base)·cumShare(≤p), so the
+// volume shed when usage overshoots the base by x of the headroom is the
+// lowest-priority ≈x share of traffic. Uniform traffic reproduces the
+// default equal spacing. Only byte deltas since the last retarget count, so
+// the ladder tracks the current mix, not the session average; tiny deltas
+// and sub-1% ladder movements are ignored to keep the knob quiet.
+func (c *Controller) retargetWatermarks(now int64, frac float64, p99 int64) {
+	if c.sig.PrioBytes == nil || c.sig.BaseThreshold == nil {
+		return
+	}
+	cur := c.sig.PrioBytes()
+	n := len(cur)
+	if n < 2 {
+		return
+	}
+	if len(c.prevPrio) != n {
+		c.prevPrio = make([]uint64, n)
+		copy(c.prevPrio, cur)
+		return
+	}
+	delta := make([]uint64, n)
+	var total uint64
+	for p := range cur {
+		d := cur[p] - c.prevPrio[p]
+		delta[p] = d
+		total += d
+	}
+	// Under ~64 KiB of new evidence the share estimate is noise.
+	if total < 64<<10 {
+		return
+	}
+	copy(c.prevPrio, cur)
+	base := c.sig.BaseThreshold()
+	if base <= 0 || base >= 1 {
+		return
+	}
+	w := make([]float64, n)
+	cum := 0.0
+	for p := 0; p < n; p++ {
+		cum += float64(delta[p]) / float64(total)
+		w[p] = base + (1-base)*cum
+	}
+	w[n-1] = 1
+	if !materially(w, c.watermarks, 0.01) {
+		return
+	}
+	c.watermarks = w
+	if c.act.SetWatermarks != nil {
+		c.act.SetWatermarks(w)
+	}
+	c.note(metrics.FlightCtlWatermarks, perMille(w[0]), int64(n))
+	c.record(now, "watermarks", perMille(w[0]), frac, p99, "respaced ladder from sketch byte shares")
+}
+
+// materially reports whether any entry of a differs from b by at least eps
+// (or the lengths differ).
+func materially(a, b []float64, eps float64) bool {
+	if len(a) != len(b) {
+		return true
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d >= eps {
+			return true
+		}
+	}
+	return false
+}
+
+// note writes a flight record when the actuator is wired.
+func (c *Controller) note(kind metrics.FlightKind, value, aux int64) {
+	if c.act.Note != nil {
+		c.act.Note(kind, value, aux)
+	}
+}
+
+// record appends to the decision ring.
+func (c *Controller) record(now int64, action string, value int64, frac float64, p99 int64, evidence string) {
+	d := Decision{
+		TimeUnixNano:    now,
+		Action:          action,
+		Value:           value,
+		MemPerMille:     perMille(frac),
+		P99RingWorkerNs: p99,
+		Evidence:        evidence,
+	}
+	c.decisions = append(c.decisions, d)
+	if len(c.decisions) > maxDecisions {
+		c.decisions = c.decisions[len(c.decisions)-maxDecisions:]
+	}
+}
+
+// lastFrac rereads the pressure signal for evidence outside Step's locals.
+func (c *Controller) lastFrac() float64 {
+	mf, af := c.fractions()
+	if af > mf {
+		return af
+	}
+	return mf
+}
+
+// publish stores a fresh snapshot for /debug/ctlplane and scaptop.
+func (c *Controller) publish(mf, af float64, p99 int64) {
+	s := &Snapshot{
+		Enabled:         true,
+		Mode:            c.mode.String(),
+		Ticks:           c.ticks,
+		MemFraction:     mf,
+		ArenaFraction:   af,
+		P99RingWorkerNs: p99,
+		DynCutoff:       c.dynCutoff,
+		DischargeBps:    c.dischargeBps,
+		FDIRBudget:      c.budget,
+		Watermarks:      append([]float64(nil), c.watermarks...),
+		Decisions:       append([]Decision(nil), c.decisions...),
+	}
+	if c.sig.UnderPPL != nil {
+		s.UnderPPL = c.sig.UnderPPL()
+	}
+	if c.sig.DropsByCause != nil {
+		s.DropsByCause = c.sig.DropsByCause()
+	}
+	c.snap.Store(s)
+}
+
+// Snapshot returns the last published state. Safe from any goroutine.
+//
+//scap:anyrole snapshot is an atomic pointer load
+func (c *Controller) Snapshot() *Snapshot { return c.snap.Load() }
+
+// perMille converts a fraction to thousandths, the flight recorder's
+// fixed-point convention for fractions.
+func perMille(f float64) int64 { return int64(f * 1000) }

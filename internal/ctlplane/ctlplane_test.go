@@ -1,0 +1,489 @@
+package ctlplane
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"scap/internal/metrics"
+)
+
+// harness scripts the controller's inputs and records its outputs: a fake
+// clock, a settable pressure signal, and actuators that log every call.
+type harness struct {
+	now      int64
+	mem      float64
+	arena    float64
+	ppl      bool
+	p99      float64
+	prio     []uint64
+	heavies  int
+	base     float64
+	cutBytes uint64
+
+	cutoffs    []int64
+	budgets    []int
+	watermarks [][]float64
+	notes      []noteCall
+
+	c *Controller
+}
+
+type noteCall struct {
+	kind     metrics.FlightKind
+	val, aux int64
+}
+
+func newHarness(cfg Config) *harness {
+	h := &harness{base: 0.5}
+	cfg.Enabled = true
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return h.now }
+	}
+	h.c = New(cfg, Signals{
+		MemFraction:   func() float64 { return h.mem },
+		ArenaFraction: func() float64 { return h.arena },
+		UnderPPL:      func() bool { return h.ppl },
+		RingWorkerP99: func() float64 { return h.p99 },
+		PrioBytes: func() []uint64 {
+			if h.prio == nil {
+				return nil
+			}
+			return append([]uint64(nil), h.prio...)
+		},
+		HeavyCount:    func() int { return h.heavies },
+		BaseThreshold: func() float64 { return h.base },
+		CutoffBytes:   func() uint64 { return h.cutBytes },
+	}, Actuators{
+		SetCutoff:     func(v int64) { h.cutoffs = append(h.cutoffs, v) },
+		SetFDIRBudget: func(v int) { h.budgets = append(h.budgets, v) },
+		SetWatermarks: func(w []float64) { h.watermarks = append(h.watermarks, append([]float64(nil), w...)) },
+		Note:          func(k metrics.FlightKind, v, a int64) { h.notes = append(h.notes, noteCall{k, v, a}) },
+	})
+	return h
+}
+
+// tick advances the fake clock by d and runs one Step.
+func (h *harness) tick(d time.Duration) {
+	h.now += int64(d)
+	h.c.Step(h.now)
+}
+
+// testConfig is a small, fast ladder: 64K start, 16K floor, 100ms cooldown.
+func testConfig() Config {
+	return Config{
+		Interval:       10 * time.Millisecond,
+		EnterFraction:  0.85,
+		ExitFraction:   0.70,
+		SevereFraction: 0.97,
+		Cooldown:       100 * time.Millisecond,
+		HoldTicks:      3,
+		CutoffStart:    64 << 10,
+		CutoffFloor:    16 << 10,
+		TightenFactor:  0.5,
+		RelaxFactor:    2,
+		FDIRBudget:     8,
+	}
+}
+
+func TestPressureRampTightensToFloor(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.2
+	h.tick(10 * time.Millisecond)
+	// First tick claims the budget: gate NIC drops outside episodes.
+	if len(h.budgets) != 1 || h.budgets[0] != 0 {
+		t.Fatalf("budget claim = %v, want [0]", h.budgets)
+	}
+	if got := h.c.Snapshot(); got.Mode != "calm" || got.DynCutoff != -1 {
+		t.Fatalf("calm snapshot = %+v", got)
+	}
+
+	// Cross the enter threshold: expect an immediate tighten to CutoffStart
+	// and the episode budget opening.
+	h.mem = 0.90
+	h.heavies = 5
+	h.tick(10 * time.Millisecond)
+	if len(h.cutoffs) != 1 || h.cutoffs[0] != 64<<10 {
+		t.Fatalf("cutoffs = %v, want [65536]", h.cutoffs)
+	}
+	if len(h.budgets) != 2 || h.budgets[1] != 8 {
+		t.Fatalf("budgets = %v, want [0 8]", h.budgets)
+	}
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode = %q, want pressure", got.Mode)
+	}
+
+	// Sustained pressure: each cooldown expiry halves the cutoff until the
+	// floor, then holds.
+	for i := 0; i < 10; i++ {
+		h.tick(110 * time.Millisecond)
+	}
+	want := []int64{64 << 10, 32 << 10, 16 << 10}
+	if len(h.cutoffs) != len(want) {
+		t.Fatalf("cutoffs = %v, want %v", h.cutoffs, want)
+	}
+	for i, v := range want {
+		if h.cutoffs[i] != v {
+			t.Fatalf("cutoffs = %v, want %v", h.cutoffs, want)
+		}
+	}
+	if got := h.c.Snapshot(); got.DynCutoff != 16<<10 {
+		t.Fatalf("DynCutoff = %d, want floor", got.DynCutoff)
+	}
+
+	// Flight notes: budget claim, episode budget, then one tighten per step.
+	var tightens int
+	for _, n := range h.notes {
+		if n.kind == metrics.FlightCtlTighten {
+			tightens++
+		}
+	}
+	if tightens != 3 {
+		t.Fatalf("tighten notes = %d, want 3", tightens)
+	}
+}
+
+func TestCooldownPreventsFlap(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond) // tighten #1
+
+	// Pressure stays high but the cooldown hasn't expired: rapid ticks must
+	// not stack further tightens.
+	for i := 0; i < 9; i++ {
+		h.tick(10 * time.Millisecond)
+	}
+	if len(h.cutoffs) != 1 {
+		t.Fatalf("cutoffs during cooldown = %v, want one", h.cutoffs)
+	}
+
+	// Oscillating around the band (between exit and enter) must neither
+	// tighten nor start recovery.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			h.mem = 0.80
+		} else {
+			h.mem = 0.72
+		}
+		h.tick(110 * time.Millisecond)
+	}
+	if len(h.cutoffs) != 1 {
+		t.Fatalf("cutoffs while in band = %v, want one", h.cutoffs)
+	}
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode = %q, want pressure (hysteresis hold)", got.Mode)
+	}
+
+	// Dipping below exit for fewer than HoldTicks then popping back up must
+	// not enter recovery either.
+	h.mem = 0.60
+	h.tick(10 * time.Millisecond)
+	h.tick(10 * time.Millisecond)
+	h.mem = 0.80
+	h.tick(10 * time.Millisecond)
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode after short dip = %q, want pressure", got.Mode)
+	}
+}
+
+func TestRecoveryRelaxesAndRestores(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond)
+	h.tick(110 * time.Millisecond)
+	h.tick(110 * time.Millisecond) // at floor: 16K
+	if h.c.Snapshot().DynCutoff != 16<<10 {
+		t.Fatalf("setup: DynCutoff = %d", h.c.Snapshot().DynCutoff)
+	}
+
+	// Pressure clears; HoldTicks consecutive quiet ticks start recovery.
+	h.mem = 0.30
+	for i := 0; i < 3; i++ {
+		h.tick(10 * time.Millisecond)
+	}
+	if got := h.c.Snapshot(); got.Mode != "recovery" {
+		t.Fatalf("mode = %q, want recovery", got.Mode)
+	}
+
+	// Each cooldown expiry doubles the cutoff; reaching CutoffStart removes
+	// the clamp, closes the budget, and returns to calm.
+	h.tick(110 * time.Millisecond) // 32K
+	h.tick(110 * time.Millisecond) // would be 64K >= start → restore (-1)
+	n := len(h.cutoffs)
+	if n < 2 || h.cutoffs[n-2] != 32<<10 || h.cutoffs[n-1] != -1 {
+		t.Fatalf("relax cutoffs = %v, want ... 32768 -1", h.cutoffs)
+	}
+	snap := h.c.Snapshot()
+	if snap.Mode != "calm" || snap.DynCutoff != -1 || snap.FDIRBudget != 0 {
+		t.Fatalf("post-recovery snapshot = %+v", snap)
+	}
+	// Budget history: claim 0, episode 8, close 0.
+	if len(h.budgets) != 3 || h.budgets[2] != 0 {
+		t.Fatalf("budgets = %v, want [0 8 0]", h.budgets)
+	}
+	var relaxes []noteCall
+	for _, nc := range h.notes {
+		if nc.kind == metrics.FlightCtlRelax {
+			relaxes = append(relaxes, nc)
+		}
+	}
+	if len(relaxes) != 2 || relaxes[1].val != -1 {
+		t.Fatalf("relax notes = %v", relaxes)
+	}
+}
+
+func TestPressureReturnsDuringRecovery(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond) // tighten to 64K
+	h.mem = 0.30
+	for i := 0; i < 3; i++ {
+		h.tick(10 * time.Millisecond)
+	}
+	if h.c.Snapshot().Mode != "recovery" {
+		t.Fatal("setup: want recovery")
+	}
+	// Pressure spikes again: back to pressure mode, and after a cooldown it
+	// keeps tightening instead of relaxing.
+	h.mem = 0.95
+	h.tick(110 * time.Millisecond)
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode = %q, want pressure", got.Mode)
+	}
+	n := len(h.cutoffs)
+	if h.cutoffs[n-1] != 32<<10 {
+		t.Fatalf("cutoffs = %v, want tighten to 32768 last", h.cutoffs)
+	}
+}
+
+func TestSevereClampSkipsStaircase(t *testing.T) {
+	h := newHarness(testConfig())
+	// Usage at or above SevereFraction: the first tighten goes straight to
+	// the floor instead of starting the staircase at CutoffStart.
+	h.mem = 0.98
+	h.tick(10 * time.Millisecond)
+	if len(h.cutoffs) != 1 || h.cutoffs[0] != 16<<10 {
+		t.Fatalf("cutoffs = %v, want straight to floor [16384]", h.cutoffs)
+	}
+	var d *Decision
+	for i := range h.c.Snapshot().Decisions {
+		if dec := h.c.Snapshot().Decisions[i]; dec.Action == "tighten" {
+			d = &dec
+		}
+	}
+	if d == nil || d.Evidence != "usage >= severe threshold: clamp to floor" {
+		t.Fatalf("severe tighten decision = %+v", d)
+	}
+	// Recovery still walks the clamp back up through the full staircase.
+	h.mem = 0.30
+	for i := 0; i < 20; i++ {
+		h.tick(60 * time.Millisecond)
+	}
+	if got := h.c.Snapshot(); got.Mode != "calm" || got.DynCutoff != -1 {
+		t.Fatalf("after recovery: %+v", got)
+	}
+}
+
+// TestSevereBelowEnterIsRaised pins the config normalization: a severe
+// threshold below the enter threshold would panic-clamp on every episode
+// entry, so withDefaults raises it to EnterFraction.
+func TestSevereBelowEnterIsRaised(t *testing.T) {
+	cfg := testConfig()
+	cfg.SevereFraction = 0.10
+	cfg = cfg.withDefaults()
+	if cfg.SevereFraction != cfg.EnterFraction {
+		t.Fatalf("SevereFraction = %v, want raised to EnterFraction %v",
+			cfg.SevereFraction, cfg.EnterFraction)
+	}
+}
+
+// TestDischargeGateBlocksRecovery scripts the "clamp is winning" trap: after
+// the clamp lands, memory usage collapses because the clamp discards the
+// flood, not because the flood ended. While the cutoff-discard rate stays
+// above RelaxDischargeBps the controller must hold the clamp; once the
+// discard rate dies, normal recovery proceeds.
+func TestDischargeGateBlocksRecovery(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond) // tighten to 64K
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode = %q, want pressure", got.Mode)
+	}
+
+	// The clamp bites: usage collapses but the engines discard ~100 MB/s of
+	// cutoff bytes — the flood is still arriving.
+	h.mem = 0.10
+	for i := 0; i < 30; i++ {
+		h.cutBytes += 1 << 20 // 1 MiB per 10ms tick
+		h.tick(10 * time.Millisecond)
+	}
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode with hot clamp = %q, want pressure (discharge gate)", got.Mode)
+	}
+	if got := h.c.Snapshot(); got.DischargeBps < 50<<20 {
+		t.Fatalf("DischargeBps = %d, want ~100 MiB/s", got.DischargeBps)
+	}
+	if n := len(h.cutoffs); n != 1 {
+		t.Fatalf("cutoffs while discharging = %v, want just the tighten", h.cutoffs)
+	}
+
+	// The flood ends: discard rate dies, recovery starts after HoldTicks and
+	// the staircase walks back to restore.
+	for i := 0; i < 20; i++ {
+		h.tick(110 * time.Millisecond)
+	}
+	if got := h.c.Snapshot(); got.Mode != "calm" || got.DynCutoff != -1 {
+		t.Fatalf("after flood = mode %q cutoff %d, want calm/-1", got.Mode, got.DynCutoff)
+	}
+}
+
+// TestSevereBypassesCooldown: the cooldown paces the staircase, not the
+// panic button — a usage reading at or above SevereFraction clamps to the
+// floor immediately even if the last actuation was a moment ago.
+func TestSevereBypassesCooldown(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond) // tighten to 64K, cooldown starts
+	if len(h.cutoffs) != 1 || h.cutoffs[0] != 64<<10 {
+		t.Fatalf("cutoffs = %v, want [65536]", h.cutoffs)
+	}
+
+	// One tick later — far inside the 100ms cooldown — usage hits severe.
+	h.mem = 0.98
+	h.tick(10 * time.Millisecond)
+	if len(h.cutoffs) != 2 || h.cutoffs[1] != 16<<10 {
+		t.Fatalf("cutoffs = %v, want immediate clamp to floor despite cooldown", h.cutoffs)
+	}
+	snap := h.c.Snapshot()
+	if snap.Decisions[len(snap.Decisions)-1].Evidence != "usage >= severe threshold: clamp to floor" {
+		t.Fatalf("evidence = %q", snap.Decisions[len(snap.Decisions)-1].Evidence)
+	}
+}
+
+func TestArenaPressureCounts(t *testing.T) {
+	h := newHarness(testConfig())
+	h.mem = 0.10
+	h.arena = 0.95 // block-granular pinning can fill the arena first
+	h.tick(10 * time.Millisecond)
+	if got := h.c.Snapshot(); got.Mode != "pressure" {
+		t.Fatalf("mode = %q, want pressure on arena signal", got.Mode)
+	}
+}
+
+func TestWatermarkRetargeting(t *testing.T) {
+	h := newHarness(testConfig())
+	h.base = 0.6
+	h.prio = []uint64{0, 0, 0}
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond) // enters pressure; prio baseline recorded
+
+	// 70% of bytes are priority 0, 20% priority 1, 10% priority 2: the
+	// ladder should move priority 0's drop point down toward base and
+	// protect the upper classes.
+	h.prio = []uint64{700 << 10, 200 << 10, 100 << 10}
+	h.tick(10 * time.Millisecond)
+	if len(h.watermarks) != 1 {
+		t.Fatalf("watermark installs = %d, want 1", len(h.watermarks))
+	}
+	w := h.watermarks[0]
+	want := []float64{0.6 + 0.4*0.7, 0.6 + 0.4*0.9, 1}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-9 {
+			t.Fatalf("watermarks = %v, want %v", w, want)
+		}
+	}
+
+	// Same mix again: no material change, no re-install.
+	h.prio = []uint64{1400 << 10, 400 << 10, 200 << 10}
+	h.tick(10 * time.Millisecond)
+	if len(h.watermarks) != 1 {
+		t.Fatalf("watermark installs after no-change = %d, want 1", len(h.watermarks))
+	}
+
+	// Tiny delta (below the 64K evidence gate): ignored.
+	h.prio = []uint64{1400<<10 + 10, 400 << 10, 200<<10 + 10}
+	h.tick(10 * time.Millisecond)
+	if len(h.watermarks) != 1 {
+		t.Fatalf("watermark installs after tiny delta = %d, want 1", len(h.watermarks))
+	}
+
+	// Recovery to calm restores the default ladder (nil install).
+	h.mem = 0.30
+	for i := 0; i < 3; i++ {
+		h.tick(10 * time.Millisecond)
+	}
+	h.tick(110 * time.Millisecond) // restore (64K start tightened once)
+	snap := h.c.Snapshot()
+	if snap.Mode != "calm" {
+		t.Fatalf("mode = %q, want calm", snap.Mode)
+	}
+	last := h.watermarks[len(h.watermarks)-1]
+	if last != nil && len(last) != 0 {
+		t.Fatalf("final watermark install = %v, want nil (default ladder)", last)
+	}
+	if snap.Watermarks != nil {
+		t.Fatalf("snapshot watermarks = %v, want nil", snap.Watermarks)
+	}
+}
+
+func TestUniformTrafficKeepsDefaultSpacing(t *testing.T) {
+	h := newHarness(testConfig())
+	h.base = 0.6
+	h.prio = []uint64{0, 0}
+	h.mem = 0.90
+	h.tick(10 * time.Millisecond)
+	h.prio = []uint64{500 << 10, 500 << 10}
+	h.tick(10 * time.Millisecond)
+	if len(h.watermarks) != 1 {
+		t.Fatalf("installs = %d, want 1", len(h.watermarks))
+	}
+	w := h.watermarks[0]
+	want := []float64{0.6 + 0.4*0.5, 1} // the default equal spacing for n=2
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-9 {
+			t.Fatalf("watermarks = %v, want %v (default spacing)", w, want)
+		}
+	}
+}
+
+func TestSnapshotDecisionsAndDefaults(t *testing.T) {
+	c := New(Config{Enabled: true}, Signals{}, Actuators{})
+	if s := c.Snapshot(); s == nil || s.Mode != "calm" || s.DynCutoff != -1 {
+		t.Fatalf("initial snapshot = %+v", s)
+	}
+	cfg := c.cfg
+	if cfg.Interval != DefaultInterval || cfg.EnterFraction != DefaultEnterFraction ||
+		cfg.CutoffFloor != DefaultCutoffFloor || cfg.FDIRBudget != DefaultFDIRBudget {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+
+	h := newHarness(testConfig())
+	h.mem = 0.90
+	h.p99 = 3_000_000
+	h.tick(10 * time.Millisecond)
+	s := h.c.Snapshot()
+	if len(s.Decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	d := s.Decisions[len(s.Decisions)-1]
+	if d.Action != "tighten" || d.MemPerMille != 900 || d.P99RingWorkerNs != 3_000_000 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if s.P99RingWorkerNs != 3_000_000 {
+		t.Fatalf("snapshot p99 = %d", s.P99RingWorkerNs)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	h := newHarness(Config{Interval: time.Millisecond})
+	h.c.Start()
+	defer h.c.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.c.Snapshot().Ticks > 2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("controller loop never ticked")
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// OverloadCutoff, when > 0, drops bytes beyond this position in their
 	// stream while memory is inside the pressure region.
 	OverloadCutoff int64
+	// Watermarks, when non-nil, replaces the equally spaced watermark
+	// ladder with an explicit per-priority table (len == Priorities, each
+	// value the usage fraction above which that priority is dropped). The
+	// control plane derives it from per-priority sketch byte shares; nil
+	// keeps the paper's equal spacing. Values are normalized by
+	// SetWatermarks, the only writer.
+	Watermarks []float64
 	// BlockSize is the arena's block granularity in bytes — every chunk
 	// lives in exactly one block, so it bounds chunk size (the engine sizes
 	// it from ParamChunkSize + overlap headroom). Zero selects
@@ -139,6 +146,9 @@ func New(cfg Config) *Manager {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
+	// Watermark tables are installed only through SetWatermarks, which
+	// normalizes them; a table smuggled in via the constructor is dropped.
+	cfg.Watermarks = nil
 	m := &Manager{}
 	m.cfg.Store(&cfg)
 	m.arena = newArena(cfg.Size, cfg.BlockSize, cfg.Cores)
@@ -157,9 +167,24 @@ func (m *Manager) Used() int64 { return m.used.Load() }
 // Size returns the configured budget.
 func (m *Manager) Size() int64 { return m.cfg.Load().Size }
 
+// BaseThreshold returns the PPL base threshold fraction in force (the floor
+// of the watermark ladder). Safe from any goroutine.
+func (m *Manager) BaseThreshold() float64 { return m.cfg.Load().BaseThreshold }
+
 // UsedFraction returns used/size.
 func (m *Manager) UsedFraction() float64 {
 	return float64(m.used.Load()) / float64(m.cfg.Load().Size)
+}
+
+// ArenaUsedFraction returns the fraction of arena blocks currently held by
+// chunks — the physical-occupancy companion to UsedFraction's byte
+// accounting. Blocks are the binding resource under fragmentation (many
+// part-filled chunks), so the control plane watches both.
+func (m *Manager) ArenaUsedFraction() float64 {
+	if m.arena.nblocks == 0 {
+		return 0
+	}
+	return float64(m.arena.inUse.Load()) / float64(m.arena.nblocks)
 }
 
 // Stats returns a snapshot of the counters. Each counter is read
@@ -199,9 +224,55 @@ func (m *Manager) SetPriorities(n int) {
 
 // Watermark returns the memory fraction above which priority level p
 // (0 = lowest) is dropped: watermark_{p+1} in the paper's numbering, where
-// watermark_0 = base_threshold and watermark_n = 1.
+// watermark_0 = base_threshold and watermark_n = 1. When an explicit table
+// was installed with SetWatermarks, it answers from that instead.
 func (m *Manager) Watermark(p int) float64 {
 	return watermark(m.cfg.Load(), p)
+}
+
+// Watermarks returns the effective per-priority watermark table (explicit
+// table when installed, equal spacing otherwise). Cold path; the slice is a
+// fresh copy.
+func (m *Manager) Watermarks() []float64 {
+	cfg := m.cfg.Load()
+	w := make([]float64, cfg.Priorities)
+	for p := range w {
+		w[p] = watermark(cfg, p)
+	}
+	return w
+}
+
+// SetWatermarks installs an explicit per-priority watermark table, the
+// control plane's actuation point for load-aware PPL (§7 follow-on: space
+// the ladder by observed per-priority byte share instead of priority count).
+// The table is normalized before install: values are clamped into
+// (BaseThreshold, 1], forced monotone nondecreasing, and the top priority is
+// pinned to 1 so the highest class is only ever shed by budget exhaustion.
+// A nil or wrong-length table resets to the default equal spacing.
+func (m *Manager) SetWatermarks(w []float64) {
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	cfg := *m.cfg.Load()
+	if len(w) != cfg.Priorities {
+		cfg.Watermarks = nil
+		m.cfg.Store(&cfg)
+		return
+	}
+	t := make([]float64, len(w))
+	prev := cfg.BaseThreshold
+	for p, v := range w {
+		if v < prev {
+			v = prev
+		}
+		if v > 1 {
+			v = 1
+		}
+		t[p] = v
+		prev = v
+	}
+	t[len(t)-1] = 1
+	cfg.Watermarks = t
+	m.cfg.Store(&cfg)
 }
 
 func watermark(cfg *Config, p int) float64 {
@@ -211,6 +282,9 @@ func watermark(cfg *Config, p int) float64 {
 	}
 	if p < 0 {
 		p = 0
+	}
+	if len(cfg.Watermarks) == n {
+		return cfg.Watermarks[p]
 	}
 	base := cfg.BaseThreshold
 	return base + (1-base)*float64(p+1)/float64(n)

@@ -38,6 +38,14 @@ const (
 	FlightArenaFallback                    // arena exhausted, chunk fell back to heap; Value = requested bytes
 	FlightStreamCreate                     // stream created while under PPL pressure; Value = stream ID, Aux = priority
 	FlightStreamExpire                     // stream timed out/evicted while under PPL pressure; Value = stream ID
+
+	// Control-plane decisions (internal/ctlplane). The controller notes one
+	// record per actuation so an overload episode replays end to end:
+	// signal (PPL/arena records above) → decision (these) → recovery.
+	FlightCtlTighten    // controller lowered the dynamic cutoff; Value = new cutoff bytes, Aux = memory per-mille
+	FlightCtlRelax      // controller raised/restored the cutoff; Value = new cutoff (-1 = restored), Aux = memory per-mille
+	FlightCtlFDIRBudget // controller resized the sketch-FDIR budget; Value = filters per core, Aux = tracked heavies
+	FlightCtlWatermarks // controller retargeted PPL watermarks; Value = watermark_0 per-mille, Aux = priority levels
 )
 
 var flightKindNames = [...]string{
@@ -53,6 +61,10 @@ var flightKindNames = [...]string{
 	FlightArenaFallback:  "arena_fallback",
 	FlightStreamCreate:   "stream_create",
 	FlightStreamExpire:   "stream_expire",
+	FlightCtlTighten:     "ctl_tighten",
+	FlightCtlRelax:       "ctl_relax",
+	FlightCtlFDIRBudget:  "ctl_fdir_budget",
+	FlightCtlWatermarks:  "ctl_watermarks",
 }
 
 // String returns the kind's wire name.

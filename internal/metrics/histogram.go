@@ -116,6 +116,11 @@ func QuantileFromSnap(s HistogramSnap, p float64) float64 {
 	return lo
 }
 
+// Snap returns a point-in-time snapshot of the histogram (buckets summed
+// across cores). Cold path: the control plane and tests read quantiles from
+// it via QuantileFromSnap without assembling a whole registry snapshot.
+func (h *Histogram) Snap() HistogramSnap { return h.snapshot() }
+
 func (h *Histogram) snapshot() HistogramSnap {
 	s := HistogramSnap{Desc: h.desc}
 	for i := 0; i < h.nb; i++ {

@@ -38,6 +38,7 @@ import (
 
 	"scap/internal/bpf"
 	"scap/internal/core"
+	"scap/internal/ctlplane"
 	"scap/internal/event"
 	"scap/internal/mem"
 	"scap/internal/metrics"
@@ -119,6 +120,11 @@ type Config struct {
 	// from a count-min summary instead of holding a stream record, so the
 	// flow table tracks only the flows that still need per-stream state.
 	Sketch SketchConfig
+	// Control enables the adaptive overload control plane: a feedback
+	// controller that tightens the effective stream cutoff under memory
+	// pressure, gates sketch→NIC drop filters to overload episodes, and
+	// retargets PPL watermarks from observed per-priority byte shares.
+	Control ControlConfig
 }
 
 // SketchConfig configures the sketch front-end (see core.SketchConfig).
@@ -166,6 +172,11 @@ type Handle struct {
 	stageWorkerH *metrics.Histogram
 	callbackH    *metrics.Histogram
 	final        *Stats
+
+	// ctl is the adaptive overload controller, nil unless
+	// Config.Control.Enabled. Started after the engines exist, stopped
+	// before the capture path tears down.
+	ctl *ctlplane.Controller
 
 	onCreate Handler
 	onData   Handler
@@ -433,6 +444,7 @@ func (h *Handle) StartCapture() error {
 	}
 	h.capture = newCaptureState(h)
 	h.capture.start()
+	h.startControl()
 	h.started = true
 	return nil
 }
@@ -449,6 +461,10 @@ func (h *Handle) Close() error {
 	h.closed = true
 	if !h.started {
 		return nil
+	}
+	if h.ctl != nil {
+		// Stop the controller first so no actuation races teardown.
+		h.ctl.Stop()
 	}
 	h.capture.stop()
 	h.mm.Close()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scap/internal/core"
+	"scap/internal/ctlplane"
 	"scap/internal/metrics"
 	"scap/internal/sketch"
 )
@@ -30,6 +31,9 @@ type DebugServer struct {
 	// engines is the per-core engine list captured at Serve time; the
 	// sketch handler reads only their atomic snapshot pointers.
 	engines []*core.Engine
+	// ctl is the adaptive controller, nil when disabled; its handler reads
+	// only the atomic snapshot pointer.
+	ctl *ctlplane.Controller
 }
 
 // handleMetrics serves /metrics: the registry as JSON with rates windowed
@@ -78,6 +82,24 @@ func (s *DebugServer) handleSketch(rw http.ResponseWriter, req *http.Request) {
 	_ = enc.Encode(out)
 }
 
+// handleCtlplane serves /debug/ctlplane: the adaptive controller's last
+// published snapshot — mode, live pressure signals, the active cutoff clamp
+// and FDIR budget, the installed watermark ladder, and the recent decision
+// ring with its evidence. Serves {"enabled": false} when the controller is
+// disabled.
+//
+//scap:goroutine debugserver per-request handler on net/http's connection goroutines
+func (s *DebugServer) handleCtlplane(rw http.ResponseWriter, req *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if s.ctl == nil {
+		_ = enc.Encode(&ctlplane.Snapshot{Enabled: false, Mode: "disabled", DynCutoff: -1, FDIRBudget: -1})
+		return
+	}
+	_ = enc.Encode(s.ctl.Snapshot())
+}
+
 // Serve starts a debug HTTP server for the socket on addr (host:port; use
 // port 0 for an ephemeral port, then read Addr). It serves:
 //
@@ -93,6 +115,10 @@ func (s *DebugServer) handleSketch(rw http.ResponseWriter, req *http.Request) {
 //     totals, per-priority breakdowns, heavy-hitter flows). Call Serve
 //     after StartCapture so the engines exist; entries are null when the
 //     sketch is disabled.
+//   - /debug/ctlplane — the adaptive overload controller's state: mode,
+//     pressure signals, active cutoff clamp and FDIR budget, watermark
+//     ladder, and the recent decisions with evidence. {"enabled": false}
+//     when Config.Control is off.
 //   - /debug/pprof/ — the standard net/http/pprof profiling endpoints.
 //   - /debug/vars — expvar's process-wide variables.
 //
@@ -114,11 +140,13 @@ func (h *Handle) Serve(addr string) (*DebugServer, error) {
 		win:     w,
 		reg:     h.reg,
 		engines: append([]*core.Engine(nil), h.engines...),
+		ctl:     h.ctl,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/sketch", s.handleSketch)
+	mux.HandleFunc("/debug/ctlplane", s.handleCtlplane)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
