@@ -1,0 +1,147 @@
+package scap
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"scap/internal/nic"
+	"scap/internal/trace"
+)
+
+// writeGenPcap renders a generated workload to a classic-pcap file and
+// returns its path.
+func writeGenPcap(t *testing.T, seed int64, flows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "backend.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewPcapWriter(f, 0)
+	gen := smallGen(seed, flows)
+	trace.Replay(gen, 1e9, func(frame []byte, ts int64) bool {
+		return w.Write(frame, ts) == nil
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestBackendPcapReplayEndToEnd(t *testing.T) {
+	path := writeGenPcap(t, 11, 15)
+	h, err := Create(Config{Queues: 2, Backend: BackendConfig{PcapPath: path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var terms atomic.Int32
+	h.DispatchTermination(func(sd *Stream) { terms.Add(1) })
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitBackend(); err != nil {
+		t.Fatalf("WaitBackend: %v", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if terms.Load() != 30 { // two directions per flow
+		t.Errorf("terminations = %d, want 30", terms.Load())
+	}
+	st, err := h.GetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesReceived == 0 || st.Packets == 0 {
+		t.Errorf("replay backend processed nothing: %+v", st)
+	}
+}
+
+func TestBackendPcapReplayNotInjectable(t *testing.T) {
+	path := writeGenPcap(t, 12, 2)
+	h, err := Create(Config{Queues: 1, Backend: BackendConfig{PcapPath: path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.InjectFrame([]byte{1, 2, 3}, 1); !errors.Is(err, ErrNotInjectable) {
+		t.Errorf("InjectFrame err = %v, want ErrNotInjectable", err)
+	}
+	if err := h.InjectBatch([]RawFrame{{Data: []byte{1}, TS: 1}}); !errors.Is(err, ErrNotInjectable) {
+		t.Errorf("InjectBatch err = %v, want ErrNotInjectable", err)
+	}
+	if err := h.ReplayPcap(path); !errors.Is(err, ErrNotInjectable) {
+		t.Errorf("ReplayPcap err = %v, want ErrNotInjectable", err)
+	}
+	if err := h.ReplaySource(smallGen(12, 1), 1e9); !errors.Is(err, ErrNotInjectable) {
+		t.Errorf("ReplaySource err = %v, want ErrNotInjectable", err)
+	}
+	if err := h.WaitBackend(); err != nil {
+		t.Fatalf("WaitBackend: %v", err)
+	}
+}
+
+func TestBackendConfigMutuallyExclusive(t *testing.T) {
+	h, err := Create(Config{Queues: 1, Backend: BackendConfig{PcapPath: "x.pcap", Iface: "eth0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.StartCapture()
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("StartCapture err = %v, want mutual-exclusion error", err)
+	}
+	// The failed start must leave the socket unstarted and closable.
+	if err := h.InjectFrame([]byte{1}, 1); err != ErrNotStarted {
+		t.Errorf("after failed start, InjectFrame err = %v, want ErrNotStarted", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackendPcapReplayMissingFile(t *testing.T) {
+	h, err := Create(Config{Queues: 1, Backend: BackendConfig{PcapPath: "/nonexistent/trace.pcap"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.StartCapture()
+	if err == nil || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("StartCapture err = %v, want wrapped os.ErrNotExist", err)
+	}
+	// A failed open unwinds completely: a second start with a fixed config
+	// is not possible (config is frozen), but Close must still succeed.
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackendIfaceWithoutLiveTag(t *testing.T) {
+	if nicLiveSupported() {
+		t.Skip("built with -tags live; AF_PACKET backend is available")
+	}
+	h, err := Create(Config{Queues: 1, Backend: BackendConfig{Iface: "lo"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.StartCapture()
+	if !errors.Is(err, nic.ErrLiveUnsupported) {
+		t.Fatalf("StartCapture err = %v, want ErrLiveUnsupported", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nicLiveSupported reports whether the AF_PACKET backend was compiled in.
+func nicLiveSupported() bool {
+	_, err := nic.NewAFPacket(nic.AFPacketConfig{Iface: "definitely-missing"})
+	return !errors.Is(err, nic.ErrLiveUnsupported)
+}

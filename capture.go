@@ -18,32 +18,28 @@ import (
 )
 
 // captureState owns the running goroutines of a started socket: one kernel
-// goroutine per NIC queue and the configured number of worker goroutines —
-// the user-space equivalent of the paper's per-core kernel thread plus
-// worker thread pairs.
+// goroutine per backend queue and the configured number of worker
+// goroutines — the user-space equivalent of the paper's per-core kernel
+// thread plus worker thread pairs.
 //
 // Concurrency model: each engine is owned by its kernel goroutine (frames
-// reach it only through its frameCh); workers touch streams only via the
-// per-engine ctrl queue; injectors serialize on injectMu; everything else
-// a foreign goroutine may read (engine counters, NIC stats, memory
-// accounting) is protected at its source.
+// reach it only through its queue's backend Batches channel); workers
+// touch streams only via the per-engine ctrl queue; injectors serialize
+// on injectMu; everything else a foreign goroutine may read (engine
+// counters, backend stats, memory accounting) is protected at its source.
 type captureState struct {
 	h *Handle
 
 	mu sync.Mutex
-	// frameCh hands frame batches from the NIC to the kernel goroutines.
-	// It is written once in start, before any goroutine runs, and is
-	// read-only afterwards (the channels themselves provide the
-	// synchronization).
-	frameCh []chan []nic.Frame
 	// stopped is guarded by mu, making stop idempotent.
 	stopped  bool
 	kernelWG sync.WaitGroup
 	workerWG sync.WaitGroup
 
 	injectMu sync.Mutex
-	// lastTS is guarded by injectMu: concurrent injectors and the timer
-	// tick agree on a strictly increasing virtual clock through it.
+	// lastTS is guarded by injectMu: concurrent injectors, the backend's
+	// delivered batches, and the timer tick agree on a monotonic virtual
+	// clock through it.
 	lastTS    int64
 	timerStop chan struct{}
 }
@@ -58,12 +54,8 @@ func newCaptureState(h *Handle) *captureState {
 
 func (c *captureState) start() {
 	h := c.h
-	c.frameCh = make([]chan []nic.Frame, h.cfg.Queues)
-	for q := range c.frameCh {
-		c.frameCh[q] = make(chan []nic.Frame, 256)
-	}
-	// Kernel goroutines: one per queue, each owning its engine.
-	for q := 0; q < h.cfg.Queues; q++ {
+	// Kernel goroutines: one per backend queue, each owning its engine.
+	for q := 0; q < h.backend.Queues(); q++ {
 		c.kernelWG.Add(1)
 		go c.kernelLoop(q)
 	}
@@ -75,24 +67,31 @@ func (c *captureState) start() {
 }
 
 // kernelLoop is one core's softirq-equivalent: it pulls frame batches for
-// its queue and drives the engine, running timer work between batches. One
-// runs per NIC queue, and it is the sole goroutine driving that queue's
-// Engine — the producer side of the engine's event ring and the consumer
-// side of its arena free pool.
+// its queue from the capture backend and drives the engine, running timer
+// work between batches. One runs per backend queue, and it is the sole
+// goroutine driving that queue's Engine — the producer side of the
+// engine's event ring and the consumer side of its arena free pool. After
+// each batch it folds the last frame timestamp into the virtual clock, so
+// source-driven backends (pcap replay, AF_PACKET) advance timer time the
+// way the injection paths do on the simulated NIC.
 //
 //scap:goroutine engine
 func (c *captureState) kernelLoop(q int) {
 	defer c.kernelWG.Done()
 	eng := c.h.engines[q]
+	batches := c.h.backend.Batches(q)
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
 	for {
 		select {
-		case batch, ok := <-c.frameCh[q]:
+		case batch, ok := <-batches:
 			if !ok {
 				return
 			}
 			eng.HandleFrames(batch)
+			if n := len(batch); n > 0 {
+				c.noteTS(batch[n-1].TS)
+			}
 		case <-ticker.C:
 			eng.CheckTimers(c.currentTS())
 		}
@@ -392,38 +391,40 @@ func (c *captureState) currentTS() int64 {
 	return c.lastTS
 }
 
-// inject routes one frame through the NIC to its kernel goroutine. The
-// injector owns data: it goes to the NIC ring and the engine without
-// copying.
+// noteTS folds a backend-delivered timestamp into the virtual clock
+// (max-update), so timer work keys off source time on every backend.
+func (c *captureState) noteTS(ts int64) {
+	c.injectMu.Lock()
+	if ts > c.lastTS {
+		c.lastTS = ts
+	}
+	c.injectMu.Unlock()
+}
+
+// inject routes one frame through the simulated NIC to its kernel
+// goroutine — the single-frame veneer over injectBatch. The injector owns
+// data: it goes to the NIC ring and the engine without copying. The
+// one-element array stays on the stack (injectBatch does not retain its
+// argument), so the fallback costs a batch fan-out but no allocation.
 //
 //scap:hotpath
 func (c *captureState) inject(data []byte, ts int64) {
-	c.injectMu.Lock() //scaplint:ignore hotpathlock audited: virtual-clock serialization point shared by concurrent injectors; two plain stores under an uncontended mutex
-	if ts <= c.lastTS {
-		ts = c.lastTS + 1
-	}
-	c.lastTS = ts
-	c.injectMu.Unlock()
-	q := c.h.nicDev.ReceiveAt(data, ts, metrics.Nanotime())
-	if q < 0 {
-		return
-	}
-	f, ok := c.h.nicDev.Poll(q)
-	if !ok {
-		return
-	}
-	//scaplint:ignore hotpathblock intentional backpressure: when a kernel goroutine falls behind, the frame-channel send parks the injector instead of growing an unbounded backlog
-	c.frameCh[q] <- []nic.Frame{f} //scaplint:ignore hotpathalloc single-frame fallback; the replay paths batch through injectBatch instead
+	var one [1]RawFrame
+	one[0] = RawFrame{Data: data, TS: ts}
+	c.injectBatch(one[:])
 }
 
 // injectBatch routes a burst of frames: the virtual-clock monotonicity
 // fix-up runs once under injectMu for the whole burst (rewriting
-// timestamps in place), then frames fan out through the NIC into one
-// per-queue batch each, delivered with a single channel send per queue.
+// timestamps in place), then frames fan out through the simulated NIC
+// into one per-queue batch each, delivered with a single Deliver per
+// queue. Callers must only reach here when the backend is the sim (the
+// public injection APIs gate on ErrNotInjectable).
 func (c *captureState) injectBatch(frames []RawFrame) {
 	if len(frames) == 0 {
 		return
 	}
+	sim := c.h.sim
 	c.injectMu.Lock()
 	last := c.lastTS
 	for i := range frames {
@@ -434,16 +435,16 @@ func (c *captureState) injectBatch(frames []RawFrame) {
 	}
 	c.lastTS = last
 	c.injectMu.Unlock()
-	batches := make([][]nic.Frame, len(c.frameCh))
+	batches := make([][]nic.Frame, sim.Queues())
 	// One capture-clock read stamps the whole burst: the ingest→engine
 	// latency histogram needs batch granularity, not a syscall per frame.
 	ingest := metrics.Nanotime()
 	for i := range frames {
-		q := c.h.nicDev.ReceiveAt(frames[i].Data, frames[i].TS, ingest)
+		q := sim.ReceiveAt(frames[i].Data, frames[i].TS, ingest)
 		if q < 0 {
 			continue
 		}
-		f, ok := c.h.nicDev.Poll(q)
+		f, ok := sim.Poll(q)
 		if !ok {
 			continue
 		}
@@ -451,7 +452,7 @@ func (c *captureState) injectBatch(frames []RawFrame) {
 	}
 	for q, b := range batches {
 		if len(b) > 0 {
-			c.frameCh[q] <- b
+			sim.Deliver(q, b)
 		}
 	}
 }
@@ -466,9 +467,9 @@ func (c *captureState) stop() {
 	c.stopped = true
 	c.mu.Unlock()
 
-	for _, ch := range c.frameCh {
-		close(ch)
-	}
+	// Closing the backend closes every Batches channel, so the kernel
+	// goroutines drain whatever is buffered and exit.
+	c.h.backend.Close()
 	c.kernelWG.Wait()
 	// Final flush: expire and terminate every stream, then close queues
 	// so workers drain and exit.
@@ -508,6 +509,9 @@ func (h *Handle) InjectFrame(data []byte, ts int64) error {
 	if !h.started {
 		return ErrNotStarted
 	}
+	if h.sim == nil {
+		return ErrNotInjectable
+	}
 	h.capture.inject(data, ts)
 	return nil
 }
@@ -520,6 +524,9 @@ func (h *Handle) InjectFrame(data []byte, ts int64) error {
 func (h *Handle) InjectBatch(frames []RawFrame) error {
 	if !h.started {
 		return ErrNotStarted
+	}
+	if h.sim == nil {
+		return ErrNotInjectable
 	}
 	h.capture.injectBatch(frames)
 	return nil
@@ -534,6 +541,9 @@ func (h *Handle) InjectBatch(frames []RawFrame) error {
 func (h *Handle) ReplaySource(src trace.Source, bitsPerSec float64) error {
 	if !h.started {
 		return ErrNotStarted
+	}
+	if h.sim == nil {
+		return ErrNotInjectable
 	}
 	batch := make([]RawFrame, 0, injectBatchSize)
 	trace.Replay(src, bitsPerSec, func(frame []byte, ts int64) bool {
@@ -552,6 +562,9 @@ func (h *Handle) ReplaySource(src trace.Source, bitsPerSec float64) error {
 func (h *Handle) ReplayPcap(path string) error {
 	if !h.started {
 		return ErrNotStarted
+	}
+	if h.sim == nil {
+		return ErrNotInjectable
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -13,6 +13,13 @@
 // (overloadable) capture:
 //
 //	scapbench -live -serve 127.0.0.1:6060 -mem 8 -rate 4e9
+//
+// With -pcap the live socket runs the file-backed replay backend instead
+// of the synthetic generator: the trace streams through the software
+// RSS/filter shim and bounded per-queue rings (the PF_PACKET loss model),
+// and -passes loops it with monotonic timestamps:
+//
+//	scapbench -live -pcap trace.pcap -passes 100 -mem 8
 package main
 
 import (
@@ -38,10 +45,19 @@ func main() {
 		serveAddr = flag.String("serve", "127.0.0.1:6060", "debug server address in -live mode")
 		rate      = flag.Float64("rate", 4e9, "virtual replay rate in bits/s in -live mode")
 		memMB     = flag.Int("mem", 64, "stream-memory budget in MiB in -live mode (shrink it to force PPL overload)")
+		pcapPath  = flag.String("pcap", "", "in -live mode, replay this pcap file through the replay backend instead of the synthetic generator")
+		passes    = flag.Int("passes", 1, "with -pcap, replay the file this many times with monotonic timestamps")
 	)
 	flag.Parse()
 
 	if *live {
+		if *pcapPath != "" {
+			if err := runPcap(*serveAddr, *pcapPath, *passes, int64(*memMB)<<20); err != nil {
+				fmt.Fprintln(os.Stderr, "scapbench -live -pcap:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		n := *flows
 		if n <= 0 {
 			n = 2000
@@ -97,6 +113,44 @@ func main() {
 // A small -mem budget pushes the socket into PPL pressure, making the
 // overload telemetry (ppl_enter/ppl_exit events, ppl-drop rates) visible in
 // scaptop.
+// runPcap replays a trace file through the pcap replay capture backend —
+// the source-driven path, where frames arrive from the backend's own
+// reader rather than an injection loop — with the debug server up, then
+// blocks until the final pass drains and prints the socket statistics.
+func runPcap(addr, path string, passes int, memBytes int64) error {
+	h, err := scap.Create(scap.Config{
+		MemorySize:     memBytes,
+		Queues:         runtime.GOMAXPROCS(0),
+		ReassemblyMode: scap.TCPFast,
+		Backend:        scap.BackendConfig{PcapPath: path, PcapPasses: passes},
+	})
+	if err != nil {
+		return err
+	}
+	h.DispatchData(func(sd *scap.Stream) {})
+	if err := h.StartCapture(); err != nil {
+		return err
+	}
+	defer h.Close()
+	srv, err := h.Serve(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("pcap replay: %s (%d pass(es)), %d MiB stream memory\n", path, passes, memBytes>>20)
+	fmt.Printf("metrics:     http://%s/metrics   (watch with: scaptop -addr %s)\n", srv.Addr(), srv.Addr())
+	if err := h.WaitBackend(); err != nil {
+		return err
+	}
+	st, err := h.GetStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done: frames=%d packets=%d ring-dropped=%d ppl-dropped=%d streams=%d\n",
+		st.FramesReceived, st.Packets, st.DroppedRing, st.PPLDroppedPkts, st.StreamsCreated)
+	return nil
+}
+
 func runLive(addr string, flows int, seed int64, bitsPerSec float64, memBytes int64) error {
 	h, err := scap.Create(scap.Config{
 		MemorySize:     memBytes,

@@ -64,8 +64,11 @@ type Options struct {
 	// Mem is the socket-wide memory manager (shared across cores).
 	Mem *mem.Manager
 	// NIC, when non-nil and Config.UseFDIR is set, receives drop-filter
-	// installs for cutoff streams.
-	NIC *nic.NIC
+	// installs for cutoff streams. Any capture backend's filter surface
+	// works here: installs are gated on its Capabilities, and a backend
+	// without hardware tables emulates the drops in software
+	// (drops{cause="swfilter"} instead of cause="fdir").
+	NIC nic.FilterSink
 	// Queue receives this core's events.
 	Queue  *event.Queue
 	CoreID int
@@ -109,7 +112,11 @@ func (h *filterHeap) Pop() any          { old := *h; n := len(old); e := old[n-1
 type Engine struct {
 	cfg    Config
 	mm     *mem.Manager
-	nicDev *nic.NIC
+	nicDev nic.FilterSink
+	// caps is the backend's negotiated capability set, captured once at
+	// construction (zero when nicDev is nil): filter installs are gated on
+	// it so a backend without any filter table is never driven.
+	caps   nic.Capabilities
 	q      *event.Queue
 	table  *flowtab.Table
 	defrag *reassembly.Defragmenter
@@ -198,6 +205,9 @@ func NewEngine(opts Options) *Engine {
 		evBuf:            make([]event.Event, 0, evBatchMax),
 		dynCutoff:        -1,
 		sketchFDIRBudget: -1,
+	}
+	if opts.NIC != nil {
+		e.caps = opts.NIC.Capabilities()
 	}
 	if cfg.Sketch.Enabled {
 		e.sketch = sketch.New(sketch.Config{
@@ -962,7 +972,7 @@ func (e *Engine) reachCutoff(s *flowtab.Stream, x *streamExt) {
 // ACK|PSH data packets die at the NIC while RST/FIN still reach the engine
 // for termination and FIN-sequence statistics (§5.5).
 func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
-	if !e.cfg.UseFDIR || e.nicDev == nil || s.HWFilter || s.Key.Proto != pkt.ProtoTCP {
+	if !e.cfg.UseFDIR || e.nicDev == nil || !e.caps.HasFilters() || s.HWFilter || s.Key.Proto != pkt.ProtoTCP {
 		return
 	}
 	deadline := e.now + x.filterTimeout
@@ -993,7 +1003,7 @@ func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
 
 // reinstallFDIR re-adds an expired/evicted filter with a doubled timeout.
 func (e *Engine) reinstallFDIR(s *flowtab.Stream, x *streamExt) {
-	if !e.cfg.UseFDIR || e.nicDev == nil || s.Key.Proto != pkt.ProtoTCP {
+	if !e.cfg.UseFDIR || e.nicDev == nil || !e.caps.HasFilters() || s.Key.Proto != pkt.ProtoTCP {
 		return
 	}
 	if s.HWFilter {
@@ -1191,7 +1201,7 @@ func (e *Engine) expireFilters(now int64) {
 // sketch, so record-suppressed elephants stop costing even the sketch
 // update. Runs from the timer path at heavy-table granularity.
 func (e *Engine) installSketchFDIR(now int64) {
-	if !e.cfg.UseFDIR || e.nicDev == nil {
+	if !e.cfg.UseFDIR || e.nicDev == nil || !e.caps.HasFilters() {
 		return
 	}
 	e.sketch.ForEachHeavy(func(hf *sketch.Heavy) {

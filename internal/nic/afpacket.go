@@ -1,0 +1,42 @@
+package nic
+
+import "errors"
+
+// AFPacketConfig configures the live Linux AF_PACKET/TPACKET_V3 backend.
+type AFPacketConfig struct {
+	// Iface is the network interface to capture from (e.g. "veth0").
+	Iface string
+	// Queues is the number of fanout sockets: the kernel's
+	// PACKET_FANOUT_HASH spreads flows over them, standing in for
+	// hardware RSS. Default 1.
+	Queues int
+	// BlockBytes is the size of one TPACKET_V3 ring block. Default 1 MB.
+	BlockBytes int
+	// Blocks is the number of ring blocks per queue socket. Default 64.
+	Blocks int
+	// Snaplen truncates frames copied out of the ring (0 = full frames).
+	Snaplen int
+	// FanoutID identifies the fanout group; sockets with the same ID on
+	// the same interface share flows. 0 picks an ID from the process PID.
+	FanoutID uint16
+}
+
+// ErrLiveUnsupported is returned by NewAFPacket when the binary was built
+// without the live backend (any build lacking the "live" tag, or a
+// non-Linux target): the AF_PACKET transport compiles out so tier-1 stays
+// hermetic.
+var ErrLiveUnsupported = errors.New("nic: AF_PACKET backend not built in (need GOOS=linux and -tags live)")
+
+// afpacketOpen is installed by the build-tagged implementation's init;
+// nil means the transport was compiled out.
+var afpacketOpen func(AFPacketConfig) (Backend, error)
+
+// NewAFPacket builds the live AF_PACKET capture backend, or returns
+// ErrLiveUnsupported when it was compiled out. The sockets and rings are
+// created by Open, which requires CAP_NET_RAW and an existing interface.
+func NewAFPacket(cfg AFPacketConfig) (Backend, error) {
+	if afpacketOpen == nil {
+		return nil, ErrLiveUnsupported
+	}
+	return afpacketOpen(cfg)
+}

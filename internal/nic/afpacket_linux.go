@@ -1,0 +1,452 @@
+//go:build linux && live
+
+package nic
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+
+	"scap/internal/metrics"
+	"scap/internal/pkt"
+)
+
+func init() { afpacketOpen = newAFPacketLinux }
+
+// AF_PACKET / TPACKET_V3 constants the syscall package does not export.
+const (
+	optPacketVersion = 10 // PACKET_VERSION
+	optPacketFanout  = 18 // PACKET_FANOUT
+	tpacketV3        = 2  // TPACKET_V3
+	fanoutHash       = 0  // PACKET_FANOUT_HASH
+	tpStatusKernel   = 0  // block owned by the kernel
+	tpStatusUser     = 1  // block handed to user space
+	ethPAll          = 0x0003
+	// retireBlockTovMs bounds block latency: the kernel retires a
+	// partially filled block after this many milliseconds so light
+	// traffic still surfaces promptly.
+	retireBlockTovMs = 60
+	// livePollTimeoutMs is the epoll timeout; it bounds how long Close
+	// waits for a parked poll goroutine to notice closeCh.
+	livePollTimeoutMs = 100
+	// liveBatchSize caps frames per delivery batch.
+	liveBatchSize = 64
+	// liveFrameSize is the TPACKET_V3 advisory frame slot size.
+	liveFrameSize = 2048
+	// liveArenaBlock is the copy-out arena granularity.
+	liveArenaBlock = 256 << 10
+)
+
+// tpacketReq3 is struct tpacket_req3 (linux/if_packet.h).
+type tpacketReq3 struct {
+	blockSize      uint32
+	blockNr        uint32
+	frameSize      uint32
+	frameNr        uint32
+	retireBlkTov   uint32
+	sizeofPriv     uint32
+	featureReqWord uint32
+}
+
+// tpacketStatsV3 is struct tpacket_stats_v3: PACKET_STATISTICS resets the
+// counters on every read.
+type tpacketStatsV3 struct {
+	packets    uint32
+	drops      uint32
+	freezeQCnt uint32
+}
+
+// Byte offsets into the mmap'd TPACKET_V3 structures (linux/if_packet.h,
+// all little-endian on the targets we build for).
+const (
+	blkStatusOff   = 8  // tpacket_block_desc.hdr.bh1.block_status
+	blkNumPktsOff  = 12 // ...num_pkts
+	blkFirstPktOff = 16 // ...offset_to_first_pkt
+	pktNextOff     = 0  // tpacket3_hdr.tp_next_offset
+	pktSecOff      = 4  // tp_sec
+	pktNsecOff     = 8  // tp_nsec
+	pktSnaplenOff  = 12 // tp_snaplen
+	pktMacOff      = 24 // tp_mac (uint16)
+)
+
+// afQueue is one fanout socket with its mmap'd block ring. Owned
+// exclusively by its poll goroutine after Open.
+type afQueue struct {
+	fd        int
+	epfd      int
+	ring      []byte
+	blockSize int
+	blocks    int
+	nextBlock int
+	// arena amortizes copy-out allocation, PcapReader-style: frames are
+	// carved from blocks that are never recycled, so ownership of each
+	// slice transfers to the pipeline (reassembly holds segment
+	// references long after the kernel reclaims the ring block, which is
+	// why frames are copied out rather than aliased).
+	arena []byte
+}
+
+// afpacket is the live Linux capture backend: one AF_PACKET socket per
+// queue joined into a PACKET_FANOUT_HASH group (the kernel's flow-hash
+// spread standing in for hardware RSS), each with a TPACKET_V3 ring.
+// Filters run in the software shim on the copy-out path; ring losses are
+// harvested from the kernel's tp_drops counter.
+//
+//scap:shared
+type afpacket struct {
+	cfg   AFPacketConfig
+	steer *swSteer
+	qs    []*afQueue
+	ch    []chan []Frame
+	done  chan struct{}
+	// closeCh stops the poll goroutines.
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+	// ringDrops is per-queue kernel tp_drops, updated atomically by each
+	// queue's poll goroutine and read by metrics.
+	ringDrops []uint64
+
+	mu sync.Mutex
+	// opened and closed are guarded by mu.
+	opened bool
+	closed bool
+}
+
+func newAFPacketLinux(cfg AFPacketConfig) (Backend, error) {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = 1 << 20
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 64
+	}
+	if cfg.Snaplen <= 0 {
+		cfg.Snaplen = 1 << 16
+	}
+	pageSize := syscall.Getpagesize()
+	if cfg.BlockBytes%pageSize != 0 || cfg.BlockBytes%liveFrameSize != 0 {
+		return nil, fmt.Errorf("nic: afpacket BlockBytes %d must be a multiple of the page size (%d) and %d", cfg.BlockBytes, pageSize, liveFrameSize)
+	}
+	a := &afpacket{
+		cfg:       cfg,
+		steer:     newSwSteer(cfg.Queues),
+		qs:        make([]*afQueue, cfg.Queues),
+		ch:        make([]chan []Frame, cfg.Queues),
+		done:      make(chan struct{}),
+		closeCh:   make(chan struct{}),
+		ringDrops: make([]uint64, cfg.Queues),
+	}
+	for i := range a.ch {
+		a.ch[i] = make(chan []Frame, backendBatchCap)
+	}
+	return a, nil
+}
+
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// Open creates the fanout sockets, maps the rings, and starts one poll
+// goroutine per queue. Requires CAP_NET_RAW.
+func (a *afpacket) Open() error {
+	a.mu.Lock()
+	if a.opened || a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("nic: afpacket backend already opened or closed")
+	}
+	a.opened = true
+	a.mu.Unlock()
+	ifi, err := net.InterfaceByName(a.cfg.Iface)
+	if err != nil {
+		a.rollbackOpen()
+		return fmt.Errorf("nic: afpacket: %w", err)
+	}
+	fanoutID := int(a.cfg.FanoutID)
+	if fanoutID == 0 {
+		fanoutID = os.Getpid() & 0xffff
+	}
+	for i := range a.qs {
+		q, err := a.openQueue(ifi.Index, fanoutID)
+		if err != nil {
+			for _, prev := range a.qs[:i] {
+				prev.teardown()
+			}
+			a.rollbackOpen()
+			return fmt.Errorf("nic: afpacket queue %d: %w", i, err)
+		}
+		a.qs[i] = q
+	}
+	a.wg.Add(len(a.qs))
+	for i := range a.qs {
+		go a.poll(i)
+	}
+	return nil
+}
+
+// rollbackOpen clears the opened flag after a failed Open so Close does
+// not wait on goroutines that never started and still closes the
+// delivery channels.
+func (a *afpacket) rollbackOpen() {
+	a.mu.Lock()
+	a.opened = false
+	a.mu.Unlock()
+}
+
+func (a *afpacket) openQueue(ifindex, fanoutID int) (*afQueue, error) {
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(htons(ethPAll)))
+	if err != nil {
+		return nil, fmt.Errorf("socket: %w", err)
+	}
+	q := &afQueue{fd: fd, epfd: -1, blockSize: a.cfg.BlockBytes, blocks: a.cfg.Blocks}
+	if err := syscall.SetsockoptInt(fd, syscall.SOL_PACKET, optPacketVersion, tpacketV3); err != nil {
+		q.teardown()
+		return nil, fmt.Errorf("PACKET_VERSION: %w", err)
+	}
+	req := tpacketReq3{
+		blockSize:    uint32(a.cfg.BlockBytes),
+		blockNr:      uint32(a.cfg.Blocks),
+		frameSize:    liveFrameSize,
+		frameNr:      uint32(a.cfg.BlockBytes / liveFrameSize * a.cfg.Blocks),
+		retireBlkTov: retireBlockTovMs,
+	}
+	if _, _, errno := syscall.Syscall6(syscall.SYS_SETSOCKOPT, uintptr(fd), syscall.SOL_PACKET, syscall.PACKET_RX_RING,
+		uintptr(unsafe.Pointer(&req)), unsafe.Sizeof(req), 0); errno != 0 {
+		q.teardown()
+		return nil, fmt.Errorf("PACKET_RX_RING: %w", errno)
+	}
+	ring, err := syscall.Mmap(fd, 0, a.cfg.BlockBytes*a.cfg.Blocks,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		q.teardown()
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	q.ring = ring
+	if err := syscall.Bind(fd, &syscall.SockaddrLinklayer{Protocol: htons(ethPAll), Ifindex: ifindex}); err != nil {
+		q.teardown()
+		return nil, fmt.Errorf("bind: %w", err)
+	}
+	if err := syscall.SetsockoptInt(fd, syscall.SOL_PACKET, optPacketFanout, fanoutID|fanoutHash<<16); err != nil {
+		q.teardown()
+		return nil, fmt.Errorf("PACKET_FANOUT: %w", err)
+	}
+	epfd, err := syscall.EpollCreate1(0)
+	if err != nil {
+		q.teardown()
+		return nil, fmt.Errorf("epoll_create1: %w", err)
+	}
+	q.epfd = epfd
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(fd)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		q.teardown()
+		return nil, fmt.Errorf("epoll_ctl: %w", err)
+	}
+	return q, nil
+}
+
+func (q *afQueue) teardown() {
+	if q.ring != nil {
+		syscall.Munmap(q.ring)
+		q.ring = nil
+	}
+	if q.epfd >= 0 {
+		syscall.Close(q.epfd)
+		q.epfd = -1
+	}
+	if q.fd >= 0 {
+		syscall.Close(q.fd)
+		q.fd = -1
+	}
+}
+
+// carve returns an owned n-byte slice from the queue's copy-out arena.
+func (q *afQueue) carve(n int) []byte {
+	if n > len(q.arena) {
+		sz := liveArenaBlock
+		if n > sz {
+			sz = n
+		}
+		q.arena = make([]byte, sz)
+	}
+	b := q.arena[:n:n]
+	q.arena = q.arena[n:]
+	return b
+}
+
+func (a *afpacket) isClosed() bool {
+	select {
+	case <-a.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// poll is queue qi's capture loop: wait on epoll, walk every block the
+// kernel handed to user space, copy surviving frames into the arena, and
+// deliver them in batches. The goroutine is the sole reader of its
+// queue's ring and the sole writer of its delivery channel.
+//
+//scap:goroutine livepoll one per fanout socket
+//scap:owner livepoll afQueue after Open: ring blocks, copy-out arena, nextBlock cursor
+func (a *afpacket) poll(qi int) {
+	defer a.wg.Done()
+	defer close(a.ch[qi])
+	q := a.qs[qi]
+	events := make([]syscall.EpollEvent, 1)
+	for {
+		if a.isClosed() {
+			return
+		}
+		if a.drainBlocks(qi) {
+			continue
+		}
+		if _, err := syscall.EpollWait(q.epfd, events, livePollTimeoutMs); err != nil && err != syscall.EINTR {
+			return
+		}
+		a.harvestKernelDrops(qi)
+	}
+}
+
+// drainBlocks consumes every ready ring block in order, delivering the
+// frames that survive the software filters; it reports whether any block
+// was consumed.
+func (a *afpacket) drainBlocks(qi int) bool {
+	q := a.qs[qi]
+	drained := false
+	for {
+		base := q.nextBlock * q.blockSize
+		statusPtr := (*uint32)(unsafe.Pointer(&q.ring[base+blkStatusOff]))
+		if atomic.LoadUint32(statusPtr)&tpStatusUser == 0 {
+			return drained
+		}
+		drained = true
+		numPkts := int(le32(q.ring[base+blkNumPktsOff:]))
+		off := base + int(le32(q.ring[base+blkFirstPktOff:]))
+		ingest := metrics.Nanotime()
+		batch := make([]Frame, 0, liveBatchSize)
+		for i := 0; i < numPkts; i++ {
+			next := int(le32(q.ring[off+pktNextOff:]))
+			sec := int64(le32(q.ring[off+pktSecOff:]))
+			nsec := int64(le32(q.ring[off+pktNsecOff:]))
+			snap := int(le32(q.ring[off+pktSnaplenOff:]))
+			mac := int(le16(q.ring[off+pktMacOff:]))
+			data := q.ring[off+mac : off+mac+snap]
+			if _, ok := a.steer.route(data); ok {
+				cp := q.carve(len(data))
+				copy(cp, data)
+				batch = append(batch, Frame{Data: cp, TS: sec*1e9 + nsec, Ingest: ingest})
+				if len(batch) == liveBatchSize {
+					if !a.deliver(qi, batch) {
+						return drained
+					}
+					ingest = metrics.Nanotime()
+					batch = make([]Frame, 0, liveBatchSize)
+				}
+			}
+			if next == 0 {
+				break
+			}
+			off += next
+		}
+		// Release the block back to the kernel before delivering the tail
+		// batch: the frames were copied out, so the kernel can refill.
+		atomic.StoreUint32(statusPtr, tpStatusKernel)
+		q.nextBlock = (q.nextBlock + 1) % q.blocks
+		if len(batch) > 0 && !a.deliver(qi, batch) {
+			return drained
+		}
+	}
+}
+
+// deliver sends one batch, abandoning it if the backend closes first.
+func (a *afpacket) deliver(qi int, batch []Frame) bool {
+	select {
+	case a.ch[qi] <- batch:
+		return true
+	case <-a.closeCh:
+		return false
+	}
+}
+
+// harvestKernelDrops folds the kernel's tp_drops (frames lost because a
+// ring block was full) into the backend counters. PACKET_STATISTICS
+// resets on read, so the value is a delta.
+func (a *afpacket) harvestKernelDrops(qi int) {
+	q := a.qs[qi]
+	var st tpacketStatsV3
+	l := uint32(unsafe.Sizeof(st))
+	if _, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT, uintptr(q.fd), syscall.SOL_PACKET, syscall.PACKET_STATISTICS,
+		uintptr(unsafe.Pointer(&st)), uintptr(unsafe.Pointer(&l)), 0); errno != 0 {
+		return
+	}
+	if st.drops > 0 {
+		atomic.AddUint64(&a.ringDrops[qi], uint64(st.drops))
+		a.steer.addRing(uint64(st.drops))
+	}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func (a *afpacket) Queues() int                  { return len(a.ch) }
+func (a *afpacket) Batches(q int) <-chan []Frame { return a.ch[q] }
+func (a *afpacket) Done() <-chan struct{}        { return a.done }
+func (a *afpacket) Capabilities() Capabilities   { return a.steer.capabilities() }
+
+func (a *afpacket) AddFilter(spec FilterSpec) (pkt.FlowKey, bool, error) {
+	return a.steer.addFilter(spec)
+}
+
+func (a *afpacket) RemoveFilters(key pkt.FlowKey, signature bool) int {
+	return a.steer.removeFilters(key, signature)
+}
+
+func (a *afpacket) FilterCount() (int, int) { return a.steer.filterCount() }
+
+func (a *afpacket) Stats() Stats { return a.steer.snapshot() }
+
+func (a *afpacket) PublishMetrics(reg *metrics.Registry) {
+	publishSwMetrics(reg, a.steer, func(dst []uint64) []uint64 {
+		for qi := range a.ringDrops {
+			dst = append(dst, atomic.LoadUint64(&a.ringDrops[qi]))
+		}
+		return dst
+	})
+}
+
+// Close stops the poll goroutines (they notice within the epoll timeout),
+// unmaps the rings, and closes the sockets. Idempotent.
+func (a *afpacket) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		<-a.done
+		return nil
+	}
+	a.closed = true
+	opened := a.opened
+	a.mu.Unlock()
+	close(a.closeCh)
+	if !opened {
+		for _, ch := range a.ch {
+			close(ch)
+		}
+		close(a.done)
+		return nil
+	}
+	a.wg.Wait()
+	for _, q := range a.qs {
+		if q != nil {
+			q.teardown()
+		}
+	}
+	close(a.done)
+	return nil
+}

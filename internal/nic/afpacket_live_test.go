@@ -1,0 +1,303 @@
+//go:build linux && live
+
+package nic
+
+// Live AF_PACKET conformance: the same behavioral contract the hermetic
+// suite (conformance_test.go) checks against sim and pcap replay, driven
+// over a veth pair with real TPACKET_V3 rings. Needs root (CAP_NET_ADMIN
+// to create the veth, CAP_NET_RAW for the sockets) and skips otherwise.
+// CI invokes these as: sudo go test -tags live -run AFPacket ./...
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const (
+	liveVethCap  = "scapve0" // capture end, the backend's Iface
+	liveVethPeer = "scapve1" // send end, the test's injection point
+)
+
+// liveWait bounds how long a test waits for the kernel to deliver the
+// frames it sent across the veth.
+const liveWait = 10 * time.Second
+
+// setupVeth creates the veth pair, brings both ends up, and returns a raw
+// packet socket on the peer end for sending. Skips the test when the
+// environment cannot provide the pair.
+func setupVeth(t *testing.T) (fd, ifindex int) {
+	t.Helper()
+	if os.Geteuid() != 0 {
+		t.Skip("live capture test needs root")
+	}
+	// Remove a stale pair from an aborted earlier run, then create fresh.
+	_ = exec.Command("ip", "link", "del", liveVethCap).Run()
+	if out, err := exec.Command("ip", "link", "add", liveVethCap, "type", "veth", "peer", "name", liveVethPeer).CombinedOutput(); err != nil {
+		t.Skipf("cannot create veth pair (missing CAP_NET_ADMIN?): %v: %s", err, out)
+	}
+	t.Cleanup(func() { _ = exec.Command("ip", "link", "del", liveVethCap).Run() })
+	for _, dev := range []string{liveVethCap, liveVethPeer} {
+		if out, err := exec.Command("ip", "link", "set", dev, "up").CombinedOutput(); err != nil {
+			t.Fatalf("ip link set %s up: %v: %s", dev, err, out)
+		}
+	}
+	ifi, err := net.InterfaceByName(liveVethPeer)
+	if err != nil {
+		t.Fatalf("veth peer vanished: %v", err)
+	}
+	fd, err = syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(htons(ethPAll)))
+	if err != nil {
+		t.Skipf("cannot open raw packet socket (missing CAP_NET_RAW?): %v", err)
+	}
+	t.Cleanup(func() { syscall.Close(fd) })
+	// Give the pair a moment to gain carrier before the first send.
+	time.Sleep(100 * time.Millisecond)
+	return fd, ifi.Index
+}
+
+// sendAll writes every frame onto the peer end, retrying transient
+// kernel-buffer exhaustion.
+func sendAll(t *testing.T, fd, ifindex int, frames []confFrame) {
+	t.Helper()
+	sa := &syscall.SockaddrLinklayer{Protocol: htons(ethPAll), Ifindex: ifindex, Halen: 6}
+	for i, fr := range frames {
+		for {
+			err := syscall.Sendto(fd, fr.data, 0, sa)
+			if err == syscall.ENOBUFS || err == syscall.EAGAIN {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err != nil {
+				t.Fatalf("sendto frame %d: %v", i, err)
+			}
+			break
+		}
+	}
+}
+
+// isConfFrame reports whether a delivered frame is one of ours: confFlows
+// payloads end with the fixed tail 3,4,5,6,7,8, which stray veth traffic
+// (IPv6 neighbor discovery and friends) will not match.
+func isConfFrame(f Frame) bool {
+	n := len(f.Data)
+	if n < 8 {
+		return false
+	}
+	tail := f.Data[n-6:]
+	for i, b := range []byte{3, 4, 5, 6, 7, 8} {
+		if tail[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// collectLive drains every queue until the backend closes, counting our
+// frames as they arrive so the test can wait for delivery while the
+// collectors are still running.
+func collectLive(be Backend, count *atomic.Int64) <-chan [][]Frame {
+	out := make(chan [][]Frame, 1)
+	go func() {
+		got := make([][]Frame, be.Queues())
+		var wg sync.WaitGroup
+		for q := 0; q < be.Queues(); q++ {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				for batch := range be.Batches(q) {
+					for _, f := range batch {
+						if isConfFrame(f) {
+							count.Add(1)
+						}
+					}
+					got[q] = append(got[q], batch...)
+				}
+			}(q)
+		}
+		wg.Wait()
+		out <- got
+	}()
+	return out
+}
+
+// waitDelivered spins until count reaches want or the deadline passes.
+func waitDelivered(t *testing.T, be Backend, count *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(liveWait)
+	for count.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d frames within %v (stats %+v)", count.Load(), want, liveWait, be.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func openLive(t *testing.T, cfg AFPacketConfig) Backend {
+	t.Helper()
+	be, err := NewAFPacket(cfg)
+	if err != nil {
+		t.Fatalf("NewAFPacket: %v", err)
+	}
+	if err := be.Open(); err != nil {
+		t.Skipf("cannot open AF_PACKET backend (missing CAP_NET_RAW?): %v", err)
+	}
+	return be
+}
+
+func TestAFPacketDelivery(t *testing.T) {
+	fd, ifindex := setupVeth(t)
+	const queues, flows, perFlow = 2, 23, 10
+	be := openLive(t, AFPacketConfig{
+		Iface: liveVethCap, Queues: queues,
+		BlockBytes: 64 << 10, Blocks: 16, FanoutID: 41001,
+	})
+	caps := be.Capabilities()
+	if caps.RSSQueues != queues {
+		t.Errorf("Capabilities.RSSQueues = %d, want %d", caps.RSSQueues, queues)
+	}
+	if caps.HWFilters || caps.HWTimestamps {
+		t.Error("AF_PACKET backend claims hardware offloads it does not have")
+	}
+	if !caps.HasFilters() {
+		t.Error("Capabilities.HasFilters() = false; the software shim models a filter table")
+	}
+
+	var ours atomic.Int64
+	results := collectLive(be, &ours)
+	frames := confFlows(flows, perFlow)
+	sendAll(t, fd, ifindex, frames)
+	waitDelivered(t, be, &ours, int64(len(frames)))
+	if err := be.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := be.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	got := <-results
+	<-be.Done()
+
+	// Flow affinity (PACKET_FANOUT_HASH keeps a flow on one socket) and
+	// sane stamps, over our frames only — the veth also carries kernel
+	// chatter we did not send.
+	flowQueue := make(map[byte]int)
+	total := 0
+	for q, fs := range got {
+		var lastIngest int64
+		for _, f := range fs {
+			if f.Ingest <= 0 {
+				t.Fatalf("queue %d: Ingest = %d, want > 0", q, f.Ingest)
+			}
+			if f.Ingest < lastIngest {
+				t.Fatalf("queue %d: Ingest went backwards (%d after %d)", q, f.Ingest, lastIngest)
+			}
+			lastIngest = f.Ingest
+			if !isConfFrame(f) {
+				continue
+			}
+			total++
+			if f.TS <= 0 {
+				t.Fatalf("queue %d: frame delivered with TS %d", q, f.TS)
+			}
+			flowID := f.Data[len(f.Data)-8]
+			if prev, ok := flowQueue[flowID]; ok && prev != q {
+				t.Fatalf("flow %d split across queues %d and %d", flowID, prev, q)
+			}
+			flowQueue[flowID] = q
+		}
+	}
+	if total != len(frames) {
+		t.Errorf("delivered %d of our frames, want %d", total, len(frames))
+	}
+	if s := be.Stats(); s.Received < uint64(len(frames)) {
+		t.Errorf("Stats().Received = %d, want >= %d", s.Received, len(frames))
+	}
+}
+
+func TestAFPacketFilters(t *testing.T) {
+	fd, ifindex := setupVeth(t)
+	const perFlow = 25
+	be := openLive(t, AFPacketConfig{
+		Iface: liveVethCap, Queues: 1,
+		BlockBytes: 64 << 10, Blocks: 16, FanoutID: 41002,
+	})
+	dropKey := key4("10.1.0.1", 2000, "10.9.0.1", 80) // flow index 0 in confFlows
+	if _, _, err := be.AddFilter(FilterSpec{Key: dropKey, Action: ActionDrop}); err != nil {
+		t.Fatalf("AddFilter: %v", err)
+	}
+	if p, s := be.FilterCount(); p != 1 || s != 0 {
+		t.Fatalf("FilterCount = (%d, %d), want (1, 0)", p, s)
+	}
+
+	var ours atomic.Int64
+	results := collectLive(be, &ours)
+	frames := confFlows(2, perFlow) // flows 0 (filtered) and 1
+	sendAll(t, fd, ifindex, frames)
+	// Only flow 1 may come through; the filtered flow shows up as drops.
+	waitDelivered(t, be, &ours, perFlow)
+	deadline := time.Now().Add(liveWait)
+	for be.Stats().DroppedFilter < perFlow {
+		if time.Now().After(deadline) {
+			t.Fatalf("DroppedFilter = %d, want %d", be.Stats().DroppedFilter, perFlow)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	be.Close()
+	got := <-results
+	<-be.Done()
+
+	for _, fs := range got {
+		for _, f := range fs {
+			if isConfFrame(f) && f.Data[len(f.Data)-8] == 0 {
+				t.Fatal("a filtered flow's frame was delivered")
+			}
+		}
+	}
+	if n := be.RemoveFilters(dropKey, false); n != 1 {
+		t.Errorf("RemoveFilters = %d, want 1", n)
+	}
+	if p, s := be.FilterCount(); p != 0 || s != 0 {
+		t.Errorf("FilterCount after removal = (%d, %d), want (0, 0)", p, s)
+	}
+}
+
+func TestAFPacketCloseBeforeOpen(t *testing.T) {
+	be, err := NewAFPacket(AFPacketConfig{Iface: "scapve-none", Queues: 2})
+	if err != nil {
+		t.Fatalf("NewAFPacket: %v", err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatalf("Close before Open: %v", err)
+	}
+	select {
+	case <-be.Done():
+	default:
+		t.Error("Done not closed after Close")
+	}
+	for q := 0; q < be.Queues(); q++ {
+		if _, ok := <-be.Batches(q); ok {
+			t.Errorf("queue %d channel still delivering after Close", q)
+		}
+	}
+}
+
+func TestAFPacketOpenMissingIface(t *testing.T) {
+	if os.Geteuid() != 0 {
+		t.Skip("live capture test needs root")
+	}
+	be, err := NewAFPacket(AFPacketConfig{Iface: "scapve-none", Queues: 1})
+	if err != nil {
+		t.Fatalf("NewAFPacket: %v", err)
+	}
+	if err := be.Open(); err == nil {
+		t.Fatal("Open succeeded on a missing interface")
+	}
+	if err := be.Close(); err != nil {
+		t.Fatalf("Close after failed Open: %v", err)
+	}
+}

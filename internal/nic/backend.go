@@ -1,0 +1,121 @@
+// Package nic is the capture-backend layer: the transport-agnostic
+// Backend interface the kernel goroutines drive, plus its three
+// implementations — the simulated Intel 82599 model (Sim over NIC), a
+// file-backed pcap replay modeled on the PF_PACKET shared ring
+// (PcapReplay), and a real Linux AF_PACKET/TPACKET_V3 socket backend
+// (built with the "live" tag). Backends differ in where frames come from
+// and in what the hardware can do (Capabilities); everything downstream —
+// engines, arena, flow table, control plane — sees only Frame batches and
+// the filter surface.
+//
+// This package is part of the audited public API surface inside the
+// module: scaplint's exporteddoc analyzer requires a doc comment on every
+// exported symbol of packages carrying this marker.
+//
+//scap:publicapi
+package nic
+
+import (
+	"scap/internal/metrics"
+	"scap/internal/pkt"
+)
+
+// Capabilities describes what a capture backend's hardware (or its
+// software stand-in) can do, so the engine can negotiate instead of
+// assuming the 82599 model. Capacities of zero mean the facility is
+// absent entirely; HWFilters / HWTimestamps distinguish a real hardware
+// implementation from the software shim that emulates it.
+type Capabilities struct {
+	// RSSQueues is the number of receive queues frames are spread over:
+	// hardware RSS on the simulated 82599, PACKET_FANOUT_HASH on
+	// AF_PACKET, and a software Toeplitz hash for pcap replay.
+	RSSQueues int
+	// PerfectFilters is the capacity of the exact-5-tuple filter table
+	// (FDIR perfect filters on the 82599; the software shim's bound
+	// elsewhere). Zero means per-flow filters cannot be installed at all.
+	PerfectFilters int
+	// SignatureFilters is the capacity of the hash-based (collision-prone)
+	// filter table. Zero means no signature table.
+	SignatureFilters int
+	// HWFilters is true when filters are evaluated before frames reach
+	// host memory (the paper's subzero copy). False means the backend
+	// emulates them in software on the delivery path: matching frames are
+	// still dropped before the engines see them, but they were already
+	// copied once, and the drops are attributed to cause "swfilter"
+	// instead of "fdir".
+	HWFilters bool
+	// HWTimestamps is true when frame timestamps are stamped by the
+	// capture hardware model itself rather than read from a file or the
+	// kernel's software clock.
+	HWTimestamps bool
+	// DynamicBalance is true when the backend can re-steer flows between
+	// queues at runtime (the §2.4 FDIR queue-filter load balancing).
+	DynamicBalance bool
+}
+
+// HasFilters reports whether any per-flow filter table exists — hardware
+// or software — so the engine knows installs can succeed at all.
+func (c Capabilities) HasFilters() bool {
+	return c.PerfectFilters > 0 || c.SignatureFilters > 0
+}
+
+// FilterSink is the slice of a Backend the engines drive directly: filter
+// install and removal for subzero copy (paper §5.5), plus the
+// capabilities that tell the engine whether installing is worthwhile.
+// Implementations must allow concurrent calls from every engine goroutine.
+type FilterSink interface {
+	// Capabilities describes the backend's filter and steering facilities.
+	Capabilities() Capabilities
+	// AddFilter installs a per-flow filter; see NIC.AddFilter for the
+	// eviction contract.
+	AddFilter(FilterSpec) (evicted pkt.FlowKey, didEvict bool, err error)
+	// RemoveFilters removes all filters for key and reports how many were
+	// removed.
+	RemoveFilters(key pkt.FlowKey, signature bool) int
+}
+
+// Backend is one capture transport: the source of frames for a socket's
+// kernel goroutines. Lifecycle: construct, Open (starts any source
+// goroutines), consume Batches(q) per queue, Close. The batch channels
+// are the backend's poll surface — each receive is one poll-batch, and a
+// closed channel means the source is exhausted or the backend closed.
+//
+// Frames delivered on Batches carry the transport timestamp in TS
+// (virtual time for the simulated NIC, file time for pcap replay, kernel
+// time for AF_PACKET) and a capture-clock metrics.Nanotime stamp in
+// Ingest, so the stage_ingest_engine_ns latency histogram works on every
+// backend.
+type Backend interface {
+	FilterSink
+	// Open activates the backend: source goroutines start and Batches
+	// channels begin delivering. Open must be called exactly once, before
+	// any PollBatch/Batches consumer runs.
+	Open() error
+	// Queues returns the number of receive queues (len of the Batches set).
+	Queues() int
+	// Batches returns queue q's delivery channel. The per-queue kernel
+	// goroutine is the only consumer; the channel is closed when the
+	// backend's source is exhausted or the backend is closed.
+	Batches(q int) <-chan []Frame
+	// Done is closed when the backend has stopped delivering on every
+	// queue — a source-driven backend (pcap replay) closes it at EOF, the
+	// simulated and AF_PACKET backends at Close.
+	Done() <-chan struct{}
+	// FilterCount returns the number of installed (perfect, signature)
+	// filters, hardware or software.
+	FilterCount() (perfect, signature int)
+	// Stats returns a snapshot of the backend counters.
+	Stats() Stats
+	// PublishMetrics registers the backend counters in reg. Call once per
+	// registry, before capture starts.
+	PublishMetrics(reg *metrics.Registry)
+	// Close stops delivery, closes every Batches channel, and releases
+	// transport resources. It is idempotent.
+	Close() error
+}
+
+// backendBatchCap is the per-queue delivery channel depth, in batches.
+// It bounds how far a backend source can run ahead of a kernel goroutine
+// before the send parks (sim) or the backend's own ring absorbs the
+// overrun (pcap replay, AF_PACKET).
+const backendBatchCap = 256

@@ -16,7 +16,10 @@ const (
 	DefaultQueueDepth       = 4096
 )
 
-// Config configures a simulated NIC.
+// Config configures the model controller (Intel 82599) at the core of
+// the Sim backend. The other backends have their own configs
+// (PcapReplayConfig, AFPacketConfig); what every backend shares is the
+// Frame/Stats/Capabilities surface, not this struct.
 type Config struct {
 	// Queues is the number of receive queues (one per core in Scap).
 	Queues int
@@ -59,10 +62,13 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Frame is one received frame with its capture timestamp. TS is the virtual
-// packet timestamp used by the protocol machinery; Ingest, when nonzero, is
-// the capture-clock (metrics.Nanotime) stamp taken at NIC ingest, carried to
-// the engine so the ingest→engine stage latency can be measured.
+// Frame is one received frame with its capture timestamp, the unit every
+// backend delivers in Batches. TS is the packet timestamp used by the
+// protocol machinery — virtual time on the simulated backend, file time
+// on pcap replay, kernel capture time on AF_PACKET; Ingest, when nonzero,
+// is the capture-clock (metrics.Nanotime) stamp taken at backend ingest,
+// carried to the engine so the ingest→engine stage latency can be
+// measured on any backend.
 type Frame struct {
 	Data   []byte
 	TS     int64
@@ -96,18 +102,24 @@ func (r *ring) pop() (Frame, bool) {
 	return f, true
 }
 
-// Stats aggregates NIC counters. Like the real hardware, drop counts are
-// only available in aggregate, not per filter — which is why Scap estimates
-// per-flow statistics from FIN/RST sequence numbers.
+// Stats aggregates capture-backend counters. Like real hardware, drop
+// counts are only available in aggregate, not per filter — which is why
+// Scap estimates per-flow statistics from FIN/RST sequence numbers. Every
+// backend fills the same fields: DroppedFilter is an FDIR hardware drop on
+// the simulated controller and a software-shim drop (cause "swfilter")
+// elsewhere; DroppedRing is a full receive ring on the model NIC, a full
+// PF_PACKET-style replay ring, or the kernel's tp_drops on AF_PACKET.
 type Stats struct {
-	Received       uint64 // frames offered to the NIC
-	DroppedFilter  uint64 // dropped by an FDIR drop filter (never reached memory)
+	Received       uint64 // frames offered to the backend
+	DroppedFilter  uint64 // dropped by a drop filter (hardware FDIR or software shim)
 	DroppedRing    uint64 // dropped because the destination ring was full
-	Redirected     uint64 // steered by an FDIR queue filter
+	Redirected     uint64 // steered by a queue filter (dynamic balancing)
 	DecodeFailures uint64 // undecodable frames (delivered nowhere)
 }
 
-// NIC is a simulated multi-queue controller. A single mutex serializes all
+// NIC is the simulated multi-queue controller at the core of the Sim
+// backend (the other backends replace it with a real socket or a file
+// reader plus the software steering shim). A single mutex serializes all
 // state-touching entry points: the delivery goroutine calls Receive/Poll
 // while every core's kernel goroutine installs and removes FDIR filters
 // (installFDIR on cutoff, expireFilters on deadlines) and any goroutine may

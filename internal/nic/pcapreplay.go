@@ -1,0 +1,350 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"scap/internal/metrics"
+	"scap/internal/pcapring"
+	"scap/internal/pkt"
+	"scap/internal/trace"
+)
+
+// PcapReplayConfig configures the file-backed replay backend.
+type PcapReplayConfig struct {
+	// Path is the classic-pcap trace file to replay.
+	Path string
+	// Queues is the number of receive queues (software RSS spreads flows
+	// over them). Default 1.
+	Queues int
+	// RingBytes bounds each per-queue staging ring in bytes, modeling the
+	// PF_PACKET shared ring: when a queue's consumer falls behind by more
+	// than this, arriving frames for that queue are dropped and counted.
+	// Default 512 MB (the paper's setting) split across the queues.
+	RingBytes int
+	// Snaplen truncates stored frames (0 = full frames).
+	Snaplen int
+	// Passes replays the file this many times, offsetting timestamps on
+	// each pass so time stays monotonic. Values below 1 mean one pass.
+	Passes int
+}
+
+// replayBatchSize is how many frames a pump moves per delivery batch —
+// the replay analogue of one poll-batch.
+const replayBatchSize = 64
+
+// replayQueue is one receive queue: a byte-bounded staging ring between
+// the reader and the queue's pump.
+//
+//scap:shared
+type replayQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// ring is guarded by mu.
+	ring *pcapring.Ring
+	// eof is guarded by mu; set once the reader will push no more frames.
+	eof bool
+}
+
+// PcapReplay is the file-backed capture backend: a reader goroutine
+// decodes the trace, the software steering shim picks a queue (and
+// evaluates software filters), frames stage in a per-queue pcapring —
+// the same bounded-ring loss model the paper measures for user-level
+// baselines — and per-queue pump goroutines batch them onto the
+// delivery channels. Done closes when the final pass has drained, so
+// callers can replay a trace to completion and then harvest results.
+//
+//scap:shared
+type PcapReplay struct {
+	cfg    PcapReplayConfig
+	steer  *swSteer
+	queues []*replayQueue
+	ch     []chan []Frame
+	done   chan struct{}
+	// closeCh is closed by Close to stop the reader and unblock pumps
+	// parked on a delivery send.
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	mu sync.Mutex
+	// opened and closed are guarded by mu.
+	opened bool
+	closed bool
+	// readErr is guarded by mu: the first trace decode error, if any.
+	readErr error
+}
+
+// NewPcapReplay builds the replay backend for cfg; Open starts the
+// goroutines and begins delivery.
+func NewPcapReplay(cfg PcapReplayConfig) *PcapReplay {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.RingBytes <= 0 {
+		cfg.RingBytes = (512 << 20) / cfg.Queues
+	}
+	p := &PcapReplay{
+		cfg:     cfg,
+		steer:   newSwSteer(cfg.Queues),
+		queues:  make([]*replayQueue, cfg.Queues),
+		ch:      make([]chan []Frame, cfg.Queues),
+		done:    make(chan struct{}),
+		closeCh: make(chan struct{}),
+	}
+	for i := range p.queues {
+		q := &replayQueue{ring: pcapring.New(cfg.RingBytes, cfg.Snaplen)}
+		q.cond = sync.NewCond(&q.mu)
+		p.queues[i] = q
+		p.ch[i] = make(chan []Frame, backendBatchCap)
+	}
+	return p
+}
+
+// Open opens the trace file and starts the reader and pump goroutines.
+func (p *PcapReplay) Open() error {
+	p.mu.Lock()
+	if p.opened || p.closed {
+		p.mu.Unlock()
+		return errors.New("nic: pcap replay backend already opened or closed")
+	}
+	p.opened = true
+	p.mu.Unlock()
+	f, err := os.Open(p.cfg.Path)
+	if err != nil {
+		// Roll the open back so Close does not wait for goroutines that
+		// never started.
+		p.mu.Lock()
+		p.opened = false
+		p.mu.Unlock()
+		return fmt.Errorf("nic: pcap replay: %w", err)
+	}
+	p.wg.Add(1 + len(p.queues))
+	go p.read(f)
+	for q := range p.queues {
+		go p.pump(q)
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.done)
+	}()
+	return nil
+}
+
+// Queues returns the number of receive queues.
+func (p *PcapReplay) Queues() int { return len(p.ch) }
+
+// Batches returns queue q's delivery channel; closed when the queue has
+// drained the final pass or the backend closed.
+func (p *PcapReplay) Batches(q int) <-chan []Frame { return p.ch[q] }
+
+// Done is closed when every queue has stopped delivering.
+func (p *PcapReplay) Done() <-chan struct{} { return p.done }
+
+// Capabilities reports the software shim's facilities: software RSS and
+// filter tables, no hardware offloads.
+func (p *PcapReplay) Capabilities() Capabilities { return p.steer.capabilities() }
+
+// AddFilter installs a software filter; see NIC.AddFilter for the
+// eviction contract.
+func (p *PcapReplay) AddFilter(spec FilterSpec) (evicted pkt.FlowKey, didEvict bool, err error) {
+	return p.steer.addFilter(spec)
+}
+
+// RemoveFilters removes all filters for key and reports how many.
+func (p *PcapReplay) RemoveFilters(key pkt.FlowKey, signature bool) int {
+	return p.steer.removeFilters(key, signature)
+}
+
+// FilterCount returns the installed (perfect, signature) filter counts.
+func (p *PcapReplay) FilterCount() (perfect, signature int) { return p.steer.filterCount() }
+
+// Stats returns a snapshot of the backend counters.
+func (p *PcapReplay) Stats() Stats { return p.steer.snapshot() }
+
+// PublishMetrics registers the backend counters under the shared nic_*
+// names, with filter drops attributed to cause "swfilter".
+func (p *PcapReplay) PublishMetrics(reg *metrics.Registry) {
+	publishSwMetrics(reg, p.steer, func(dst []uint64) []uint64 {
+		for _, q := range p.queues {
+			q.mu.Lock()
+			dst = append(dst, q.ring.Stats().Dropped)
+			q.mu.Unlock()
+		}
+		return dst
+	})
+}
+
+// Err returns the first trace decode error the reader hit, if any. Not
+// part of the Backend interface: callers that know they are replaying a
+// file check it after Done.
+func (p *PcapReplay) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readErr
+}
+
+// Close stops the reader, unblocks the pumps, and waits for every
+// goroutine to exit and every delivery channel to close. Idempotent.
+func (p *PcapReplay) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return nil
+	}
+	p.closed = true
+	opened := p.opened
+	p.mu.Unlock()
+	close(p.closeCh)
+	for _, q := range p.queues {
+		q.mu.Lock()
+		q.eof = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+	if !opened {
+		close(p.done)
+		for _, ch := range p.ch {
+			close(ch)
+		}
+		return nil
+	}
+	<-p.done
+	return nil
+}
+
+func (p *PcapReplay) isClosed() bool {
+	select {
+	case <-p.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *PcapReplay) setErr(err error) {
+	p.mu.Lock()
+	if p.readErr == nil {
+		p.readErr = err
+	}
+	p.mu.Unlock()
+}
+
+// read is the trace source: it decodes records, steers each through the
+// software shim, and stages survivors in the destination queue's ring.
+// On the last pass's EOF it marks every queue eof so the pumps drain and
+// close their channels. Owns the file handles exclusively.
+//
+//scap:goroutine replaysource one per PcapReplay backend
+func (p *PcapReplay) read(f *os.File) {
+	defer p.wg.Done()
+	defer func() {
+		for _, q := range p.queues {
+			q.mu.Lock()
+			q.eof = true
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		}
+	}()
+	passes := p.cfg.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	var offset, lastTS int64
+	first := true
+	for pass := 0; pass < passes; pass++ {
+		if p.isClosed() {
+			f.Close()
+			return
+		}
+		if !first {
+			nf, err := os.Open(p.cfg.Path)
+			if err != nil {
+				f.Close()
+				p.setErr(fmt.Errorf("nic: pcap replay pass %d: %w", pass+1, err))
+				return
+			}
+			f.Close()
+			f = nf
+			// Keep replayed time monotonic: shift this pass past the
+			// previous pass's final timestamp.
+			offset = lastTS + 1
+		}
+		first = false
+		r := trace.NewPcapReader(f)
+		for {
+			if p.isClosed() {
+				f.Close()
+				return
+			}
+			data, ts, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				p.setErr(err)
+				return
+			}
+			ts += offset
+			if ts > lastTS {
+				lastTS = ts
+			}
+			qi, ok := p.steer.route(data)
+			if !ok {
+				continue
+			}
+			q := p.queues[qi]
+			q.mu.Lock()
+			pushed := q.ring.Push(data, ts)
+			if pushed {
+				q.cond.Signal()
+			}
+			q.mu.Unlock()
+			if !pushed {
+				p.steer.dropRing()
+			}
+		}
+	}
+	f.Close()
+}
+
+// pump drains one queue's staging ring into its delivery channel in
+// poll-batches, stamping each batch's ingest time. Exits (closing the
+// channel) when the ring is empty and the reader is done, or when the
+// backend closes.
+//
+//scap:goroutine replaypump one per receive queue
+func (p *PcapReplay) pump(qi int) {
+	defer p.wg.Done()
+	defer close(p.ch[qi])
+	q := p.queues[qi]
+	for {
+		q.mu.Lock()
+		for q.ring.Len() == 0 && !q.eof {
+			q.cond.Wait()
+		}
+		if q.ring.Len() == 0 {
+			q.mu.Unlock()
+			return
+		}
+		ingest := metrics.Nanotime()
+		batch := make([]Frame, 0, replayBatchSize)
+		for len(batch) < replayBatchSize {
+			rf, ok := q.ring.Pop()
+			if !ok {
+				break
+			}
+			batch = append(batch, Frame{Data: rf.Data, TS: rf.TS, Ingest: ingest})
+		}
+		q.mu.Unlock()
+		select {
+		case p.ch[qi] <- batch:
+		case <-p.closeCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package nic
+
+import (
+	"sync"
+)
+
+// Sim is the simulated capture backend: the model 82599 NIC plus the
+// per-queue delivery channels that stand in for the paper's softirq→
+// kernel-thread handoff. Frames enter through the injection surface
+// (ReceiveAt/Poll on the embedded NIC, then Deliver), exactly the path
+// the replay APIs used before the backend split, so sim behavior is
+// unchanged: a slow kernel goroutine backpressures the injector through
+// the bounded channel instead of dropping.
+//
+// Concurrency: any number of injector goroutines may call the embedded
+// NIC's entry points and Deliver concurrently (the NIC mutex serializes
+// steering; the channels serialize delivery). Close must not run
+// concurrently with Deliver — the capture layer stops injecting before it
+// tears the backend down, mirroring the old frameCh contract.
+//
+//scap:shared
+type Sim struct {
+	// NIC is the embedded controller model; its RSS, FDIR, defragmentation,
+	// and balancing behavior is exactly the pre-backend-split NIC.
+	*NIC
+	ch   []chan []Frame
+	done chan struct{}
+	once sync.Once
+}
+
+// NewSim builds the simulated backend around a model NIC with cfg.
+func NewSim(cfg Config) *Sim {
+	n := New(cfg)
+	s := &Sim{NIC: n, done: make(chan struct{})}
+	s.ch = make([]chan []Frame, n.cfg.Queues)
+	for q := range s.ch {
+		s.ch[q] = make(chan []Frame, backendBatchCap)
+	}
+	return s
+}
+
+// Open activates the backend. The simulated NIC has no source goroutines —
+// injectors push frames — so Open is a no-op.
+func (s *Sim) Open() error { return nil }
+
+// Batches returns queue q's delivery channel.
+func (s *Sim) Batches(q int) <-chan []Frame { return s.ch[q] }
+
+// Done is closed when Close has shut every delivery channel.
+func (s *Sim) Done() <-chan struct{} { return s.done }
+
+// Deliver hands one queue's frame batch to its kernel goroutine. The send
+// is the sim backend's backpressure point: when the consumer falls behind
+// by more than the channel depth, the injector parks, like the paper's
+// replay blocking on a saturated capture thread.
+func (s *Sim) Deliver(q int, batch []Frame) {
+	//scaplint:ignore hotpathblock intentional backpressure: when a kernel goroutine falls behind, the delivery send parks the injector instead of growing an unbounded backlog
+	s.ch[q] <- batch
+}
+
+// Close shuts every delivery channel so the kernel goroutines drain and
+// exit. Idempotent; must not race Deliver (stop injecting first).
+func (s *Sim) Close() error {
+	s.once.Do(func() {
+		for _, ch := range s.ch {
+			close(ch)
+		}
+		close(s.done)
+	})
+	return nil
+}
+
+// Capabilities reports the modeled 82599 facilities: hardware RSS and
+// FDIR tables at the configured capacities, hardware timestamps, and the
+// §2.4 dynamic balancer when enabled.
+func (n *NIC) Capabilities() Capabilities {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Capabilities{
+		RSSQueues:        n.cfg.Queues,
+		PerfectFilters:   n.cfg.PerfectFilterCap,
+		SignatureFilters: n.cfg.SignatureFilterCap,
+		HWFilters:        true,
+		HWTimestamps:     true,
+		DynamicBalance:   n.lb != nil,
+	}
+}

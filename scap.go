@@ -125,6 +125,42 @@ type Config struct {
 	// pressure, gates sketch→NIC drop filters to overload episodes, and
 	// retargets PPL watermarks from observed per-priority byte shares.
 	Control ControlConfig
+	// Backend selects the capture transport built at StartCapture. The
+	// zero value is the simulated NIC, which the injection APIs
+	// (InjectFrame, InjectBatch, ReplayPcap, ReplaySource) feed.
+	Backend BackendConfig
+}
+
+// BackendConfig selects StartCapture's frame transport. The zero value is
+// the simulated 82599 NIC; setting PcapPath selects the file-backed pcap
+// replay backend; setting Iface selects the live Linux AF_PACKET backend
+// (GOOS=linux, built with -tags live). At most one of PcapPath and Iface
+// may be set. Source-driven backends do not accept injected frames — the
+// injection APIs return ErrNotInjectable — and deliver on their own: use
+// WaitBackend to block until a replay file is exhausted.
+type BackendConfig struct {
+	// PcapPath replays this classic-pcap trace file through a software
+	// RSS/filter shim and per-queue bounded rings (the PF_PACKET loss
+	// model), then closes the backend's Done channel at EOF.
+	PcapPath string
+	// PcapPasses replays the file this many times with monotonic
+	// timestamps; values below 1 mean one pass.
+	PcapPasses int
+	// RingBytes bounds each pcap-replay staging ring in bytes (default
+	// 512 MB split across queues).
+	RingBytes int
+	// Snaplen truncates frames on the pcap replay and AF_PACKET backends
+	// (0 = full frames).
+	Snaplen int
+	// Iface is the interface the AF_PACKET backend captures from.
+	Iface string
+	// BlockBytes and Blocks size each AF_PACKET TPACKET_V3 ring
+	// (per-queue ring memory is BlockBytes×Blocks; defaults 1 MB × 64).
+	BlockBytes int
+	Blocks     int
+	// FanoutID identifies the AF_PACKET fanout group (0 derives one from
+	// the process ID).
+	FanoutID uint16
 }
 
 // SketchConfig configures the sketch front-end (see core.SketchConfig).
@@ -140,6 +176,10 @@ var (
 	ErrNotStarted = errors.New("scap: capture not started")
 	ErrClosed     = errors.New("scap: socket closed")
 	ErrStale      = errors.New("scap: stream no longer exists")
+	// ErrNotInjectable is returned by the injection APIs when the socket
+	// runs a source-driven backend (pcap replay, AF_PACKET): frames come
+	// from the backend's own source, not from the caller.
+	ErrNotInjectable = errors.New("scap: backend does not accept injected frames")
 )
 
 // Handle is an Scap socket (scap_t). Configure it, register dispatch
@@ -155,8 +195,12 @@ type Handle struct {
 	overload     int64
 	prios        int
 
-	mm      *mem.Manager
-	nicDev  *nic.NIC
+	mm *mem.Manager
+	// backend is the capture transport selected by Config.Backend; sim is
+	// the same backend downcast when it is the simulated NIC (nil
+	// otherwise), for the injection paths.
+	backend nic.Backend
+	sim     *nic.Sim
 	engines []*core.Engine
 	queues  []*event.Queue
 
@@ -418,16 +462,18 @@ func (h *Handle) StartCapture() error {
 		BlockSize:      h.engCfg.ArenaBlockSize(),
 		Cores:          h.cfg.Queues,
 	})
-	// Strict mode normalizes IP fragmentation before RSS steering, so a
-	// flow's fragments and whole packets land on the same core; dynamic
-	// balancing redirects streams away from overloaded queues (§2.4).
-	h.nicDev = nic.New(nic.Config{
-		Queues:         h.cfg.Queues,
-		Defragment:     h.engCfg.Mode == reassembly.ModeStrict,
-		DynamicBalance: true,
-	})
+	backend, err := h.newBackend()
+	if err != nil {
+		h.mm.Close()
+		h.mm = nil
+		return err
+	}
+	h.backend = backend
+	if sim, ok := backend.(*nic.Sim); ok {
+		h.sim = sim
+	}
 	h.mm.PublishMetrics(h.reg)
-	h.nicDev.PublishMetrics(h.reg)
+	h.backend.PublishMetrics(h.reg)
 	rng := rand.New(rand.NewSource(rand.Int63()))
 	for q := 0; q < h.cfg.Queues; q++ {
 		eq := event.NewQueue(0)
@@ -435,7 +481,7 @@ func (h *Handle) StartCapture() error {
 		h.engines = append(h.engines, core.NewEngine(core.Options{
 			Config:  h.engCfg,
 			Mem:     h.mm,
-			NIC:     h.nicDev,
+			NIC:     h.backend,
 			Queue:   eq,
 			CoreID:  q,
 			Rand:    rng,
@@ -444,8 +490,73 @@ func (h *Handle) StartCapture() error {
 	}
 	h.capture = newCaptureState(h)
 	h.capture.start()
+	// Open after the kernel goroutines are consuming: a fast source can
+	// start delivering immediately and the batch channels bound the
+	// run-ahead either way.
+	if err := h.backend.Open(); err != nil {
+		h.capture.stop()
+		h.mm.Close()
+		h.backend, h.sim, h.capture = nil, nil, nil
+		h.engines, h.queues = nil, nil
+		h.mm = nil
+		return err
+	}
 	h.startControl()
 	h.started = true
+	return nil
+}
+
+// newBackend builds the capture transport Config.Backend selects, sized
+// to the socket's queue count.
+func (h *Handle) newBackend() (nic.Backend, error) {
+	b := h.cfg.Backend
+	switch {
+	case b.PcapPath != "" && b.Iface != "":
+		return nil, fmt.Errorf("scap: Backend.PcapPath and Backend.Iface are mutually exclusive")
+	case b.PcapPath != "":
+		return nic.NewPcapReplay(nic.PcapReplayConfig{
+			Path:      b.PcapPath,
+			Queues:    h.cfg.Queues,
+			RingBytes: b.RingBytes,
+			Snaplen:   b.Snaplen,
+			Passes:    b.PcapPasses,
+		}), nil
+	case b.Iface != "":
+		return nic.NewAFPacket(nic.AFPacketConfig{
+			Iface:      b.Iface,
+			Queues:     h.cfg.Queues,
+			BlockBytes: b.BlockBytes,
+			Blocks:     b.Blocks,
+			Snaplen:    b.Snaplen,
+			FanoutID:   b.FanoutID,
+		})
+	default:
+		// Strict mode normalizes IP fragmentation before RSS steering, so
+		// a flow's fragments and whole packets land on the same core;
+		// dynamic balancing redirects streams away from overloaded queues
+		// (§2.4).
+		return nic.NewSim(nic.Config{
+			Queues:         h.cfg.Queues,
+			Defragment:     h.engCfg.Mode == reassembly.ModeStrict,
+			DynamicBalance: true,
+		}), nil
+	}
+}
+
+// WaitBackend blocks until the capture backend has stopped delivering:
+// for the pcap replay backend that is end-of-file (all passes), and the
+// error it returns is any trace decode failure the reader hit. For the
+// simulated and AF_PACKET backends delivery only stops at Close, so
+// WaitBackend blocks until then.
+func (h *Handle) WaitBackend() error {
+	if !h.started {
+		return ErrNotStarted
+	}
+	backend := h.backend
+	<-backend.Done()
+	if pr, ok := backend.(*nic.PcapReplay); ok {
+		return pr.Err()
+	}
 	return nil
 }
 
