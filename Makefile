@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint fmt-check bench-quick bench-flowtab bench-ctlplane serve-smoke flight-smoke ctlplane-smoke vet-live test-live check
+.PHONY: build test test-short race vet lint fmt-check bench-quick bench-flowtab bench-ctlplane serve-smoke flight-smoke ctlplane-smoke streams-smoke vet-live test-live check
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,14 @@ flight-smoke:
 ctlplane-smoke:
 	$(GO) run ./cmd/scaptop -ctlplane-smoke
 
+# streams-smoke replays a cutoff-heavy trace with the journal sampler
+# effectively off, then asserts /debug/streams carries cutoff-promoted
+# journals (the anomaly-promotion invariant), the chrome export has one
+# named track per journal, and /debug/history accumulates sparkline points.
+# Set SCAP_STREAMS_TRACE_OUT to also write the Perfetto-loadable export.
+streams-smoke:
+	$(GO) run ./cmd/scaptop -streams-smoke
+
 # bench-ctlplane runs the adaptive-vs-fixed-cutoff overload replay
 # (EXPERIMENTS.md §ctlplane) with the strict comparative assertions on: the
 # adaptive run must beat every fixed cutoff on p99 ring→worker latency while
@@ -89,4 +97,4 @@ fmt-check:
 	fi
 
 # check is the full CI gate.
-check: build vet vet-live lint fmt-check race serve-smoke flight-smoke ctlplane-smoke
+check: build vet vet-live lint fmt-check race serve-smoke flight-smoke ctlplane-smoke streams-smoke

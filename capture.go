@@ -231,7 +231,7 @@ func (c *captureState) workerLoop(w int) {
 			for j := range batch[:n] {
 				ev := &batch[j]
 				if ev.EnqueueNS > 0 && popNow >= ev.EnqueueNS {
-					h.stageWorkerH.Observe(engs[i].CoreID(), uint64(popNow-ev.EnqueueNS))
+					h.stageWorkerH.ObserveEx(engs[i].CoreID(), uint64(popNow-ev.EnqueueNS), ev.Info.ID)
 				}
 				c.dispatch(engs[i], ev, ws)
 			}
@@ -259,7 +259,7 @@ func (c *captureState) workerLoop(w int) {
 			}
 			if ev.EnqueueNS > 0 {
 				if popNow := metrics.Nanotime(); popNow >= ev.EnqueueNS {
-					h.stageWorkerH.Observe(engs[i].CoreID(), uint64(popNow-ev.EnqueueNS))
+					h.stageWorkerH.ObserveEx(engs[i].CoreID(), uint64(popNow-ev.EnqueueNS), ev.Info.ID)
 				}
 			}
 			c.dispatch(engs[i], &ev, ws)
@@ -333,7 +333,7 @@ func (c *captureState) dispatch(eng *core.Engine, ev *event.Event, ws *workerSta
 		}
 		dur := time.Since(start)
 		ws.procTime[ev.Info.ID] = sd.procCum + dur
-		h.callbackH.Observe(eng.CoreID(), uint64(dur))
+		h.callbackH.ObserveEx(eng.CoreID(), uint64(dur), ev.Info.ID)
 		kept = ev.Type == event.Data && sd.keep && !ev.Last
 	}
 	switch ev.Type {

@@ -11,6 +11,7 @@
 //	scaptop -smoke                           # self-contained end-to-end check
 //	scaptop -flight-smoke                    # end-to-end flight-recorder check
 //	scaptop -ctlplane-smoke                  # end-to-end adaptive-controller check
+//	scaptop -streams-smoke                   # end-to-end stream-journal check
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"scap"
 	"scap/internal/ctlplane"
 	"scap/internal/metrics"
+	"scap/internal/streamscope"
 	"scap/internal/trace"
 )
 
@@ -40,6 +42,7 @@ func main() {
 		smoke       = flag.Bool("smoke", false, "run an in-process capture, scrape it once, and exit")
 		flightSmoke = flag.Bool("flight-smoke", false, "run an in-process capture and verify /debug/flight")
 		ctlSmoke    = flag.Bool("ctlplane-smoke", false, "run an in-process overloaded capture and verify /debug/ctlplane")
+		strSmoke    = flag.Bool("streams-smoke", false, "run an in-process capture and verify /debug/streams and /debug/history")
 	)
 	flag.Parse()
 
@@ -60,6 +63,13 @@ func main() {
 	if *ctlSmoke {
 		if err := runCtlplaneSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "scaptop -ctlplane-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *strSmoke {
+		if err := runStreamsSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "scaptop -streams-smoke:", err)
 			os.Exit(1)
 		}
 		return
@@ -91,6 +101,14 @@ func main() {
 		// one (older binary) just renders nothing extra.
 		if cs, err := fetchCtl(*addr); err == nil {
 			fmt.Print(renderCtlplane(cs))
+		}
+		// Likewise the journal line and the history sparklines: endpoints
+		// that are disabled or absent render nothing.
+		if sd, err := fetchStreams(*addr); err == nil {
+			fmt.Print(renderStreams(sd))
+		}
+		if hd, err := fetchHistory(*addr); err == nil {
+			fmt.Print(renderHistory(hd))
 		}
 	}
 }
@@ -147,6 +165,126 @@ func renderCtlplane(s *ctlplane.Snapshot) string {
 			time.Unix(0, d.TimeUnixNano).Format("15:04:05.000"))
 	}
 	b.WriteByte('\n')
+	return b.String()
+}
+
+// fetchStreams scrapes one /debug/streams dump. A disabled scope serves
+// {"enabled": false}, which decodes to a zero Dump (Cores 0) — callers treat
+// that as nothing to render.
+func fetchStreams(addr string) (*streamscope.Dump, error) {
+	body, err := fetchBody(addr, "/debug/streams")
+	if err != nil {
+		return nil, err
+	}
+	var d streamscope.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// fetchHistory scrapes one /debug/history dump (same disabled convention).
+func fetchHistory(addr string) (*metrics.HistoryDump, error) {
+	body, err := fetchBody(addr, "/debug/history")
+	if err != nil {
+		return nil, err
+	}
+	var d metrics.HistoryDump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// renderStreams formats the stream-journal status line: pool population,
+// sampling stride, and the top offender — the anomalous journal with the
+// most recorded events.
+func renderStreams(d *streamscope.Dump) string {
+	if d == nil || d.Cores == 0 {
+		return ""
+	}
+	var top *streamscope.JournalSnap
+	for i := range d.Journals {
+		js := &d.Journals[i]
+		if js.AnomalyMask == 0 {
+			continue
+		}
+		if top == nil || js.TotalEvents > top.TotalEvents {
+			top = js
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "streams  journals=%d sampled=%d anomalies=%d stride=1/%d",
+		len(d.Journals), d.Sampled, d.Anomalies, d.SampleEvery)
+	if top != nil {
+		fmt.Fprintf(&b, "  top=%s [%s] events=%d", top.Key, strings.Join(top.Anomalies, ","), top.TotalEvents)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// sparkRunes is the eight-level bar alphabet sparklines draw with.
+var sparkRunes = []rune("\u2581\u2582\u2583\u2584\u2585\u2586\u2587\u2588")
+
+// sparkline draws the last sparkWidth values scaled against their max.
+const sparkWidth = 60
+
+func sparkline(vals []float64) string {
+	if len(vals) > sparkWidth {
+		vals = vals[len(vals)-sparkWidth:]
+	}
+	maxV := 0.0
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if maxV > 0 {
+			i = int(v/maxV*float64(len(sparkRunes)-1) + 0.5)
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// renderHistory formats the sparkline block from the history ring: the
+// frame-inject rate and the arena occupancy over the retained window.
+func renderHistory(hd *metrics.HistoryDump) string {
+	if hd == nil || len(hd.Points) == 0 {
+		return ""
+	}
+	var inject, occ []float64
+	for _, pt := range hd.Points {
+		for _, c := range pt.Counters {
+			if c.Name == "nic_frames_total" {
+				inject = append(inject, c.Rate)
+			}
+		}
+		var used, total float64
+		for _, g := range pt.Gauges {
+			switch g.Name {
+			case "arena_blocks_inuse":
+				used = float64(g.Value)
+			case "arena_blocks_total":
+				total = float64(g.Value)
+			}
+		}
+		if total > 0 {
+			occ = append(occ, used/total)
+		} else {
+			occ = append(occ, 0)
+		}
+	}
+	var b strings.Builder
+	if len(inject) > 0 {
+		fmt.Fprintf(&b, "history  inject/s %s now=%.0f/s\n", sparkline(inject), inject[len(inject)-1])
+	}
+	if len(occ) > 0 {
+		fmt.Fprintf(&b, "         arena%%   %s now=%.1f%%\n", sparkline(occ), 100*occ[len(occ)-1])
+	}
 	return b.String()
 }
 
@@ -562,5 +700,128 @@ func runCtlplaneSmoke() error {
 	}
 	fmt.Printf("ctlplane-smoke OK: decisions=%d ctl flight records=%d mode=%s\n",
 		len(cs.Decisions), ctlRecords, cs.Mode)
+	return nil
+}
+
+// runStreamsSmoke is the CI stream-journal end-to-end check (make
+// streams-smoke): run a cutoff-heavy capture with the sampler effectively
+// off (a huge stride), so every journal that appears must have been promoted
+// by an anomaly, then require /debug/streams to carry a cutoff-promoted
+// journal, the chrome export to carry one named track per journal, and
+// /debug/history to accumulate points for the sparklines. When
+// SCAP_STREAMS_TRACE_OUT names a file, the Perfetto-loadable chrome export
+// is written there (the CI artifact).
+func runStreamsSmoke() error {
+	h, err := scap.Create(scap.Config{
+		Queues:     2,
+		MemorySize: 64 << 20,
+		Streams:    scap.StreamsConfig{SampleEvery: 1 << 20},
+		History:    scap.HistoryConfig{Interval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	// Most generated flows exceed this, so cutoff promotions are guaranteed.
+	if err := h.SetCutoff(512); err != nil {
+		return err
+	}
+	h.DispatchData(func(sd *scap.Stream) {})
+	if err := h.StartCapture(); err != nil {
+		return err
+	}
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	gen := trace.ConcurrentStreamsWorkload(4, 200, 16, 40, 1460)
+	if err := h.ReplaySource(gen, 1e9); err != nil {
+		return err
+	}
+
+	sd, err := fetchStreams(srv.Addr())
+	if err != nil {
+		return err
+	}
+	if len(sd.Journals) == 0 || sd.Anomalies == 0 {
+		return fmt.Errorf("no anomaly-promoted journals after cutoff-heavy replay: %d journals, %d anomalies",
+			len(sd.Journals), sd.Anomalies)
+	}
+	var cutoffJournals int
+	for i := range sd.Journals {
+		js := &sd.Journals[i]
+		if js.Sampled {
+			return fmt.Errorf("journal %s claims sampler origin under a 1-in-%d stride", js.Key, 1<<20)
+		}
+		for _, a := range js.Anomalies {
+			if a == "cutoff" {
+				cutoffJournals++
+				break
+			}
+		}
+	}
+	if cutoffJournals == 0 {
+		return fmt.Errorf("no cutoff-promoted journal among %d journals", len(sd.Journals))
+	}
+
+	body, err := fetchBody(srv.Addr(), "/debug/streams?format=chrome")
+	if err != nil {
+		return err
+	}
+	var tr streamscope.Trace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return fmt.Errorf("parse chrome streams trace: %v", err)
+	}
+	var tracks, events int
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			tracks++
+			if name, _ := ev.Args["name"].(string); !strings.HasPrefix(name, "stream ") {
+				return fmt.Errorf("track name %q lacks stream prefix", name)
+			}
+		case ev.Ph == "i" || ev.Ph == "X":
+			events++
+			if ev.TS < 0 {
+				return fmt.Errorf("negative trace timestamp: %+v", ev)
+			}
+		}
+	}
+	if tracks != len(sd.Journals) || events == 0 {
+		return fmt.Errorf("chrome export shape: %d named tracks (want %d), %d events",
+			tracks, len(sd.Journals), events)
+	}
+	if out := os.Getenv("SCAP_STREAMS_TRACE_OUT"); out != "" {
+		if err := os.WriteFile(out, body, 0o644); err != nil {
+			return fmt.Errorf("write trace artifact: %v", err)
+		}
+		fmt.Printf("streams-smoke: wrote chrome trace artifact to %s (%d bytes)\n", out, len(body))
+	}
+
+	// The history ring samples on the wall clock; give it a couple of
+	// intervals so the sparklines have something to draw.
+	var hd *metrics.HistoryDump
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hd, err = fetchHistory(srv.Addr())
+		if err != nil {
+			return err
+		}
+		if len(hd.Points) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(hd.Points) < 2 {
+		return fmt.Errorf("history ring never accumulated points")
+	}
+
+	fmt.Print(renderStreams(sd))
+	fmt.Print(renderHistory(hd))
+	if err := h.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("streams-smoke OK: journals=%d (cutoff-promoted %d), chrome tracks=%d events=%d, history points=%d\n",
+		len(sd.Journals), cutoffJournals, tracks, events, len(hd.Points))
 	return nil
 }

@@ -136,3 +136,55 @@ func BenchmarkInject1MFlows(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkInjectThroughputScope replays the same workload with stream
+// journaling off, at the shipping default (1-in-64 sampling), and at its
+// worst case (every new stream journaled), so the journals' hot-path cost —
+// the per-stream hash sample check plus seqlock event notes on every
+// journaled stream — is measurable as an A/B delta. The off-vs-default delta
+// is the acceptance budget; scope=all bounds the cost of turning the stride
+// all the way up. Run interleaved for stable medians:
+//
+//	for i in $(seq 6); do go test -run '^$' -bench InjectThroughputScope -count 1 .; done
+func BenchmarkInjectThroughputScope(b *testing.B) {
+	frames := injectWorkload()
+	for _, cfg := range []struct {
+		name    string
+		streams StreamsConfig
+	}{
+		{"scope=off", StreamsConfig{Disabled: true}},
+		{"scope=1in64", StreamsConfig{}}, // default SampleEvery
+		{"scope=all", StreamsConfig{SampleEvery: 1}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			h, err := Create(Config{
+				Queues:     4,
+				MemorySize: 1 << 30,
+				Streams:    cfg.streams,
+				History:    HistoryConfig{Disabled: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.DispatchData(func(sd *Stream) {})
+			if err := h.StartCapture(); err != nil {
+				b.Fatal(err)
+			}
+			src := &trace.SliceSource{Frames: frames}
+			b.SetBytes(injectBytes / int64(len(frames)))
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				src.Reset()
+				if err := h.ReplaySource(src, 40e9); err != nil {
+					b.Fatal(err)
+				}
+				done += len(frames)
+			}
+			b.StopTimer()
+			if err := h.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -23,16 +23,19 @@ var MetricReg = &Analyzer{
 // metricsFastPath is the allowlist of metrics-package operations that are
 // a single atomic op (or an edge-triggered event append) and therefore
 // safe on the per-packet path. Note is the flight recorder's fixed-size
-// no-alloc encoder; Nanotime is the alloc-free capture clock.
+// no-alloc encoder; ObserveEx is Observe plus a best-effort seqlock
+// exemplar write (a few uncontended atomics, never blocking); Nanotime is
+// the alloc-free capture clock.
 var metricsFastPath = map[string]bool{
-	"Add":      true,
-	"Inc":      true,
-	"Set":      true,
-	"Observe":  true,
-	"Record":   true,
-	"Load":     true,
-	"Note":     true,
-	"Nanotime": true,
+	"Add":       true,
+	"Inc":       true,
+	"Set":       true,
+	"Observe":   true,
+	"ObserveEx": true,
+	"Record":    true,
+	"Load":      true,
+	"Note":      true,
+	"Nanotime":  true,
 }
 
 func runMetricReg(p *Package) []Diagnostic {
@@ -57,7 +60,7 @@ func runMetricReg(p *Package) []Diagnostic {
 				return true
 			}
 			msg := fmt.Sprintf(
-				"%s: call to metrics.%s in a hot path (register metrics and take snapshots at setup; the per-packet path may only use the atomic fast path: Add/Inc/Set/Observe/Record/Load/Note/Nanotime)",
+				"%s: call to metrics.%s in a hot path (register metrics and take snapshots at setup; the per-packet path may only use the atomic fast path: Add/Inc/Set/Observe/ObserveEx/Record/Load/Note/Nanotime)",
 				fname, callee)
 			if recv == "FlightRecorder" {
 				// Flight-record emission in hot-path code may only use the

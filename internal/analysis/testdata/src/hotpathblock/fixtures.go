@@ -39,7 +39,7 @@ func (s *q) drainOne() int {
 // poll below pulls it onto the hot path.
 func (s *q) parkUntil() {
 	time.Sleep(time.Millisecond) // want hotpathblock "time.Sleep"
-	select { // want hotpathblock "blocking select"
+	select {                     // want hotpathblock "blocking select"
 	case <-s.ch:
 	case <-s.wake:
 	}

@@ -40,6 +40,7 @@ func (e *engine) FastPath(n uint64) uint64 {
 	e.memUsed.Set(int64(n))
 	e.memUsed.Add(1)
 	e.batch.Observe(0, n)
+	e.batch.ObserveEx(0, n, 7)
 	e.events.Record(metrics.Event{Kind: metrics.EvPPLEnter, Value: int64(n)})
 	e.flight.Note(0, metrics.FlightCutoff, int64(n), 0)
 	e.batch.Observe(0, uint64(metrics.Nanotime()))

@@ -72,7 +72,7 @@ func ownerLoop(l *looper) {
 
 //scap:goroutine consumer
 func rogue(l *looper) {
-	l.step()        // want ownership "owned by role looper"
+	l.step()         // want ownership "owned by role looper"
 	_ = l.snapshot() // fine: //scap:anyrole
 }
 
@@ -110,4 +110,3 @@ func orphan() {} // want ownership "unknown //scap:spsc type"
 //
 //scap:owner
 type unowned struct{ n int } // want ownership "missing role"
-

@@ -5,6 +5,7 @@ import (
 	"scap/internal/flowtab"
 	"scap/internal/mem"
 	"scap/internal/metrics"
+	"scap/internal/streamscope"
 )
 
 // streamExt is the engine-private extension record hung off
@@ -25,6 +26,18 @@ type streamExt struct {
 	discard bool
 	// finalDelivered guards against duplicate final data events.
 	finalDelivered bool
+
+	// j is the stream's lifecycle journal (nil for un-journaled streams);
+	// jGen is the journal generation observed at bind time — a mismatch
+	// means the pool rebound the journal to a newer stream and writes must
+	// stop. jFirst marks the first-payload event as emitted; jOldWins and
+	// jNewWins remember the assembler's overlap totals at the last overlap
+	// check so only transitions emit events.
+	j        *streamscope.Journal
+	jGen     uint64
+	jFirst   bool
+	jOldWins uint64
+	jNewWins uint64
 }
 
 // chunkState is one in-progress chunk of reassembled stream data. Its bytes
@@ -73,7 +86,7 @@ func ext(s *flowtab.Stream) *streamExt {
 // arena is the zero-alloc fast path for it.
 //
 //scap:hotpath
-func (e *Engine) newChunkBuf(s *flowtab.Stream, prev []byte, ts int64) chunkState {
+func (e *Engine) newChunkBuf(s *flowtab.Stream, x *streamExt, prev []byte, ts int64) chunkState {
 	size := s.ChunkSize
 	if size <= 0 {
 		size = e.cfg.ChunkSize
@@ -81,6 +94,7 @@ func (e *Engine) newChunkBuf(s *flowtab.Stream, prev []byte, ts int64) chunkStat
 	h, store := e.mm.AllocBlock(e.coreID)
 	if h == mem.NoBlock {
 		store = e.heapChunkStore(size)
+		e.janomaly(s, x, streamscope.AnomArenaFallback, streamscope.EvArenaFallback, int64(size), 0)
 	} else if size > len(store) {
 		size = len(store)
 	}

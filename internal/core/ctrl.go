@@ -297,7 +297,7 @@ func (e *Engine) adoptKeptChunk(s *flowtab.Stream, x *streamExt, data []byte, bl
 func (e *Engine) adoptBytes(s *flowtab.Stream, x *streamExt, b []byte) {
 	for len(b) > 0 {
 		if x.chunk.buf == nil {
-			x.chunk = e.newChunkBuf(s, nil, e.now)
+			x.chunk = e.newChunkBuf(s, x, nil, e.now)
 			e.markDirty(s, x)
 		}
 		c := &x.chunk

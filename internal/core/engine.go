@@ -12,6 +12,7 @@ import (
 	"scap/internal/pkt"
 	"scap/internal/reassembly"
 	"scap/internal/sketch"
+	"scap/internal/streamscope"
 )
 
 // Stats are the per-engine counters (roughly scap_stats_t plus internals).
@@ -81,6 +82,10 @@ type Options struct {
 	// its registry must cover CoreID). Nil gives the engine a private
 	// registry, so standalone engines keep working unchanged.
 	Metrics *Metrics
+	// Scope is the socket-wide stream-journal pool (shared across cores;
+	// each engine writes only its own core's journals). Nil disables
+	// per-stream journaling.
+	Scope *streamscope.Scope
 }
 
 // filterEntry tracks one stream's FDIR deadline in the engine's heap
@@ -163,8 +168,12 @@ type Engine struct {
 	// m is the socket-wide instrument bundle; c is this core's bound cells
 	// (the live statistics block — the owning kernel-path goroutine is the
 	// only writer, any goroutine may read through the registry or Stats).
-	m       *Metrics
-	c       cells
+	m *Metrics
+	c cells
+	// scope is the per-stream journal pool; nil when journaling is off.
+	// This engine only ever acquires/writes journals on its own core's
+	// pool, preserving the single-writer-per-journal invariant.
+	scope   *streamscope.Scope
 	scratch pkt.Packet
 	ctrlBuf []Ctrl
 	now     int64
@@ -222,6 +231,7 @@ func NewEngine(opts Options) *Engine {
 	}
 	e.emitCb = e.emitToCur
 	e.flushCb = e.flushToCur
+	e.scope = opts.Scope
 	e.m = opts.Metrics
 	if e.m == nil {
 		e.m = NewMetrics(metrics.NewRegistry(opts.CoreID + 1))
@@ -433,7 +443,7 @@ func (e *Engine) process(p *pkt.Packet) {
 			}
 		}
 		s = e.table.CreateH(h, p.Key, ts)
-		e.initStream(s, ext(s), p)
+		e.initStream(s, ext(s), p, h)
 	} else {
 		e.table.Touch(s, ts)
 	}
@@ -563,8 +573,9 @@ func (e *Engine) finishRetired() {
 }
 
 // initStream resolves a new stream's configuration and fires its creation
-// event.
-func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
+// event. h is the flow hash process already computed: the journal sampler
+// consumes its top bits, so the sampling decision costs one compare.
+func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet, h uint64) {
 	e.c.streamsCreated.Add(1)
 	if e.mm.UnderPPL() {
 		e.m.flight.Note(e.coreID, metrics.FlightStreamCreate, int64(s.ID), int64(s.Priority))
@@ -597,7 +608,73 @@ func (e *Engine) initStream(s *flowtab.Stream, x *streamExt, p *pkt.Packet) {
 		})
 	}
 	x.filterTimeout = e.cfg.InactivityTimeout
+	if e.scope != nil && e.scope.SampleNew(h) {
+		e.jbind(s, x, true)
+		e.jnote(x, streamscope.EvCreated, int64(s.Priority), s.Cutoff)
+	}
 	e.push(event.Event{Type: event.Creation, Stream: s, Info: s.Snapshot(0)})
+}
+
+// jbind acquires a journal for s on this engine's pool. sampled=false marks
+// an anomaly promotion. Cold relative to the packet rate: it runs once per
+// journaled stream, and is alloc-free either way.
+func (e *Engine) jbind(s *flowtab.Stream, x *streamExt, sampled bool) {
+	x.j, x.jGen = e.scope.Acquire(e.coreID, streamscope.Binding{
+		ID:       s.ID,
+		Key:      s.Key,
+		Dir:      uint8(s.Dir),
+		Priority: s.Priority,
+		Created:  s.Stats.Start,
+		Sampled:  sampled,
+	})
+}
+
+// jnote records one lifecycle event on the stream's journal, if it has one
+// and the pool has not rebound it to a newer stream. The generation check is
+// exact, not racy: journals are rebound only by this engine goroutine.
+//
+//scap:hotpath
+func (e *Engine) jnote(x *streamExt, kind streamscope.EventKind, a, b int64) {
+	j := x.j
+	if j == nil || j.Gen() != x.jGen {
+		return
+	}
+	j.Note(kind, e.now, a, b)
+}
+
+// janomaly flags an anomaly on the stream's journal, promoting the stream
+// into the journal pool first if sampling skipped it — anomalous streams are
+// always journaled regardless of the sampling rate.
+//
+//scap:hotpath
+func (e *Engine) janomaly(s *flowtab.Stream, x *streamExt, bit uint64, kind streamscope.EventKind, a, b int64) {
+	if e.scope == nil || x.ignored {
+		return
+	}
+	j := x.j
+	if j == nil || j.Gen() != x.jGen {
+		e.jbind(s, x, false)
+		j = x.j
+	}
+	first := !j.Anomalous()
+	j.NoteAnomaly(bit, kind, e.now, a, b)
+	if first {
+		e.scope.CountAnomaly(e.coreID)
+	}
+}
+
+// jcheckOverlap emits an overlap event when the assembler's overlap totals
+// moved since the last check. Called after each TCP segment only when the
+// scope is enabled; the common case is two loads and two compares.
+//
+//scap:hotpath
+func (e *Engine) jcheckOverlap(s *flowtab.Stream, x *streamExt) {
+	oldWins, newWins := s.Asm.Overlaps()
+	if oldWins == x.jOldWins && newWins == x.jNewWins {
+		return
+	}
+	x.jOldWins, x.jNewWins = oldWins, newWins
+	e.janomaly(s, x, streamscope.AnomOverlap, streamscope.EvOverlap, int64(oldWins), int64(newWins))
 }
 
 //scap:hotpath
@@ -678,15 +755,23 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 		s.Stats.DroppedBytes += uint64(n)
 		e.c.pplDroppedPkts.Add(1)
 		e.c.pplDroppedBytes.Add(uint64(n))
+		e.janomaly(s, x, streamscope.AnomPPLDrop, streamscope.EvPPLDrop, int64(n), int64(s.Priority))
 		return
 	}
 
+	if x.j != nil && !x.jFirst {
+		x.jFirst = true
+		e.jnote(x, streamscope.EvFirstPayload, int64(n), 0)
+	}
 	if e.cfg.NeedPkts {
 		e.recordPacket(s, x, p, n)
 	}
 	e.curStream, e.curExt = s, x
 	if viaAsm {
 		s.Asm.Segment(p.Seq, payload, e.emitCb)
+		if e.scope != nil {
+			e.jcheckOverlap(s, x)
+		}
 	} else {
 		e.appendData(s, x, payload, false)
 	}
@@ -697,6 +782,9 @@ func (e *Engine) processPayloadBytes(s *flowtab.Stream, x *streamExt, p *pkt.Pac
 //
 //scap:hotpath
 func (e *Engine) emitToCur(b []byte, hole bool) {
+	if hole {
+		e.janomaly(e.curStream, e.curExt, streamscope.AnomGap, streamscope.EvGap, int64(len(b)), 0)
+	}
 	e.appendData(e.curStream, e.curExt, b, hole)
 }
 
@@ -704,6 +792,9 @@ func (e *Engine) emitToCur(b []byte, hole bool) {
 // already been cut off or discarded must not regain data.
 func (e *Engine) flushToCur(b []byte, hole bool) {
 	if e.curStream.Status == flowtab.StatusActive {
+		if hole {
+			e.janomaly(e.curStream, e.curExt, streamscope.AnomGap, streamscope.EvGap, int64(len(b)), 0)
+		}
 		e.appendData(e.curStream, e.curExt, b, hole)
 	}
 }
@@ -715,7 +806,7 @@ func (e *Engine) flushToCur(b []byte, hole bool) {
 //scap:hotpath
 func (e *Engine) recordPacket(s *flowtab.Stream, x *streamExt, p *pkt.Packet, n int) {
 	if x.chunk.buf == nil {
-		x.chunk = e.newChunkBuf(s, nil, e.now)
+		x.chunk = e.newChunkBuf(s, x, nil, e.now)
 		e.markDirty(s, x)
 	}
 	rec := event.PacketRecord{
@@ -787,7 +878,7 @@ func (e *Engine) appendData(s *flowtab.Stream, x *streamExt, b []byte, hole bool
 			}
 		}
 		if x.chunk.buf == nil {
-			x.chunk = e.newChunkBuf(s, nil, e.now)
+			x.chunk = e.newChunkBuf(s, x, nil, e.now)
 			e.markDirty(s, x)
 		}
 		c := &x.chunk
@@ -835,7 +926,8 @@ func (e *Engine) deliverChunk(s *flowtab.Stream, x *streamExt, last bool) {
 		return
 	}
 	x.chunksDelivered++
-	e.m.chunkBytes.Observe(e.coreID, uint64(c.fill()))
+	e.m.chunkBytes.ObserveEx(e.coreID, uint64(c.fill()), s.ID)
+	e.jnote(x, streamscope.EvChunkFlush, int64(c.fill()), e.now-c.firstTS)
 	ev := event.Event{
 		Type:       event.Data,
 		Stream:     s,
@@ -852,7 +944,7 @@ func (e *Engine) deliverChunk(s *flowtab.Stream, x *streamExt, last bool) {
 		x.chunk = chunkState{}
 		delete(e.dirty, s)
 	} else {
-		x.chunk = e.newChunkBuf(s, prev, e.now)
+		x.chunk = e.newChunkBuf(s, x, prev, e.now)
 		if x.chunk.fill() > 0 {
 			e.markDirty(s, x)
 		} else {
@@ -902,7 +994,9 @@ func (e *Engine) flushEvents() {
 	}
 	now := metrics.Nanotime()
 	if e.stageStart > 0 {
-		e.m.stageRing.Observe(e.coreID, uint64(now-e.stageStart))
+		// The batch's lead stream serves as the latency exemplar: a tail
+		// observation here links the p99 to a concrete journal.
+		e.m.stageRing.ObserveEx(e.coreID, uint64(now-e.stageStart), e.evBuf[0].Info.ID)
 		e.stageStart = 0
 	}
 	for i := range e.evBuf {
@@ -958,6 +1052,7 @@ func (e *Engine) reachCutoff(s *flowtab.Stream, x *streamExt) {
 	}
 	s.Status = flowtab.StatusCutoff
 	e.m.flight.Note(e.coreID, metrics.FlightCutoff, int64(s.ID), int64(s.Stats.Bytes))
+	e.janomaly(s, x, streamscope.AnomCutoff, streamscope.EvCutoff, int64(s.Stats.CapturedBytes), int64(s.Stats.Bytes))
 	e.deliverChunk(s, x, false)
 	e.installFDIR(s, x)
 	// With the sketch front-end on, a cutoff stream of suppressible
@@ -998,6 +1093,7 @@ func (e *Engine) installFDIR(s *flowtab.Stream, x *streamExt) {
 	e.c.fdirInstalled.Add(1)
 	e.m.events.Record(metrics.Event{Kind: metrics.EvFDIRInstall, Core: e.coreID, Value: int64(s.ID)})
 	e.m.flight.Note(e.coreID, metrics.FlightFDIRInstall, int64(s.ID), 0)
+	e.janomaly(s, x, streamscope.AnomFDIR, streamscope.EvFDIRInstall, int64(s.ID), 0)
 	heap.Push(&e.filters, filterEntry{deadline: deadline, key: s.Key, id: s.ID})
 }
 
@@ -1079,6 +1175,7 @@ func (e *Engine) finishStream(s *flowtab.Stream, status flowtab.Status) {
 		e.c.asmDroppedSegs.Add(as.DroppedSegments)
 	}
 	e.removeFDIR(s)
+	e.jnote(x, streamscope.EvClose, int64(status), int64(s.Stats.CapturedBytes))
 	if !x.ignored {
 		e.push(event.Event{Type: event.Termination, Stream: s, Info: s.Snapshot(x.chunksDelivered)})
 	}
@@ -1103,6 +1200,12 @@ func (e *Engine) CheckTimers(now int64) {
 		e.installSketchFDIR(now)
 	}
 	e.publishTableMetrics()
+	if e.scope != nil {
+		// Journal sampling backs off while the arena is above the PPL
+		// watermark and recovers afterwards (Braun-style load adaptation),
+		// paced by the timer tick.
+		e.scope.Adapt(e.mm.UnderPPL())
+	}
 	if e.defrag != nil {
 		e.defrag.Expire(now)
 	}

@@ -1,0 +1,64 @@
+package metrics
+
+import "testing"
+
+func TestExemplarRatchet(t *testing.T) {
+	h := newHistogram(Desc{Name: "h"}, 1, 10)
+	if h.Snap().Exemplar != nil {
+		t.Fatal("fresh histogram must have no exemplar")
+	}
+
+	h.ObserveEx(0, 100, 1) // bucket le=128
+	h.ObserveEx(0, 10, 2)  // smaller bucket: must not displace
+	s := h.Snap()
+	if s.Exemplar == nil {
+		t.Fatal("exemplar missing after ObserveEx")
+	}
+	if s.Exemplar.StreamID != 1 || s.Exemplar.Value != 100 || s.Exemplar.Le != 128 {
+		t.Fatalf("exemplar = %+v, want stream 1 value 100 le 128", s.Exemplar)
+	}
+	if s.Count != 2 {
+		t.Fatalf("ObserveEx must still count observations: count=%d", s.Count)
+	}
+
+	// Snap re-armed the ratchet: a smaller observation may now claim it.
+	h.ObserveEx(0, 10, 3)
+	s = h.Snap()
+	if s.Exemplar == nil || s.Exemplar.StreamID != 3 || s.Exemplar.Le != 16 {
+		t.Fatalf("re-armed exemplar = %+v, want stream 3 le 16", s.Exemplar)
+	}
+
+	// Without new observations the last exemplar stays visible.
+	s = h.Snap()
+	if s.Exemplar == nil || s.Exemplar.StreamID != 3 {
+		t.Fatalf("exemplar must persist across scrapes, got %+v", s.Exemplar)
+	}
+}
+
+func TestExemplarOverflowBucket(t *testing.T) {
+	h := newHistogram(Desc{Name: "h"}, 1, 2) // buckets 1,2,4 + overflow
+	h.ObserveEx(0, 1000, 9)
+	s := h.Snap()
+	if s.Exemplar == nil || s.Exemplar.Le != 0 {
+		t.Fatalf("overflow exemplar = %+v, want Le 0", s.Exemplar)
+	}
+}
+
+func TestObserveExMatchesObserveBuckets(t *testing.T) {
+	a := newHistogram(Desc{Name: "a"}, 2, 8)
+	b := newHistogram(Desc{Name: "b"}, 2, 8)
+	vals := []uint64{0, 1, 2, 3, 7, 64, 300, 1 << 20}
+	for i, v := range vals {
+		a.Observe(i%2, v)
+		b.ObserveEx(i%2, v, uint64(i))
+	}
+	sa, sb := a.Snap(), b.Snap()
+	if sa.Count != sb.Count || sa.Sum != sb.Sum {
+		t.Fatalf("count/sum diverge: %d/%d vs %d/%d", sa.Count, sa.Sum, sb.Count, sb.Sum)
+	}
+	for i := range sa.Buckets {
+		if sa.Buckets[i] != sb.Buckets[i] {
+			t.Fatalf("bucket %d diverges: %+v vs %+v", i, sa.Buckets[i], sb.Buckets[i])
+		}
+	}
+}

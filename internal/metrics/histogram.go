@@ -19,6 +19,23 @@ type Histogram struct {
 	// slot nb is the value sum, and the row is padded to a multiple of
 	// eight slots (64 bytes) so rows do not share cache lines.
 	rows [][]atomic.Uint64
+	ex   exemplar
+}
+
+// exemplar is the histogram's tail exemplar: the stream behind the most
+// recent highest-bucket observation since the last snapshot, so a p99 spike
+// links to a concrete stream journal. It is one seqlock-guarded record;
+// bucket doubles as a ratchet — only observations landing at or above the
+// current exemplar's bucket replace it, and every snapshot re-arms the
+// ratchet (bucket -1) while keeping the last exemplar visible.
+//
+//scap:atomics
+type exemplar struct {
+	seq    atomic.Uint64 // even = stable, odd = write in progress
+	bucket atomic.Int64  // bucket index of the held exemplar; -1 = re-armed
+	val    atomic.Uint64
+	id     atomic.Uint64 // stream ID of the observation
+	ts     atomic.Int64  // capture clock (Nanotime) at observation
 }
 
 func newHistogram(d Desc, cores, maxPow int) *Histogram {
@@ -34,6 +51,7 @@ func newHistogram(d Desc, cores, maxPow int) *Histogram {
 	for i := range h.rows {
 		h.rows[i] = make([]atomic.Uint64, rowLen)
 	}
+	h.ex.bucket.Store(-1)
 	return h
 }
 
@@ -60,6 +78,38 @@ func (h *Histogram) Observe(core int, v uint64) {
 	row[h.nb].Add(v)
 }
 
+// ObserveEx records one observation of v attributed to streamID, updating
+// the histogram's tail exemplar when the observation lands at or above the
+// exemplar's current bucket. The exemplar write is a best-effort seqlock:
+// contended writers simply skip (losing an exemplar candidate, never
+// blocking), so the cost over Observe stays a couple of uncontended atomics.
+//
+//scap:hotpath
+func (h *Histogram) ObserveEx(core int, v, streamID uint64) {
+	h.Observe(core, v)
+	i := 0
+	if v > 1 {
+		i = bits.Len64(v - 1)
+	}
+	if i >= h.nb {
+		i = h.nb - 1
+	}
+	if int64(i) < h.ex.bucket.Load() {
+		return
+	}
+	// Inline seqlock write (mirrors FlightRecorder.Note's slot protocol):
+	// claim via CAS to odd, store fields, publish even.
+	cur := h.ex.seq.Load()
+	if cur&1 == 1 || !h.ex.seq.CompareAndSwap(cur, cur+1) {
+		return
+	}
+	h.ex.bucket.Store(int64(i))
+	h.ex.val.Store(v)
+	h.ex.id.Store(streamID)
+	h.ex.ts.Store(Nanotime())
+	h.ex.seq.Store(cur + 2)
+}
+
 // BucketSnap is one histogram bucket: the count of observations with value
 // <= Le (Le 0 marks the overflow bucket).
 type BucketSnap struct {
@@ -67,12 +117,24 @@ type BucketSnap struct {
 	Count uint64 `json:"count"`
 }
 
+// ExemplarSnap is a histogram's decoded tail exemplar: the stream behind the
+// most recent tail-bucket observation. Le is the upper bound of the bucket
+// the exemplar landed in (0 = overflow bucket), AgeNano its age relative to
+// the capture clock at snapshot time.
+type ExemplarSnap struct {
+	Value    uint64 `json:"value"`
+	StreamID uint64 `json:"stream_id"`
+	Le       uint64 `json:"le"`
+	AgeNano  int64  `json:"age_nano"`
+}
+
 // HistogramSnap is one histogram's snapshot.
 type HistogramSnap struct {
 	Desc
-	Count   uint64       `json:"count"`
-	Sum     uint64       `json:"sum"`
-	Buckets []BucketSnap `json:"buckets"`
+	Count    uint64        `json:"count"`
+	Sum      uint64        `json:"sum"`
+	Buckets  []BucketSnap  `json:"buckets"`
+	Exemplar *ExemplarSnap `json:"exemplar,omitempty"`
 }
 
 // QuantileFromSnap estimates the p-quantile (0 < p <= 1) of a histogram
@@ -138,5 +200,43 @@ func (h *Histogram) snapshot() HistogramSnap {
 	for _, row := range h.rows {
 		s.Sum += row[h.nb].Load()
 	}
+	s.Exemplar = h.snapExemplar()
 	return s
+}
+
+// snapExemplar reads the exemplar under its seqlock and re-arms the ratchet
+// so the next tail observation — in any bucket — becomes the new exemplar.
+// Returns nil when no exemplar was ever recorded or the read raced a writer.
+func (h *Histogram) snapExemplar() *ExemplarSnap {
+	for attempt := 0; attempt < 3; attempt++ {
+		seq := h.ex.seq.Load()
+		if seq == 0 {
+			return nil
+		}
+		if seq&1 == 1 {
+			continue
+		}
+		e := ExemplarSnap{
+			Value:    h.ex.val.Load(),
+			StreamID: h.ex.id.Load(),
+			AgeNano:  Nanotime() - h.ex.ts.Load(),
+		}
+		if h.ex.seq.Load() != seq {
+			continue
+		}
+		// Le derives from the value (the ratchet word may already be
+		// re-armed from a prior scrape); 0 marks the overflow bucket.
+		i := 0
+		if e.Value > 1 {
+			i = bits.Len64(e.Value - 1)
+		}
+		if i < h.nb-1 {
+			e.Le = uint64(1) << uint(i)
+		}
+		// Re-arm: any subsequent observation may claim the exemplar. The
+		// exemplar fields stay readable between scrapes.
+		h.ex.bucket.Store(-1)
+		return &e
+	}
+	return nil
 }

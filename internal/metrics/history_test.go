@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistoryRing(t *testing.T) {
+	r := NewRegistry(1)
+	clock := int64(1_000_000_000)
+	r.SetClock(func() int64 { return clock })
+	c := r.NewCounter(Desc{Name: "frames_total"})
+	g := r.NewGauge(Desc{Name: "arena_blocks_inuse"})
+	hst := r.NewHistogram(Desc{Name: "lat_ns", Unit: "ns"}, 20)
+
+	h := NewHistory(r, time.Second, 4)
+	for i := 0; i < 6; i++ {
+		c.Cell(0).Add(100)
+		g.Set(int64(i))
+		hst.Observe(0, 1000)
+		clock += 1_000_000_000
+		h.Tick()
+	}
+
+	pts := h.Points()
+	if len(pts) != 4 {
+		t.Fatalf("depth-4 ring kept %d points, want 4", len(pts))
+	}
+	// Oldest surviving tick is #3 (totals 300..600), each window 1s.
+	for i, pt := range pts {
+		wantTotal := uint64(300 + 100*i)
+		var got *HistoryCounter
+		for k := range pt.Counters {
+			if pt.Counters[k].Name == "frames_total" {
+				got = &pt.Counters[k]
+			}
+		}
+		if got == nil || got.Total != wantTotal {
+			t.Fatalf("point %d frames_total = %+v, want total %d", i, got, wantTotal)
+		}
+		if got.Rate != 100 {
+			t.Fatalf("point %d rate = %v, want 100/s", i, got.Rate)
+		}
+		if pt.WindowSeconds != 1 {
+			t.Fatalf("point %d window = %v, want 1s", i, pt.WindowSeconds)
+		}
+		if len(pt.Gauges) != 1 || pt.Gauges[0].Value != int64(2+i) {
+			t.Fatalf("point %d gauges = %+v", i, pt.Gauges)
+		}
+		if len(pt.Quantiles) != 1 || pt.Quantiles[0].P99 == 0 {
+			t.Fatalf("point %d quantiles = %+v", i, pt.Quantiles)
+		}
+	}
+	if pts[0].TimeUnixNano >= pts[3].TimeUnixNano {
+		t.Fatal("points must be oldest first")
+	}
+
+	d := h.Dump()
+	if d.Depth != 4 || d.IntervalSeconds != 1 || len(d.Points) != 4 {
+		t.Fatalf("dump shape wrong: %+v", d)
+	}
+}
+
+func TestHistoryStartStop(t *testing.T) {
+	r := NewRegistry(1)
+	h := NewHistory(r, time.Millisecond, 8)
+	h.Start()
+	deadline := time.After(2 * time.Second)
+	for len(h.Points()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("history goroutine never sampled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	h.Stop()
+	n := len(h.Points())
+	time.Sleep(5 * time.Millisecond)
+	if got := len(h.Points()); got != n {
+		t.Fatalf("history kept sampling after Stop: %d -> %d", n, got)
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus/OpenMetrics text exposition of a registry snapshot, so fleets
+// can scrape /metrics?format=prom without speaking the custom JSON codec.
+//
+// Mapping choices:
+//   - Per-core counters are exposed as one series per core with a core label
+//     (summing at query time is the PromQL idiom); func-backed counters
+//     without a per-core breakdown become a single unlabeled series.
+//   - Power-of-two histograms become classic cumulative _bucket series with
+//     le="2^i" bounds plus le="+Inf", _sum, and _count.
+//   - A histogram's tail exemplar rides on its containing bucket in
+//     OpenMetrics exemplar syntax (# {stream_id="..."} value timestamp),
+//     linking a scrape's tail latency to a /debug/streams journal.
+
+// PromContentType is the Content-Type of the exposition (OpenMetrics).
+const PromContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteProm writes s in OpenMetrics text format, terminated by # EOF.
+func WriteProm(w io.Writer, s Snapshot) error {
+	bw := &promWriter{w: w}
+	for _, c := range s.Counters {
+		name := strings.TrimSuffix(c.Name, "_total")
+		bw.header(name, c.Help, c.Unit, "counter")
+		if len(c.PerCore) > 0 {
+			for core, v := range c.PerCore {
+				bw.line(name+"_total", fmt.Sprintf(`{core="%d"}`, core), float64(v), "")
+			}
+		} else {
+			bw.line(name+"_total", "", float64(c.Total), "")
+		}
+	}
+	for _, g := range s.Gauges {
+		bw.header(g.Name, g.Help, g.Unit, "gauge")
+		bw.line(g.Name, "", float64(g.Value), "")
+	}
+	for _, h := range s.Histograms {
+		bw.histogram(h, s.TimeUnixNano)
+	}
+	if bw.err == nil {
+		_, bw.err = io.WriteString(bw.w, "# EOF\n")
+	}
+	return bw.err
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, unit, typ string) {
+	p.printf("# TYPE %s %s\n", name, typ)
+	if unit != "" {
+		p.printf("# UNIT %s %s\n", name, unit)
+	}
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+}
+
+// line writes one sample; exemplar, when non-empty, is appended after the
+// value in OpenMetrics exemplar syntax.
+func (p *promWriter) line(name, labels string, v float64, exemplar string) {
+	p.printf("%s%s %s%s\n", name, labels, formatValue(v), exemplar)
+}
+
+func (p *promWriter) histogram(h HistogramSnap, snapNano int64) {
+	p.header(h.Name, h.Help, h.Unit, "histogram")
+	// Cumulative buckets in ascending le order; the overflow bucket (Le 0)
+	// folds into +Inf.
+	type bound struct {
+		le    uint64 // 0 = +Inf
+		count uint64
+	}
+	bounds := make([]bound, 0, len(h.Buckets))
+	var overflow uint64
+	for _, b := range h.Buckets {
+		if b.Le == 0 {
+			overflow += b.Count
+			continue
+		}
+		bounds = append(bounds, bound{le: b.Le, count: b.Count})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+
+	exLabel, exStr := "", ""
+	if h.Exemplar != nil {
+		tsSec := float64(snapNano-h.Exemplar.AgeNano) / 1e9
+		if tsSec < 0 {
+			tsSec = 0
+		}
+		exLabel = fmt.Sprintf("%d", h.Exemplar.Le) // bucket carrying it; 0 = +Inf
+		exStr = fmt.Sprintf(` # {stream_id="%d"} %s %s`,
+			h.Exemplar.StreamID, formatValue(float64(h.Exemplar.Value)), formatValue(tsSec))
+	}
+	var cum uint64
+	for _, b := range bounds {
+		cum += b.count
+		ex := ""
+		if exStr != "" && exLabel == fmt.Sprintf("%d", b.le) {
+			ex = exStr
+		}
+		p.line(h.Name+"_bucket", fmt.Sprintf(`{le="%d"}`, b.le), float64(cum), ex)
+	}
+	cum += overflow
+	ex := ""
+	if exStr != "" && exLabel == "0" {
+		ex = exStr
+	}
+	p.line(h.Name+"_bucket", `{le="+Inf"}`, float64(cum), ex)
+	p.line(h.Name+"_sum", "", float64(h.Sum), "")
+	p.line(h.Name+"_count", "", float64(h.Count), "")
+}
+
+// formatValue renders floats the OpenMetrics way: integers without a
+// fraction, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -104,6 +104,15 @@ func (a *Assembler) Flags() Flags { return a.flags }
 // Stats returns a snapshot of the counters.
 func (a *Assembler) Stats() Stats { return a.stats }
 
+// Overlaps returns the running overlapped-byte totals (old-data-wins,
+// new-data-wins). Two loads — cheap enough for a per-segment transition
+// check on the hot path, unlike copying the whole Stats value.
+//
+//scap:hotpath
+func (a *Assembler) Overlaps() (oldWins, newWins uint64) {
+	return a.stats.OverlapOldWins, a.stats.OverlapNewWins
+}
+
 // PendingBytes returns the currently buffered out-of-order byte count.
 func (a *Assembler) PendingBytes() int { return a.bufn }
 

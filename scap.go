@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"scap/internal/bpf"
 	"scap/internal/core"
@@ -44,6 +45,7 @@ import (
 	"scap/internal/metrics"
 	"scap/internal/nic"
 	"scap/internal/reassembly"
+	"scap/internal/streamscope"
 )
 
 // ReassemblyMode selects the TCP reassembly discipline.
@@ -129,6 +131,43 @@ type Config struct {
 	// zero value is the simulated NIC, which the injection APIs
 	// (InjectFrame, InjectBatch, ReplayPcap, ReplaySource) feed.
 	Backend BackendConfig
+	// Streams configures the sampled per-stream lifecycle journals served
+	// at /debug/streams. The zero value enables them at the default
+	// 1-in-64 sampling stride.
+	Streams StreamsConfig
+	// History configures the bounded ring of periodic metrics snapshots
+	// served at /debug/history. The zero value enables it at one sample
+	// per second, three minutes retained.
+	History HistoryConfig
+}
+
+// StreamsConfig configures the sampled per-stream lifecycle journals
+// (/debug/streams): every Nth new stream — plus every stream that hits an
+// anomaly (cutoff clamp, arena-exhausted fallback, reassembly gap/overlap,
+// PPL payload drop, FDIR install) — gets a fixed-size, alloc-free journal
+// of lifecycle events. Under PPL pressure the sampling stride adaptively
+// backs off; anomalous streams are journaled regardless of the stride.
+type StreamsConfig struct {
+	// Disabled turns stream journaling off entirely.
+	Disabled bool
+	// SampleEvery is the base sampling stride: one in SampleEvery new
+	// streams gets a journal (rounded up to a power of two; 1 journals
+	// every new stream; 0 selects the default, 64).
+	SampleEvery int
+	// JournalsPerCore bounds each core's journal pool (power of two;
+	// 0 selects the default, 128). Older journals are rebound
+	// oldest-first when the pool wraps.
+	JournalsPerCore int
+}
+
+// HistoryConfig configures the metrics history ring (/debug/history).
+type HistoryConfig struct {
+	// Disabled turns the history ring off.
+	Disabled bool
+	// Interval is the sampling cadence (0 selects the default, 1s).
+	Interval time.Duration
+	// Depth is the ring capacity in samples (0 selects the default, 180).
+	Depth int
 }
 
 // BackendConfig selects StartCapture's frame transport. The zero value is
@@ -222,6 +261,13 @@ type Handle struct {
 	// before the capture path tears down.
 	ctl *ctlplane.Controller
 
+	// scope holds the sampled per-stream lifecycle journals (nil when
+	// Config.Streams.Disabled); each engine writes only its own core's
+	// pool. hist is the periodic metrics-history ring (nil when
+	// Config.History.Disabled), started with capture and stopped at Close.
+	scope *streamscope.Scope
+	hist  *metrics.History
+
 	onCreate Handler
 	onData   Handler
 	onClose  Handler
@@ -270,6 +316,34 @@ func Create(cfg Config) (*Handle, error) {
 		Help: "application callback duration",
 		Unit: "ns",
 	}, 38)
+	if !cfg.Streams.Disabled {
+		nowFn := metrics.Nanotime
+		h.scope = streamscope.New(streamscope.Options{
+			Cores:           cfg.Queues,
+			JournalsPerCore: cfg.Streams.JournalsPerCore,
+			SampleEvery:     cfg.Streams.SampleEvery,
+			Now:             &nowFn,
+		})
+		scope := h.scope
+		h.reg.NewCounterFunc(metrics.Desc{
+			Name: "streams_sampled_total",
+			Help: "streams picked for a lifecycle journal by the sampler",
+			Unit: "streams",
+		}, scope.Sampled)
+		h.reg.NewCounterFunc(metrics.Desc{
+			Name: "streams_anomaly_total",
+			Help: "journaled streams promoted or flagged by an anomaly",
+			Unit: "streams",
+		}, scope.Anomalies)
+		h.reg.NewGaugeFunc(metrics.Desc{
+			Name: "streamscope_sample_every",
+			Help: "current journal sampling stride (1 = every new stream)",
+			Unit: "streams",
+		}, func() int64 { return int64(scope.SampleEvery()) })
+	}
+	if !cfg.History.Disabled {
+		h.hist = metrics.NewHistory(h.reg, cfg.History.Interval, cfg.History.Depth)
+	}
 	return h, nil
 }
 
@@ -486,6 +560,7 @@ func (h *Handle) StartCapture() error {
 			CoreID:  q,
 			Rand:    rng,
 			Metrics: h.em,
+			Scope:   h.scope,
 		}))
 	}
 	h.capture = newCaptureState(h)
@@ -502,6 +577,11 @@ func (h *Handle) StartCapture() error {
 		return err
 	}
 	h.startControl()
+	if h.hist != nil {
+		// Started only on the success path: Stop (in Close) waits on the
+		// sampling goroutine, which must therefore exist by then.
+		h.hist.Start()
+	}
 	h.started = true
 	return nil
 }
@@ -576,6 +656,9 @@ func (h *Handle) Close() error {
 	if h.ctl != nil {
 		// Stop the controller first so no actuation races teardown.
 		h.ctl.Stop()
+	}
+	if h.hist != nil {
+		h.hist.Stop()
 	}
 	h.capture.stop()
 	h.mm.Close()

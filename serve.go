@@ -13,6 +13,7 @@ import (
 	"scap/internal/ctlplane"
 	"scap/internal/metrics"
 	"scap/internal/sketch"
+	"scap/internal/streamscope"
 )
 
 // DebugServer is the optional observability endpoint of one socket, started
@@ -34,13 +35,38 @@ type DebugServer struct {
 	// ctl is the adaptive controller, nil when disabled; its handler reads
 	// only the atomic snapshot pointer.
 	ctl *ctlplane.Controller
+	// scope holds the stream journals, nil when disabled; its handler uses
+	// only the seqlock read protocol. hist is the metrics history ring, nil
+	// when disabled; its handler reads under the ring's own mutex.
+	scope *streamscope.Scope
+	hist  *metrics.History
+}
+
+// allowGet gates a handler to read methods: everything on this server is a
+// read-only snapshot, so anything but GET or HEAD is answered with 405 and
+// an Allow header rather than silently treated as a read.
+func allowGet(next http.HandlerFunc) http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			rw.Header().Set("Allow", "GET, HEAD")
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		next(rw, req)
+	}
 }
 
 // handleMetrics serves /metrics: the registry as JSON with rates windowed
-// since the previous scrape.
+// since the previous scrape, or — with ?format=prom — as OpenMetrics text
+// exposition (totals, per-core series, histogram buckets with exemplars).
 //
 //scap:goroutine debugserver per-request handler on net/http's connection goroutines
 func (s *DebugServer) handleMetrics(rw http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "prom" {
+		rw.Header().Set("Content-Type", metrics.PromContentType)
+		_ = metrics.WriteProm(rw, s.reg.Snapshot())
+		return
+	}
 	p := s.win.Collect()
 	rw.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(rw)
@@ -61,6 +87,45 @@ func (s *DebugServer) handleFlight(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	_ = enc.Encode(s.reg.Flight().Dump())
+}
+
+// handleStreams serves /debug/streams: the sampled and anomaly-promoted
+// stream lifecycle journals as JSON (anomalous streams first), or — with
+// ?format=chrome — as Chrome trace-event JSON with one named track per
+// journaled stream, loadable in Perfetto. Serves {"enabled": false} when
+// stream journaling is disabled.
+//
+//scap:goroutine debugserver per-request handler on net/http's connection goroutines
+func (s *DebugServer) handleStreams(rw http.ResponseWriter, req *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if s.scope == nil {
+		_ = enc.Encode(map[string]bool{"enabled": false})
+		return
+	}
+	if req.URL.Query().Get("format") == "chrome" {
+		_ = enc.Encode(streamscope.ChromeTrace(s.scope.Snapshot()))
+		return
+	}
+	_ = enc.Encode(s.scope.DumpState())
+}
+
+// handleHistory serves /debug/history: the bounded ring of periodic metrics
+// snapshots (counter totals and rates, gauges, histogram quantiles), oldest
+// first — the data behind scaptop's sparklines and ctlplane episode replay.
+// Serves {"enabled": false} when the history ring is disabled.
+//
+//scap:goroutine debugserver per-request handler on net/http's connection goroutines
+func (s *DebugServer) handleHistory(rw http.ResponseWriter, req *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if s.hist == nil {
+		_ = enc.Encode(map[string]bool{"enabled": false})
+		return
+	}
+	_ = enc.Encode(s.hist.Dump())
 }
 
 // handleSketch serves /debug/sketch: each engine's most recently published
@@ -105,12 +170,23 @@ func (s *DebugServer) handleCtlplane(rw http.ResponseWriter, req *http.Request) 
 //
 //   - /metrics — the metrics registry as JSON: every counter with its total
 //     and per-core values, per-second rates windowed between scrapes,
-//     gauges, histograms, and the recent overload events (PPL pressure
-//     episodes, ring-full episodes, FDIR churn).
+//     gauges, histograms with exemplars, and the recent overload events
+//     (PPL pressure episodes, ring-full episodes, FDIR churn).
+//     /metrics?format=prom returns the same registry as OpenMetrics text
+//     exposition for Prometheus-compatible scrapers.
 //   - /debug/flight — the flight recorder's per-core decision records as
 //     JSON (oldest first); /debug/flight?format=chrome returns the same
 //     records as Chrome trace-event JSON, loadable in chrome://tracing or
 //     Perfetto (ui.perfetto.dev).
+//   - /debug/streams — the sampled per-stream lifecycle journals: every
+//     Nth stream plus every anomalous stream, each with its recent
+//     lifecycle events (creation, first payload, chunk flushes, gaps,
+//     overlaps, PPL drops, cutoff, close). /debug/streams?format=chrome
+//     returns them as Chrome trace-event JSON with one named track per
+//     stream. {"enabled": false} when Config.Streams.Disabled.
+//   - /debug/history — the bounded ring of periodic metrics snapshots
+//     (totals, rates, gauges, histogram p50/p99), oldest first.
+//     {"enabled": false} when Config.History.Disabled.
 //   - /debug/sketch — each core's sketch front-end snapshot (observed
 //     totals, per-priority breakdowns, heavy-hitter flows). Call Serve
 //     after StartCapture so the engines exist; entries are null when the
@@ -121,6 +197,9 @@ func (s *DebugServer) handleCtlplane(rw http.ResponseWriter, req *http.Request) 
 //     when Config.Control is off.
 //   - /debug/pprof/ — the standard net/http/pprof profiling endpoints.
 //   - /debug/vars — expvar's process-wide variables.
+//
+// Every endpoint is a read-only snapshot: non-GET requests are answered
+// with 405 Method Not Allowed.
 //
 // The rate window is shared by all scrapers of this server: each /metrics
 // request reports rates since the previous request. Run one poller (e.g.
@@ -141,18 +220,22 @@ func (h *Handle) Serve(addr string) (*DebugServer, error) {
 		reg:     h.reg,
 		engines: append([]*core.Engine(nil), h.engines...),
 		ctl:     h.ctl,
+		scope:   h.scope,
+		hist:    h.hist,
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/flight", s.handleFlight)
-	mux.HandleFunc("/debug/sketch", s.handleSketch)
-	mux.HandleFunc("/debug/ctlplane", s.handleCtlplane)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", allowGet(s.handleMetrics))
+	mux.HandleFunc("/debug/flight", allowGet(s.handleFlight))
+	mux.HandleFunc("/debug/streams", allowGet(s.handleStreams))
+	mux.HandleFunc("/debug/history", allowGet(s.handleHistory))
+	mux.HandleFunc("/debug/sketch", allowGet(s.handleSketch))
+	mux.HandleFunc("/debug/ctlplane", allowGet(s.handleCtlplane))
+	mux.HandleFunc("/debug/pprof/", allowGet(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", allowGet(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", allowGet(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", allowGet(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", allowGet(pprof.Trace))
+	mux.HandleFunc("/debug/vars", allowGet(expvar.Handler().ServeHTTP))
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(s.done)

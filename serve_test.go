@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"scap/internal/metrics"
+	"scap/internal/streamscope"
 )
 
 func getBody(t *testing.T, url string) []byte {
@@ -306,5 +308,311 @@ func TestGetStatsFrozenAfterClose(t *testing.T) {
 	}
 	if st1 != st2 {
 		t.Fatalf("post-Close snapshots differ:\n%+v\n%+v", st1, st2)
+	}
+}
+
+// TestServeMethodsAndContentTypes sweeps every route: GET answers 200 with
+// the right Content-Type, and anything else is 405 with an Allow header —
+// every endpoint is a read-only snapshot.
+func TestServeMethodsAndContentTypes(t *testing.T) {
+	h, err := Create(Config{Queues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	cases := []struct {
+		path   string
+		wantCT string // Content-Type prefix
+	}{
+		{"/metrics", "application/json"},
+		{"/metrics?format=prom", "application/openmetrics-text"},
+		{"/debug/flight", "application/json"},
+		{"/debug/flight?format=chrome", "application/json"},
+		{"/debug/streams", "application/json"},
+		{"/debug/streams?format=chrome", "application/json"},
+		{"/debug/history", "application/json"},
+		{"/debug/sketch", "application/json"},
+		{"/debug/ctlplane", "application/json"},
+		{"/debug/pprof/cmdline", "text/plain"},
+		{"/debug/vars", "application/json"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(base + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %s", tc.path, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, tc.wantCT) {
+			t.Errorf("GET %s Content-Type = %q, want prefix %q", tc.path, ct, tc.wantCT)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", tc.path)
+		}
+
+		resp, err = http.Post(base+tc.path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", tc.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %s, want 405", tc.path, resp.Status)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s Allow = %q, want GET", tc.path, allow)
+		}
+	}
+}
+
+// TestServeStreamsEndpoint drives a cutoff-heavy replay with the sampler
+// effectively off (a huge stride), so every journal present must have been
+// promoted by an anomaly — the invariant that the interesting tail is never
+// sampled away. The chrome export must carry one named track per journal.
+func TestServeStreamsEndpoint(t *testing.T) {
+	h, err := Create(Config{Queues: 2, Streams: StreamsConfig{SampleEvery: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetCutoff(512); err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) {})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := h.ReplaySource(smallGen(13, 50), 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	var dump streamscope.Dump
+	if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/streams"), &dump); err != nil {
+		t.Fatalf("parse /debug/streams: %v", err)
+	}
+	if dump.Cores != 2 || dump.SampleEvery != 1<<20 {
+		t.Fatalf("dump header = cores %d stride %d", dump.Cores, dump.SampleEvery)
+	}
+	if len(dump.Journals) == 0 || dump.Anomalies == 0 {
+		t.Fatalf("no anomaly-promoted journals after cutoff-heavy replay: %+v", dump)
+	}
+	var cutoffJournal *streamscope.JournalSnap
+	for i := range dump.Journals {
+		js := &dump.Journals[i]
+		if js.Sampled {
+			t.Fatalf("journal claims sampler origin under a 1-in-%d stride: %+v", 1<<20, js)
+		}
+		for _, a := range js.Anomalies {
+			if a == "cutoff" {
+				cutoffJournal = js
+			}
+		}
+	}
+	if cutoffJournal == nil {
+		t.Fatalf("no cutoff-promoted journal: %+v", dump.Journals)
+	}
+	if cutoffJournal.StreamID == 0 || cutoffJournal.Key == "" {
+		t.Fatalf("cutoff journal identity empty: %+v", cutoffJournal)
+	}
+	var sawCutoffEvent bool
+	for i, ev := range cutoffJournal.Events {
+		if ev.KindName == "cutoff" {
+			sawCutoffEvent = true
+		}
+		if i > 0 && ev.Seq <= cutoffJournal.Events[i-1].Seq {
+			t.Fatal("journal events not in sequence order")
+		}
+	}
+	if !sawCutoffEvent {
+		t.Fatalf("cutoff journal has no cutoff event: %+v", cutoffJournal.Events)
+	}
+
+	var tr streamscope.Trace
+	if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/streams?format=chrome"), &tr); err != nil {
+		t.Fatalf("parse chrome streams trace: %v", err)
+	}
+	tracks := 0
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			tracks++
+			name, _ := ev.Args["name"].(string)
+			if !strings.HasPrefix(name, "stream ") {
+				t.Fatalf("track name %q lacks stream prefix", name)
+			}
+			if !strings.Contains(name, "[anomaly]") {
+				t.Fatalf("anomaly-promoted track %q not marked", name)
+			}
+		}
+		if ev.TS < 0 {
+			t.Fatalf("negative trace timestamp: %+v", ev)
+		}
+	}
+	if tracks != len(dump.Journals) {
+		t.Fatalf("chrome export has %d named tracks, want %d", tracks, len(dump.Journals))
+	}
+
+	// The stream-journal counters surface in /metrics.
+	p, err := metrics.ParsePayload(getBody(t, "http://"+srv.Addr()+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Counter("streams_anomaly_total"); c == nil || c.Total == 0 {
+		t.Fatalf("streams_anomaly_total missing or zero: %+v", c)
+	}
+	if g := p.Gauge("streamscope_sample_every"); g == nil || g.Value != 1<<20 {
+		t.Fatalf("streamscope_sample_every = %+v, want %d", g, 1<<20)
+	}
+}
+
+// TestServeStreamsDisabled: Config.Streams.Disabled turns the endpoint into
+// an {"enabled": false} stub.
+func TestServeStreamsDisabled(t *testing.T) {
+	h, err := Create(Config{Queues: 1, Streams: StreamsConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var out map[string]bool
+	if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/streams"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out["enabled"]; !ok || v {
+		t.Fatalf("disabled scope served %+v", out)
+	}
+}
+
+// TestServeHistoryEndpoint: with a fast sampling cadence the history ring
+// accumulates points carrying counter totals, rates, and gauges.
+func TestServeHistoryEndpoint(t *testing.T) {
+	h, err := Create(Config{Queues: 2, History: HistoryConfig{Interval: 10 * time.Millisecond, Depth: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) {})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := h.ReplaySource(smallGen(11, 40), 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	var dump metrics.HistoryDump
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := json.Unmarshal(getBody(t, "http://"+srv.Addr()+"/debug/history"), &dump); err != nil {
+			t.Fatalf("parse /debug/history: %v", err)
+		}
+		if len(dump.Points) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never accumulated points: %+v", dump)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if dump.Depth != 32 {
+		t.Fatalf("depth = %d, want 32", dump.Depth)
+	}
+	last := dump.Points[len(dump.Points)-1]
+	var pk *metrics.HistoryCounter
+	for i := range last.Counters {
+		if last.Counters[i].Name == "packets_total" {
+			pk = &last.Counters[i]
+		}
+	}
+	if pk == nil || pk.Total == 0 {
+		t.Fatalf("history point lacks packets_total: %+v", last)
+	}
+	if len(last.Gauges) == 0 {
+		t.Fatalf("history point lacks gauges: %+v", last)
+	}
+	for i := 1; i < len(dump.Points); i++ {
+		if dump.Points[i].TimeUnixNano < dump.Points[i-1].TimeUnixNano {
+			t.Fatal("history points not oldest first")
+		}
+	}
+}
+
+// TestServeExemplarSurfaces: after a replay the chunk-size histogram carries
+// an exemplar whose stream ID surfaces both in the /metrics JSON payload and
+// in the OpenMetrics exposition's exemplar syntax.
+func TestServeExemplarSurfaces(t *testing.T) {
+	h, err := Create(Config{Queues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.DispatchData(func(sd *Stream) {})
+	if err := h.StartCapture(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := h.ReplaySource(smallGen(17, 40), 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := metrics.ParsePayload(getBody(t, "http://"+srv.Addr()+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunk *metrics.HistogramSnap
+	for i := range p.Histograms {
+		if p.Histograms[i].Name == "chunk_bytes" {
+			chunk = &p.Histograms[i]
+		}
+	}
+	if chunk == nil || chunk.Count == 0 {
+		t.Fatal("chunk_bytes histogram missing or empty")
+	}
+	if chunk.Exemplar == nil || chunk.Exemplar.StreamID == 0 || chunk.Exemplar.Value == 0 {
+		t.Fatalf("chunk_bytes exemplar = %+v, want nonzero stream ID", chunk.Exemplar)
+	}
+
+	prom := string(getBody(t, "http://"+srv.Addr()+"/metrics?format=prom"))
+	if !strings.HasSuffix(prom, "# EOF\n") {
+		t.Fatalf("prom exposition not EOF-terminated: ...%q", prom[max(0, len(prom)-40):])
+	}
+	if !strings.Contains(prom, "chunk_bytes_bucket{") {
+		t.Fatal("prom exposition lacks chunk_bytes buckets")
+	}
+	if !strings.Contains(prom, `# {stream_id="`) {
+		t.Fatal("prom exposition lacks an exemplar with a stream ID")
 	}
 }
